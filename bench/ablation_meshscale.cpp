@@ -1,0 +1,78 @@
+// Ablation — NoC-sprinting across mesh sizes.
+//
+// The dark-silicon trend (Figure 3) says the NoC's share of chip power
+// grows with core count; this ablation shows NoC-sprinting's savings grow
+// with it.  For 4x4, 6x6, and 8x8 meshes sprinting a fixed 4-core region,
+// we measure simulated network power and latency vs full-sprinting.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "noc/simulator.hpp"
+#include "power/chip_power.hpp"
+#include "power/noc_power.hpp"
+#include "sprint/network_builder.hpp"
+
+using namespace nocs;
+using namespace nocs::sprint;
+
+int main(int argc, char** argv) {
+  const Config cfg = bench::parse_config(argc, argv);
+  bench::banner("Ablation: NoC-sprinting vs mesh size",
+                "4-core sprint on 4x4 / 6x6 / 8x8 meshes; savings grow "
+                "with the dark fraction",
+                bench::network_params(cfg));
+
+  const std::uint64_t seed = cfg.get_int("seed", 23);
+  noc::SimConfig sim;
+  sim.warmup = 1000;
+  sim.measure = 6000;
+  sim.injection_rate = cfg.get_double("injection", 0.15);
+
+  Table t({"mesh", "dark frac", "noc lat", "full lat", "lat cut",
+           "noc power (mW)", "full power (mW)", "power cut",
+           "NoC share @nominal"});
+  for (int side : {4, 6, 8}) {
+    noc::NetworkParams params;
+    params.width = side;
+    params.height = side;
+    const int n = params.num_nodes();
+    const int level = 4;
+
+    const auto rp = power::RouterPowerParams::from_network(params);
+    const power::RouterPowerModel router_model(rp);
+    const power::LinkPowerModel link_model(params.flit_bytes * 8, 2.5,
+                                           rp.tech, rp.op);
+
+    auto nb = make_noc_sprinting_network(params, level, "uniform", seed);
+    const noc::SimResults rn = run_simulation(*nb.network, sim);
+    const Watts pn = power::estimate_noc_power(*nb.network, router_model,
+                                               link_model, rn.cycles)
+                         .total();
+
+    auto fb = make_full_sprinting_network(params, level, "uniform", seed);
+    const noc::SimResults rf = run_simulation(*fb.network, sim);
+    const Watts pf = power::estimate_noc_power(*fb.network, router_model,
+                                               link_model, rf.cycles)
+                         .total();
+
+    power::ChipPowerParams chip_params;
+    chip_params.num_cores = n;
+    const auto nominal = power::ChipPowerModel(chip_params).nominal();
+
+    t.add_row({std::to_string(side) + "x" + std::to_string(side),
+               Table::pct(static_cast<double>(n - level) / n, 0),
+               Table::fmt(rn.avg_packet_latency, 2),
+               Table::fmt(rf.avg_packet_latency, 2),
+               Table::pct(1.0 - rn.avg_packet_latency /
+                                    rf.avg_packet_latency),
+               Table::fmt(pn * 1e3, 1), Table::fmt(pf * 1e3, 1),
+               Table::pct(1.0 - pn / pf),
+               Table::pct(nominal.noc / nominal.total())});
+  }
+  t.print();
+
+  bench::headline("power saving vs mesh size",
+                  "the darker the chip, the more NoC-sprinting saves",
+                  "power cut grows monotonically with the dark fraction");
+  return 0;
+}

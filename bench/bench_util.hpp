@@ -1,0 +1,58 @@
+// Shared helpers for the figure-regeneration benches.
+//
+// Every bench binary regenerates one table/figure of the paper: it prints
+// the Table 1 configuration banner, the reproduced rows, and the headline
+// aggregate the paper quotes, so `for b in build/bench/*; do $b; done`
+// emits a complete experiment log.
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "noc/params.hpp"
+
+namespace nocs::bench {
+
+/// Parses key=value overrides from argv, tolerating none.
+inline Config parse_config(int argc, char** argv) {
+  return Config::from_args(argc, argv);
+}
+
+/// Builds the Table 1 network configuration with optional overrides
+/// (width, height, num_vcs, vc_depth, packet_length, flit_bytes).
+inline noc::NetworkParams network_params(const Config& cfg) {
+  noc::NetworkParams p;
+  p.width = static_cast<int>(cfg.get_int("width", p.width));
+  p.height = static_cast<int>(cfg.get_int("height", p.height));
+  p.num_vcs = static_cast<int>(cfg.get_int("num_vcs", p.num_vcs));
+  p.vc_depth = static_cast<int>(cfg.get_int("vc_depth", p.vc_depth));
+  p.packet_length =
+      static_cast<int>(cfg.get_int("packet_length", p.packet_length));
+  p.flit_bytes = static_cast<int>(cfg.get_int("flit_bytes", p.flit_bytes));
+  p.validate();
+  return p;
+}
+
+/// Prints the experiment banner: which figure, what configuration.
+inline void banner(const char* experiment, const char* summary,
+                   const noc::NetworkParams& p) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n%s\n", experiment, summary);
+  std::printf(
+      "config: %dx%d mesh, %d VCs x %d flits, %d-flit packets, %d-byte "
+      "flits (Table 1)\n",
+      p.width, p.height, p.num_vcs, p.vc_depth, p.packet_length,
+      p.flit_bytes);
+  std::printf("==============================================================\n");
+}
+
+/// Prints a "paper vs measured" headline line.
+inline void headline(const std::string& what, const std::string& paper,
+                     const std::string& measured) {
+  std::printf("\n>> %s: paper = %s, measured = %s\n", what.c_str(),
+              paper.c_str(), measured.c_str());
+}
+
+}  // namespace nocs::bench

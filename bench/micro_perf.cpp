@@ -1,0 +1,82 @@
+// Micro-benchmarks (google-benchmark): raw speed of the simulator and the
+// paper's algorithms.  Not a paper figure — engineering data for users
+// sizing their own sweeps.
+#include <benchmark/benchmark.h>
+
+#include "cmp/perf_model.hpp"
+#include "noc/simulator.hpp"
+#include "sprint/cdor.hpp"
+#include "sprint/floorplanner.hpp"
+#include "sprint/network_builder.hpp"
+#include "sprint/topology.hpp"
+#include "thermal/grid.hpp"
+
+using namespace nocs;
+
+static void BM_NetworkTick(benchmark::State& state) {
+  const int side = static_cast<int>(state.range(0));
+  noc::NetworkParams p;
+  p.width = side;
+  p.height = side;
+  noc::XyRouting xy;
+  noc::Network net(p, &xy);
+  std::vector<NodeId> all;
+  for (int i = 0; i < p.num_nodes(); ++i) all.push_back(i);
+  net.set_endpoints(all, noc::make_traffic("uniform", p.num_nodes()));
+  net.set_injection_rate(0.2);
+  net.set_seed(1);
+  net.run(1000);  // warm the pipelines
+  for (auto _ : state) net.tick();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(p.num_nodes()));
+}
+BENCHMARK(BM_NetworkTick)->Arg(4)->Arg(8);
+
+static void BM_SprintOrder(benchmark::State& state) {
+  const MeshShape mesh(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sprint::sprint_order(mesh, 0));
+}
+BENCHMARK(BM_SprintOrder)->Arg(4)->Arg(16);
+
+static void BM_CdorRoute(benchmark::State& state) {
+  const MeshShape mesh(4, 4);
+  const sprint::CdorRouting cdor(mesh, sprint::active_set(mesh, 8, 0), 0);
+  int i = 0;
+  const auto& act = cdor.active_nodes();
+  for (auto _ : state) {
+    const Coord a = mesh.coord_of(act[static_cast<std::size_t>(i % 8)]);
+    const Coord b = mesh.coord_of(act[static_cast<std::size_t>((i + 3) % 8)]);
+    benchmark::DoNotOptimize(cdor.route(a, b));
+    ++i;
+  }
+}
+BENCHMARK(BM_CdorRoute);
+
+static void BM_Floorplan(benchmark::State& state) {
+  const MeshShape mesh(static_cast<int>(state.range(0)),
+                       static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(sprint::thermal_aware_floorplan(mesh, 0));
+}
+BENCHMARK(BM_Floorplan)->Arg(4)->Arg(8);
+
+static void BM_ThermalSteady(benchmark::State& state) {
+  const MeshShape mesh(4, 4);
+  thermal::GridThermalParams gp;
+  const thermal::GridThermalModel model(gp, 12.0, 12.0);
+  std::vector<Watts> powers(16, 1.0);
+  powers[0] = 5.0;
+  const thermal::Floorplan fp = thermal::make_cmp_floorplan(
+      mesh, 12.0, 12.0, powers, thermal::identity_positions(16));
+  for (auto _ : state) benchmark::DoNotOptimize(model.solve_steady(fp));
+}
+BENCHMARK(BM_ThermalSteady);
+
+static void BM_CalibrateSuite(benchmark::State& state) {
+  for (auto _ : state) benchmark::DoNotOptimize(cmp::parsec_suite(16));
+}
+BENCHMARK(BM_CalibrateSuite);
+
+BENCHMARK_MAIN();

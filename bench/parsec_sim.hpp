@@ -1,0 +1,34 @@
+// Shared simulation driver for the PARSEC network experiments (Figures 9
+// and 10) — a thin adapter over the library's sprint::cosimulate().
+#pragma once
+
+#include "cmp/perf_model.hpp"
+#include "sprint/cosim.hpp"
+
+namespace nocs::bench {
+
+struct ParsecNetResult {
+  int level = 0;
+  double full_latency = 0.0;
+  double noc_latency = 0.0;
+  Watts full_power = 0.0;
+  Watts noc_power = 0.0;
+};
+
+inline ParsecNetResult run_parsec_network(const noc::NetworkParams& params,
+                                          const cmp::WorkloadParams& w,
+                                          const cmp::PerfModel& pm,
+                                          std::uint64_t seed) {
+  sprint::CosimConfig cfg;
+  cfg.seed = seed;
+  const sprint::CosimResult r = sprint::cosimulate(params, w, pm, cfg);
+  ParsecNetResult out;
+  out.level = r.level;
+  out.full_latency = r.full_latency;
+  out.noc_latency = r.noc_latency;
+  out.full_power = r.full_noc_power;
+  out.noc_power = r.noc_noc_power;
+  return out;
+}
+
+}  // namespace nocs::bench

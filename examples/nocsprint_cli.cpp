@@ -1,0 +1,190 @@
+// nocsprint_cli — one command-line entry point for the whole library.
+//
+// Modes (key=value arguments):
+//   mode=plan      workload=<name> [scheme=noc|full|fine|non]
+//       -> the sprint controller's decision for one workload
+//   mode=simulate  level=<k> [traffic=uniform] [injection=0.1] [seed=1]
+//                  [scheme=noc|full] [classes=1|2] [pipeline=5|3]
+//       -> one cycle-accurate run with latency/power/percentiles
+//   mode=sweep     level=<k> [traffic=...] [rates=start:step:end]
+//       -> latency-throughput curve
+//   mode=thermal   level=<k> [floorplan=identity|thermal]
+//       -> steady-state heat map + peak temperature
+//
+// Examples:
+//   ./nocsprint_cli mode=plan workload=canneal
+//   ./nocsprint_cli mode=simulate level=4 injection=0.2 scheme=full
+//   ./nocsprint_cli mode=sweep level=8 rates=0.05:0.05:0.5
+//   ./nocsprint_cli mode=thermal level=4 floorplan=thermal
+#include <cstdio>
+#include <stdexcept>
+
+#include "cmp/perf_model.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "noc/simulator.hpp"
+#include "power/chip_power.hpp"
+#include "power/noc_power.hpp"
+#include "sprint/floorplanner.hpp"
+#include "sprint/network_builder.hpp"
+#include "sprint/sprint_controller.hpp"
+#include "sprint/topology.hpp"
+#include "thermal/grid.hpp"
+#include "thermal/pcm.hpp"
+
+using namespace nocs;
+
+namespace {
+
+noc::NetworkParams params_from(const Config& cfg) {
+  noc::NetworkParams p;
+  p.num_classes = static_cast<int>(cfg.get_int("classes", 1));
+  p.pipeline_stages = static_cast<int>(cfg.get_int("pipeline", 5));
+  p.validate();
+  return p;
+}
+
+int mode_plan(const Config& cfg) {
+  const MeshShape mesh(4, 4);
+  const cmp::PerfModel perf(mesh.size());
+  const power::ChipPowerModel chip{power::ChipPowerParams{}};
+  const thermal::PcmModel pcm{thermal::PcmParams{}};
+  const sprint::SprintController ctl(mesh, perf, chip, pcm);
+  const auto suite = cmp::parsec_suite(mesh.size());
+  const auto& w =
+      cmp::find_workload(suite, cfg.get_string("workload", "dedup"));
+
+  const std::string scheme = cfg.get_string("scheme", "noc");
+  sprint::SprintMode mode = sprint::SprintMode::kNocSprinting;
+  if (scheme == "full") mode = sprint::SprintMode::kFullSprinting;
+  else if (scheme == "fine") mode = sprint::SprintMode::kFineGrained;
+  else if (scheme == "non") mode = sprint::SprintMode::kNonSprinting;
+  else if (scheme != "noc") throw std::invalid_argument("bad scheme");
+
+  const sprint::SprintPlan p = ctl.plan(w, mode);
+  std::printf("workload     %s\nscheme       %s\nlevel        %d\n",
+              p.workload.c_str(), sprint::to_string(p.mode), p.level);
+  std::printf("active nodes ");
+  for (NodeId id : p.active) std::printf("%d ", id);
+  std::printf("\nspeedup      %.2fx\ncore power   %.1f W\n", p.speedup,
+              p.core_power);
+  std::printf("noc power    %.2f W\nchip power   %.1f W\nduration     ",
+              p.noc_power, p.chip_power);
+  if (p.sprint_duration >= 10.0) std::printf("sustainable\n");
+  else std::printf("%.2f s\n", p.sprint_duration);
+  return 0;
+}
+
+int mode_simulate(const Config& cfg) {
+  const noc::NetworkParams params = params_from(cfg);
+  const int level = static_cast<int>(cfg.get_int("level", 4));
+  const std::string traffic = cfg.get_string("traffic", "uniform");
+  const std::uint64_t seed = cfg.get_int("seed", 1);
+  const bool full = cfg.get_string("scheme", "noc") == "full";
+
+  sprint::NetworkBundle b =
+      full ? sprint::make_full_sprinting_network(params, level, traffic, seed)
+           : sprint::make_noc_sprinting_network(params, level, traffic, seed);
+  if (params.num_classes >= 2 && cfg.get_bool("protocol", false))
+    b.network->set_request_reply(1, 5);
+
+  noc::SimConfig sim;
+  sim.warmup = cfg.get_int("warmup", 2000);
+  sim.measure = cfg.get_int("measure", 10000);
+  sim.injection_rate = cfg.get_double("injection", 0.1);
+  const noc::SimResults r = run_simulation(*b.network, sim);
+
+  const auto rp = power::RouterPowerParams::from_network(params);
+  const power::RouterPowerModel router_model(rp);
+  const power::LinkPowerModel link_model(params.flit_bytes * 8, 2.5, rp.tech,
+                                         rp.op);
+  const auto power_est =
+      power::estimate_noc_power(*b.network, router_model, link_model,
+                                r.cycles);
+
+  std::printf("scheme           %s (routing %s)\n", full ? "full" : "noc",
+              b.routing->name());
+  std::printf("avg latency      %.2f cycles (p50 %.1f, p99 %.1f)\n",
+              r.avg_packet_latency, r.p50_latency, r.p99_latency);
+  std::printf("avg hops         %.2f\n", r.avg_hops);
+  std::printf("accepted rate    %.4f flits/cycle/node\n", r.accepted_rate);
+  std::printf("packets          %llu (saturated: %s)\n",
+              static_cast<unsigned long long>(r.packets_ejected),
+              r.saturated ? "yes" : "no");
+  std::printf("network power    %.2f mW (routers %.2f, links %.2f)\n",
+              power_est.total() * 1e3, power_est.routers.total() * 1e3,
+              (power_est.link_dynamic + power_est.link_leakage) * 1e3);
+  return 0;
+}
+
+int mode_sweep(const Config& cfg) {
+  const noc::NetworkParams params = params_from(cfg);
+  const int level = static_cast<int>(cfg.get_int("level", 4));
+  const std::string spec = cfg.get_string("rates", "0.05:0.05:0.5");
+  double start = 0.05, step = 0.05, end = 0.5;
+  if (std::sscanf(spec.c_str(), "%lf:%lf:%lf", &start, &step, &end) != 3)
+    throw std::invalid_argument("rates=start:step:end");
+
+  sprint::NetworkBundle b = sprint::make_noc_sprinting_network(
+      params, level, cfg.get_string("traffic", "uniform"),
+      cfg.get_int("seed", 1));
+  std::vector<double> rates;
+  for (double r = start; r <= end + 1e-12; r += step) rates.push_back(r);
+  noc::SimConfig sim;
+  sim.warmup = 1000;
+  sim.measure = 6000;
+  const auto points = sweep_injection(*b.network, sim, rates);
+
+  Table t({"rate", "latency", "p99", "accepted", "saturated"});
+  for (const auto& pt : points)
+    t.add_row({Table::fmt(pt.injection_rate, 3),
+               Table::fmt(pt.results.avg_packet_latency, 2),
+               Table::fmt(pt.results.p99_latency, 1),
+               Table::fmt(pt.results.accepted_rate, 4),
+               pt.results.saturated ? "yes" : "no"});
+  t.print();
+  return 0;
+}
+
+int mode_thermal(const Config& cfg) {
+  const MeshShape mesh(4, 4);
+  const int level = static_cast<int>(cfg.get_int("level", 4));
+  const bool thermal_fp = cfg.get_string("floorplan", "identity") == "thermal";
+  const power::ChipPowerParams chip{};
+  const thermal::GridThermalModel model(thermal::GridThermalParams{}, 12.0,
+                                        12.0);
+  std::vector<Watts> powers(16, chip.core_gated + chip.l2_tile +
+                                    chip.noc_gated_node);
+  for (NodeId id : sprint::active_set(mesh, level, 0))
+    powers[static_cast<std::size_t>(id)] =
+        chip.core_active + chip.l2_tile + chip.noc_per_node;
+  const auto positions = thermal_fp
+                             ? sprint::thermal_aware_floorplan(mesh, 0).positions
+                             : sprint::identity_floorplan(mesh).positions;
+  const auto field = model.solve_steady(
+      thermal::make_cmp_floorplan(mesh, 12.0, 12.0, powers, positions));
+  std::printf("level %d, %s floorplan: peak %.2f K, avg %.2f K\n\n", level,
+              thermal_fp ? "thermal-aware" : "identity", field.peak(),
+              field.average());
+  std::printf("%s", thermal::render_heatmap(field, 32, 16).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config cfg = Config::from_args(argc, argv);
+    const std::string mode = cfg.get_string("mode", "plan");
+    if (mode == "plan") return mode_plan(cfg);
+    if (mode == "simulate") return mode_simulate(cfg);
+    if (mode == "sweep") return mode_sweep(cfg);
+    if (mode == "thermal") return mode_thermal(cfg);
+    std::fprintf(stderr, "unknown mode '%s' (plan|simulate|sweep|thermal)\n",
+                 mode.c_str());
+    return 2;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
+}

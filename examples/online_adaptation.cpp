@@ -1,0 +1,59 @@
+// Online sprint-level adaptation demo.
+//
+// The paper profiles PARSEC off-line to find each workload's optimal
+// sprint level.  This example shows the run-time alternative: a
+// hill-climbing controller that converges to (near) the same level using
+// only observed burst execution times — no a priori knowledge — and then
+// tracks a workload phase change.
+//
+// Run:  ./online_adaptation [workload=vips] [noise=0.02] [seed=4]
+#include <cstdio>
+
+#include "cmp/perf_model.hpp"
+#include "common/config.hpp"
+#include "common/rng.hpp"
+#include "common/table.hpp"
+#include "sprint/online_adapt.hpp"
+
+using namespace nocs;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::string name = cfg.get_string("workload", "vips");
+  const double noise = cfg.get_double("noise", 0.02);
+  Rng rng(cfg.get_int("seed", 4));
+
+  const cmp::PerfModel perf(16);
+  const auto suite = cmp::parsec_suite(16);
+  const cmp::WorkloadParams* workload = &cmp::find_workload(suite, name);
+  const cmp::WorkloadParams* phase2 =
+      &cmp::find_workload(suite, cfg.get_string("phase2", "blackscholes"));
+
+  sprint::OnlineLevelController ctl(16, /*start_level=*/1, /*step=*/2,
+                                    /*reprobe_period=*/6);
+
+  std::printf("workload %s (true optimum %d), switching to %s (optimum %d) "
+              "at burst 20; measurement noise +-%.0f%%\n\n",
+              workload->name.c_str(), perf.optimal_level(*workload),
+              phase2->name.c_str(), perf.optimal_level(*phase2),
+              noise * 100.0);
+
+  Table t({"burst", "level used", "observed T", "state"});
+  for (int burst = 0; burst < 40; ++burst) {
+    if (burst == 20) workload = phase2;  // workload phase change
+    const int level = ctl.next_level();
+    const double truth = perf.exec_time(*workload, level);
+    const double observed =
+        truth * (1.0 + noise * (2.0 * rng.uniform() - 1.0));
+    ctl.observe(observed);
+    t.add_row({Table::fmt(static_cast<long long>(burst)),
+               Table::fmt(static_cast<long long>(level)),
+               Table::fmt(observed, 3),
+               ctl.converged() ? "locked" : "probing"});
+  }
+  t.print();
+
+  std::printf("\nfinal level %d vs off-line optimum %d\n", ctl.next_level(),
+              perf.optimal_level(*workload));
+  return 0;
+}

@@ -1,0 +1,63 @@
+// Quickstart: the 60-second tour of the NoC-sprinting API.
+//
+// Builds the paper's 16-core / 4x4-mesh system, asks the sprint controller
+// to plan a burst of `dedup`, and prints what each sprinting scheme would
+// do — level, speedup, power, and how long the sprint can last.
+//
+// Run:  ./quickstart [workload=dedup]
+#include <cstdio>
+
+#include "cmp/perf_model.hpp"
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "power/chip_power.hpp"
+#include "sprint/sprint_controller.hpp"
+#include "thermal/pcm.hpp"
+
+using namespace nocs;
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const std::string name = cfg.get_string("workload", "dedup");
+
+  // 1. The machine: Table 1 of the paper — 16 cores on a 4x4 mesh.
+  const MeshShape mesh(4, 4);
+
+  // 2. The models: calibrated performance, chip power, and PCM thermal.
+  const cmp::PerfModel perf(mesh.size());
+  const power::ChipPowerModel chip{power::ChipPowerParams{}};
+  const thermal::PcmModel pcm{thermal::PcmParams{}};
+
+  // 3. The controller ties them together (master = node 0, next to the
+  //    memory controller).
+  const sprint::SprintController controller(mesh, perf, chip, pcm);
+
+  // 4. Pick a workload (one of the 11 calibrated PARSEC benchmarks).
+  const auto suite = cmp::parsec_suite(mesh.size());
+  const cmp::WorkloadParams& workload = cmp::find_workload(suite, name);
+
+  std::printf("workload: %s (serial fraction %.2f)\n\n",
+              workload.name.c_str(), workload.serial_frac);
+
+  Table t({"scheme", "cores", "speedup", "core power (W)", "NoC power (W)",
+           "chip power (W)", "sprint duration (s)"});
+  for (const auto mode :
+       {sprint::SprintMode::kNonSprinting, sprint::SprintMode::kFullSprinting,
+        sprint::SprintMode::kFineGrained, sprint::SprintMode::kNocSprinting}) {
+    const sprint::SprintPlan p = controller.plan(workload, mode);
+    t.add_row({sprint::to_string(mode),
+               Table::fmt(static_cast<long long>(p.level)),
+               Table::fmt(p.speedup, 2) + "x", Table::fmt(p.core_power, 1),
+               Table::fmt(p.noc_power, 2), Table::fmt(p.chip_power, 1),
+               p.sprint_duration >= 10.0 ? "sustainable"
+                                         : Table::fmt(p.sprint_duration, 2)});
+  }
+  t.print();
+
+  const sprint::SprintPlan plan =
+      controller.plan(workload, sprint::SprintMode::kNocSprinting);
+  std::printf("\nNoC-sprinting activates nodes:");
+  for (NodeId id : plan.active) std::printf(" %d", id);
+  std::printf("  (Algorithm 1 order from the master)\n");
+  return 0;
+}

@@ -1,0 +1,98 @@
+// Thermal explorer: visualize what fine-grained sprinting and the
+// thermal-aware floorplan (Algorithms 3/4) do to the die temperature.
+//
+// For a chosen sprint level it prints ASCII heat maps side by side
+// (identity placement vs thermal-aware placement), peak temperatures, and
+// the PCM sprint timeline at that level's chip power.
+//
+// Run:  ./thermal_explorer [level=4] [die_mm=12]
+#include <cstdio>
+
+#include "common/config.hpp"
+#include "common/table.hpp"
+#include "power/chip_power.hpp"
+#include "sprint/floorplanner.hpp"
+#include "sprint/topology.hpp"
+#include "thermal/grid.hpp"
+#include "thermal/pcm.hpp"
+
+using namespace nocs;
+using namespace nocs::thermal;
+
+namespace {
+
+std::vector<Watts> node_powers(const MeshShape& mesh,
+                               const std::vector<NodeId>& active,
+                               const power::ChipPowerParams& chip) {
+  std::vector<Watts> p(static_cast<std::size_t>(mesh.size()),
+                       chip.core_gated + chip.l2_tile + chip.noc_gated_node);
+  for (NodeId id : active)
+    p[static_cast<std::size_t>(id)] =
+        chip.core_active + chip.l2_tile + chip.noc_per_node;
+  return p;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Config cfg = Config::from_args(argc, argv);
+  const int level = static_cast<int>(cfg.get_int("level", 4));
+  const double die_mm = cfg.get_double("die_mm", 12.0);
+
+  const MeshShape mesh(4, 4);
+  const power::ChipPowerParams chip{};
+  const GridThermalModel model(GridThermalParams{}, die_mm, die_mm);
+  const auto active = sprint::active_set(mesh, level, 0);
+  const auto powers = node_powers(mesh, active, chip);
+
+  const auto identity = sprint::identity_floorplan(mesh);
+  const auto planned = sprint::thermal_aware_floorplan(mesh, 0);
+
+  const TemperatureField t_id = model.solve_steady(
+      make_cmp_floorplan(mesh, die_mm, die_mm, powers, identity.positions));
+  const TemperatureField t_fp = model.solve_steady(
+      make_cmp_floorplan(mesh, die_mm, die_mm, powers, planned.positions));
+
+  std::printf("sprint level %d: active nodes", level);
+  for (NodeId id : active) std::printf(" %d", id);
+  std::printf("\n\n");
+
+  std::printf("identity placement            thermal-aware floorplan\n");
+  std::printf("peak %.2f K                  peak %.2f K\n", t_id.peak(),
+              t_fp.peak());
+  const std::string a = render_heatmap(t_id, 28, 14);
+  const std::string b = render_heatmap(t_fp, 28, 14);
+  // Print the two maps side by side.
+  std::size_t pa = 0, pb = 0;
+  while (pa < a.size() && pb < b.size()) {
+    const std::size_t ea = a.find('\n', pa);
+    const std::size_t eb = b.find('\n', pb);
+    std::printf("%s  %s\n", a.substr(pa, ea - pa).c_str(),
+                b.substr(pb, eb - pb).c_str());
+    pa = ea + 1;
+    pb = eb + 1;
+  }
+
+  // Sprint timeline at this level's chip power.
+  double total = 0.0;
+  for (Watts w : powers) total += w;
+  // Uncore not tied to nodes (MC, others).
+  total += chip.mc_each * chip.num_mcs() + chip.others;
+
+  const PcmModel pcm{PcmParams{}};
+  const SprintTimeline tl = pcm.sprint_timeline(total);
+  std::printf("\nchip power at this level: %.1f W\n", total);
+  if (tl.unbounded) {
+    std::printf("thermally sustainable: the chip can run at this level "
+                "indefinitely.\n");
+  } else {
+    std::printf("sprint timeline: phase1 %.2fs (heat to melt), phase2 %.2fs "
+                "(PCM melting), phase3 %.2fs (melt to Tmax) -> total %.2fs\n",
+                tl.phase1, tl.phase2, tl.phase3, tl.total());
+  }
+
+  std::printf("\nwire length: identity %.1f pitches, floorplanned %.1f "
+              "(longer links, repeated wires)\n",
+              identity.total_wire_length, planned.total_wire_length);
+  return 0;
+}

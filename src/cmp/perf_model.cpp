@@ -1,0 +1,45 @@
+#include "cmp/perf_model.hpp"
+
+namespace nocs::cmp {
+
+double PerfModel::exec_time(const WorkloadParams& w, int n) const {
+  NOCS_EXPECTS(n >= 1 && n <= n_max_);
+  w.validate();
+  const double f = w.serial_frac;
+  const double nn = n;
+  return f + (1.0 - f) / nn + w.alpha * (nn - 1.0) +
+         w.beta * (nn - 1.0) * (nn - 1.0);
+}
+
+double PerfModel::exec_time(const WorkloadParams& w, int n,
+                            double measured_latency,
+                            double reference_latency) const {
+  NOCS_EXPECTS(measured_latency > 0.0 && reference_latency > 0.0);
+  const double base = exec_time(w, n);
+  if (n == 1) return base;  // no network traffic in nominal operation
+  const double parallel = (1.0 - w.serial_frac) / static_cast<double>(n);
+  const double deviation = measured_latency / reference_latency - 1.0;
+  return base + w.comm_gamma * parallel * deviation;
+}
+
+int PerfModel::optimal_level(const WorkloadParams& w) const {
+  int best = 1;
+  double best_t = exec_time(w, 1);
+  for (int n = 2; n <= n_max_; ++n) {
+    const double t = exec_time(w, n);
+    if (t < best_t) {
+      best_t = t;
+      best = n;
+    }
+  }
+  return best;
+}
+
+std::vector<double> PerfModel::scaling_curve(const WorkloadParams& w) const {
+  std::vector<double> curve;
+  curve.reserve(static_cast<std::size_t>(n_max_));
+  for (int n = 1; n <= n_max_; ++n) curve.push_back(exec_time(w, n));
+  return curve;
+}
+
+}  // namespace nocs::cmp

@@ -1,0 +1,53 @@
+// Execution-time model and sprint-level selection.
+//
+// Stands in for the paper's off-line PARSEC profiling: given a workload's
+// calibrated parameters, it predicts normalized execution time at any core
+// count, optionally corrected by *measured* network latency from the
+// cycle-accurate simulator (so CDOR's shorter paths feed back into
+// end-to-end performance), and selects the optimal sprint level.
+#pragma once
+
+#include <vector>
+
+#include "cmp/workload.hpp"
+#include "common/assert.hpp"
+
+namespace nocs::cmp {
+
+class PerfModel {
+ public:
+  /// `n_max` is the machine's core count (16 in the paper's Table 1).
+  explicit PerfModel(int n_max = 16) : n_max_(n_max) {
+    NOCS_EXPECTS(n_max >= 1);
+  }
+
+  int n_max() const { return n_max_; }
+
+  /// Normalized execution time on `n` cores with the calibration-reference
+  /// interconnect (T(1) == 1).
+  double exec_time(const WorkloadParams& w, int n) const;
+
+  /// Execution time with a measured average network latency.  The parallel
+  /// portion inflates (or deflates) by comm_gamma for each fractional
+  /// deviation of `measured_latency` from `reference_latency` — this is
+  /// how CDOR's 24.5 % latency cut shows up in end-to-end time.
+  double exec_time(const WorkloadParams& w, int n, double measured_latency,
+                   double reference_latency) const;
+
+  /// Speedup over single-core nominal operation.
+  double speedup(const WorkloadParams& w, int n) const {
+    return 1.0 / exec_time(w, n);
+  }
+
+  /// The optimal sprint level: the core count in [1, n_max] minimizing
+  /// execution time (the paper's off-line profiling step).
+  int optimal_level(const WorkloadParams& w) const;
+
+  /// Execution time at every core count 1..n_max (Figure 4 rows).
+  std::vector<double> scaling_curve(const WorkloadParams& w) const;
+
+ private:
+  int n_max_;
+};
+
+}  // namespace nocs::cmp

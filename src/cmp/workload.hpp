@@ -1,0 +1,76 @@
+// Workload descriptors: an analytic-but-calibrated substitute for the
+// paper's gem5 + PARSEC 2.1 full-system runs.
+//
+// Normalized execution time on n cores is modeled as
+//
+//   T(n) = f + (1-f)/n + alpha*(n-1) + beta*(n-1)^2        (T(1) = 1)
+//
+// where f is the serial fraction (Amdahl), alpha captures per-core
+// scheduling/synchronization cost, and beta captures the superlinear
+// overheads (lock contention, long interconnect paths as computation
+// spreads) that make some PARSEC workloads *slow down* beyond their sweet
+// spot — the three workload classes of the paper's Figure 4: scalable
+// (blackscholes, bodytrack), serial (freqmine), and peak-then-degrade
+// (vips, swaptions, ...).
+//
+// Each benchmark also carries a NoC injection rate (flits/cycle/node during
+// the sprint, all below the 0.3 the paper reports) and a communication
+// sensitivity used to couple measured network latency into execution time.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace nocs::cmp {
+
+/// Parameters of one workload's execution-time model.
+struct WorkloadParams {
+  std::string name;
+  double serial_frac = 0.0;  ///< f: Amdahl serial fraction
+  double alpha = 0.0;        ///< linear per-core overhead
+  double beta = 0.0;         ///< quadratic overhead (degradation)
+  double comm_gamma = 0.15;  ///< sensitivity to network-latency deviation
+  double injection_rate = 0.1;  ///< flits/cycle/node injected while sprinting
+
+  void validate() const {
+    NOCS_EXPECTS(!name.empty());
+    NOCS_EXPECTS(serial_frac >= 0.0 && serial_frac <= 1.0);
+    NOCS_EXPECTS(alpha >= 0.0 && beta >= 0.0);
+    NOCS_EXPECTS(comm_gamma >= 0.0);
+    NOCS_EXPECTS(injection_rate > 0.0 && injection_rate <= 1.0);
+  }
+};
+
+/// Calibration targets: the observable behaviour we fit (f, alpha, beta) to.
+struct CalibrationTarget {
+  std::string name;
+  int optimal_cores = 8;       ///< core count minimizing execution time
+  double speedup_optimal = 3.0;  ///< 1 / T(optimal_cores)
+  double speedup_full = 2.0;     ///< 1 / T(n_max); < optimal when degrading
+  double comm_gamma = 0.15;
+  double injection_rate = 0.1;
+};
+
+/// Fits WorkloadParams to a target on an `n_max`-core machine by solving
+/// the (linear in f, alpha, beta) system
+///   T(k*) = 1/s*,  T(n_max) = 1/s_full,  dT/dn(k*) = 0  (interior k*)
+/// with beta pinned to 0 when k* == n_max.  Throws std::invalid_argument
+/// if the target is infeasible (would need negative parameters).
+WorkloadParams calibrate_workload(const CalibrationTarget& target, int n_max);
+
+/// The PARSEC 2.1 suite calibrated for the paper's 16-core system:
+/// blackscholes, bodytrack, canneal, dedup, ferret, fluidanimate, freqmine,
+/// streamcluster, swaptions, vips, x264.
+std::vector<WorkloadParams> parsec_suite(int n_max = 16);
+
+/// The calibration table behind parsec_suite() (exposed for tests and the
+/// experiment index in EXPERIMENTS.md).
+std::vector<CalibrationTarget> parsec_targets();
+
+/// Looks a workload up by name; throws std::out_of_range when absent.
+const WorkloadParams& find_workload(const std::vector<WorkloadParams>& suite,
+                                    const std::string& name);
+
+}  // namespace nocs::cmp

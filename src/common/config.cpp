@@ -1,0 +1,82 @@
+#include "common/config.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+
+namespace nocs {
+
+Config Config::from_args(int argc, const char* const* argv) {
+  Config cfg;
+  for (int i = 1; i < argc; ++i) {
+    const std::string tok = argv[i];
+    const auto eq = tok.find('=');
+    if (eq == std::string::npos || eq == 0)
+      throw std::invalid_argument("expected key=value, got: " + tok);
+    cfg.set(tok.substr(0, eq), tok.substr(eq + 1));
+  }
+  return cfg;
+}
+
+void Config::set(const std::string& key, const std::string& value) {
+  values_[key] = value;
+}
+
+void Config::set_int(const std::string& key, long long value) {
+  set(key, std::to_string(value));
+}
+
+void Config::set_double(const std::string& key, double value) {
+  set(key, std::to_string(value));
+}
+
+void Config::set_bool(const std::string& key, bool value) {
+  set(key, value ? "true" : "false");
+}
+
+bool Config::has(const std::string& key) const {
+  return values_.count(key) != 0;
+}
+
+std::string Config::get_string(const std::string& key,
+                               const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+long long Config::get_int(const std::string& key, long long def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::size_t pos = 0;
+  const long long v = std::stoll(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::invalid_argument("bad integer for " + key + ": " + it->second);
+  return v;
+}
+
+double Config::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::size_t pos = 0;
+  const double v = std::stod(it->second, &pos);
+  if (pos != it->second.size())
+    throw std::invalid_argument("bad double for " + key + ": " + it->second);
+  return v;
+}
+
+bool Config::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  const std::string& s = it->second;
+  if (s == "true" || s == "1" || s == "yes") return true;
+  if (s == "false" || s == "0" || s == "no") return false;
+  throw std::invalid_argument("bad bool for " + key + ": " + s);
+}
+
+std::vector<std::string> Config::keys() const {
+  std::vector<std::string> out;
+  out.reserve(values_.size());
+  for (const auto& [k, _] : values_) out.push_back(k);
+  return out;
+}
+
+}  // namespace nocs

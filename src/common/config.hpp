@@ -1,0 +1,46 @@
+// Small typed key=value configuration store.
+//
+// Benches and examples accept "key=value" command-line overrides (the same
+// interface BookSim exposes); modules read their parameters through this
+// class so every knob is discoverable and defaulted in one place.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace nocs {
+
+/// String-keyed configuration with typed accessors and defaults.
+class Config {
+ public:
+  Config() = default;
+
+  /// Parses "key=value" tokens (e.g. from argv).  Unparsable tokens throw
+  /// std::invalid_argument.
+  static Config from_args(int argc, const char* const* argv);
+
+  /// Sets (or overwrites) a key.
+  void set(const std::string& key, const std::string& value);
+  void set_int(const std::string& key, long long value);
+  void set_double(const std::string& key, double value);
+  void set_bool(const std::string& key, bool value);
+
+  bool has(const std::string& key) const;
+
+  /// Typed getters returning `def` when the key is absent.  A present but
+  /// malformed value throws std::invalid_argument.
+  std::string get_string(const std::string& key, const std::string& def) const;
+  long long get_int(const std::string& key, long long def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// All keys in sorted order (for dumping effective configuration).
+  std::vector<std::string> keys() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+}  // namespace nocs

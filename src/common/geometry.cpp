@@ -1,0 +1,20 @@
+#include "common/geometry.hpp"
+
+namespace nocs {
+
+std::string to_string(Port p) {
+  switch (p) {
+    case Port::kLocal: return "local";
+    case Port::kNorth: return "north";
+    case Port::kEast: return "east";
+    case Port::kSouth: return "south";
+    case Port::kWest: return "west";
+  }
+  return "?";
+}
+
+std::string to_string(Coord c) {
+  return "(" + std::to_string(c.x) + "," + std::to_string(c.y) + ")";
+}
+
+}  // namespace nocs

@@ -1,0 +1,138 @@
+// 2-D mesh geometry: coordinates, distance metrics, and index mapping.
+//
+// The paper places the coordinate origin at the *top-left* corner of the
+// mesh (Section 3.2), with x growing eastwards and y growing southwards.
+// All nocsprint code uses that convention.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace nocs {
+
+/// Integer coordinate of a node in the 2-D mesh.  (0,0) is the top-left
+/// corner; x indexes columns (east positive), y indexes rows (south
+/// positive).
+struct Coord {
+  int x = 0;
+  int y = 0;
+
+  friend auto operator<=>(const Coord&, const Coord&) = default;
+};
+
+/// Squared Euclidean distance between two coordinates.  Algorithm 1 of the
+/// paper sorts by Euclidean distance; comparing squares avoids floating
+/// point entirely and preserves the ordering.
+constexpr int euclidean_sq(Coord a, Coord b) {
+  const int dx = a.x - b.x;
+  const int dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance (used by the floorplanner's weighted sums, which are
+/// genuinely real-valued).
+inline double euclidean(Coord a, Coord b) {
+  return std::sqrt(static_cast<double>(euclidean_sq(a, b)));
+}
+
+/// Manhattan distance.  The paper calls this the "Hamming distance" between
+/// nodes (number of mesh hops); we keep both names.
+constexpr int manhattan(Coord a, Coord b) {
+  const int dx = a.x > b.x ? a.x - b.x : b.x - a.x;
+  const int dy = a.y > b.y ? a.y - b.y : b.y - a.y;
+  return dx + dy;
+}
+
+/// Alias matching the paper's terminology (Algorithm 4 weights are the
+/// inverse of this metric in *logical* mesh space).
+constexpr int hamming(Coord a, Coord b) { return manhattan(a, b); }
+
+/// Dimensions and index mapping of a W x H mesh.
+///
+/// Node ids are row-major from the top-left corner: node 0 is (0,0), node 1
+/// is (1,0), ..., node W-1 is (W-1,0), node W is (0,1), matching Figure 5a
+/// of the paper.
+class MeshShape {
+ public:
+  MeshShape(int width, int height) : width_(width), height_(height) {
+    NOCS_EXPECTS(width >= 1 && height >= 1);
+  }
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+  int size() const { return width_ * height_; }
+
+  bool contains(Coord c) const {
+    return c.x >= 0 && c.x < width_ && c.y >= 0 && c.y < height_;
+  }
+
+  bool valid(NodeId id) const { return id >= 0 && id < size(); }
+
+  Coord coord_of(NodeId id) const {
+    NOCS_EXPECTS(valid(id));
+    return Coord{id % width_, id / width_};
+  }
+
+  NodeId id_of(Coord c) const {
+    NOCS_EXPECTS(contains(c));
+    return c.y * width_ + c.x;
+  }
+
+  /// All node ids in row-major order.
+  std::vector<NodeId> all_nodes() const {
+    std::vector<NodeId> v(static_cast<std::size_t>(size()));
+    for (int i = 0; i < size(); ++i) v[static_cast<std::size_t>(i)] = i;
+    return v;
+  }
+
+  friend bool operator==(const MeshShape&, const MeshShape&) = default;
+
+ private:
+  int width_;
+  int height_;
+};
+
+/// The five router ports of a 2-D mesh router.  `kLocal` connects the
+/// network interface of the attached tile.
+enum class Port : int { kLocal = 0, kNorth = 1, kEast = 2, kSouth = 3, kWest = 4 };
+
+inline constexpr int kNumPorts = 5;
+
+/// Opposite mesh direction (north <-> south, east <-> west).  The local
+/// port has no opposite.
+constexpr Port opposite(Port p) {
+  switch (p) {
+    case Port::kNorth: return Port::kSouth;
+    case Port::kSouth: return Port::kNorth;
+    case Port::kEast: return Port::kWest;
+    case Port::kWest: return Port::kEast;
+    case Port::kLocal: break;
+  }
+  NOCS_UNREACHABLE("opposite(kLocal)");
+}
+
+/// Coordinate displacement of one hop through port `p` (top-left origin:
+/// north is -y, south is +y).
+constexpr Coord step(Coord c, Port p) {
+  switch (p) {
+    case Port::kNorth: return Coord{c.x, c.y - 1};
+    case Port::kSouth: return Coord{c.x, c.y + 1};
+    case Port::kEast: return Coord{c.x + 1, c.y};
+    case Port::kWest: return Coord{c.x - 1, c.y};
+    case Port::kLocal: return c;
+  }
+  NOCS_UNREACHABLE("step: bad port");
+}
+
+/// Human-readable port name for traces and test failure messages.
+std::string to_string(Port p);
+
+/// Human-readable "(x,y)" form.
+std::string to_string(Coord c);
+
+}  // namespace nocs

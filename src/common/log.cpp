@@ -1,0 +1,38 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace nocs {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+
+const char* prefix(LogLevel level) {
+  switch (level) {
+    case LogLevel::kError: return "[error] ";
+    case LogLevel::kWarn: return "[warn]  ";
+    case LogLevel::kInfo: return "[info]  ";
+    case LogLevel::kDebug: return "[debug] ";
+  }
+  return "";
+}
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+LogLevel log_level() { return g_level; }
+
+bool log_enabled(LogLevel level) {
+  return static_cast<int>(level) <= static_cast<int>(g_level);
+}
+
+void log_message(LogLevel level, const char* fmt, ...) {
+  if (!log_enabled(level)) return;
+  std::fputs(prefix(level), stderr);
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace nocs

@@ -1,0 +1,41 @@
+// Leveled logging with a global threshold.  The simulator's hot path never
+// formats a suppressed message (callers check `enabled()` or use the macro).
+#pragma once
+
+#include <cstdarg>
+#include <string>
+
+namespace nocs {
+
+enum class LogLevel : int { kError = 0, kWarn = 1, kInfo = 2, kDebug = 3 };
+
+/// Sets the global log threshold; messages above it are dropped.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+/// True when messages at `level` would be emitted.
+bool log_enabled(LogLevel level);
+
+/// printf-style logging to stderr with a level prefix.
+void log_message(LogLevel level, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+}  // namespace nocs
+
+#define NOCS_LOG_DEBUG(...)                                         \
+  do {                                                              \
+    if (::nocs::log_enabled(::nocs::LogLevel::kDebug))              \
+      ::nocs::log_message(::nocs::LogLevel::kDebug, __VA_ARGS__);   \
+  } while (0)
+
+#define NOCS_LOG_INFO(...)                                          \
+  do {                                                              \
+    if (::nocs::log_enabled(::nocs::LogLevel::kInfo))               \
+      ::nocs::log_message(::nocs::LogLevel::kInfo, __VA_ARGS__);    \
+  } while (0)
+
+#define NOCS_LOG_WARN(...)                                          \
+  do {                                                              \
+    if (::nocs::log_enabled(::nocs::LogLevel::kWarn))               \
+      ::nocs::log_message(::nocs::LogLevel::kWarn, __VA_ARGS__);    \
+  } while (0)

@@ -1,0 +1,118 @@
+// Statistics accumulators used across the simulator and benches.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+
+namespace nocs {
+
+/// Streaming mean/variance/min/max accumulator (Welford's algorithm).
+class RunningStat {
+ public:
+  void add(double x) {
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    sum_ += x;
+  }
+
+  /// Merges another accumulator into this one (parallel Welford).
+  void merge(const RunningStat& o) {
+    if (o.count_ == 0) return;
+    if (count_ == 0) {
+      *this = o;
+      return;
+    }
+    const double delta = o.mean_ - mean_;
+    const auto n = static_cast<double>(count_ + o.count_);
+    m2_ += o.m2_ + delta * delta * static_cast<double>(count_) *
+                       static_cast<double>(o.count_) / n;
+    mean_ = (mean_ * static_cast<double>(count_) +
+             o.mean_ * static_cast<double>(o.count_)) / n;
+    count_ += o.count_;
+    min_ = std::min(min_, o.min_);
+    max_ = std::max(max_, o.max_);
+    sum_ += o.sum_;
+  }
+
+  void reset() { *this = RunningStat{}; }
+
+  std::uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ ? mean_ : 0.0; }
+  double variance() const {
+    return count_ > 1 ? m2_ / static_cast<double>(count_ - 1) : 0.0;
+  }
+  double min() const { return count_ ? min_ : 0.0; }
+  double max() const { return count_ ? max_ : 0.0; }
+
+ private:
+  std::uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/// Fixed-bin histogram over [0, bin_width * num_bins); values beyond the
+/// last bin are clamped into it.  Used for latency distributions.
+class Histogram {
+ public:
+  Histogram(double bin_width, int num_bins)
+      : bin_width_(bin_width), bins_(static_cast<std::size_t>(num_bins), 0) {
+    NOCS_EXPECTS(bin_width > 0 && num_bins > 0);
+  }
+
+  void add(double x) {
+    auto idx = static_cast<std::size_t>(std::max(0.0, x / bin_width_));
+    if (idx >= bins_.size()) idx = bins_.size() - 1;
+    ++bins_[idx];
+    ++total_;
+  }
+
+  std::uint64_t total() const { return total_; }
+  std::uint64_t bin(int i) const {
+    return bins_.at(static_cast<std::size_t>(i));
+  }
+  int num_bins() const { return static_cast<int>(bins_.size()); }
+  double bin_width() const { return bin_width_; }
+
+  /// Value below which `q` (0..1) of the samples fall, estimated at bin
+  /// upper edges.
+  double quantile(double q) const {
+    NOCS_EXPECTS(q >= 0.0 && q <= 1.0);
+    if (total_ == 0) return 0.0;
+    const auto target =
+        static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    std::uint64_t seen = 0;
+    for (std::size_t i = 0; i < bins_.size(); ++i) {
+      seen += bins_[i];
+      if (seen >= target)
+        return static_cast<double>(i + 1) * bin_width_;
+    }
+    return static_cast<double>(bins_.size()) * bin_width_;
+  }
+
+ private:
+  double bin_width_;
+  std::vector<std::uint64_t> bins_;
+  std::uint64_t total_ = 0;
+};
+
+/// Geometric mean over a sequence of positive values; the conventional way
+/// to average speedups across benchmarks.
+double geometric_mean(const std::vector<double>& xs);
+
+/// Arithmetic mean; 0 for an empty sequence.
+double arithmetic_mean(const std::vector<double>& xs);
+
+}  // namespace nocs

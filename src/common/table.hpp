@@ -1,0 +1,43 @@
+// Minimal ASCII table formatter for the bench binaries.  Every bench
+// regenerates a paper table/figure as rows printed through this class, so
+// the output is uniform and diffable.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace nocs {
+
+/// Column-aligned ASCII table.  Usage:
+///   Table t({"benchmark", "level", "speedup"});
+///   t.add_row({"dedup", "4", "4.12"});
+///   t.print();
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Renders the table to a string (header, rule, rows).
+  std::string to_string() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  /// Formats a double with `prec` digits after the decimal point.
+  static std::string fmt(double v, int prec = 3);
+  /// Formats an integer.
+  static std::string fmt(long long v);
+  /// Formats a percentage ("12.3%").
+  static std::string pct(double fraction, int prec = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace nocs

@@ -1,0 +1,30 @@
+// Fundamental scalar types shared by every nocsprint library.
+#pragma once
+
+#include <cstdint>
+
+namespace nocs {
+
+/// Simulation time in router clock cycles.
+using Cycle = std::uint64_t;
+
+/// Index of a node (router + attached core/cache tile) in the mesh,
+/// row-major from the top-left corner (the paper's coordinate origin).
+using NodeId = int;
+
+/// Index of a virtual channel within one input port.
+using VcId = int;
+
+/// Sentinel for "no node".
+inline constexpr NodeId kInvalidNode = -1;
+
+/// Watts.
+using Watts = double;
+/// Joules.
+using Joules = double;
+/// Seconds.
+using Seconds = double;
+/// Kelvin.
+using Kelvin = double;
+
+}  // namespace nocs

@@ -1,0 +1,47 @@
+// Per-VC flit buffer with fixed capacity (credit-based flow control keeps
+// it from overflowing; overflow is therefore a protocol bug and asserts).
+#pragma once
+
+#include <deque>
+
+#include "common/assert.hpp"
+#include "noc/flit.hpp"
+
+namespace nocs::noc {
+
+/// FIFO buffer holding the flits of (at most) one in-flight packet per VC.
+class VcBuffer {
+ public:
+  explicit VcBuffer(int capacity) : capacity_(capacity) {
+    NOCS_EXPECTS(capacity >= 1);
+  }
+
+  bool empty() const { return flits_.empty(); }
+  bool full() const { return static_cast<int>(flits_.size()) >= capacity_; }
+  int size() const { return static_cast<int>(flits_.size()); }
+  int capacity() const { return capacity_; }
+
+  /// Appends a flit; credit-based flow control guarantees space.
+  void push(const Flit& f) {
+    NOCS_ENSURES(!full());
+    flits_.push_back(f);
+  }
+
+  const Flit& front() const {
+    NOCS_EXPECTS(!empty());
+    return flits_.front();
+  }
+
+  Flit pop() {
+    NOCS_EXPECTS(!empty());
+    Flit f = flits_.front();
+    flits_.pop_front();
+    return f;
+  }
+
+ private:
+  int capacity_;
+  std::deque<Flit> flits_;
+};
+
+}  // namespace nocs::noc

@@ -1,0 +1,63 @@
+// Latched fixed-latency channels connecting routers and network interfaces.
+//
+// All cross-component communication (flits downstream, credits upstream)
+// flows through Pipe<T>.  A value pushed at cycle t becomes visible at
+// t + latency, so the per-cycle evaluation order of routers cannot change
+// simulation results — the property that makes the simulator deterministic
+// and the reason we need no global two-phase update.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <utility>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace nocs::noc {
+
+/// FIFO channel with a fixed propagation latency in cycles.
+template <typename T>
+class Pipe {
+ public:
+  explicit Pipe(int latency = 1) : latency_(static_cast<Cycle>(latency)) {
+    NOCS_EXPECTS(latency >= 0);
+  }
+
+  /// Enqueues `value` at cycle `now`; it becomes receivable at
+  /// `now + latency`.
+  void push(Cycle now, T value) {
+    // FIFO ordering requires monotonically non-decreasing ready times.
+    NOCS_ENSURES(queue_.empty() || queue_.back().first <= now + latency_);
+    queue_.emplace_back(now + latency_, std::move(value));
+  }
+
+  /// True when a value is receivable at cycle `now`.
+  bool ready(Cycle now) const {
+    return !queue_.empty() && queue_.front().first <= now;
+  }
+
+  /// Peeks the next receivable value; precondition: ready(now).
+  const T& front(Cycle now) const {
+    NOCS_EXPECTS(ready(now));
+    return queue_.front().second;
+  }
+
+  /// Removes and returns the next receivable value; precondition: ready(now).
+  T pop(Cycle now) {
+    NOCS_EXPECTS(ready(now));
+    T v = std::move(queue_.front().second);
+    queue_.pop_front();
+    return v;
+  }
+
+  bool empty() const { return queue_.empty(); }
+  std::size_t size() const { return queue_.size(); }
+  int latency() const { return static_cast<int>(latency_); }
+
+ private:
+  Cycle latency_;
+  std::deque<std::pair<Cycle, T>> queue_;
+};
+
+}  // namespace nocs::noc

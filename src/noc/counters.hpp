@@ -1,0 +1,41 @@
+// Event counters harvested from routers/links and fed to the power models.
+// DSENT-style power estimation is event-based: each buffer write/read,
+// crossbar traversal, allocation, and link flit has an energy cost, and
+// leakage accrues per powered-on cycle.
+#pragma once
+
+#include <cstdint>
+
+namespace nocs::noc {
+
+/// Activity of one router over a measurement window.
+struct RouterCounters {
+  std::uint64_t buffer_writes = 0;     ///< flits written into input VCs
+  std::uint64_t buffer_reads = 0;      ///< flits read out of input VCs
+  std::uint64_t xbar_traversals = 0;   ///< flits through the crossbar
+  std::uint64_t vc_allocs = 0;         ///< successful VC allocations
+  std::uint64_t sa_arbitrations = 0;   ///< switch-allocator grant events
+  std::uint64_t link_flits = 0;        ///< flits sent on non-local out links
+  std::uint64_t active_cycles = 0;     ///< cycles powered on
+  std::uint64_t gated_cycles = 0;      ///< cycles power-gated
+  std::uint64_t waking_cycles = 0;     ///< cycles spent in wake-up transition
+  std::uint64_t wake_events = 0;       ///< number of wake-ups
+  std::uint64_t idle_active_cycles = 0;  ///< powered on but no flit movement
+
+  RouterCounters& operator+=(const RouterCounters& o) {
+    buffer_writes += o.buffer_writes;
+    buffer_reads += o.buffer_reads;
+    xbar_traversals += o.xbar_traversals;
+    vc_allocs += o.vc_allocs;
+    sa_arbitrations += o.sa_arbitrations;
+    link_flits += o.link_flits;
+    active_cycles += o.active_cycles;
+    gated_cycles += o.gated_cycles;
+    waking_cycles += o.waking_cycles;
+    wake_events += o.wake_events;
+    idle_active_cycles += o.idle_active_cycles;
+    return *this;
+  }
+};
+
+}  // namespace nocs::noc

@@ -1,0 +1,39 @@
+// Flit and packet descriptors for the wormhole network.
+#pragma once
+
+#include <cstdint>
+
+#include "common/types.hpp"
+
+namespace nocs::noc {
+
+/// Unique packet identifier (monotonic per simulation).
+using PacketId = std::uint64_t;
+
+/// One flow-control unit.  Packets are wormhole-switched: the head flit
+/// carries routing state, body/tail flits follow the head's path on the
+/// same VC.
+struct Flit {
+  PacketId packet = 0;    ///< owning packet id
+  int index = 0;          ///< position within the packet (0 = head)
+  bool is_head = false;
+  bool is_tail = false;
+
+  NodeId src = kInvalidNode;  ///< injecting node
+  NodeId dst = kInvalidNode;  ///< destination node
+
+  VcId vc = -1;           ///< VC assigned on the current link
+  int msg_class = 0;      ///< message class (virtual network)
+
+  Cycle created = 0;      ///< cycle the packet was generated at the source
+  Cycle injected = 0;     ///< cycle the flit entered the network (left NI)
+  int hops = 0;           ///< router-to-router hops traversed so far
+  bool measured = false;  ///< generated inside the measurement window
+};
+
+/// Credit returned upstream when a flit leaves a VC buffer.
+struct Credit {
+  VcId vc = -1;
+};
+
+}  // namespace nocs::noc

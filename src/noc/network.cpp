@@ -1,0 +1,183 @@
+#include "noc/network.hpp"
+
+#include <algorithm>
+
+namespace nocs::noc {
+
+Network::Network(const NetworkParams& params, const RoutingFunction* routing,
+                 LinkLatencyFn link_latency)
+    : params_(params), routing_(routing) {
+  params_.validate();
+  NOCS_EXPECTS(routing != nullptr);
+  const MeshShape shape = params_.shape();
+  const int n = shape.size();
+
+  auto latency_of = [&](NodeId from, NodeId to) {
+    if (!link_latency) return params_.link_latency;
+    const int lat = link_latency(from, to);
+    NOCS_EXPECTS(lat >= 1);
+    return lat;
+  };
+  link_latencies_.assign(static_cast<std::size_t>(n),
+                         std::vector<int>(static_cast<std::size_t>(n), 0));
+
+  routers_.reserve(static_cast<std::size_t>(n));
+  nis_.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) {
+    routers_.push_back(std::make_unique<Router>(id, params_, routing_));
+    nis_.push_back(std::make_unique<NetworkInterface>(id, params_, &stats_));
+  }
+
+  auto new_flit_pipe = [&](int latency) {
+    flit_pipes_.push_back(std::make_unique<Pipe<Flit>>(latency));
+    return flit_pipes_.back().get();
+  };
+  auto new_credit_pipe = [&]() {
+    credit_pipes_.push_back(std::make_unique<Pipe<Credit>>(1));
+    return credit_pipes_.back().get();
+  };
+
+  // Inter-router links: for each node and each east/south neighbor, create
+  // both directions of flit + credit channels.
+  for (NodeId id = 0; id < n; ++id) {
+    const Coord c = shape.coord_of(id);
+    for (Port p : {Port::kEast, Port::kSouth}) {
+      const Coord nc = step(c, p);
+      if (!shape.contains(nc)) continue;
+      const NodeId nid = shape.id_of(nc);
+      Router& a = *routers_[static_cast<std::size_t>(id)];
+      Router& b = *routers_[static_cast<std::size_t>(nid)];
+
+      const int ab_lat = latency_of(id, nid);
+      const int ba_lat = latency_of(nid, id);
+      link_latencies_[static_cast<std::size_t>(id)]
+                     [static_cast<std::size_t>(nid)] = ab_lat;
+      link_latencies_[static_cast<std::size_t>(nid)]
+                     [static_cast<std::size_t>(id)] = ba_lat;
+
+      Pipe<Flit>* ab = new_flit_pipe(ab_lat);
+      Pipe<Credit>* ab_credit = new_credit_pipe();
+      a.connect_output(p, ab, ab_credit);
+      b.connect_input(opposite(p), ab, ab_credit);
+
+      Pipe<Flit>* ba = new_flit_pipe(ba_lat);
+      Pipe<Credit>* ba_credit = new_credit_pipe();
+      b.connect_output(opposite(p), ba, ba_credit);
+      a.connect_input(p, ba, ba_credit);
+    }
+  }
+
+  // Local NI <-> router channels.
+  for (NodeId id = 0; id < n; ++id) {
+    Router& r = *routers_[static_cast<std::size_t>(id)];
+    NetworkInterface& ni = *nis_[static_cast<std::size_t>(id)];
+
+    Pipe<Flit>* inj = new_flit_pipe(1);
+    Pipe<Credit>* inj_credit = new_credit_pipe();
+    r.connect_input(Port::kLocal, inj, inj_credit);
+
+    Pipe<Flit>* ej = new_flit_pipe(1);
+    Pipe<Credit>* ej_credit = new_credit_pipe();
+    r.connect_output(Port::kLocal, ej, ej_credit);
+
+    ni.connect(inj, inj_credit, ej, ej_credit);
+  }
+}
+
+int Network::link_latency(NodeId from, NodeId to) const {
+  NOCS_EXPECTS(params_.shape().valid(from) && params_.shape().valid(to));
+  const int lat = link_latencies_[static_cast<std::size_t>(from)]
+                                 [static_cast<std::size_t>(to)];
+  NOCS_EXPECTS(lat > 0);  // adjacent nodes only
+  return lat;
+}
+
+void Network::set_endpoints(std::vector<NodeId> endpoints,
+                            std::unique_ptr<TrafficPattern> traffic) {
+  NOCS_EXPECTS(endpoints.size() >= 2);
+  NOCS_EXPECTS(traffic != nullptr);
+  for (NodeId e : endpoints) NOCS_EXPECTS(params_.shape().valid(e));
+  for (auto& ni : nis_) ni->clear_endpoint();
+  endpoints_ = std::move(endpoints);
+  traffic_ = std::move(traffic);
+  for (int logical = 0; logical < static_cast<int>(endpoints_.size());
+       ++logical) {
+    nis_[static_cast<std::size_t>(endpoints_[static_cast<std::size_t>(
+             logical)])]
+        ->set_endpoint(logical, &endpoints_, traffic_.get());
+  }
+}
+
+void Network::gate_dark_region(const std::vector<NodeId>& active) {
+  std::vector<bool> is_active(static_cast<std::size_t>(num_nodes()), false);
+  for (NodeId id : active) {
+    NOCS_EXPECTS(params_.shape().valid(id));
+    is_active[static_cast<std::size_t>(id)] = true;
+  }
+  for (NodeId id = 0; id < num_nodes(); ++id)
+    routers_[static_cast<std::size_t>(id)]->set_gated(
+        !is_active[static_cast<std::size_t>(id)]);
+}
+
+void Network::ungate_all() {
+  for (auto& r : routers_) r->set_gated(false);
+}
+
+void Network::set_dynamic_gating(bool enabled) {
+  for (auto& r : routers_) {
+    r->set_dynamic_gating(enabled);
+    r->set_allow_wakeup(enabled);
+  }
+}
+
+void Network::set_injection_rate(double flits_per_cycle_per_node) {
+  for (auto& ni : nis_) ni->set_injection_rate(flits_per_cycle_per_node);
+}
+
+void Network::set_request_reply(int request_length, int reply_length) {
+  for (auto& ni : nis_) ni->set_request_reply(request_length, reply_length);
+}
+
+void Network::set_seed(std::uint64_t seed) {
+  SplitMix64 sm(seed);
+  for (auto& ni : nis_) ni->set_seed(sm.next());
+}
+
+void Network::tick() {
+  for (auto& ni : nis_) ni->tick(now_);
+  for (auto& r : routers_) r->tick(now_);
+  ++now_;
+}
+
+void Network::run(Cycle n) {
+  for (Cycle i = 0; i < n; ++i) tick();
+}
+
+bool Network::drained() const {
+  for (const auto& r : routers_)
+    if (!r->drained()) return false;
+  for (const auto& ni : nis_)
+    if (!ni->idle()) return false;
+  for (const auto& p : flit_pipes_)
+    if (!p->empty()) return false;
+  return true;
+}
+
+RouterCounters Network::total_counters() const {
+  RouterCounters total;
+  for (const auto& r : routers_) total += r->counters();
+  return total;
+}
+
+std::vector<RouterCounters> Network::per_router_counters() const {
+  std::vector<RouterCounters> out;
+  out.reserve(routers_.size());
+  for (const auto& r : routers_) out.push_back(r->counters());
+  return out;
+}
+
+void Network::reset_counters() {
+  for (auto& r : routers_) r->reset_counters();
+}
+
+}  // namespace nocs::noc

@@ -1,0 +1,116 @@
+// Mesh network: owns routers, network interfaces, and all connecting
+// channels; exposes sprint-region configuration (active endpoints + gated
+// dark region) used by the NoC-sprinting controller.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "noc/network_interface.hpp"
+#include "noc/params.hpp"
+#include "noc/router.hpp"
+#include "noc/routing.hpp"
+#include "noc/stats_collector.hpp"
+#include "noc/traffic.hpp"
+
+namespace nocs::noc {
+
+/// Cycle latency of the directed link from one router to an adjacent one.
+/// Lets physical floorplans assign longer latencies to stretched links
+/// (or SMART repeated wires collapse them back to one cycle).
+using LinkLatencyFn = std::function<int(NodeId from, NodeId to)>;
+
+class Network {
+ public:
+  /// Builds a width x height mesh.  `routing` must outlive the network.
+  /// `link_latency` overrides params.link_latency per directed link when
+  /// provided (must return >= 1).
+  Network(const NetworkParams& params, const RoutingFunction* routing,
+          LinkLatencyFn link_latency = nullptr);
+
+  /// Latency of the directed link between adjacent nodes (cycles).
+  int link_latency(NodeId from, NodeId to) const;
+
+  const NetworkParams& params() const { return params_; }
+  Cycle now() const { return now_; }
+  int num_nodes() const { return params_.num_nodes(); }
+
+  /// Configures the set of active traffic endpoints (logical id i maps to
+  /// physical node endpoints[i]) and the traffic pattern among them.  All
+  /// other NIs stop generating.
+  void set_endpoints(std::vector<NodeId> endpoints,
+                     std::unique_ptr<TrafficPattern> traffic);
+
+  /// Statically power-gates every router whose node is not in the active
+  /// set, leaving the active sub-network on (NoC-sprinting's scheme).
+  /// Requires a drained network.
+  void gate_dark_region(const std::vector<NodeId>& active);
+
+  /// Ungates every router.
+  void ungate_all();
+
+  /// Enables conventional dynamic power gating (idle-timeout + wake-on-
+  /// arrival) on every router.
+  void set_dynamic_gating(bool enabled);
+
+  /// Sets the same offered load on every active endpoint (flits/cycle).
+  void set_injection_rate(double flits_per_cycle_per_node);
+
+  /// Switches every NI to request-reply protocol mode (short class-0
+  /// requests, `reply_length`-flit class-1 data replies).  Requires
+  /// params.num_classes >= 2.
+  void set_request_reply(int request_length, int reply_length);
+
+  /// Reseeds all NI RNGs deterministically from one master seed.
+  void set_seed(std::uint64_t seed);
+
+  /// Advances the whole network by one cycle.
+  void tick();
+
+  /// Runs `n` cycles.
+  void run(Cycle n);
+
+  Router& router(NodeId id) { return *routers_.at(static_cast<std::size_t>(id)); }
+  const Router& router(NodeId id) const {
+    return *routers_.at(static_cast<std::size_t>(id));
+  }
+  NetworkInterface& ni(NodeId id) {
+    return *nis_.at(static_cast<std::size_t>(id));
+  }
+
+  StatsCollector& stats() { return stats_; }
+  const StatsCollector& stats() const { return stats_; }
+
+  /// True when no flit is anywhere in the network (buffers, pipes, NIs).
+  bool drained() const;
+
+  /// Sum of all router counters (for power estimation).
+  RouterCounters total_counters() const;
+
+  /// Per-router counters indexed by node id.
+  std::vector<RouterCounters> per_router_counters() const;
+
+  /// Clears all router counters.
+  void reset_counters();
+
+  const std::vector<NodeId>& endpoints() const { return endpoints_; }
+
+ private:
+  NetworkParams params_;
+  const RoutingFunction* routing_;
+  Cycle now_ = 0;
+
+  std::vector<std::unique_ptr<Router>> routers_;
+  std::vector<std::unique_ptr<NetworkInterface>> nis_;
+  std::vector<std::unique_ptr<Pipe<Flit>>> flit_pipes_;
+  std::vector<std::unique_ptr<Pipe<Credit>>> credit_pipes_;
+
+  std::vector<NodeId> endpoints_;
+  std::unique_ptr<TrafficPattern> traffic_;
+  std::vector<std::vector<int>> link_latencies_;  // [from][to], 0 = no link
+
+  StatsCollector stats_;
+};
+
+}  // namespace nocs::noc

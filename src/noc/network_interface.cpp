@@ -1,0 +1,172 @@
+#include "noc/network_interface.hpp"
+
+namespace nocs::noc {
+
+NetworkInterface::NetworkInterface(NodeId id, const NetworkParams& params,
+                                   StatsCollector* stats)
+    : id_(id),
+      params_(params),
+      stats_(stats),
+      rng_(0x9e3779b9u + static_cast<std::uint64_t>(id)),
+      credits_(static_cast<std::size_t>(params.num_vcs), params.vc_depth) {
+  NOCS_EXPECTS(stats != nullptr);
+}
+
+void NetworkInterface::connect(Pipe<Flit>* to_router,
+                               Pipe<Credit>* credit_from_router,
+                               Pipe<Flit>* from_router,
+                               Pipe<Credit>* credit_to_router) {
+  to_router_ = to_router;
+  credit_from_router_ = credit_from_router;
+  from_router_ = from_router;
+  credit_to_router_ = credit_to_router;
+}
+
+void NetworkInterface::set_endpoint(int logical_id,
+                                    const std::vector<NodeId>* endpoints,
+                                    const TrafficPattern* traffic) {
+  NOCS_EXPECTS(endpoints != nullptr && traffic != nullptr);
+  NOCS_EXPECTS(logical_id >= 0 &&
+               logical_id < static_cast<int>(endpoints->size()));
+  NOCS_EXPECTS((*endpoints)[static_cast<std::size_t>(logical_id)] == id_);
+  logical_id_ = logical_id;
+  endpoints_ = endpoints;
+  traffic_ = traffic;
+}
+
+void NetworkInterface::clear_endpoint() {
+  logical_id_ = -1;
+  endpoints_ = nullptr;
+  traffic_ = nullptr;
+}
+
+void NetworkInterface::set_request_reply(int request_length,
+                                         int reply_length) {
+  NOCS_EXPECTS(params_.num_classes >= 2);
+  NOCS_EXPECTS(request_length >= 1 && reply_length >= 1);
+  request_reply_ = true;
+  request_length_ = request_length;
+  reply_length_ = reply_length;
+}
+
+PacketId NetworkInterface::send_packet(Cycle now, NodeId dst, int msg_class,
+                                       int length) {
+  NOCS_EXPECTS(dst != id_);
+  NOCS_EXPECTS(msg_class >= 0 && msg_class < params_.num_classes);
+  if (length <= 0) length = params_.packet_length;
+  const PacketId pid =
+      (static_cast<PacketId>(id_) << 48) | next_packet_id_++;
+  source_queue_.push_back(
+      PendingPacket{pid, dst, now, stats_->measuring(), msg_class, length});
+  ++total_generated_;
+  if (stats_->measuring()) stats_->on_packet_generated();
+  return pid;
+}
+
+void NetworkInterface::tick(Cycle now) {
+  // Credits freed by the router's local input port.
+  if (credit_from_router_ != nullptr) {
+    while (credit_from_router_->ready(now)) {
+      const Credit c = credit_from_router_->pop(now);
+      ++credits_[static_cast<std::size_t>(c.vc)];
+      NOCS_ENSURES(credits_[static_cast<std::size_t>(c.vc)] <=
+                   params_.vc_depth);
+    }
+  }
+  eject(now);
+  generate(now);
+  inject(now);
+}
+
+void NetworkInterface::eject(Cycle now) {
+  if (from_router_ == nullptr) return;
+  while (from_router_->ready(now)) {
+    const Flit f = from_router_->pop(now);
+    NOCS_EXPECTS(f.dst == id_);
+    // The ejection buffer drains instantly; return the credit right away.
+    credit_to_router_->push(now, Credit{f.vc});
+    ++total_ejected_flits_;
+    if (f.measured) {
+      stats_->on_flit_ejected();
+      if (f.is_tail) {
+        stats_->on_packet_ejected(
+            static_cast<double>(now - f.created),
+            static_cast<double>(now - f.injected), f.hops, f.msg_class);
+      }
+    }
+    // Protocol mode: a completed request triggers a data reply on the
+    // response class — the dependence that makes class partitioning
+    // necessary for protocol-deadlock freedom.
+    if (request_reply_ && f.is_tail && f.msg_class == 0)
+      send_packet(now, f.src, /*msg_class=*/1, reply_length_);
+  }
+}
+
+void NetworkInterface::generate(Cycle now) {
+  if (traffic_ == nullptr || injection_rate_ <= 0.0) return;
+  // Bernoulli packet injection: offered load (flits/cycle) divided by the
+  // packet length gives the per-cycle packet probability.  In protocol
+  // mode the generated packets are short class-0 requests (the replies
+  // they trigger add further load on class 1).
+  const int gen_length =
+      request_reply_ ? request_length_ : params_.packet_length;
+  const double p = injection_rate_ / static_cast<double>(gen_length);
+  if (!rng_.bernoulli(p)) return;
+  const int logical_dst = traffic_->dest(logical_id_, rng_);
+  NOCS_EXPECTS(logical_dst != logical_id_);
+  send_packet(now, (*endpoints_)[static_cast<std::size_t>(logical_dst)],
+              /*msg_class=*/0, gen_length);
+}
+
+void NetworkInterface::inject(Cycle now) {
+  if (to_router_ == nullptr) return;
+  if (!sending_) {
+    if (source_queue_.empty()) return;
+    // Pick a VC with a free credit *within the packet's class partition*,
+    // round-robin for fairness.
+    const int cls = source_queue_.front().msg_class;
+    const VcId base = params_.first_vc_of(cls);
+    const int span = params_.vcs_per_class();
+    VcId chosen = -1;
+    for (int k = 1; k <= span; ++k) {
+      const VcId v = base + (vc_rr_ + k) % span;
+      if (credits_[static_cast<std::size_t>(v)] > 0) {
+        chosen = v;
+        break;
+      }
+    }
+    if (chosen < 0) return;  // this class's local-port VCs backpressured
+    vc_rr_ = chosen - base;
+    sending_ = true;
+    current_ = source_queue_.front();
+    source_queue_.pop_front();
+    flits_sent_ = 0;
+    current_vc_ = chosen;
+    head_injected_ = now;
+  }
+
+  if (credits_[static_cast<std::size_t>(current_vc_)] <= 0) return;
+
+  Flit f;
+  f.packet = current_.id;
+  f.index = flits_sent_;
+  f.is_head = flits_sent_ == 0;
+  f.is_tail = flits_sent_ == current_.length - 1;
+  f.src = id_;
+  f.dst = current_.dst;
+  f.vc = current_vc_;
+  f.msg_class = current_.msg_class;
+  f.created = current_.created;
+  f.injected = head_injected_;  // every flit carries the head's entry time
+  f.measured = current_.measured;
+
+  --credits_[static_cast<std::size_t>(current_vc_)];
+  to_router_->push(now, f);
+  ++flits_sent_;
+  if (f.is_tail) {
+    sending_ = false;
+    current_vc_ = -1;
+  }
+}
+
+}  // namespace nocs::noc

@@ -1,0 +1,118 @@
+// Network interface (NI): packetizes traffic into flits, injects them into
+// the local router port under credit flow control, and ejects/records
+// arriving packets.
+#pragma once
+
+#include <deque>
+
+#include "common/rng.hpp"
+#include "common/types.hpp"
+#include "noc/channel.hpp"
+#include "noc/flit.hpp"
+#include "noc/params.hpp"
+#include "noc/stats_collector.hpp"
+#include "noc/traffic.hpp"
+
+namespace nocs::noc {
+
+class NetworkInterface {
+ public:
+  NetworkInterface(NodeId id, const NetworkParams& params,
+                   StatsCollector* stats);
+
+  NodeId id() const { return id_; }
+
+  /// Wires the four local channels between this NI and its router.
+  void connect(Pipe<Flit>* to_router, Pipe<Credit>* credit_from_router,
+               Pipe<Flit>* from_router, Pipe<Credit>* credit_to_router);
+
+  /// Marks this NI as an active traffic endpoint with the given logical id
+  /// and endpoint table (logical id -> physical node).  Inactive NIs only
+  /// eject (they never generate packets).
+  void set_endpoint(int logical_id, const std::vector<NodeId>* endpoints,
+                    const TrafficPattern* traffic);
+  void clear_endpoint();
+  bool is_active_endpoint() const { return traffic_ != nullptr; }
+
+  /// Offered load in flits/cycle for this node.
+  void set_injection_rate(double flits_per_cycle) {
+    NOCS_EXPECTS(flits_per_cycle >= 0.0);
+    injection_rate_ = flits_per_cycle;
+  }
+
+  void set_seed(std::uint64_t seed) { rng_.reseed(seed); }
+
+  /// Enables request-reply protocol mode: generated packets become
+  /// `request_length`-flit requests on class 0, and every request this NI
+  /// ejects triggers a `reply_length`-flit reply on class 1 back to the
+  /// requester (the shape of cache request/data traffic).  Requires
+  /// params.num_classes >= 2.
+  void set_request_reply(int request_length, int reply_length);
+
+  /// Advances one cycle: eject, generate, inject.
+  void tick(Cycle now);
+
+  /// Directly enqueues one packet to `dst` (used by tests and the CMP
+  /// trace-driven mode); returns its packet id.  `msg_class` selects the
+  /// virtual network; `length` <= 0 means params.packet_length.
+  PacketId send_packet(Cycle now, NodeId dst, int msg_class = 0,
+                       int length = 0);
+
+  /// Number of packets waiting in the source queue (saturation signal).
+  std::size_t source_queue_depth() const { return source_queue_.size(); }
+
+  /// True when nothing is queued or mid-injection.
+  bool idle() const { return source_queue_.empty() && !sending_; }
+
+  std::uint64_t total_generated() const { return total_generated_; }
+  std::uint64_t total_ejected_flits() const { return total_ejected_flits_; }
+
+ private:
+  struct PendingPacket {
+    PacketId id;
+    NodeId dst;
+    Cycle created;
+    bool measured;
+    int msg_class;
+    int length;
+  };
+
+  void eject(Cycle now);
+  void generate(Cycle now);
+  void inject(Cycle now);
+
+  NodeId id_;
+  NetworkParams params_;
+  StatsCollector* stats_;
+
+  Pipe<Flit>* to_router_ = nullptr;
+  Pipe<Credit>* credit_from_router_ = nullptr;
+  Pipe<Flit>* from_router_ = nullptr;
+  Pipe<Credit>* credit_to_router_ = nullptr;
+
+  int logical_id_ = -1;
+  const std::vector<NodeId>* endpoints_ = nullptr;
+  const TrafficPattern* traffic_ = nullptr;
+  double injection_rate_ = 0.0;
+  Rng rng_;
+
+  std::deque<PendingPacket> source_queue_;
+  std::vector<int> credits_;  // per-VC credits for the router's local port
+
+  bool sending_ = false;
+  PendingPacket current_{};
+  int flits_sent_ = 0;
+  VcId current_vc_ = -1;
+  Cycle head_injected_ = 0;
+  int vc_rr_ = 0;
+
+  bool request_reply_ = false;
+  int request_length_ = 1;
+  int reply_length_ = 5;
+
+  std::uint64_t total_generated_ = 0;
+  std::uint64_t total_ejected_flits_ = 0;
+  PacketId next_packet_id_ = 1;
+};
+
+}  // namespace nocs::noc

@@ -1,0 +1,347 @@
+#include "noc/router.hpp"
+
+#include "common/log.hpp"
+
+namespace nocs::noc {
+
+Router::Router(NodeId id, const NetworkParams& params,
+               const RoutingFunction* routing)
+    : id_(id),
+      coord_(params.shape().coord_of(id)),
+      params_(params),
+      shape_(params.shape()),
+      routing_(routing) {
+  NOCS_EXPECTS(routing != nullptr);
+  params_.validate();
+  const auto n = static_cast<std::size_t>(kNumPorts * params_.num_vcs);
+  input_vcs_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) input_vcs_.emplace_back(params_.vc_depth);
+  output_vcs_.resize(n);
+  for (auto& ovc : output_vcs_) ovc.credits = params_.vc_depth;
+}
+
+void Router::connect_input(Port p, Pipe<Flit>* flit_in,
+                           Pipe<Credit>* credit_out) {
+  flit_in_[static_cast<std::size_t>(p)] = flit_in;
+  credit_out_[static_cast<std::size_t>(p)] = credit_out;
+}
+
+void Router::connect_output(Port p, Pipe<Flit>* flit_out,
+                            Pipe<Credit>* credit_in) {
+  flit_out_[static_cast<std::size_t>(p)] = flit_out;
+  credit_in_[static_cast<std::size_t>(p)] = credit_in;
+}
+
+void Router::set_gated(bool gated) {
+  if (gated) {
+    NOCS_EXPECTS(drained());
+    state_ = PowerState::kGated;
+  } else {
+    state_ = PowerState::kActive;
+    idle_streak_ = 0;
+  }
+}
+
+bool Router::drained() const {
+  for (const auto& ivc : input_vcs_)
+    if (!ivc.buf.empty() || ivc.stage != InputVc::Stage::kIdle) return false;
+  for (const auto& ovc : output_vcs_)
+    if (ovc.allocated) return false;
+  return st_grants_.empty();
+}
+
+int Router::buffered_flits() const {
+  int n = 0;
+  for (const auto& ivc : input_vcs_) n += ivc.buf.size();
+  return n;
+}
+
+int Router::total_output_credits() const {
+  int n = 0;
+  for (const auto& ovc : output_vcs_) n += ovc.credits;
+  return n;
+}
+
+bool Router::any_input_pending(Cycle now) const {
+  for (int p = 0; p < kNumPorts; ++p) {
+    const auto* pipe = flit_in_[static_cast<std::size_t>(p)];
+    if (pipe != nullptr && pipe->ready(now)) return true;
+  }
+  return false;
+}
+
+void Router::tick(Cycle now) {
+  // Credits are consumed even while gated: they only update bookkeeping for
+  // flits that left downstream buffers before we gated.
+  receive_credits(now);
+
+  if (state_ == PowerState::kGated) {
+    ++counters_.gated_cycles;
+    if (any_input_pending(now)) {
+      // A flit knocked on a dark router.  Under NoC-sprinting's CDOR this
+      // never happens (the routing function avoids the dark region), so the
+      // arrival is a protocol violation unless wake-on-arrival is enabled.
+      NOCS_EXPECTS(allow_wakeup_ || dynamic_gating_);
+      ++counters_.wake_events;
+      state_ = PowerState::kWaking;
+      wake_remaining_ = params_.wakeup_latency;
+      if (wake_remaining_ == 0) {
+        state_ = PowerState::kActive;
+        idle_streak_ = 0;
+      }
+    }
+    return;
+  }
+
+  if (state_ == PowerState::kWaking) {
+    ++counters_.waking_cycles;
+    if (--wake_remaining_ <= 0) {
+      state_ = PowerState::kActive;
+      idle_streak_ = 0;
+    }
+    return;
+  }
+
+  ++counters_.active_cycles;
+  const std::uint64_t moves_before =
+      counters_.xbar_traversals + counters_.buffer_writes;
+
+  if (params_.pipeline_stages == 5) {
+    // Reverse-order stage evaluation: one stage per flit per cycle.
+    stage_switch_traversal(now);
+    stage_switch_allocation(now);
+    stage_vc_allocation(now);
+    stage_route_compute(now);
+    receive_flits(now);  // BW happens last so RC runs the following cycle
+  } else {
+    // Three-stage pipeline: RC is computed inline at buffer write
+    // (lookahead routing), and VA runs *before* SA within the cycle so a
+    // VC can win both back to back (speculative allocation):
+    //   BW+RC at t, VA+SA at t+1, ST at t+2.
+    stage_switch_traversal(now);
+    stage_vc_allocation(now);
+    stage_switch_allocation(now);
+    receive_flits(now);
+  }
+
+  const bool moved =
+      (counters_.xbar_traversals + counters_.buffer_writes) != moves_before;
+  if (!moved) ++counters_.idle_active_cycles;
+
+  if (dynamic_gating_) update_dynamic_gating(now);
+}
+
+void Router::update_dynamic_gating(Cycle now) {
+  const bool idle = drained() && !any_input_pending(now);
+  idle_streak_ = idle ? idle_streak_ + 1 : 0;
+  if (idle_streak_ >= static_cast<Cycle>(params_.gate_idle_threshold)) {
+    state_ = PowerState::kGated;
+    idle_streak_ = 0;
+  }
+}
+
+void Router::receive_credits(Cycle now) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto* pipe = credit_in_[static_cast<std::size_t>(p)];
+    if (pipe == nullptr) continue;
+    while (pipe->ready(now)) {
+      const Credit c = pipe->pop(now);
+      NOCS_EXPECTS(c.vc >= 0 && c.vc < params_.num_vcs);
+      auto& ovc = out_vc(p, c.vc);
+      ++ovc.credits;
+      NOCS_ENSURES(ovc.credits <= params_.vc_depth);
+    }
+  }
+}
+
+void Router::receive_flits(Cycle now) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    auto* pipe = flit_in_[static_cast<std::size_t>(p)];
+    if (pipe == nullptr) continue;
+    while (pipe->ready(now)) {
+      Flit f = pipe->pop(now);
+      NOCS_EXPECTS(f.vc >= 0 && f.vc < params_.num_vcs);
+      auto& ivc = in_vc(p, f.vc);
+      NOCS_ENSURES(!ivc.buf.full());  // credit flow control guarantees space
+      if (ivc.stage == InputVc::Stage::kIdle) {
+        NOCS_EXPECTS(f.is_head);
+        // Flits must arrive on a VC of their own class (partition
+        // discipline upheld by the upstream allocator / NI).
+        NOCS_EXPECTS(params_.class_of_vc(f.vc) == f.msg_class);
+        begin_packet(ivc, f);
+      }
+      ivc.buf.push(f);
+      ++counters_.buffer_writes;
+    }
+  }
+}
+
+void Router::begin_packet(InputVc& ivc, const Flit& head) {
+  ivc.msg_class = head.msg_class;
+  if (params_.pipeline_stages == 3) {
+    // Lookahead: route compute folded into buffer write.
+    ivc.out_port = routing_->route(coord_, shape_.coord_of(head.dst));
+    ivc.stage = InputVc::Stage::kVcAlloc;
+  } else {
+    ivc.stage = InputVc::Stage::kRouting;
+  }
+}
+
+void Router::stage_route_compute(Cycle) {
+  for (int p = 0; p < kNumPorts; ++p) {
+    for (int v = 0; v < params_.num_vcs; ++v) {
+      auto& ivc = in_vc(p, v);
+      if (ivc.stage != InputVc::Stage::kRouting) continue;
+      NOCS_EXPECTS(!ivc.buf.empty() && ivc.buf.front().is_head);
+      const Coord dst = shape_.coord_of(ivc.buf.front().dst);
+      ivc.out_port = routing_->route(coord_, dst);
+      // A flit that arrived here with cur == dst must leave via the local
+      // port; the routing function returns kLocal in that case.
+      NOCS_ENSURES(ivc.out_port != static_cast<Port>(p) ||
+                   ivc.out_port == Port::kLocal);
+      ivc.stage = InputVc::Stage::kVcAlloc;
+    }
+  }
+}
+
+void Router::stage_vc_allocation(Cycle) {
+  // Separable output-side allocation: for each output port, hand free VCs
+  // to requesting input VCs in round-robin order over (port, vc) requester
+  // slots.  Each input VC holds at most one request, so no input-side
+  // conflict resolution is needed.
+  const int nv = params_.num_vcs;
+  const int slots = kNumPorts * nv;
+  for (int op = 0; op < kNumPorts; ++op) {
+    // Collect requesters targeting this output port.
+    bool any = false;
+    for (int s = 0; s < slots && !any; ++s)
+      any = input_vcs_[static_cast<std::size_t>(s)].stage ==
+                InputVc::Stage::kVcAlloc &&
+            static_cast<int>(input_vcs_[static_cast<std::size_t>(s)].out_port)
+                == op;
+    if (!any) continue;
+
+    for (int ov = 0; ov < nv; ++ov) {
+      auto& target = out_vc(op, ov);
+      if (target.allocated) continue;
+      // Round-robin over requester slots starting after the last grant.
+      // VC partitioning: an output VC may only go to a requester of the
+      // same message class (protocol-deadlock avoidance).
+      const int ov_class = params_.class_of_vc(ov);
+      int& rr = va_rr_[static_cast<std::size_t>(op)];
+      int granted_slot = -1;
+      for (int k = 1; k <= slots; ++k) {
+        const int s = (rr + k) % slots;
+        auto& ivc = input_vcs_[static_cast<std::size_t>(s)];
+        if (ivc.stage == InputVc::Stage::kVcAlloc &&
+            static_cast<int>(ivc.out_port) == op &&
+            ivc.msg_class == ov_class) {
+          granted_slot = s;
+          break;
+        }
+      }
+      if (granted_slot < 0) continue;  // no requesters of this VC's class
+      rr = granted_slot;
+      auto& ivc = input_vcs_[static_cast<std::size_t>(granted_slot)];
+      target.allocated = true;
+      target.owner_port = granted_slot / nv;
+      target.owner_vc = granted_slot % nv;
+      ivc.out_vc = ov;
+      ivc.stage = InputVc::Stage::kActive;
+      ++counters_.vc_allocs;
+    }
+  }
+}
+
+void Router::stage_switch_allocation(Cycle) {
+  const int nv = params_.num_vcs;
+
+  // Stage 1 (input arbitration): each input port nominates one active VC
+  // that has a buffered flit and a downstream credit.
+  std::array<int, kNumPorts> nominee{};
+  nominee.fill(-1);
+  for (int p = 0; p < kNumPorts; ++p) {
+    int& rr = sa_input_rr_[static_cast<std::size_t>(p)];
+    for (int k = 1; k <= nv; ++k) {
+      const int v = (rr + k) % nv;
+      const auto& ivc = in_vc(p, v);
+      if (ivc.stage != InputVc::Stage::kActive || ivc.buf.empty()) continue;
+      const auto& ovc =
+          out_vc(static_cast<int>(ivc.out_port), ivc.out_vc);
+      if (ovc.credits <= 0) continue;
+      nominee[static_cast<std::size_t>(p)] = v;
+      rr = v;
+      break;
+    }
+  }
+
+  // Stage 2 (output arbitration): each output port grants one nominee.
+  std::array<bool, kNumPorts> output_claimed{};
+  std::array<bool, kNumPorts> input_granted{};
+  for (int op = 0; op < kNumPorts; ++op) {
+    int& rr = sa_output_rr_[static_cast<std::size_t>(op)];
+    for (int k = 1; k <= kNumPorts; ++k) {
+      const int p = (rr + k) % kNumPorts;
+      if (input_granted[static_cast<std::size_t>(p)]) continue;
+      const int v = nominee[static_cast<std::size_t>(p)];
+      if (v < 0) continue;
+      const auto& ivc = in_vc(p, v);
+      if (static_cast<int>(ivc.out_port) != op) continue;
+      if (output_claimed[static_cast<std::size_t>(op)]) break;
+      output_claimed[static_cast<std::size_t>(op)] = true;
+      input_granted[static_cast<std::size_t>(p)] = true;
+      st_grants_.push_back(Grant{p, v});
+      ++counters_.sa_arbitrations;
+      rr = p;
+      break;
+    }
+  }
+}
+
+void Router::stage_switch_traversal(Cycle now) {
+  for (const Grant& g : st_grants_) {
+    auto& ivc = in_vc(g.in_port, g.in_vc);
+    NOCS_EXPECTS(ivc.stage == InputVc::Stage::kActive && !ivc.buf.empty());
+    Flit f = ivc.buf.pop();
+    ++counters_.buffer_reads;
+    ++counters_.xbar_traversals;
+
+    const int op = static_cast<int>(ivc.out_port);
+    auto& ovc = out_vc(op, ivc.out_vc);
+    NOCS_EXPECTS(ovc.allocated && ovc.owner_port == g.in_port &&
+                 ovc.owner_vc == g.in_vc);
+    NOCS_EXPECTS(ovc.credits > 0);
+    --ovc.credits;
+
+    // Return a credit upstream for the buffer slot we just freed.
+    auto* credit_pipe = credit_out_[static_cast<std::size_t>(g.in_port)];
+    if (credit_pipe != nullptr)
+      credit_pipe->push(now, Credit{static_cast<VcId>(g.in_vc)});
+
+    f.vc = ivc.out_vc;
+    if (ivc.out_port != Port::kLocal) {
+      ++f.hops;
+      ++counters_.link_flits;
+    }
+    auto* out_pipe = flit_out_[static_cast<std::size_t>(op)];
+    NOCS_EXPECTS(out_pipe != nullptr);
+    out_pipe->push(now, f);
+
+    if (f.is_tail) {
+      ovc.allocated = false;
+      ovc.owner_port = -1;
+      ovc.owner_vc = -1;
+      ivc.out_vc = -1;
+      if (ivc.buf.empty()) {
+        ivc.stage = InputVc::Stage::kIdle;
+      } else {
+        // The next packet's head is already buffered behind the tail.
+        NOCS_EXPECTS(ivc.buf.front().is_head);
+        begin_packet(ivc, ivc.buf.front());
+      }
+    }
+  }
+  st_grants_.clear();
+}
+
+}  // namespace nocs::noc

@@ -1,0 +1,163 @@
+// Cycle-accurate wormhole router with virtual channels, credit-based flow
+// control, a classic five-stage pipeline, and a power-gating state machine.
+//
+// Pipeline (Table 1: "classic five-stage"): a flit written into an input
+// buffer at cycle t (BW) has its route computed at t+1 (RC, head only),
+// wins a virtual channel at t+2 (VA), arbitrates for the switch at t+3
+// (SA), and traverses the crossbar at t+4 (ST), reaching the next router
+// after one further link cycle (LT).  The stages are evaluated in reverse
+// order inside tick() so each flit advances at most one stage per cycle.
+//
+// Power gating: a router can be statically gated (NoC-sprinting's dark
+// region — no traffic may ever arrive, enforced by assertion) or
+// dynamically gated (gate after `gate_idle_threshold` idle cycles, wake on
+// arrival after `wakeup_latency` cycles), which models the conventional
+// power-gating schemes the paper compares against.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "noc/buffer.hpp"
+#include "noc/channel.hpp"
+#include "noc/counters.hpp"
+#include "noc/flit.hpp"
+#include "noc/params.hpp"
+#include "noc/routing.hpp"
+
+namespace nocs::noc {
+
+/// Power state of a router.
+enum class PowerState { kActive, kGated, kWaking };
+
+class Router {
+ public:
+  Router(NodeId id, const NetworkParams& params,
+         const RoutingFunction* routing);
+
+  NodeId id() const { return id_; }
+  Coord coord() const { return coord_; }
+
+  /// Wires one input direction: flits arrive on `flit_in`, credits are
+  /// returned upstream on `credit_out`.  Null pointers mark a disconnected
+  /// port (mesh edge).
+  void connect_input(Port p, Pipe<Flit>* flit_in, Pipe<Credit>* credit_out);
+
+  /// Wires one output direction: flits leave on `flit_out`, credits come
+  /// back on `credit_in`.
+  void connect_output(Port p, Pipe<Flit>* flit_out, Pipe<Credit>* credit_in);
+
+  /// Advances the router by one cycle.
+  void tick(Cycle now);
+
+  // --- power gating -------------------------------------------------------
+
+  /// Statically gates/ungates the router (configuration time; buffers must
+  /// be empty).  A statically gated router asserts if a flit arrives unless
+  /// wake-on-arrival is allowed.
+  void set_gated(bool gated);
+
+  /// Enables wake-on-arrival plus idle-timeout gating (the conventional
+  /// dynamic scheme).  Off by default.
+  void set_dynamic_gating(bool enabled) { dynamic_gating_ = enabled; }
+
+  /// Allows a statically gated router to wake on arrival rather than
+  /// asserting (used by the dynamic scheme and fault-injection tests).
+  void set_allow_wakeup(bool allowed) { allow_wakeup_ = allowed; }
+
+  PowerState power_state() const { return state_; }
+
+  /// True when no flit is buffered and no output VC is held.
+  bool drained() const;
+
+  // --- instrumentation -----------------------------------------------------
+
+  const RouterCounters& counters() const { return counters_; }
+  void reset_counters() { counters_ = RouterCounters{}; }
+
+  /// Total flits currently buffered (used by drain checks and tests).
+  int buffered_flits() const;
+
+  /// Sum of downstream credits across all output VCs (tests use this to
+  /// verify credit conservation: after a full drain it must equal
+  /// ports * vcs * vc_depth again).
+  int total_output_credits() const;
+
+ private:
+  struct InputVc {
+    explicit InputVc(int depth) : buf(depth) {}
+    VcBuffer buf;
+    enum class Stage { kIdle, kRouting, kVcAlloc, kActive } stage =
+        Stage::kIdle;
+    Port out_port = Port::kLocal;
+    VcId out_vc = -1;
+    int msg_class = 0;  ///< class of the packet currently in flight
+  };
+
+  struct OutputVc {
+    bool allocated = false;
+    int owner_port = -1;  ///< input port holding this output VC
+    int owner_vc = -1;    ///< input VC holding this output VC
+    int credits = 0;      ///< downstream buffer credits
+  };
+
+  struct Grant {
+    int in_port;
+    int in_vc;
+  };
+
+  void receive_credits(Cycle now);
+  void receive_flits(Cycle now);
+  void begin_packet(InputVc& ivc, const Flit& head);
+  void stage_switch_traversal(Cycle now);
+  void stage_switch_allocation(Cycle now);
+  void stage_vc_allocation(Cycle now);
+  void stage_route_compute(Cycle now);
+  bool any_input_pending(Cycle now) const;
+  void update_dynamic_gating(Cycle now);
+
+  InputVc& in_vc(int port, int vc) {
+    return input_vcs_[static_cast<std::size_t>(port * params_.num_vcs + vc)];
+  }
+  const InputVc& in_vc(int port, int vc) const {
+    return input_vcs_[static_cast<std::size_t>(port * params_.num_vcs + vc)];
+  }
+  OutputVc& out_vc(int port, int vc) {
+    return output_vcs_[static_cast<std::size_t>(port * params_.num_vcs + vc)];
+  }
+  const OutputVc& out_vc(int port, int vc) const {
+    return output_vcs_[static_cast<std::size_t>(port * params_.num_vcs + vc)];
+  }
+
+  NodeId id_;
+  Coord coord_;
+  NetworkParams params_;
+  MeshShape shape_;
+  const RoutingFunction* routing_;
+
+  std::array<Pipe<Flit>*, kNumPorts> flit_in_{};
+  std::array<Pipe<Credit>*, kNumPorts> credit_out_{};
+  std::array<Pipe<Flit>*, kNumPorts> flit_out_{};
+  std::array<Pipe<Credit>*, kNumPorts> credit_in_{};
+
+  std::vector<InputVc> input_vcs_;    // [port][vc] flattened
+  std::vector<OutputVc> output_vcs_;  // [port][vc] flattened
+
+  std::vector<Grant> st_grants_;      // SA winners, executed next cycle
+
+  // Round-robin fairness pointers.
+  std::array<int, kNumPorts> sa_input_rr_{};   // per input port, over VCs
+  std::array<int, kNumPorts> sa_output_rr_{};  // per output port, over inputs
+  std::array<int, kNumPorts> va_rr_{};         // per output port, over reqs
+
+  PowerState state_ = PowerState::kActive;
+  bool dynamic_gating_ = false;
+  bool allow_wakeup_ = false;
+  int wake_remaining_ = 0;
+  Cycle idle_streak_ = 0;
+
+  RouterCounters counters_;
+};
+
+}  // namespace nocs::noc

@@ -1,0 +1,60 @@
+// Routing-function interface and the baseline dimension-order router.
+//
+// The paper's contribution — CDOR, convex dimension-order routing with two
+// connectivity bits per switch — implements this same interface and lives in
+// src/sprint/cdor.hpp; the network core is routing-agnostic.
+#pragma once
+
+#include <memory>
+
+#include "common/geometry.hpp"
+
+namespace nocs::noc {
+
+/// Computes the output port a head flit takes at router `cur` towards
+/// `dst`.  Deterministic single-path routing (one port per (cur,dst) pair),
+/// matching both DOR and CDOR in the paper.
+class RoutingFunction {
+ public:
+  virtual ~RoutingFunction() = default;
+
+  /// Returns the output port; `Port::kLocal` when cur == dst.
+  /// Precondition: `dst` must be reachable from `cur` under this function.
+  virtual Port route(Coord cur, Coord dst) const = 0;
+
+  /// Human-readable name for logs/tables.
+  virtual const char* name() const = 0;
+};
+
+/// Classic X-Y dimension-order routing on a full 2-D mesh: exhaust the X
+/// offset, then the Y offset.  Deadlock-free because only EN/ES/WN/WS turns
+/// occur (no NE/NW/SE/SW), which breaks both abstract cycles.
+class XyRouting final : public RoutingFunction {
+ public:
+  Port route(Coord cur, Coord dst) const override {
+    if (dst.x > cur.x) return Port::kEast;
+    if (dst.x < cur.x) return Port::kWest;
+    if (dst.y > cur.y) return Port::kSouth;
+    if (dst.y < cur.y) return Port::kNorth;
+    return Port::kLocal;
+  }
+
+  const char* name() const override { return "xy-dor"; }
+};
+
+/// Y-X dimension-order routing (exhaust Y first); used in routing tests and
+/// as an ablation baseline.
+class YxRouting final : public RoutingFunction {
+ public:
+  Port route(Coord cur, Coord dst) const override {
+    if (dst.y > cur.y) return Port::kSouth;
+    if (dst.y < cur.y) return Port::kNorth;
+    if (dst.x > cur.x) return Port::kEast;
+    if (dst.x < cur.x) return Port::kWest;
+    return Port::kLocal;
+  }
+
+  const char* name() const override { return "yx-dor"; }
+};
+
+}  // namespace nocs::noc

@@ -1,0 +1,67 @@
+#include "noc/simulator.hpp"
+
+namespace nocs::noc {
+
+SimResults run_simulation(Network& net, const SimConfig& cfg) {
+  NOCS_EXPECTS(cfg.measure > 0);
+  net.reset_counters();
+  net.stats().reset();
+  net.set_injection_rate(cfg.injection_rate);
+
+  net.run(cfg.warmup);
+
+  net.stats().set_measuring(true);
+  net.run(cfg.measure);
+  net.stats().set_measuring(false);
+
+  // Drain: keep injecting background (unmeasured) traffic so the network
+  // stays under load while the tagged packets finish.
+  Cycle drained_cycles = 0;
+  while (!net.stats().all_drained() && drained_cycles < cfg.drain_max) {
+    net.tick();
+    ++drained_cycles;
+  }
+
+  SimResults r;
+  const StatsCollector& s = net.stats();
+  r.avg_packet_latency = s.packet_latency().mean();
+  r.avg_network_latency = s.network_latency().mean();
+  r.p50_latency = s.latency_quantile(0.5);
+  r.p99_latency = s.latency_quantile(0.99);
+  r.avg_hops = s.hops().mean();
+  r.packets_generated = s.generated_packets();
+  r.packets_ejected = s.ejected_packets();
+  const auto active = static_cast<double>(net.endpoints().size());
+  r.accepted_rate =
+      active > 0
+          ? static_cast<double>(s.ejected_flits()) /
+                (static_cast<double>(cfg.measure + drained_cycles) * active)
+          : 0.0;
+  r.saturated = !s.all_drained();
+  r.cycles = cfg.warmup + cfg.measure + drained_cycles;
+  r.counters = net.total_counters();
+  return r;
+}
+
+std::vector<SweepPoint> sweep_injection(Network& net, SimConfig cfg,
+                                        const std::vector<double>& rates,
+                                        bool stop_at_saturation) {
+  std::vector<SweepPoint> points;
+  points.reserve(rates.size());
+  bool saturated = false;
+  for (double rate : rates) {
+    SweepPoint pt;
+    pt.injection_rate = rate;
+    if (saturated && stop_at_saturation) {
+      pt.results.saturated = true;
+    } else {
+      cfg.injection_rate = rate;
+      pt.results = run_simulation(net, cfg);
+      saturated = saturated || pt.results.saturated;
+    }
+    points.push_back(pt);
+  }
+  return points;
+}
+
+}  // namespace nocs::noc

@@ -1,0 +1,55 @@
+// Simulation driver implementing the standard warmup / measure / drain
+// methodology plus injection-rate sweeps for latency-throughput curves
+// (the experiments behind Figure 11 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "noc/counters.hpp"
+#include "noc/network.hpp"
+
+namespace nocs::noc {
+
+/// Phase lengths and load for one simulation run.
+struct SimConfig {
+  Cycle warmup = 2000;       ///< cycles before measurement starts
+  Cycle measure = 10000;     ///< measurement window length
+  Cycle drain_max = 100000;  ///< drain budget after the window closes
+  double injection_rate = 0.1;  ///< flits/cycle per active endpoint
+};
+
+/// Aggregated results of one run.
+struct SimResults {
+  double avg_packet_latency = 0.0;   ///< creation -> tail eject (cycles)
+  double avg_network_latency = 0.0;  ///< head inject -> tail eject (cycles)
+  double p50_latency = 0.0;          ///< median packet latency
+  double p99_latency = 0.0;          ///< tail latency
+  double avg_hops = 0.0;
+  std::uint64_t packets_generated = 0;
+  std::uint64_t packets_ejected = 0;
+  double accepted_rate = 0.0;  ///< ejected flits/cycle per active endpoint
+  bool saturated = false;      ///< drain budget exhausted (unstable load)
+  Cycle cycles = 0;            ///< total cycles simulated
+  RouterCounters counters;     ///< summed router activity (whole run)
+};
+
+/// Runs warmup, a measurement window, and a drain phase on `net`, which
+/// must already be configured (endpoints, traffic, gating).  Counters are
+/// reset at the start so power estimates cover exactly this run.
+SimResults run_simulation(Network& net, const SimConfig& cfg);
+
+/// One point of a load sweep.
+struct SweepPoint {
+  double injection_rate = 0.0;
+  SimResults results;
+};
+
+/// Sweeps injection rate over `rates`, rebuilding statistics per point.
+/// Stops early (marking remaining points saturated) once a point saturates,
+/// since latency is unbounded beyond saturation.
+std::vector<SweepPoint> sweep_injection(Network& net, SimConfig cfg,
+                                        const std::vector<double>& rates,
+                                        bool stop_at_saturation = false);
+
+}  // namespace nocs::noc

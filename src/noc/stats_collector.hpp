@@ -1,0 +1,81 @@
+// Shared latency/throughput statistics collector for one simulation.
+#pragma once
+
+#include <array>
+
+#include "common/stats.hpp"
+#include "common/types.hpp"
+
+namespace nocs::noc {
+
+/// Upper bound on message classes tracked separately by the collector.
+inline constexpr int kMaxStatClasses = 4;
+
+/// Gathers packet-level statistics from all network interfaces.  The
+/// simulator toggles `set_measuring()` around the measurement window;
+/// packets generated while measuring are tagged and only they contribute
+/// to latency statistics (the standard warmup/measure/drain methodology).
+class StatsCollector {
+ public:
+  StatsCollector() : latency_hist_(2.0, 512) {}  // 2-cycle bins to 1024
+
+  void reset() { *this = StatsCollector{}; }
+
+  void set_measuring(bool m) { measuring_ = m; }
+  bool measuring() const { return measuring_; }
+
+  /// Called by the source NI when a measured packet is generated.
+  void on_packet_generated() { ++generated_; }
+
+  /// Called by the destination NI when a measured packet's tail ejects.
+  /// `packet_latency` = tail eject - generation (includes source queueing);
+  /// `network_latency` = tail eject - head injection.
+  void on_packet_ejected(double packet_latency, double network_latency,
+                         int hops, int msg_class = 0) {
+    ++ejected_;
+    packet_latency_.add(packet_latency);
+    network_latency_.add(network_latency);
+    hops_.add(static_cast<double>(hops));
+    latency_hist_.add(packet_latency);
+    if (msg_class >= 0 && msg_class < kMaxStatClasses)
+      class_latency_[static_cast<std::size_t>(msg_class)].add(packet_latency);
+  }
+
+  /// Per-message-class packet latency (e.g. class 0 = requests, class 1 =
+  /// data replies in protocol mode).
+  const RunningStat& class_latency(int msg_class) const {
+    NOCS_EXPECTS(msg_class >= 0 && msg_class < kMaxStatClasses);
+    return class_latency_[static_cast<std::size_t>(msg_class)];
+  }
+
+  /// Packet-latency quantile (e.g. 0.99 for the tail latency interactive
+  /// workloads care about), estimated from 2-cycle histogram bins.
+  double latency_quantile(double q) const { return latency_hist_.quantile(q); }
+
+  /// Called per measured flit ejected (throughput accounting).
+  void on_flit_ejected() { ++flits_ejected_; }
+
+  std::uint64_t generated_packets() const { return generated_; }
+  std::uint64_t ejected_packets() const { return ejected_; }
+  std::uint64_t ejected_flits() const { return flits_ejected_; }
+
+  /// True once every measured packet has been drained.
+  bool all_drained() const { return ejected_ >= generated_; }
+
+  const RunningStat& packet_latency() const { return packet_latency_; }
+  const RunningStat& network_latency() const { return network_latency_; }
+  const RunningStat& hops() const { return hops_; }
+
+ private:
+  bool measuring_ = false;
+  std::uint64_t generated_ = 0;
+  std::uint64_t ejected_ = 0;
+  std::uint64_t flits_ejected_ = 0;
+  RunningStat packet_latency_;
+  RunningStat network_latency_;
+  RunningStat hops_;
+  Histogram latency_hist_;
+  std::array<RunningStat, kMaxStatClasses> class_latency_;
+};
+
+}  // namespace nocs::noc

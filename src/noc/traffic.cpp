@@ -1,0 +1,96 @@
+#include "noc/traffic.hpp"
+
+#include <stdexcept>
+
+namespace nocs::noc {
+
+int UniformTraffic::dest(int src, Rng& rng) const {
+  // Draw from the k-1 endpoints other than src.
+  const int d = static_cast<int>(rng.uniform_int(
+      static_cast<std::uint64_t>(k_ - 1)));
+  return d >= src ? d + 1 : d;
+}
+
+PermutationTraffic::PermutationTraffic(int num_endpoints,
+                                       std::vector<int> perm, std::string name)
+    : TrafficPattern(num_endpoints),
+      perm_(std::move(perm)),
+      name_(std::move(name)) {
+  NOCS_EXPECTS(static_cast<int>(perm_.size()) == k_);
+  for (int d : perm_) NOCS_EXPECTS(d >= 0 && d < k_);
+}
+
+int PermutationTraffic::dest(int src, Rng&) const {
+  const int d = perm_[static_cast<std::size_t>(src)];
+  return d == src ? (src + 1) % k_ : d;
+}
+
+HotspotTraffic::HotspotTraffic(int num_endpoints, int hot, double hot_fraction)
+    : TrafficPattern(num_endpoints), hot_(hot), hot_fraction_(hot_fraction) {
+  NOCS_EXPECTS(hot >= 0 && hot < num_endpoints);
+  NOCS_EXPECTS(hot_fraction >= 0.0 && hot_fraction <= 1.0);
+}
+
+int HotspotTraffic::dest(int src, Rng& rng) const {
+  if (src != hot_ && rng.bernoulli(hot_fraction_)) return hot_;
+  const int d = static_cast<int>(rng.uniform_int(
+      static_cast<std::uint64_t>(k_ - 1)));
+  return d >= src ? d + 1 : d;
+}
+
+namespace {
+
+int bits_for(int k) {
+  int b = 0;
+  while ((1 << b) < k) ++b;
+  return b < 1 ? 1 : b;
+}
+
+}  // namespace
+
+std::unique_ptr<TrafficPattern> make_permutation(const std::string& kind,
+                                                 int num_endpoints) {
+  const int k = num_endpoints;
+  const int b = bits_for(k);
+  std::vector<int> perm(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    int d = 0;
+    if (kind == "transpose") {
+      // Swap the high and low halves of the id bits.
+      const int half = b / 2;
+      const int lo = s & ((1 << half) - 1);
+      const int hi = s >> half;
+      d = (lo << (b - half)) | hi;
+    } else if (kind == "bitcomp") {
+      d = (~s) & ((1 << b) - 1);
+    } else if (kind == "bitrev") {
+      for (int i = 0; i < b; ++i)
+        if (s & (1 << i)) d |= 1 << (b - 1 - i);
+    } else if (kind == "shuffle") {
+      d = ((s << 1) | (s >> (b - 1))) & ((1 << b) - 1);
+    } else {
+      throw std::invalid_argument("unknown permutation: " + kind);
+    }
+    perm[static_cast<std::size_t>(s)] = d % k;
+  }
+  return std::make_unique<PermutationTraffic>(k, std::move(perm), kind);
+}
+
+std::unique_ptr<TrafficPattern> make_traffic(const std::string& kind,
+                                             int num_endpoints) {
+  if (kind == "uniform")
+    return std::make_unique<UniformTraffic>(num_endpoints);
+  if (kind == "neighbor")
+    return std::make_unique<NeighborTraffic>(num_endpoints);
+  if (kind == "hotspot")
+    return std::make_unique<HotspotTraffic>(num_endpoints, 0, 0.2);
+  if (kind == "cache") {
+    // Cache-shaped destinations: address-interleaved LLC banks (uniform
+    // over endpoints) plus memory-controller traffic concentrated at the
+    // master node (logical 0).  Pair with request-reply protocol mode.
+    return std::make_unique<HotspotTraffic>(num_endpoints, 0, 0.15);
+  }
+  return make_permutation(kind, num_endpoints);
+}
+
+}  // namespace nocs::noc

@@ -1,0 +1,97 @@
+// Synthetic traffic patterns over an arbitrary set of active endpoints.
+//
+// Fine-grained sprinting activates k of the N mesh nodes; traffic is
+// generated between *logical* endpoints 0..k-1 and mapped onto physical
+// nodes through an endpoint table.  For NoC-sprinting the table is the
+// convex prefix from Algorithm 1; for the paper's full-sprinting baseline
+// it is a random k-subset of the full mesh (averaged over samples), with
+// every router powered on for forwarding.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/rng.hpp"
+#include "common/types.hpp"
+
+namespace nocs::noc {
+
+/// Destination selector over logical endpoint ids [0, k).
+class TrafficPattern {
+ public:
+  virtual ~TrafficPattern() = default;
+
+  /// Returns the logical destination for a packet injected by logical
+  /// source `src`; must not return `src` itself.
+  virtual int dest(int src, Rng& rng) const = 0;
+
+  virtual const char* name() const = 0;
+
+ protected:
+  explicit TrafficPattern(int num_endpoints) : k_(num_endpoints) {
+    NOCS_EXPECTS(num_endpoints >= 2);
+  }
+  int k_;
+};
+
+/// Uniform-random: every other endpoint equally likely (the pattern used in
+/// the paper's Figure 11 sweeps).
+class UniformTraffic final : public TrafficPattern {
+ public:
+  explicit UniformTraffic(int num_endpoints) : TrafficPattern(num_endpoints) {}
+  int dest(int src, Rng& rng) const override;
+  const char* name() const override { return "uniform"; }
+};
+
+/// Permutation traffic: dst = perm[src]; self-mappings redirected to the
+/// next endpoint.  Base for transpose / bit-complement / bit-reverse /
+/// shuffle.
+class PermutationTraffic : public TrafficPattern {
+ public:
+  PermutationTraffic(int num_endpoints, std::vector<int> perm,
+                     std::string name);
+  int dest(int src, Rng& rng) const override;
+  const char* name() const override { return name_.c_str(); }
+
+ private:
+  std::vector<int> perm_;
+  std::string name_;
+};
+
+/// Hotspot: a fraction of packets goes to one hot endpoint, the rest are
+/// uniform.  Models the master-node pressure (memory controller) the paper
+/// discusses.
+class HotspotTraffic final : public TrafficPattern {
+ public:
+  HotspotTraffic(int num_endpoints, int hot, double hot_fraction);
+  int dest(int src, Rng& rng) const override;
+  const char* name() const override { return "hotspot"; }
+
+ private:
+  int hot_;
+  double hot_fraction_;
+};
+
+/// Nearest-neighbor ring: dst = (src + 1) mod k.
+class NeighborTraffic final : public TrafficPattern {
+ public:
+  explicit NeighborTraffic(int num_endpoints)
+      : TrafficPattern(num_endpoints) {}
+  int dest(int src, Rng&) const override { return (src + 1) % k_; }
+  const char* name() const override { return "neighbor"; }
+};
+
+/// Builds the classic BookSim permutations on ceil(log2 k)-bit ids, with
+/// out-of-range results folded back with modulo.  `kind` is one of
+/// "transpose", "bitcomp", "bitrev", "shuffle".
+std::unique_ptr<TrafficPattern> make_permutation(const std::string& kind,
+                                                 int num_endpoints);
+
+/// Factory over all pattern names ("uniform", "neighbor", "hotspot",
+/// "transpose", "bitcomp", "bitrev", "shuffle").
+std::unique_ptr<TrafficPattern> make_traffic(const std::string& kind,
+                                             int num_endpoints);
+
+}  // namespace nocs::noc

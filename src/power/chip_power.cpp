@@ -1,0 +1,76 @@
+#include "power/chip_power.hpp"
+
+namespace nocs::power {
+
+ChipPowerModel::ChipPowerModel(const ChipPowerParams& params)
+    : params_(params) {
+  params_.validate();
+}
+
+ChipPowerBreakdown ChipPowerModel::breakdown(
+    const std::vector<CoreState>& cores,
+    const std::vector<bool>& noc_gated) const {
+  NOCS_EXPECTS(static_cast<int>(cores.size()) == params_.num_cores);
+  NOCS_EXPECTS(static_cast<int>(noc_gated.size()) == params_.num_cores);
+
+  Watts noc = 0.0;
+  for (bool gated : noc_gated)
+    noc += gated ? params_.noc_gated_node : params_.noc_per_node;
+  return breakdown_with_noc(cores, noc);
+}
+
+ChipPowerBreakdown ChipPowerModel::breakdown_with_noc(
+    const std::vector<CoreState>& cores, Watts noc_watts) const {
+  NOCS_EXPECTS(static_cast<int>(cores.size()) == params_.num_cores);
+  NOCS_EXPECTS(noc_watts >= 0.0);
+
+  ChipPowerBreakdown b;
+  for (CoreState s : cores) {
+    switch (s) {
+      case CoreState::kActive: b.cores += params_.core_active; break;
+      case CoreState::kIdle: b.cores += params_.core_idle; break;
+      case CoreState::kGated: b.cores += params_.core_gated; break;
+    }
+  }
+  // L2 tiles stay powered: they hold shared data and the directory, so
+  // they cannot be gated with their cores (Section 3.4's LLC discussion).
+  b.l2 = params_.l2_tile * params_.num_cores;
+  b.noc = noc_watts;
+  b.mc = params_.mc_each * params_.num_mcs();
+  b.others = params_.others;
+  return b;
+}
+
+ChipPowerBreakdown ChipPowerModel::nominal() const {
+  std::vector<CoreState> cores(static_cast<std::size_t>(params_.num_cores),
+                               CoreState::kGated);
+  cores[0] = CoreState::kActive;
+  const std::vector<bool> noc_gated(
+      static_cast<std::size_t>(params_.num_cores), false);
+  return breakdown(cores, noc_gated);
+}
+
+Watts ChipPowerModel::core_power(int active_cores, CoreState rest) const {
+  NOCS_EXPECTS(active_cores >= 0 && active_cores <= params_.num_cores);
+  std::vector<CoreState> cores(static_cast<std::size_t>(params_.num_cores),
+                               rest);
+  for (int i = 0; i < active_cores; ++i)
+    cores[static_cast<std::size_t>(i)] = CoreState::kActive;
+  Watts total = 0.0;
+  for (CoreState s : cores) {
+    switch (s) {
+      case CoreState::kActive: total += params_.core_active; break;
+      case CoreState::kIdle: total += params_.core_idle; break;
+      case CoreState::kGated: total += params_.core_gated; break;
+    }
+  }
+  return total;
+}
+
+Watts ChipPowerModel::noc_power(int active_nodes) const {
+  NOCS_EXPECTS(active_nodes >= 0 && active_nodes <= params_.num_cores);
+  return params_.noc_per_node * active_nodes +
+         params_.noc_gated_node * (params_.num_cores - active_nodes);
+}
+
+}  // namespace nocs::power

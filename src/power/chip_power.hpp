@@ -1,0 +1,100 @@
+// McPAT-style chip-level power model calibrated to the paper's Figure 3
+// (Niagara2-based CMP: cores, tiled L2, memory controllers, NoC, others).
+//
+// Calibration targets: at nominal operation (one active core, the rest
+// power-gated, NoC fully on), the NoC accounts for ~18 % / 26 % / 35 % /
+// 42 % of chip power for 4- / 8- / 16- / 32-core chips — the observation
+// that motivates NoC-sprinting.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "power/tech.hpp"
+
+namespace nocs::power {
+
+/// Activity state of one core.
+enum class CoreState {
+  kActive,  ///< sprinting / executing at full V/f
+  kIdle,    ///< powered but idle (clock-gated only) — the naive scheme
+  kGated,   ///< power-gated dark silicon (tiny residual leakage)
+};
+
+/// Per-component chip power in watts.
+struct ChipPowerBreakdown {
+  Watts cores = 0.0;
+  Watts l2 = 0.0;
+  Watts noc = 0.0;
+  Watts mc = 0.0;
+  Watts others = 0.0;
+
+  Watts total() const { return cores + l2 + noc + mc + others; }
+};
+
+/// Structural and per-component parameters.  Defaults are the 45 nm
+/// Niagara2-like calibration described in DESIGN.md.
+struct ChipPowerParams {
+  int num_cores = 16;
+  Watts core_active = 4.0;   ///< one core at full V/f
+  Watts core_idle = 2.5;     ///< powered-but-idle core (no power gating)
+  Watts core_gated = 0.05;   ///< gated core residual
+  Watts l2_tile = 0.34;      ///< one 256 KB L2 tile (always powered)
+  Watts mc_each = 1.5;       ///< one memory controller
+  int cores_per_mc = 16;     ///< MC count = max(1, num_cores / cores_per_mc)
+  Watts others = 1.0;        ///< PCIe, clocking, misc
+  Watts noc_per_node = 0.45; ///< router + links of one node, powered on
+  Watts noc_gated_node = 0.01;  ///< gated router residual
+  TechNode tech = TechNode::k45nm;
+  OperatingPoint op = kReferencePoint;
+
+  int num_mcs() const {
+    const int n = num_cores / cores_per_mc;
+    return n < 1 ? 1 : n;
+  }
+
+  void validate() const {
+    NOCS_EXPECTS(num_cores >= 1);
+    NOCS_EXPECTS(core_active > 0 && core_idle >= 0 && core_gated >= 0);
+    NOCS_EXPECTS(core_idle <= core_active);
+    NOCS_EXPECTS(core_gated <= core_idle);
+    NOCS_EXPECTS(l2_tile >= 0 && mc_each >= 0 && others >= 0);
+    NOCS_EXPECTS(noc_per_node >= 0 && noc_gated_node <= noc_per_node);
+    NOCS_EXPECTS(cores_per_mc >= 1);
+  }
+};
+
+class ChipPowerModel {
+ public:
+  explicit ChipPowerModel(const ChipPowerParams& params);
+
+  const ChipPowerParams& params() const { return params_; }
+
+  /// Full chip breakdown given per-core states and per-node NoC gating.
+  /// Both vectors must have num_cores entries.
+  ChipPowerBreakdown breakdown(const std::vector<CoreState>& cores,
+                               const std::vector<bool>& noc_gated) const;
+
+  /// Same, but the NoC contribution is supplied externally (e.g. measured
+  /// by the cycle-accurate simulator + RouterPowerModel).
+  ChipPowerBreakdown breakdown_with_noc(const std::vector<CoreState>& cores,
+                                        Watts noc_watts) const;
+
+  /// Nominal operation: core 0 active, all other cores gated, NoC fully
+  /// powered (a gated-off node would block packet forwarding — the paper's
+  /// key observation).
+  ChipPowerBreakdown nominal() const;
+
+  /// Core power (cores component only) with `k` active cores and the rest
+  /// in `rest` state — the Figure 8 comparison.
+  Watts core_power(int active_cores, CoreState rest) const;
+
+  /// NoC power with `active_nodes` routers on and the rest gated.
+  Watts noc_power(int active_nodes) const;
+
+ private:
+  ChipPowerParams params_;
+};
+
+}  // namespace nocs::power

@@ -1,0 +1,40 @@
+#include "power/noc_power.hpp"
+
+namespace nocs::power {
+
+NocPowerEstimate estimate_noc_power(const noc::Network& net,
+                                    const RouterPowerModel& router_model,
+                                    const LinkPowerModel& link_model,
+                                    Cycle window_cycles) {
+  NOCS_EXPECTS(window_cycles > 0);
+  NocPowerEstimate est;
+
+  const MeshShape shape = net.params().shape();
+  const double window_s = static_cast<double>(window_cycles) /
+                          router_model.params().op.frequency;
+
+  std::uint64_t total_link_flits = 0;
+  for (NodeId id = 0; id < net.num_nodes(); ++id) {
+    const noc::Router& r = net.router(id);
+    est.routers += router_model.from_counters(r.counters(), window_cycles);
+    total_link_flits += r.counters().link_flits;
+
+    // Link leakage: each powered-on cycle of the driving router leaks its
+    // outgoing mesh links (degree of the node).
+    int degree = 0;
+    const Coord c = shape.coord_of(id);
+    for (Port p : {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest})
+      if (shape.contains(step(c, p))) ++degree;
+    const double on_fraction =
+        static_cast<double>(r.counters().active_cycles +
+                            r.counters().waking_cycles) /
+        static_cast<double>(window_cycles);
+    est.link_leakage += degree * link_model.leakage_power() * on_fraction;
+  }
+
+  est.link_dynamic = static_cast<double>(total_link_flits) *
+                     link_model.traversal_energy() / window_s;
+  return est;
+}
+
+}  // namespace nocs::power

@@ -1,0 +1,31 @@
+// Bridges the cycle-accurate simulator and the DSENT-style power models:
+// converts a finished simulation's router counters plus the network's
+// gating state into a full NoC power estimate (routers + links).
+#pragma once
+
+#include "noc/network.hpp"
+#include "power/router_power.hpp"
+
+namespace nocs::power {
+
+/// NoC-wide power split.
+struct NocPowerEstimate {
+  RouterPowerBreakdown routers;  ///< summed over all routers
+  Watts link_dynamic = 0.0;
+  Watts link_leakage = 0.0;
+
+  Watts total() const {
+    return routers.total() + link_dynamic + link_leakage;
+  }
+};
+
+/// Estimates average NoC power over `window_cycles` from the network's
+/// accumulated counters.  Router leakage follows each router's powered-on
+/// cycles (gated routers leak ~nothing); a link leaks while its driving
+/// router is powered on.
+NocPowerEstimate estimate_noc_power(const noc::Network& net,
+                                    const RouterPowerModel& router_model,
+                                    const LinkPowerModel& link_model,
+                                    Cycle window_cycles);
+
+}  // namespace nocs::power

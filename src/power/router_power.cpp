@@ -1,0 +1,137 @@
+#include "power/router_power.hpp"
+
+namespace nocs::power {
+
+namespace {
+
+// Reference per-event energies for a canonical 5-port, 128-bit, 2 VC x 4
+// wormhole router at 45 nm / 1.0 V (DSENT-magnitude constants).  Buffer
+// energies are per bit; crossbar per bit; arbitration per allocation event;
+// clock per cycle for the whole router.
+constexpr double kBufWriteJPerBit = 5.2e-15;   // 0.67 pJ / 128-bit flit
+constexpr double kBufReadJPerBit = 4.6e-15;    // 0.59 pJ / flit
+constexpr double kXbarJPerBit = 6.1e-15;       // 0.78 pJ / flit
+constexpr double kArbJPerEvent = 1.9e-13;      // 0.19 pJ / grant
+constexpr double kClockJPerCycleRef = 5.5e-13; // 0.55 pJ / cycle (ref router)
+
+// Reference leakage (watts) at 45 nm / 1.0 V for the canonical router,
+// split by component.  Buffers dominate router leakage in DSENT.
+constexpr double kBufLeakPerBitStorage = 2.4e-7;  // W per bit of buffering
+constexpr double kXbarLeakPerBitWidth = 1.6e-6;   // W per bit of datapath
+constexpr double kArbLeakPerPort = 4.0e-5;        // W per port
+constexpr double kClockLeak = 2.0e-4;             // W fixed
+
+// Reference structural scale factors (canonical router used in Fig. 2).
+constexpr int kRefPorts = 5;
+constexpr int kRefVcs = 2;
+constexpr int kRefDepth = 4;
+
+}  // namespace
+
+RouterPowerParams RouterPowerParams::from_network(
+    const noc::NetworkParams& net, TechNode tech, OperatingPoint op) {
+  RouterPowerParams p;
+  p.num_ports = kNumPorts;
+  p.num_vcs = net.num_vcs;
+  p.vc_depth = net.vc_depth;
+  p.flit_bits = net.flit_bytes * 8;
+  p.tech = tech;
+  p.op = op;
+  return p;
+}
+
+RouterPowerModel::RouterPowerModel(const RouterPowerParams& params)
+    : params_(params) {
+  NOCS_EXPECTS(params.num_ports >= 2 && params.num_vcs >= 1 &&
+               params.vc_depth >= 1 && params.flit_bits >= 8);
+  params.op.validate();
+
+  const double dyn = dynamic_energy_scale(params.tech, params.op.voltage);
+  const double leak = leakage_scale(params.tech, params.op.voltage);
+  const auto bits = static_cast<double>(params.flit_bits);
+
+  e_buf_write_ = kBufWriteJPerBit * bits * dyn;
+  e_buf_read_ = kBufReadJPerBit * bits * dyn;
+  // Crossbar energy grows with radix (larger multiplexers).
+  const double radix_scale =
+      static_cast<double>(params.num_ports) / kRefPorts;
+  e_xbar_ = kXbarJPerBit * bits * radix_scale * dyn;
+  // Arbitration cost grows with the number of contenders.
+  const double arb_scale =
+      static_cast<double>(params.num_ports * params.num_vcs) /
+      (kRefPorts * kRefVcs);
+  e_arb_ = kArbJPerEvent * arb_scale * dyn;
+  // Clock tree load grows with total storage (flops in buffers + state).
+  const double storage_scale =
+      static_cast<double>(params.num_vcs * params.vc_depth) /
+      (kRefVcs * kRefDepth);
+  e_clock_ = kClockJPerCycleRef * (0.5 + 0.5 * storage_scale) * dyn;
+
+  const double buffer_bits = static_cast<double>(params.num_ports) *
+                             params.num_vcs * params.vc_depth * bits;
+  leakage_ = (kBufLeakPerBitStorage * buffer_bits +
+              kXbarLeakPerBitWidth * bits * radix_scale +
+              kArbLeakPerPort * params.num_ports + kClockLeak) *
+             leak;
+}
+
+RouterPowerBreakdown RouterPowerModel::from_counters(
+    const noc::RouterCounters& c, Cycle window_cycles) const {
+  NOCS_EXPECTS(window_cycles > 0);
+  const double window_s =
+      static_cast<double>(window_cycles) / params_.op.frequency;
+
+  RouterPowerBreakdown b;
+  b.buffer_dynamic =
+      (static_cast<double>(c.buffer_writes) * e_buf_write_ +
+       static_cast<double>(c.buffer_reads) * e_buf_read_) / window_s;
+  b.crossbar_dynamic =
+      static_cast<double>(c.xbar_traversals) * e_xbar_ / window_s;
+  b.arbiter_dynamic =
+      static_cast<double>(c.vc_allocs + c.sa_arbitrations) * e_arb_ /
+      window_s;
+  // Clock dynamic only toggles while the router is powered on.
+  const double powered =
+      static_cast<double>(c.active_cycles + c.waking_cycles);
+  b.clock_dynamic = powered * e_clock_ / window_s;
+  b.leakage = leakage_ * powered / static_cast<double>(window_cycles);
+  return b;
+}
+
+RouterPowerBreakdown RouterPowerModel::at_injection(
+    double flits_per_cycle) const {
+  NOCS_EXPECTS(flits_per_cycle >= 0.0);
+  const double f = params_.op.frequency;
+  const double events_per_s = flits_per_cycle * f;
+
+  RouterPowerBreakdown b;
+  b.buffer_dynamic = events_per_s * (e_buf_write_ + e_buf_read_);
+  b.crossbar_dynamic = events_per_s * e_xbar_;
+  // Roughly one VC allocation per packet plus one switch grant per flit.
+  b.arbiter_dynamic = events_per_s * 1.2 * e_arb_;
+  b.clock_dynamic = f * e_clock_;
+  b.leakage = leakage_;
+  return b;
+}
+
+LinkPowerModel::LinkPowerModel(int flit_bits, double length_mm, TechNode tech,
+                               OperatingPoint op)
+    : length_mm_(length_mm), op_(op) {
+  NOCS_EXPECTS(flit_bits >= 8 && length_mm > 0.0);
+  op.validate();
+  // Repeated-wire energy ~ 0.12 pJ/bit/mm at 45 nm / 1 V; leakage from
+  // repeater banks ~ 40 uW per bit-mm reference lane group.
+  const double dyn = dynamic_energy_scale(tech, op.voltage);
+  const double leak = leakage_scale(tech, op.voltage);
+  e_traversal_ = 1.2e-13 * static_cast<double>(flit_bits) * length_mm * dyn;
+  leakage_ = 3.0e-6 * static_cast<double>(flit_bits) * length_mm * leak;
+}
+
+Watts LinkPowerModel::average_power(double flits_per_cycle,
+                                    bool gated) const {
+  NOCS_EXPECTS(flits_per_cycle >= 0.0);
+  if (gated) return 0.0;
+  return flits_per_cycle * op_.frequency * e_traversal_ + leakage_;
+}
+
+}  // namespace nocs::power

@@ -1,0 +1,120 @@
+// DSENT-style event-based router and link power model.
+//
+// Dynamic power is accumulated from per-event energies (buffer write/read,
+// crossbar traversal, allocator arbitration, clock tree) harvested from the
+// cycle-accurate simulator's RouterCounters; leakage accrues per powered-on
+// cycle and is eliminated while a router is gated.  Per-event energies are
+// specified per flit at the reference point (45 nm, 1.0 V, 2 GHz) for a
+// canonical 5-port 128-bit router and scaled by configuration, voltage,
+// frequency, and technology node.
+#pragma once
+
+#include "common/types.hpp"
+#include "noc/counters.hpp"
+#include "noc/params.hpp"
+#include "power/tech.hpp"
+
+namespace nocs::power {
+
+/// Structural/operating description of one router for power purposes.
+struct RouterPowerParams {
+  int num_ports = 5;
+  int num_vcs = 4;
+  int vc_depth = 4;
+  int flit_bits = 128;
+  TechNode tech = TechNode::k45nm;
+  OperatingPoint op = kReferencePoint;
+
+  /// Derives the structural fields from the network configuration.
+  static RouterPowerParams from_network(const noc::NetworkParams& net,
+                                        TechNode tech = TechNode::k45nm,
+                                        OperatingPoint op = kReferencePoint);
+};
+
+/// Power split by component, in watts.
+struct RouterPowerBreakdown {
+  Watts buffer_dynamic = 0.0;
+  Watts crossbar_dynamic = 0.0;
+  Watts arbiter_dynamic = 0.0;
+  Watts clock_dynamic = 0.0;
+  Watts leakage = 0.0;
+
+  Watts dynamic() const {
+    return buffer_dynamic + crossbar_dynamic + arbiter_dynamic +
+           clock_dynamic;
+  }
+  Watts total() const { return dynamic() + leakage; }
+
+  RouterPowerBreakdown& operator+=(const RouterPowerBreakdown& o) {
+    buffer_dynamic += o.buffer_dynamic;
+    crossbar_dynamic += o.crossbar_dynamic;
+    arbiter_dynamic += o.arbiter_dynamic;
+    clock_dynamic += o.clock_dynamic;
+    leakage += o.leakage;
+    return *this;
+  }
+};
+
+class RouterPowerModel {
+ public:
+  explicit RouterPowerModel(const RouterPowerParams& params);
+
+  const RouterPowerParams& params() const { return params_; }
+
+  // --- per-event energies (joules), after all scaling ----------------------
+  Joules buffer_write_energy() const { return e_buf_write_; }
+  Joules buffer_read_energy() const { return e_buf_read_; }
+  Joules crossbar_energy() const { return e_xbar_; }
+  Joules arbitration_energy() const { return e_arb_; }
+  Joules clock_energy_per_cycle() const { return e_clock_; }
+
+  /// Total router leakage power while powered on (watts).
+  Watts leakage_power() const { return leakage_; }
+
+  /// Converts simulator activity over `window_cycles` router cycles into
+  /// average power.  Leakage is charged only for active/waking cycles
+  /// (gated cycles leak ~0 — the benefit NoC-sprinting harvests).
+  RouterPowerBreakdown from_counters(const noc::RouterCounters& counters,
+                                     Cycle window_cycles) const;
+
+  /// Analytic power at a steady flit throughput (flits traversing the
+  /// router per cycle), used by the Figure 2 reproduction where no
+  /// simulation is attached.
+  RouterPowerBreakdown at_injection(double flits_per_cycle) const;
+
+ private:
+  RouterPowerParams params_;
+  Joules e_buf_write_ = 0.0;
+  Joules e_buf_read_ = 0.0;
+  Joules e_xbar_ = 0.0;
+  Joules e_arb_ = 0.0;
+  Joules e_clock_ = 0.0;
+  Watts leakage_ = 0.0;
+};
+
+/// Power model for one inter-router link (repeated wires).
+class LinkPowerModel {
+ public:
+  /// `length_mm` is the physical wire length; the thermal-aware floorplan
+  /// lengthens some links, which this model charges for (Section 3.3's
+  /// wiring-complexity cost).
+  LinkPowerModel(int flit_bits, double length_mm, TechNode tech,
+                 OperatingPoint op);
+
+  Joules traversal_energy() const { return e_traversal_; }
+  Watts leakage_power() const { return leakage_; }
+
+  /// Average power given flits/cycle crossing the link and whether the
+  /// link's drivers are power-gated.
+  Watts average_power(double flits_per_cycle, bool gated) const;
+
+  double length_mm() const { return length_mm_; }
+
+ private:
+  double length_mm_;
+  OperatingPoint op_;
+  Joules e_traversal_ = 0.0;
+  Watts leakage_ = 0.0;
+};
+
+}  // namespace nocs::power

@@ -1,0 +1,68 @@
+// Technology / voltage / frequency scaling shared by the power models.
+//
+// The paper evaluates at 45 nm with operating points (1.0 V, 2 GHz),
+// (0.9 V, 1.5 GHz) and (0.75 V, 1.0 GHz).  We model first-order scaling:
+// dynamic energy per event ~ C * V^2 with C shrinking linearly with feature
+// size, dynamic power additionally ~ f; leakage power ~ V with a leakage
+// coefficient that grows at smaller nodes (the utilization-wall mechanism
+// the introduction describes).
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace nocs::power {
+
+/// Supported process nodes.
+enum class TechNode { k45nm, k32nm, k22nm };
+
+/// An operating point: supply voltage and clock frequency.
+struct OperatingPoint {
+  double voltage = 1.0;       ///< volts
+  double frequency = 2.0e9;   ///< Hz
+
+  void validate() const {
+    NOCS_EXPECTS(voltage > 0.0 && voltage <= 1.5);
+    NOCS_EXPECTS(frequency > 0.0);
+  }
+};
+
+/// Reference point all per-event energies are specified at.
+inline constexpr OperatingPoint kReferencePoint{1.0, 2.0e9};
+
+/// Multiplier on dynamic energy per event relative to 45 nm at 1.0 V:
+/// capacitance scales ~ linearly with feature size, energy ~ C * V^2.
+constexpr double dynamic_energy_scale(TechNode node, double voltage) {
+  double cap = 1.0;
+  switch (node) {
+    case TechNode::k45nm: cap = 1.0; break;
+    case TechNode::k32nm: cap = 32.0 / 45.0; break;
+    case TechNode::k22nm: cap = 22.0 / 45.0; break;
+  }
+  return cap * voltage * voltage;
+}
+
+/// Multiplier on leakage power relative to 45 nm at 1.0 V.  Leakage scales
+/// ~ V (subthreshold current at constant V_th) and worsens with scaling
+/// because threshold voltage cannot be reduced (the dark-silicon driver).
+constexpr double leakage_scale(TechNode node, double voltage) {
+  double base = 1.0;
+  switch (node) {
+    case TechNode::k45nm: base = 1.0; break;
+    case TechNode::k32nm: base = 1.35; break;
+    case TechNode::k22nm: base = 1.80; break;
+  }
+  return base * voltage;
+}
+
+/// Name for tables.
+constexpr const char* to_string(TechNode node) {
+  switch (node) {
+    case TechNode::k45nm: return "45nm";
+    case TechNode::k32nm: return "32nm";
+    case TechNode::k22nm: return "22nm";
+  }
+  return "?";
+}
+
+}  // namespace nocs::power

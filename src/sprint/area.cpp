@@ -1,0 +1,44 @@
+#include "sprint/area.hpp"
+
+namespace nocs::sprint {
+
+namespace {
+// Gate-equivalent cost factors (typical standard-cell figures).
+constexpr double kGatesPerFlopBit = 8.0;    // storage flop + mux/control
+constexpr double kGatesPerXbarCross = 3.0;  // per bit per crosspoint
+constexpr double kGatesPerArbReq = 12.0;    // per request of an arbiter
+constexpr double kGatesPerComparatorBit = 5.0;
+}  // namespace
+
+AreaEstimate estimate_router_area(const RouterAreaParams& p) {
+  p.validate();
+  AreaEstimate a;
+
+  // Input buffers: ports x VCs x depth x width bits of storage.
+  a.buffers = kGatesPerFlopBit * p.num_ports * p.num_vcs * p.vc_depth *
+              p.flit_bits;
+
+  // Crossbar: ports x ports crosspoints, flit_bits wide.
+  a.crossbar = kGatesPerXbarCross * p.num_ports * p.num_ports * p.flit_bits;
+
+  // VC allocator (PV x PV requests) + switch allocator (two separable
+  // stages of P x V and P x P round-robin arbiters).
+  const double pv = static_cast<double>(p.num_ports) * p.num_vcs;
+  a.allocators = kGatesPerArbReq * (pv * p.num_vcs +            // VA
+                                    p.num_ports * p.num_vcs +   // SA stage 1
+                                    p.num_ports * p.num_ports); // SA stage 2
+
+  // DOR route compute: two coordinate comparators (X and Y) plus a small
+  // port decoder, replicated per input port.
+  a.routing_dor = p.num_ports * (2.0 * kGatesPerComparatorBit * p.coord_bits +
+                                 10.0);
+
+  // CDOR additions (Figure 6): two connectivity-bit registers per switch
+  // and ~8 extra gates of blocked-direction/turn selection per output
+  // port's routing circuit.
+  a.routing_cdor_extra = 2.0 * kGatesPerFlopBit + 8.0 * p.num_ports;
+
+  return a;
+}
+
+}  // namespace nocs::sprint

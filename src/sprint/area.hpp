@@ -1,0 +1,47 @@
+// Gate-count area model for the CDOR routing logic.
+//
+// Stands in for the paper's Synopsys Design Compiler synthesis (45 nm),
+// which found CDOR adds < 2 % area over a conventional DOR switch.  We
+// count gate equivalents: buffers dominate switch area; CDOR adds two
+// connectivity-bit registers plus a few gates of port-selection logic per
+// output port (Figure 6's two comparators already exist in DOR).
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace nocs::sprint {
+
+/// Structural inputs to the area estimate.
+struct RouterAreaParams {
+  int num_ports = 5;
+  int num_vcs = 4;
+  int vc_depth = 4;
+  int flit_bits = 128;
+  int coord_bits = 2;  ///< bits per mesh coordinate (2 for a 4x4 mesh)
+
+  void validate() const {
+    NOCS_EXPECTS(num_ports >= 2 && num_vcs >= 1 && vc_depth >= 1);
+    NOCS_EXPECTS(flit_bits >= 8 && coord_bits >= 1);
+  }
+};
+
+/// Gate-equivalent counts per switch component.
+struct AreaEstimate {
+  double buffers = 0.0;       ///< input VC buffers (flops + control)
+  double crossbar = 0.0;
+  double allocators = 0.0;
+  double routing_dor = 0.0;   ///< baseline DOR route-compute logic
+  double routing_cdor_extra = 0.0;  ///< CDOR additions over DOR
+
+  double dor_total() const {
+    return buffers + crossbar + allocators + routing_dor;
+  }
+  double cdor_total() const { return dor_total() + routing_cdor_extra; }
+  /// Fractional overhead of CDOR over the DOR switch (paper: < 0.02).
+  double overhead() const { return routing_cdor_extra / dor_total(); }
+};
+
+/// Computes the estimate for one switch.
+AreaEstimate estimate_router_area(const RouterAreaParams& params);
+
+}  // namespace nocs::sprint

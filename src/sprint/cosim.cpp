@@ -1,0 +1,59 @@
+#include "sprint/cosim.hpp"
+
+#include "sprint/network_builder.hpp"
+
+namespace nocs::sprint {
+
+CosimResult cosimulate(const noc::NetworkParams& params,
+                       const cmp::WorkloadParams& workload,
+                       const cmp::PerfModel& perf, const CosimConfig& cfg) {
+  CosimResult out;
+  out.level = perf.optimal_level(workload);
+  const int sim_level = out.level < 2 ? 2 : out.level;
+
+  noc::SimConfig sim;
+  sim.warmup = cfg.warmup;
+  sim.measure = cfg.measure;
+  sim.injection_rate = workload.injection_rate;
+
+  const power::RouterPowerParams rp =
+      power::RouterPowerParams::from_network(params);
+  const power::RouterPowerModel router_model(rp);
+  const power::LinkPowerModel link_model(params.flit_bytes * 8,
+                                         cfg.link_length_mm, rp.tech, rp.op);
+
+  {
+    NetworkBundle full = make_full_sprinting_network(
+        params, params.num_nodes(), "uniform", cfg.seed);
+    const noc::SimResults r = noc::run_simulation(*full.network, sim);
+    out.full_latency = r.avg_packet_latency;
+    out.full_saturated = r.saturated;
+    out.full_noc_power = power::estimate_noc_power(*full.network,
+                                                   router_model, link_model,
+                                                   r.cycles)
+                             .total();
+  }
+  {
+    NetworkBundle sprint_net =
+        make_noc_sprinting_network(params, sim_level, "uniform", cfg.seed);
+    const noc::SimResults r = noc::run_simulation(*sprint_net.network, sim);
+    out.noc_latency = r.avg_packet_latency;
+    out.noc_saturated = r.saturated;
+    out.noc_noc_power = power::estimate_noc_power(*sprint_net.network,
+                                                  router_model, link_model,
+                                                  r.cycles)
+                            .total();
+  }
+
+  // Feedback: full-sprinting's measured latency is the reference (the
+  // off-line profiling ran with the whole network powered), so its
+  // adjusted time equals the base model; the sprint region's shorter
+  // latency speeds the parallel portion up through comm_gamma.
+  out.exec_full = perf.exec_time(workload, params.num_nodes(),
+                                 out.full_latency, out.full_latency);
+  out.exec_noc = perf.exec_time(workload, out.level, out.noc_latency,
+                                out.full_latency);
+  return out;
+}
+
+}  // namespace nocs::sprint

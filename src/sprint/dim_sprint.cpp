@@ -1,0 +1,90 @@
+#include "sprint/dim_sprint.hpp"
+
+#include "common/assert.hpp"
+
+namespace nocs::sprint {
+
+DimSprintPlanner::DimSprintPlanner(const cmp::PerfModel& perf,
+                                   const power::ChipPowerModel& chip,
+                                   const thermal::PcmModel& pcm,
+                                   std::vector<power::OperatingPoint> ops,
+                                   double core_dynamic_fraction)
+    : perf_(perf),
+      chip_(chip),
+      pcm_(pcm),
+      ops_(std::move(ops)),
+      dyn_frac_(core_dynamic_fraction) {
+  NOCS_EXPECTS(!ops_.empty());
+  for (const auto& op : ops_) op.validate();
+  NOCS_EXPECTS(dyn_frac_ > 0.0 && dyn_frac_ <= 1.0);
+}
+
+Watts DimSprintPlanner::core_power_at(const power::OperatingPoint& op) const {
+  const power::OperatingPoint ref = power::kReferencePoint;
+  const double dyn_scale = (op.voltage * op.voltage * op.frequency) /
+                           (ref.voltage * ref.voltage * ref.frequency);
+  const double leak_scale = op.voltage / ref.voltage;
+  const Watts p_ref = chip_.params().core_active;
+  return p_ref * (dyn_frac_ * dyn_scale + (1.0 - dyn_frac_) * leak_scale);
+}
+
+Watts DimSprintPlanner::chip_power_at(int level,
+                                      const power::OperatingPoint& op) const {
+  const auto& p = chip_.params();
+  NOCS_EXPECTS(level >= 1 && level <= p.num_cores);
+  const Watts cores = core_power_at(op) * level +
+                      p.core_gated * (p.num_cores - level);
+  // The active sub-network runs at the cores' operating point; the dark
+  // sub-network is gated (NoC-sprinting's scheme).
+  const power::OperatingPoint ref = power::kReferencePoint;
+  const double noc_scale =
+      0.6 * (op.voltage * op.voltage * op.frequency) /
+          (ref.voltage * ref.voltage * ref.frequency) +
+      0.4 * op.voltage / ref.voltage;
+  const Watts noc = p.noc_per_node * noc_scale * level +
+                    p.noc_gated_node * (p.num_cores - level);
+  return cores + noc + p.l2_tile * p.num_cores + p.mc_each * p.num_mcs() +
+         p.others;
+}
+
+double DimSprintPlanner::exec_seconds(const cmp::WorkloadParams& w, int level,
+                                      const power::OperatingPoint& op) const {
+  // Compute-bound assumption: all work stretches by f_ref / f.
+  return perf_.exec_time(w, level) *
+         (power::kReferencePoint.frequency / op.frequency);
+}
+
+std::vector<DimOption> DimSprintPlanner::enumerate(
+    const cmp::WorkloadParams& w) const {
+  std::vector<DimOption> options;
+  for (const auto& op : ops_) {
+    for (int level = 1; level <= perf_.n_max(); ++level) {
+      DimOption o;
+      o.level = level;
+      o.op = op;
+      o.exec_seconds = exec_seconds(w, level, op);
+      o.chip_power = chip_power_at(level, op);
+      o.sprint_duration = pcm_.sprint_duration(o.chip_power, 1e6);
+      options.push_back(o);
+    }
+  }
+  return options;
+}
+
+DimOption DimSprintPlanner::best_under_budget(const cmp::WorkloadParams& w,
+                                              Watts budget) const {
+  const std::vector<DimOption> options = enumerate(w);
+  const DimOption* best = nullptr;
+  for (const DimOption& o : options) {
+    if (o.chip_power > budget) continue;
+    if (best == nullptr || o.exec_seconds < best->exec_seconds - 1e-12 ||
+        (o.exec_seconds < best->exec_seconds + 1e-12 &&
+         o.level < best->level)) {
+      best = &o;
+    }
+  }
+  NOCS_EXPECTS(best != nullptr);
+  return *best;
+}
+
+}  // namespace nocs::sprint

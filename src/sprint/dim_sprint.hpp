@@ -1,0 +1,70 @@
+// Dim-silicon sprinting: trade sprint *width* against sprint *intensity*.
+//
+// The paper's introduction frames dark silicon as "either idle or
+// significantly under-clocked (dim)".  NoC-sprinting as published always
+// sprints at maximum V/f; this extension (in the spirit of the
+// computational-sprinting literature's intensity knob) also considers
+// waking MORE cores at a REDUCED operating point under the same power
+// budget — profitable exactly for the scalable workloads, while
+// badly-scaling workloads still prefer few fast cores.
+#pragma once
+
+#include <vector>
+
+#include "cmp/perf_model.hpp"
+#include "common/types.hpp"
+#include "power/chip_power.hpp"
+#include "power/tech.hpp"
+#include "thermal/pcm.hpp"
+
+namespace nocs::sprint {
+
+/// One candidate (core count, operating point) sprint configuration.
+struct DimOption {
+  int level = 1;
+  power::OperatingPoint op = power::kReferencePoint;
+  double exec_seconds = 0.0;   ///< wall-clock per unit of nominal work
+  Watts chip_power = 0.0;
+  Seconds sprint_duration = 0.0;
+};
+
+class DimSprintPlanner {
+ public:
+  /// `ops` are the selectable operating points (highest first is
+  /// conventional); core dynamic/leakage split defaults to 70/30.
+  DimSprintPlanner(const cmp::PerfModel& perf,
+                   const power::ChipPowerModel& chip,
+                   const thermal::PcmModel& pcm,
+                   std::vector<power::OperatingPoint> ops,
+                   double core_dynamic_fraction = 0.7);
+
+  /// Active-core power at an operating point (V^2 f dynamic + V leakage
+  /// scaling of the reference core power).
+  Watts core_power_at(const power::OperatingPoint& op) const;
+
+  /// Chip power with `level` cores active at `op`, the rest gated, and
+  /// the NoC-sprinting network (active sub-network at `op`).
+  Watts chip_power_at(int level, const power::OperatingPoint& op) const;
+
+  /// Wall-clock execution time (relative seconds) of one unit of nominal
+  /// work on `level` cores at `op`: the T(n) model stretched by f_ref/f.
+  double exec_seconds(const cmp::WorkloadParams& w, int level,
+                      const power::OperatingPoint& op) const;
+
+  /// Every (level, op) combination, with power and PCM duration filled in.
+  std::vector<DimOption> enumerate(const cmp::WorkloadParams& w) const;
+
+  /// The fastest option whose chip power fits `budget` (ties to fewer
+  /// cores).  Dies if nothing fits (budget below single-core nominal).
+  DimOption best_under_budget(const cmp::WorkloadParams& w,
+                              Watts budget) const;
+
+ private:
+  const cmp::PerfModel& perf_;
+  const power::ChipPowerModel& chip_;
+  const thermal::PcmModel& pcm_;
+  std::vector<power::OperatingPoint> ops_;
+  double dyn_frac_;
+};
+
+}  // namespace nocs::sprint

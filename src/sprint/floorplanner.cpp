@@ -1,0 +1,163 @@
+#include "sprint/floorplanner.hpp"
+
+#include <algorithm>
+#include <deque>
+
+#include "common/assert.hpp"
+#include "sprint/topology.hpp"
+
+namespace nocs::sprint {
+
+namespace {
+
+/// Algorithm 4 — MaxWeightedDistance: picks the free physical slot for
+/// logical node k maximizing sum over placed nodes j of
+///   w_kj * d(slot, Pos(j)),  w_kj = 1 / logical_hamming(k, j).
+int max_weighted_distance(const MeshShape& mesh,
+                          const std::vector<NodeId>& placed,
+                          const std::vector<int>& positions,
+                          const std::vector<bool>& slot_taken, NodeId k) {
+  const Coord ck = mesh.coord_of(k);
+  double best = -1.0;
+  int best_slot = -1;
+  for (int slot = 0; slot < mesh.size(); ++slot) {
+    if (slot_taken[static_cast<std::size_t>(slot)]) continue;
+    const Coord cs = mesh.coord_of(slot);
+    double sum = 0.0;
+    for (NodeId j : placed) {
+      const int h = hamming(ck, mesh.coord_of(j));
+      NOCS_ENSURES(h > 0);  // k is unplaced, so it differs from every j
+      const double w = 1.0 / static_cast<double>(h);
+      const Coord cj =
+          mesh.coord_of(positions[static_cast<std::size_t>(j)]);
+      sum += w * euclidean(cs, cj);
+    }
+    // Deterministic tie-break on slot index keeps results reproducible.
+    if (sum > best + 1e-12) {
+      best = sum;
+      best_slot = slot;
+    }
+  }
+  NOCS_ENSURES(best_slot >= 0);
+  return best_slot;
+}
+
+}  // namespace
+
+FloorplanResult thermal_aware_floorplan(const MeshShape& mesh,
+                                        NodeId master) {
+  NOCS_EXPECTS(mesh.valid(master));
+  const int n = mesh.size();
+  const std::vector<NodeId> order = sprint_order(mesh, master);
+  // rank[id] = position in Algorithm 1's activation list, used to order
+  // the BFS queue "based on List L".
+  std::vector<int> rank(static_cast<std::size_t>(n), 0);
+  for (int i = 0; i < n; ++i)
+    rank[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])] = i;
+
+  std::vector<int> positions(static_cast<std::size_t>(n), -1);
+  std::vector<bool> slot_taken(static_cast<std::size_t>(n), false);
+  std::vector<bool> explored(static_cast<std::size_t>(n), false);
+  std::vector<bool> queued(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> placed;
+  std::deque<NodeId> queue;
+
+  auto enqueue_neighbors = [&](NodeId id) {
+    // Collect unexplored logical-mesh neighbors, sorted by activation rank.
+    std::vector<NodeId> nbrs;
+    const Coord c = mesh.coord_of(id);
+    for (Port p : {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest}) {
+      const Coord nc = step(c, p);
+      if (!mesh.contains(nc)) continue;
+      const NodeId nid = mesh.id_of(nc);
+      if (explored[static_cast<std::size_t>(nid)] ||
+          queued[static_cast<std::size_t>(nid)])
+        continue;
+      nbrs.push_back(nid);
+    }
+    std::sort(nbrs.begin(), nbrs.end(), [&](NodeId a, NodeId b) {
+      return rank[static_cast<std::size_t>(a)] <
+             rank[static_cast<std::size_t>(b)];
+    });
+    for (NodeId nid : nbrs) {
+      queue.push_back(nid);
+      queued[static_cast<std::size_t>(nid)] = true;
+    }
+  };
+
+  // Pos(R_0) = master's own slot: the master stays put (the paper keeps it
+  // at the corner next to the memory controller).
+  positions[static_cast<std::size_t>(master)] = master;
+  slot_taken[static_cast<std::size_t>(master)] = true;
+  explored[static_cast<std::size_t>(master)] = true;
+  placed.push_back(master);
+  enqueue_neighbors(master);
+
+  while (!queue.empty()) {
+    const NodeId k = queue.front();
+    queue.pop_front();
+    queued[static_cast<std::size_t>(k)] = false;
+    const int slot =
+        max_weighted_distance(mesh, placed, positions, slot_taken, k);
+    positions[static_cast<std::size_t>(k)] = slot;
+    slot_taken[static_cast<std::size_t>(slot)] = true;
+    explored[static_cast<std::size_t>(k)] = true;
+    placed.push_back(k);
+    enqueue_neighbors(k);
+  }
+  NOCS_ENSURES(static_cast<int>(placed.size()) == n);
+
+  FloorplanResult result;
+  result.positions = std::move(positions);
+  // Wire length: every logical mesh link now spans the Euclidean distance
+  // between the two physical slots.
+  double wire = 0.0;
+  for (NodeId id = 0; id < n; ++id) {
+    const Coord c = mesh.coord_of(id);
+    for (Port p : {Port::kEast, Port::kSouth}) {
+      const Coord nc = step(c, p);
+      if (!mesh.contains(nc)) continue;
+      const NodeId nid = mesh.id_of(nc);
+      wire += euclidean(
+          mesh.coord_of(result.positions[static_cast<std::size_t>(id)]),
+          mesh.coord_of(result.positions[static_cast<std::size_t>(nid)]));
+    }
+  }
+  result.total_wire_length = wire;
+  return result;
+}
+
+FloorplanResult identity_floorplan(const MeshShape& mesh) {
+  FloorplanResult r;
+  r.positions.resize(static_cast<std::size_t>(mesh.size()));
+  for (int i = 0; i < mesh.size(); ++i)
+    r.positions[static_cast<std::size_t>(i)] = i;
+  double wire = 0.0;
+  for (NodeId id = 0; id < mesh.size(); ++id) {
+    const Coord c = mesh.coord_of(id);
+    for (Port p : {Port::kEast, Port::kSouth})
+      if (mesh.contains(step(c, p))) wire += 1.0;
+  }
+  r.total_wire_length = wire;
+  return r;
+}
+
+double thermal_proximity(const MeshShape& mesh,
+                         const std::vector<NodeId>& active_logical,
+                         const std::vector<int>& positions) {
+  NOCS_EXPECTS(active_logical.size() >= 2);
+  NOCS_EXPECTS(static_cast<int>(positions.size()) == mesh.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < active_logical.size(); ++i) {
+    for (std::size_t j = i + 1; j < active_logical.size(); ++j) {
+      const Coord a = mesh.coord_of(
+          positions[static_cast<std::size_t>(active_logical[i])]);
+      const Coord b = mesh.coord_of(
+          positions[static_cast<std::size_t>(active_logical[j])]);
+      sum += 1.0 / euclidean(a, b);
+    }
+  }
+  return sum;
+}
+
+}  // namespace nocs::sprint

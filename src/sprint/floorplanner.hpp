@@ -1,0 +1,47 @@
+// Algorithms 3 & 4 — thermal-aware heuristic floorplanning.
+//
+// The logical mesh connectivity (what Algorithm 1 and CDOR operate on) is
+// kept intact, but each logical node is reallocated to a physical slot so
+// nodes likely to sprint together are spread apart.  Algorithm 3 walks the
+// logical mesh breadth-first from the master in Algorithm 1's activation
+// order; Algorithm 4 places each node on the free physical slot maximizing
+// the weighted sum of Euclidean distances to already-placed nodes, with
+// weights inversely proportional to the *logical* Hamming distance (nodes
+// that are logically far apart rarely co-sprint, so they may sit close
+// physically).
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace nocs::sprint {
+
+/// Result of the floorplanning pass.
+struct FloorplanResult {
+  /// positions[logical] = physical slot (a permutation of 0..N-1).
+  std::vector<int> positions;
+
+  /// Total physical wire length (in node pitches, Euclidean) summed over
+  /// all logical mesh links — the wiring-complexity cost the paper accepts
+  /// and mitigates with clockless repeated wires.
+  double total_wire_length = 0.0;
+};
+
+/// Runs Algorithms 3 + 4 on `mesh` with the given master node.
+FloorplanResult thermal_aware_floorplan(const MeshShape& mesh,
+                                        NodeId master = 0);
+
+/// The identity floorplan (logical node i at physical slot i), the
+/// baseline the Figure 12 heat maps compare against.
+FloorplanResult identity_floorplan(const MeshShape& mesh);
+
+/// Sum over active pairs of 1/d_phys (a heat-concentration proxy: higher
+/// means active nodes cluster physically).  Used to verify the floorplan
+/// spreads low sprint levels apart.
+double thermal_proximity(const MeshShape& mesh,
+                         const std::vector<NodeId>& active_logical,
+                         const std::vector<int>& positions);
+
+}  // namespace nocs::sprint

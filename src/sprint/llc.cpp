@@ -1,0 +1,79 @@
+#include "sprint/llc.hpp"
+
+#include "sprint/topology.hpp"
+
+namespace nocs::sprint {
+
+const char* to_string(LlcArchitecture arch) {
+  switch (arch) {
+    case LlcArchitecture::kPrivate: return "private";
+    case LlcArchitecture::kCentralized: return "centralized";
+    case LlcArchitecture::kNucaSeparate: return "nuca-separate";
+    case LlcArchitecture::kTiledShared: return "tiled-shared";
+  }
+  return "?";
+}
+
+LlcModel::LlcModel(const MeshShape& mesh, const LlcParams& params)
+    : mesh_(mesh), params_(params) {
+  params_.validate();
+  // Boustrophedon ring: row 0 left->right, row 1 right->left, ...
+  ring_.reserve(static_cast<std::size_t>(mesh_.size()));
+  for (int y = 0; y < mesh_.height(); ++y) {
+    if (y % 2 == 0) {
+      for (int x = 0; x < mesh_.width(); ++x)
+        ring_.push_back(mesh_.id_of({x, y}));
+    } else {
+      for (int x = mesh_.width() - 1; x >= 0; --x)
+        ring_.push_back(mesh_.id_of({x, y}));
+    }
+  }
+  ring_position_.resize(static_cast<std::size_t>(mesh_.size()));
+  for (int i = 0; i < mesh_.size(); ++i)
+    ring_position_[static_cast<std::size_t>(
+        ring_[static_cast<std::size_t>(i)])] = i;
+}
+
+LlcAnalysis LlcModel::analyze(int level) const {
+  NOCS_EXPECTS(level >= 1 && level <= mesh_.size());
+  LlcAnalysis a;
+
+  if (params_.arch != LlcArchitecture::kTiledShared) {
+    // Private slices gate with their cores; a centralized LLC or a
+    // separate NUCA network never routes LLC traffic through gated sprint
+    // routers.  "Our power gating mechanism works perfectly without the
+    // need for any further hardware support."
+    a.gating_safe_without_support = true;
+    return a;
+  }
+
+  const int n = mesh_.size();
+  const std::vector<NodeId> active = active_set(mesh_, level, 0);
+
+  // Address-interleaved banks: accesses spread uniformly over all n banks,
+  // so (n - level)/n of them target dark tiles.
+  a.dark_access_fraction = static_cast<double>(n - level) / n;
+  if (level == n) {
+    a.gating_safe_without_support = true;  // nothing is dark
+    return a;
+  }
+
+  // A dark-bank access enters the unidirectional ring at the requester,
+  // rides to the bank, and the response continues around back to the
+  // requester: exactly one full loop of n segments regardless of the
+  // pair, each segment costing ring_hop_cycles.
+  a.avg_bypass_round_trip =
+      static_cast<double>(n) * params_.ring_hop_cycles;
+
+  // The ring is powered end to end while any dark bank is reachable.
+  a.bypass_power = static_cast<double>(n) * params_.ring_segment_power;
+
+  // Average added latency per network packet: the fraction of traffic that
+  // is an LLC request to a dark bank pays the bypass round trip instead of
+  // the (much faster) sprint-region traversal; amortized over all packets.
+  a.added_avg_latency = params_.llc_traffic_fraction *
+                        a.dark_access_fraction * a.avg_bypass_round_trip;
+  return a;
+}
+
+}  // namespace nocs::sprint

@@ -1,0 +1,86 @@
+// Last-level-cache architecture analysis for network power gating
+// (Section 3.4).
+//
+// Gating a node's router isolates everything behind it.  Whether that is
+// safe depends on the LLC organization:
+//
+//  * private per-core LLC           — dark tiles hold no shared state: safe;
+//  * centralized shared LLC         — the LLC sits at its own (active) node: safe;
+//  * NUCA with a separate LLC network — the sprint network carries no LLC
+//                                     traffic: safe;
+//  * tiled shared LLC (address-interleaved banks) — a fraction
+//    (N-k)/N of LLC accesses target banks on *dark* tiles; those banks
+//    must stay reachable.  Following NoRD (Chen & Pinkston, MICRO'12) we
+//    model a low-power unidirectional bypass ring that threads every
+//    tile's NI and carries dark-bank traffic while the routers sleep.
+//
+// The model quantifies the bypass's latency and power cost per sprint
+// level so the gating decision accounts for it.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace nocs::sprint {
+
+/// LLC organizations discussed in the paper.
+enum class LlcArchitecture {
+  kPrivate,       ///< private per-core LLC slices
+  kCentralized,   ///< one shared LLC at a dedicated (always-on) node
+  kNucaSeparate,  ///< shared NUCA banks on a separate dedicated network
+  kTiledShared,   ///< one shared bank per tile, address-interleaved
+};
+
+const char* to_string(LlcArchitecture arch);
+
+/// Parameters of the LLC traffic and the NoRD-style bypass ring.
+struct LlcParams {
+  LlcArchitecture arch = LlcArchitecture::kTiledShared;
+  /// Fraction of a core's network traffic that is LLC requests.
+  double llc_traffic_fraction = 0.4;
+  /// Cycles per bypass-ring hop (narrow, clocked slowly).
+  int ring_hop_cycles = 2;
+  /// Power of one powered bypass-ring segment, watts.
+  Watts ring_segment_power = 2.0e-3;
+
+  void validate() const {
+    NOCS_EXPECTS(llc_traffic_fraction >= 0.0 && llc_traffic_fraction <= 1.0);
+    NOCS_EXPECTS(ring_hop_cycles >= 1);
+    NOCS_EXPECTS(ring_segment_power >= 0.0);
+  }
+};
+
+/// What gating at a sprint level costs for a given LLC organization.
+struct LlcAnalysis {
+  bool gating_safe_without_support = false;  ///< no bypass hardware needed
+  double dark_access_fraction = 0.0;  ///< LLC accesses hitting dark banks
+  double avg_bypass_round_trip = 0.0; ///< cycles for one dark-bank access
+  Watts bypass_power = 0.0;           ///< ring power while sprinting
+  /// Extra average cycles added to the network's packet latency once
+  /// dark-bank accesses are folded in (0 when no bypass is needed).
+  double added_avg_latency = 0.0;
+};
+
+class LlcModel {
+ public:
+  LlcModel(const MeshShape& mesh, const LlcParams& params);
+
+  /// Analyzes gating support at `level` active cores (Algorithm 1 prefix).
+  LlcAnalysis analyze(int level) const;
+
+  /// The bypass ring's visiting order: a boustrophedon (snake) walk over
+  /// the mesh, which keeps physical segments one pitch long.
+  const std::vector<NodeId>& ring_order() const { return ring_; }
+
+  const LlcParams& params() const { return params_; }
+
+ private:
+  MeshShape mesh_;
+  LlcParams params_;
+  std::vector<NodeId> ring_;       ///< snake order
+  std::vector<int> ring_position_; ///< node id -> index in ring_
+};
+
+}  // namespace nocs::sprint

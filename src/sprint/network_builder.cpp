@@ -1,0 +1,79 @@
+#include "sprint/network_builder.hpp"
+
+#include <algorithm>
+
+#include "sprint/topology.hpp"
+
+namespace nocs::sprint {
+
+NetworkBundle make_noc_sprinting_network(const noc::NetworkParams& params,
+                                         int level,
+                                         const std::string& traffic,
+                                         std::uint64_t seed, NodeId master) {
+  NOCS_EXPECTS(level >= 2 && level <= params.num_nodes());
+  NetworkBundle b;
+  b.endpoints = active_set(params.shape(), level, master);
+  auto cdor =
+      std::make_unique<CdorRouting>(params.shape(), b.endpoints, master);
+  b.network = std::make_unique<noc::Network>(params, cdor.get());
+  b.routing = std::move(cdor);
+  b.network->set_endpoints(b.endpoints,
+                           noc::make_traffic(traffic, level));
+  b.network->gate_dark_region(b.endpoints);
+  b.network->set_seed(seed);
+  return b;
+}
+
+NetworkBundle make_floorplanned_network(const noc::NetworkParams& params,
+                                        int level, const std::string& traffic,
+                                        std::uint64_t seed,
+                                        const std::vector<int>& positions,
+                                        const WireParams& wires,
+                                        NodeId master) {
+  NOCS_EXPECTS(level >= 2 && level <= params.num_nodes());
+  const PhysicalWires phys(params.shape(), positions, wires);
+  NetworkBundle b;
+  b.endpoints = active_set(params.shape(), level, master);
+  auto cdor =
+      std::make_unique<CdorRouting>(params.shape(), b.endpoints, master);
+  b.network =
+      std::make_unique<noc::Network>(params, cdor.get(), phys.latency_fn());
+  b.routing = std::move(cdor);
+  b.network->set_endpoints(b.endpoints, noc::make_traffic(traffic, level));
+  b.network->gate_dark_region(b.endpoints);
+  b.network->set_seed(seed);
+  return b;
+}
+
+NetworkBundle make_full_sprinting_network(const noc::NetworkParams& params,
+                                          int level,
+                                          const std::string& traffic,
+                                          std::uint64_t seed, NodeId master) {
+  NOCS_EXPECTS(level >= 2 && level <= params.num_nodes());
+  NOCS_EXPECTS(params.shape().valid(master));
+  NetworkBundle b;
+
+  // Random endpoint mapping over the full mesh, master always included.
+  Rng rng(seed ^ 0xf00dfeedbeefULL);
+  std::vector<NodeId> pool;
+  for (NodeId id = 0; id < params.num_nodes(); ++id)
+    if (id != master) pool.push_back(id);
+  // Fisher-Yates partial shuffle for the first level-1 picks.
+  for (std::size_t i = 0; i < static_cast<std::size_t>(level - 1); ++i) {
+    const std::size_t j =
+        i + static_cast<std::size_t>(rng.uniform_int(pool.size() - i));
+    std::swap(pool[i], pool[j]);
+  }
+  b.endpoints.push_back(master);
+  b.endpoints.insert(b.endpoints.end(), pool.begin(),
+                     pool.begin() + (level - 1));
+
+  b.routing = std::make_unique<noc::XyRouting>();
+  b.network = std::make_unique<noc::Network>(params, b.routing.get());
+  b.network->set_endpoints(b.endpoints,
+                           noc::make_traffic(traffic, level));
+  b.network->set_seed(seed);
+  return b;
+}
+
+}  // namespace nocs::sprint

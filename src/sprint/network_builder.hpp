@@ -1,0 +1,60 @@
+// Convenience builders wiring a noc::Network for the sprinting schemes the
+// paper compares:
+//
+//  * NoC-sprinting: active set = Algorithm 1 prefix, CDOR routing, dark
+//    region statically gated.
+//  * Full-sprinting: every router powered, XY-DOR routing; the k traffic
+//    endpoints are mapped randomly over the whole mesh (the paper averages
+//    ten such samples in Figure 11).
+//
+// The routing function's lifetime is bound to the returned bundle.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "noc/network.hpp"
+#include "noc/params.hpp"
+#include "sprint/cdor.hpp"
+#include "sprint/physical_wires.hpp"
+
+namespace nocs::sprint {
+
+/// A network plus the routing function it borrows.
+struct NetworkBundle {
+  std::unique_ptr<noc::RoutingFunction> routing;
+  std::unique_ptr<noc::Network> network;
+  std::vector<NodeId> endpoints;
+};
+
+/// NoC-sprinting network at `level` active cores: CDOR over the Algorithm 1
+/// prefix, dark region gated, endpoints = the active nodes.
+NetworkBundle make_noc_sprinting_network(const noc::NetworkParams& params,
+                                         int level,
+                                         const std::string& traffic,
+                                         std::uint64_t seed,
+                                         NodeId master = 0);
+
+/// Full-sprinting network: all routers on, XY-DOR; `level` endpoints
+/// placed uniformly at random (always including the master so comparisons
+/// share the memory-controller node).
+NetworkBundle make_full_sprinting_network(const noc::NetworkParams& params,
+                                          int level,
+                                          const std::string& traffic,
+                                          std::uint64_t seed,
+                                          NodeId master = 0);
+
+/// NoC-sprinting network laid out on a physical floorplan: same as
+/// make_noc_sprinting_network, but each logical link carries the latency
+/// the floorplan's wire model assigns it (Section 3.3's wiring cost, and
+/// the SMART wires that absorb it).
+NetworkBundle make_floorplanned_network(const noc::NetworkParams& params,
+                                        int level, const std::string& traffic,
+                                        std::uint64_t seed,
+                                        const std::vector<int>& positions,
+                                        const WireParams& wires,
+                                        NodeId master = 0);
+
+}  // namespace nocs::sprint

@@ -1,0 +1,85 @@
+#include "sprint/online_adapt.hpp"
+
+namespace nocs::sprint {
+
+OnlineLevelController::OnlineLevelController(int n_max, int start_level,
+                                             int step, int reprobe_period)
+    : n_max_(n_max),
+      step_(step),
+      reprobe_period_(reprobe_period),
+      current_(start_level),
+      base_level_(start_level) {
+  NOCS_EXPECTS(n_max >= 1);
+  NOCS_EXPECTS(start_level >= 1 && start_level <= n_max);
+  NOCS_EXPECTS(step >= 1);
+  NOCS_EXPECTS(reprobe_period >= 0);
+  current_ = clamp(start_level);
+  base_level_ = current_;
+}
+
+void OnlineLevelController::observe(double exec_time) {
+  NOCS_EXPECTS(exec_time > 0.0);
+  switch (phase_) {
+    case Phase::kMeasureBase:
+      base_time_ = exec_time;
+      base_level_ = current_;
+      if (base_level_ < n_max_) {
+        current_ = clamp(base_level_ + step_);
+        phase_ = Phase::kProbeUp;
+      } else {
+        current_ = clamp(base_level_ - step_);
+        phase_ = Phase::kProbeDown;
+      }
+      break;
+
+    case Phase::kProbeUp:
+      if (exec_time < base_time_) {
+        // Climbing helps: adopt and keep climbing.
+        base_time_ = exec_time;
+        base_level_ = current_;
+        if (base_level_ == n_max_) {
+          phase_ = Phase::kLocked;
+          locked_bursts_ = 0;
+        } else {
+          current_ = clamp(base_level_ + step_);
+        }
+      } else if (base_level_ > 1) {
+        // Up was worse: try down before locking.
+        current_ = clamp(base_level_ - step_);
+        phase_ = Phase::kProbeDown;
+      } else {
+        current_ = base_level_;
+        phase_ = Phase::kLocked;
+        locked_bursts_ = 0;
+      }
+      break;
+
+    case Phase::kProbeDown:
+      if (exec_time < base_time_) {
+        base_time_ = exec_time;
+        base_level_ = current_;
+        if (base_level_ == 1) {
+          phase_ = Phase::kLocked;
+          locked_bursts_ = 0;
+        } else {
+          current_ = clamp(base_level_ - step_);
+        }
+      } else {
+        current_ = base_level_;
+        phase_ = Phase::kLocked;
+        locked_bursts_ = 0;
+      }
+      break;
+
+    case Phase::kLocked:
+      current_ = base_level_;
+      if (reprobe_period_ > 0 && ++locked_bursts_ >= reprobe_period_) {
+        // Re-measure the base so workload phase changes are tracked.
+        phase_ = Phase::kMeasureBase;
+        locked_bursts_ = 0;
+      }
+      break;
+  }
+}
+
+}  // namespace nocs::sprint

@@ -1,0 +1,59 @@
+// Online sprint-level adaptation.
+//
+// The paper assumes application parallelism "can be learnt in advance or
+// monitored during run-time execution" (citing the helper-thread and
+// dynamic-adaptation literature) and profiles PARSEC off-line.  This
+// module implements the run-time half: a hill-climbing controller that
+// adjusts the sprint level between bursts using only *observed* speedups,
+// converging to the off-line optimum without a priori knowledge.
+//
+// Protocol: before each burst call `next_level()`, run the burst, then
+// report the observed execution time with `observe()`.  The controller
+// probes neighboring levels and keeps whatever measures faster; once both
+// neighbors measure slower it locks in (still re-probing occasionally so
+// phase changes are tracked).
+#pragma once
+
+#include "common/assert.hpp"
+
+namespace nocs::sprint {
+
+class OnlineLevelController {
+ public:
+  /// `n_max` is the machine's core count; `start_level` the initial guess.
+  /// `step` is the probe distance; `reprobe_period` forces an exploration
+  /// every so many locked-in bursts (0 disables).
+  explicit OnlineLevelController(int n_max, int start_level = 1,
+                                 int step = 2, int reprobe_period = 16);
+
+  /// The sprint level to use for the next burst.
+  int next_level() const { return current_; }
+
+  /// Reports the normalized execution time observed for the burst that
+  /// just ran at next_level().
+  void observe(double exec_time);
+
+  /// True once the controller has settled on a level (both neighbors
+  /// probed slower).
+  bool converged() const { return phase_ == Phase::kLocked; }
+
+  int n_max() const { return n_max_; }
+
+ private:
+  enum class Phase { kMeasureBase, kProbeUp, kProbeDown, kLocked };
+
+  int clamp(int level) const {
+    return level < 1 ? 1 : (level > n_max_ ? n_max_ : level);
+  }
+
+  int n_max_;
+  int step_;
+  int reprobe_period_;
+  int current_;
+  int base_level_;
+  double base_time_ = 0.0;
+  Phase phase_ = Phase::kMeasureBase;
+  int locked_bursts_ = 0;
+};
+
+}  // namespace nocs::sprint

@@ -1,0 +1,79 @@
+#include "sprint/physical_wires.hpp"
+
+#include <cmath>
+
+namespace nocs::sprint {
+
+PhysicalWires::PhysicalWires(const MeshShape& mesh, std::vector<int> positions,
+                             const WireParams& wires)
+    : mesh_(mesh), positions_(std::move(positions)), wires_(wires) {
+  wires_.validate();
+  NOCS_EXPECTS(static_cast<int>(positions_.size()) == mesh_.size());
+  std::vector<bool> seen(static_cast<std::size_t>(mesh_.size()), false);
+  for (int slot : positions_) {
+    NOCS_EXPECTS(mesh_.valid(slot));
+    NOCS_EXPECTS(!seen[static_cast<std::size_t>(slot)]);
+    seen[static_cast<std::size_t>(slot)] = true;
+  }
+}
+
+double PhysicalWires::pitches(NodeId from, NodeId to) const {
+  NOCS_EXPECTS(mesh_.valid(from) && mesh_.valid(to));
+  NOCS_EXPECTS(manhattan(mesh_.coord_of(from), mesh_.coord_of(to)) == 1);
+  const Coord a =
+      mesh_.coord_of(positions_[static_cast<std::size_t>(from)]);
+  const Coord b = mesh_.coord_of(positions_[static_cast<std::size_t>(to)]);
+  return euclidean(a, b);
+}
+
+double PhysicalWires::link_length_mm(NodeId from, NodeId to) const {
+  return pitches(from, to) * wires_.node_pitch_mm;
+}
+
+int PhysicalWires::link_latency(NodeId from, NodeId to) const {
+  const double p = pitches(from, to);
+  if (wires_.smart_max_pitches > 0) {
+    // SMART: up to smart_max_pitches pitches per cycle, asynchronously
+    // repeated — one cycle for any link within reach.
+    return std::max(
+        1, static_cast<int>(std::ceil(p / wires_.smart_max_pitches)));
+  }
+  const double length = p * wires_.node_pitch_mm;
+  return std::max(1, static_cast<int>(std::ceil(length / wires_.mm_per_cycle)));
+}
+
+noc::LinkLatencyFn PhysicalWires::latency_fn() const {
+  // Capture by value: the Network outlives this helper in typical use.
+  const PhysicalWires copy = *this;
+  return [copy](NodeId from, NodeId to) { return copy.link_latency(from, to); };
+}
+
+double PhysicalWires::average_link_length_mm() const {
+  double total = 0.0;
+  int links = 0;
+  for (NodeId id = 0; id < mesh_.size(); ++id) {
+    const Coord c = mesh_.coord_of(id);
+    for (Port p : {Port::kEast, Port::kSouth}) {
+      const Coord nc = step(c, p);
+      if (!mesh_.contains(nc)) continue;
+      total += link_length_mm(id, mesh_.id_of(nc));
+      ++links;
+    }
+  }
+  return total / links;
+}
+
+double PhysicalWires::max_link_length_mm() const {
+  double longest = 0.0;
+  for (NodeId id = 0; id < mesh_.size(); ++id) {
+    const Coord c = mesh_.coord_of(id);
+    for (Port p : {Port::kEast, Port::kSouth}) {
+      const Coord nc = step(c, p);
+      if (!mesh_.contains(nc)) continue;
+      longest = std::max(longest, link_length_mm(id, mesh_.id_of(nc)));
+    }
+  }
+  return longest;
+}
+
+}  // namespace nocs::sprint

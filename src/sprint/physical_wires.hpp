@@ -1,0 +1,67 @@
+// Physical wire model for floorplanned networks (Section 3.3).
+//
+// The thermal-aware floorplan keeps the mesh's *logical* connectivity but
+// moves nodes physically, stretching some links across the die.  This
+// module turns a position mapping into per-link physical lengths and
+// latencies under two wire technologies:
+//
+//  * conventional repeated wires: latency = ceil(length / reach-per-cycle);
+//  * SMART-style clockless repeated wires (Krishna et al.), which let a
+//    flit traverse up to `smart_max_pitches` node pitches in one cycle —
+//    the mechanism the paper cites to absorb the floorplan's wiring cost.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "noc/network.hpp"
+
+namespace nocs::sprint {
+
+/// Wire technology parameters.
+struct WireParams {
+  double node_pitch_mm = 3.0;  ///< physical distance between adjacent slots
+  double mm_per_cycle = 3.5;   ///< conventional repeated-wire reach per cycle
+  /// Pitches traversable in a single cycle on a SMART path; 0 selects
+  /// conventional wires.
+  int smart_max_pitches = 0;
+
+  void validate() const {
+    NOCS_EXPECTS(node_pitch_mm > 0 && mm_per_cycle > 0);
+    NOCS_EXPECTS(smart_max_pitches >= 0);
+  }
+};
+
+/// Per-link lengths/latencies induced by a floorplan position mapping.
+class PhysicalWires {
+ public:
+  /// `positions[logical] = physical slot` (Algorithm 3's Pos() or the
+  /// identity).
+  PhysicalWires(const MeshShape& mesh, std::vector<int> positions,
+                const WireParams& wires);
+
+  /// Physical length (mm) of the logical link between adjacent nodes.
+  double link_length_mm(NodeId from, NodeId to) const;
+
+  /// Cycle latency of that link under the configured wire technology.
+  int link_latency(NodeId from, NodeId to) const;
+
+  /// Adapter for the Network constructor.
+  noc::LinkLatencyFn latency_fn() const;
+
+  /// Mean physical length over all logical mesh links (mm).
+  double average_link_length_mm() const;
+  /// Longest single link (mm).
+  double max_link_length_mm() const;
+
+  const WireParams& params() const { return wires_; }
+
+ private:
+  double pitches(NodeId from, NodeId to) const;
+
+  MeshShape mesh_;
+  std::vector<int> positions_;
+  WireParams wires_;
+};
+
+}  // namespace nocs::sprint

@@ -1,0 +1,38 @@
+#include "sprint/power_gating.hpp"
+
+namespace nocs::sprint {
+
+GatingAnalysis::GatingAnalysis(const power::RouterPowerModel& router_model,
+                               const GatingParams& gating)
+    : leak_(router_model.leakage_power()),
+      cycle_time_(1.0 / router_model.params().op.frequency),
+      gating_(gating) {
+  gating_.validate();
+  NOCS_EXPECTS(leak_ > gating_.sleep_power);
+}
+
+double GatingAnalysis::break_even_cycles() const {
+  const Watts saved_per_s = leak_ - gating_.sleep_power;
+  return gating_.wake_energy / (saved_per_s * cycle_time_);
+}
+
+Joules GatingAnalysis::gating_benefit(double idle_cycles) const {
+  NOCS_EXPECTS(idle_cycles >= 0.0);
+  const Watts saved_per_s = leak_ - gating_.sleep_power;
+  return saved_per_s * idle_cycles * cycle_time_ - gating_.wake_energy;
+}
+
+std::vector<NodeId> dark_nodes(const MeshShape& mesh,
+                               const std::vector<NodeId>& active) {
+  std::vector<bool> is_active(static_cast<std::size_t>(mesh.size()), false);
+  for (NodeId id : active) {
+    NOCS_EXPECTS(mesh.valid(id));
+    is_active[static_cast<std::size_t>(id)] = true;
+  }
+  std::vector<NodeId> dark;
+  for (NodeId id = 0; id < mesh.size(); ++id)
+    if (!is_active[static_cast<std::size_t>(id)]) dark.push_back(id);
+  return dark;
+}
+
+}  // namespace nocs::sprint

@@ -1,0 +1,54 @@
+// Network power-gating support: the static dark-region scheme NoC-sprinting
+// enables, plus the break-even analysis that governs conventional dynamic
+// gating (the related work the paper contrasts with).
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+#include "power/router_power.hpp"
+
+namespace nocs::sprint {
+
+/// Electrical parameters of a router's power gate.
+struct GatingParams {
+  Joules wake_energy = 2.0e-9;  ///< rail recharge energy per wake-up
+  int wakeup_latency = 8;       ///< cycles before the router is usable
+  Watts sleep_power = 1.0e-5;   ///< residual power while gated
+
+  void validate() const {
+    NOCS_EXPECTS(wake_energy >= 0 && wakeup_latency >= 0 &&
+                 sleep_power >= 0);
+  }
+};
+
+/// Break-even and savings analysis for one router.
+class GatingAnalysis {
+ public:
+  GatingAnalysis(const power::RouterPowerModel& router_model,
+                 const GatingParams& gating);
+
+  /// Minimum idle period (cycles) for which gating saves energy: below
+  /// this, the wake-up cost exceeds the leakage saved.  The paper's
+  /// "adequate idle period" that traffic-driven schemes must guess — and
+  /// that NoC-sprinting side-steps by gating on core state.
+  double break_even_cycles() const;
+
+  /// Net energy saved by gating for `idle_cycles` then waking once
+  /// (negative when the interval is shorter than break-even).
+  Joules gating_benefit(double idle_cycles) const;
+
+  const GatingParams& params() const { return gating_; }
+
+ private:
+  Watts leak_;
+  double cycle_time_;
+  GatingParams gating_;
+};
+
+/// The complement of the active set: the node ids NoC-sprinting gates off.
+std::vector<NodeId> dark_nodes(const MeshShape& mesh,
+                               const std::vector<NodeId>& active);
+
+}  // namespace nocs::sprint

@@ -1,0 +1,87 @@
+#include "sprint/rotation.hpp"
+
+#include "sprint/topology.hpp"
+
+namespace nocs::sprint {
+
+namespace {
+
+/// Temperature at the center cell of one node's block.
+Kelvin node_center_temp(const thermal::TemperatureField& field,
+                        const MeshShape& mesh, NodeId id) {
+  const Coord c = mesh.coord_of(id);
+  const int cx = (2 * c.x + 1) * field.die_cells_x() / (2 * mesh.width());
+  const int cy = (2 * c.y + 1) * field.die_cells_y() / (2 * mesh.height());
+  return field.at(cx, cy);
+}
+
+}  // namespace
+
+double region_temperature(const thermal::TemperatureField& field,
+                          const MeshShape& mesh, NodeId master, int level) {
+  const std::vector<NodeId> region = active_set(mesh, level, master);
+  double sum = 0.0;
+  for (NodeId id : region) sum += node_center_temp(field, mesh, id);
+  return sum / static_cast<double>(region.size());
+}
+
+NodeId coolest_corner_master(const thermal::TemperatureField& field,
+                             const MeshShape& mesh, int level) {
+  const NodeId corners[] = {
+      0, mesh.width() - 1, mesh.width() * (mesh.height() - 1),
+      mesh.size() - 1};
+  NodeId best = corners[0];
+  double best_temp = region_temperature(field, mesh, corners[0], level);
+  for (int i = 1; i < 4; ++i) {
+    const double t = region_temperature(field, mesh, corners[i], level);
+    if (t < best_temp - 1e-9) {
+      best_temp = t;
+      best = corners[i];
+    }
+  }
+  return best;
+}
+
+SprintRotationSim::SprintRotationSim(
+    const MeshShape& mesh, const thermal::GridThermalParams& thermal_params,
+    const power::ChipPowerParams& chip_params, double die_mm)
+    : mesh_(mesh),
+      model_(thermal_params, die_mm, die_mm),
+      chip_(chip_params),
+      die_mm_(die_mm),
+      field_(model_.ambient_field()) {}
+
+void SprintRotationSim::reset() { field_ = model_.ambient_field(); }
+
+thermal::Floorplan SprintRotationSim::region_floorplan(NodeId master,
+                                                       int level) const {
+  std::vector<Watts> powers(
+      static_cast<std::size_t>(mesh_.size()),
+      chip_.core_gated + chip_.l2_tile + chip_.noc_gated_node);
+  for (NodeId id : active_set(mesh_, level, master))
+    powers[static_cast<std::size_t>(id)] =
+        chip_.core_active + chip_.l2_tile + chip_.noc_per_node;
+  return thermal::make_cmp_floorplan(
+      mesh_, die_mm_, die_mm_, powers,
+      thermal::identity_positions(mesh_.size()));
+}
+
+SprintRotationSim::BurstRecord SprintRotationSim::run_burst(int level,
+                                                            Seconds sprint_s,
+                                                            Seconds idle_s,
+                                                            bool rotate) {
+  NOCS_EXPECTS(level >= 1 && level <= mesh_.size());
+  NOCS_EXPECTS(sprint_s >= 0 && idle_s >= 0);
+  BurstRecord rec;
+  rec.master = rotate ? coolest_corner_master(field_, mesh_, level) : 0;
+
+  model_.step_transient(region_floorplan(rec.master, level), field_,
+                        sprint_s);
+  rec.peak_after = field_.peak();
+
+  // Cool-down at nominal: only the master's single-node region stays hot.
+  model_.step_transient(region_floorplan(rec.master, 1), field_, idle_s);
+  return rec;
+}
+
+}  // namespace nocs::sprint

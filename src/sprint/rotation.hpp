@@ -1,0 +1,66 @@
+// Thermal-aware sprint rotation (extension beyond the paper).
+//
+// The paper fixes the master node at one corner (next to the memory
+// controller) and relies on the design-time floorplan for heat spreading.
+// Because CDOR supports a master at *any* corner by reflection, a system
+// with per-corner memory controllers can also rotate: before each burst,
+// pick the corner whose sprint region is currently coolest, letting the
+// previously heated region cool while another sprints.  Across repeated
+// bursts this lowers the running peak temperature versus sprinting the
+// same corner every time.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "power/chip_power.hpp"
+#include "thermal/grid.hpp"
+
+namespace nocs::sprint {
+
+/// Mean temperature over the physical blocks of `level` nodes activated
+/// from `master` (identity placement; die covered by the mesh grid).
+double region_temperature(const thermal::TemperatureField& field,
+                          const MeshShape& mesh, NodeId master, int level);
+
+/// The corner master whose sprint region is coolest in `field` (ties to
+/// the lowest node id, i.e. the paper's default corner).
+NodeId coolest_corner_master(const thermal::TemperatureField& field,
+                             const MeshShape& mesh, int level);
+
+/// Replays a sequence of sprint bursts through the transient thermal
+/// solver, choosing the master per burst (rotating or fixed), and records
+/// the running peak temperature.
+class SprintRotationSim {
+ public:
+  SprintRotationSim(const MeshShape& mesh,
+                    const thermal::GridThermalParams& thermal_params,
+                    const power::ChipPowerParams& chip_params,
+                    double die_mm);
+
+  /// Result of one burst.
+  struct BurstRecord {
+    NodeId master = 0;
+    Kelvin peak_after = 0.0;
+  };
+
+  /// Sprints `level` cores for `sprint_s` seconds then idles (single
+  /// active master region) for `idle_s`.  When `rotate` is true the
+  /// master is chosen by coolest_corner_master before each burst.
+  BurstRecord run_burst(int level, Seconds sprint_s, Seconds idle_s,
+                        bool rotate);
+
+  const thermal::TemperatureField& field() const { return field_; }
+  void reset();
+
+ private:
+  thermal::Floorplan region_floorplan(NodeId master, int level) const;
+
+  MeshShape mesh_;
+  thermal::GridThermalModel model_;
+  power::ChipPowerParams chip_;
+  double die_mm_;
+  thermal::TemperatureField field_;
+};
+
+}  // namespace nocs::sprint

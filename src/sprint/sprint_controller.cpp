@@ -1,0 +1,89 @@
+#include "sprint/sprint_controller.hpp"
+
+#include "common/assert.hpp"
+#include "sprint/topology.hpp"
+
+namespace nocs::sprint {
+
+const char* to_string(SprintMode mode) {
+  switch (mode) {
+    case SprintMode::kNonSprinting: return "non-sprinting";
+    case SprintMode::kFullSprinting: return "full-sprinting";
+    case SprintMode::kFineGrained: return "fine-grained";
+    case SprintMode::kNocSprinting: return "noc-sprinting";
+  }
+  return "?";
+}
+
+SprintController::SprintController(const MeshShape& mesh,
+                                   const cmp::PerfModel& perf,
+                                   const power::ChipPowerModel& chip,
+                                   const thermal::PcmModel& pcm,
+                                   NodeId master, Seconds duration_cap)
+    : mesh_(mesh),
+      perf_(perf),
+      chip_(chip),
+      pcm_(pcm),
+      master_(master),
+      duration_cap_(duration_cap) {
+  NOCS_EXPECTS(mesh_.valid(master));
+  NOCS_EXPECTS(mesh_.size() == perf_.n_max());
+  NOCS_EXPECTS(mesh_.size() == chip_.params().num_cores);
+  NOCS_EXPECTS(duration_cap > 0.0);
+}
+
+SprintPlan SprintController::plan(const cmp::WorkloadParams& workload,
+                                  SprintMode mode) const {
+  SprintPlan p;
+  p.workload = workload.name;
+  p.mode = mode;
+
+  switch (mode) {
+    case SprintMode::kNonSprinting: p.level = 1; break;
+    case SprintMode::kFullSprinting: p.level = mesh_.size(); break;
+    case SprintMode::kFineGrained:
+    case SprintMode::kNocSprinting:
+      p.level = perf_.optimal_level(workload);
+      break;
+  }
+  p.active = active_set(mesh_, p.level, master_);
+
+  p.exec_time = perf_.exec_time(workload, p.level);
+  p.speedup = perf_.exec_time(workload, 1) / p.exec_time;
+
+  // Core states: the gating policy is the difference between fine-grained
+  // sprinting and full NoC-sprinting (Figure 8).
+  const bool gate_idle = mode != SprintMode::kFineGrained;
+  p.core_power = chip_.core_power(
+      p.level, gate_idle ? power::CoreState::kGated
+                         : power::CoreState::kIdle);
+
+  // NoC: only NoC-sprinting gates the dark sub-network; every other scheme
+  // keeps the full network powered (a gated node would block forwarding
+  // under DOR).
+  const int noc_active =
+      mode == SprintMode::kNocSprinting ? p.level : mesh_.size();
+  p.noc_power = chip_.noc_power(noc_active);
+
+  std::vector<power::CoreState> cores(
+      static_cast<std::size_t>(mesh_.size()),
+      gate_idle ? power::CoreState::kGated : power::CoreState::kIdle);
+  for (NodeId id : p.active)
+    cores[static_cast<std::size_t>(id)] = power::CoreState::kActive;
+  p.chip_power = chip_.breakdown_with_noc(cores, p.noc_power).total();
+
+  p.sprint_duration = mode == SprintMode::kNonSprinting
+                          ? duration_cap_  // nominal operation is sustainable
+                          : pcm_.sprint_duration(p.chip_power, duration_cap_);
+  return p;
+}
+
+std::vector<SprintPlan> SprintController::plan_suite(
+    const std::vector<cmp::WorkloadParams>& suite, SprintMode mode) const {
+  std::vector<SprintPlan> plans;
+  plans.reserve(suite.size());
+  for (const cmp::WorkloadParams& w : suite) plans.push_back(plan(w, mode));
+  return plans;
+}
+
+}  // namespace nocs::sprint

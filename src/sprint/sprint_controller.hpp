@@ -1,0 +1,72 @@
+// The NoC-sprinting controller: the public facade tying everything
+// together.  Given a workload, it selects the sprint level (off-line
+// profiling via the performance model), builds the sprint topology
+// (Algorithm 1), and reports the execution-time, power, and
+// sprint-duration consequences under each of the paper's schemes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "cmp/perf_model.hpp"
+#include "cmp/workload.hpp"
+#include "common/geometry.hpp"
+#include "power/chip_power.hpp"
+#include "thermal/pcm.hpp"
+
+namespace nocs::sprint {
+
+/// The sprinting schemes compared throughout Section 4.
+enum class SprintMode {
+  kNonSprinting,   ///< stay at nominal: one core, TDP-bounded
+  kFullSprinting,  ///< wake all cores (Raghavan et al.)
+  kFineGrained,    ///< optimal core count, but idle cores NOT power-gated
+  kNocSprinting,   ///< optimal core count + core/NoC power gating + CDOR
+};
+
+const char* to_string(SprintMode mode);
+
+/// Everything the controller decides/predicts for one workload + mode.
+struct SprintPlan {
+  std::string workload;
+  SprintMode mode = SprintMode::kNocSprinting;
+  int level = 1;                     ///< active core count
+  std::vector<NodeId> active;       ///< Algorithm 1 prefix (logical ids)
+  double exec_time = 1.0;           ///< normalized (nominal = 1.0)
+  double speedup = 1.0;             ///< vs. non-sprinting
+  Watts core_power = 0.0;           ///< cores component only (Figure 8)
+  Watts noc_power = 0.0;            ///< model-level NoC power (Figure 10)
+  Watts chip_power = 0.0;           ///< total chip power during the sprint
+  Seconds sprint_duration = 0.0;    ///< PCM timeline total (Section 4.4)
+};
+
+class SprintController {
+ public:
+  /// All model references must outlive the controller.  `duration_cap`
+  /// bounds reported sprint durations (sustainable powers are reported as
+  /// the cap).
+  SprintController(const MeshShape& mesh, const cmp::PerfModel& perf,
+                   const power::ChipPowerModel& chip,
+                   const thermal::PcmModel& pcm, NodeId master = 0,
+                   Seconds duration_cap = 10.0);
+
+  /// Plans one workload under one scheme.
+  SprintPlan plan(const cmp::WorkloadParams& workload, SprintMode mode) const;
+
+  /// Plans the whole suite under one scheme.
+  std::vector<SprintPlan> plan_suite(
+      const std::vector<cmp::WorkloadParams>& suite, SprintMode mode) const;
+
+  NodeId master() const { return master_; }
+  const MeshShape& mesh() const { return mesh_; }
+
+ private:
+  MeshShape mesh_;
+  const cmp::PerfModel& perf_;
+  const power::ChipPowerModel& chip_;
+  const thermal::PcmModel& pcm_;
+  NodeId master_;
+  Seconds duration_cap_;
+};
+
+}  // namespace nocs::sprint

@@ -1,0 +1,155 @@
+#include "sprint/topology.hpp"
+
+#include <algorithm>
+
+#include "common/assert.hpp"
+
+namespace nocs::sprint {
+
+namespace {
+
+std::vector<NodeId> order_by_metric(const MeshShape& mesh, NodeId master,
+                                    bool euclidean) {
+  NOCS_EXPECTS(mesh.valid(master));
+  const Coord m = mesh.coord_of(master);
+  std::vector<NodeId> order = mesh.all_nodes();
+  std::stable_sort(order.begin(), order.end(), [&](NodeId a, NodeId b) {
+    const int da = euclidean ? euclidean_sq(mesh.coord_of(a), m)
+                             : manhattan(mesh.coord_of(a), m);
+    const int db = euclidean ? euclidean_sq(mesh.coord_of(b), m)
+                             : manhattan(mesh.coord_of(b), m);
+    if (da != db) return da < db;
+    return a < b;  // Algorithm 1: break ties by node index
+  });
+  return order;
+}
+
+long long cross(Coord o, Coord a, Coord b) {
+  return static_cast<long long>(a.x - o.x) * (b.y - o.y) -
+         static_cast<long long>(a.y - o.y) * (b.x - o.x);
+}
+
+/// Andrew monotone-chain convex hull (returns CCW hull, no duplicate
+/// endpoint; collinear boundary points are dropped).
+std::vector<Coord> convex_hull(std::vector<Coord> pts) {
+  std::sort(pts.begin(), pts.end(), [](Coord a, Coord b) {
+    return a.x != b.x ? a.x < b.x : a.y < b.y;
+  });
+  pts.erase(std::unique(pts.begin(), pts.end()), pts.end());
+  const std::size_t n = pts.size();
+  if (n <= 2) return pts;
+  std::vector<Coord> hull(2 * n);
+  std::size_t k = 0;
+  for (std::size_t i = 0; i < n; ++i) {  // lower hull
+    while (k >= 2 && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  const std::size_t lower = k + 1;
+  for (std::size_t i = n - 1; i-- > 0;) {  // upper hull
+    while (k >= lower && cross(hull[k - 2], hull[k - 1], pts[i]) <= 0) --k;
+    hull[k++] = pts[i];
+  }
+  hull.resize(k - 1);
+  return hull;
+}
+
+/// Point-in-convex-polygon, boundary inclusive.  `hull` is CCW.
+bool inside_hull(const std::vector<Coord>& hull, Coord p) {
+  if (hull.empty()) return false;
+  if (hull.size() == 1) return hull[0] == p;
+  if (hull.size() == 2) {
+    // Collinear segment: p must lie on it.
+    if (cross(hull[0], hull[1], p) != 0) return false;
+    return std::min(hull[0].x, hull[1].x) <= p.x &&
+           p.x <= std::max(hull[0].x, hull[1].x) &&
+           std::min(hull[0].y, hull[1].y) <= p.y &&
+           p.y <= std::max(hull[0].y, hull[1].y);
+  }
+  for (std::size_t i = 0; i < hull.size(); ++i) {
+    const Coord a = hull[i];
+    const Coord b = hull[(i + 1) % hull.size()];
+    if (cross(a, b, p) < 0) return false;  // strictly right of a CCW edge
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<NodeId> sprint_order(const MeshShape& mesh, NodeId master) {
+  return order_by_metric(mesh, master, /*euclidean=*/true);
+}
+
+std::vector<NodeId> sprint_order_hamming(const MeshShape& mesh,
+                                         NodeId master) {
+  return order_by_metric(mesh, master, /*euclidean=*/false);
+}
+
+std::vector<NodeId> active_set(const MeshShape& mesh, int level,
+                               NodeId master) {
+  NOCS_EXPECTS(level >= 1 && level <= mesh.size());
+  std::vector<NodeId> order = sprint_order(mesh, master);
+  order.resize(static_cast<std::size_t>(level));
+  return order;
+}
+
+bool is_convex_region(const MeshShape& mesh,
+                      const std::vector<NodeId>& nodes) {
+  NOCS_EXPECTS(!nodes.empty());
+  std::vector<Coord> pts;
+  std::vector<bool> member(static_cast<std::size_t>(mesh.size()), false);
+  pts.reserve(nodes.size());
+  for (NodeId id : nodes) {
+    NOCS_EXPECTS(mesh.valid(id));
+    member[static_cast<std::size_t>(id)] = true;
+    pts.push_back(mesh.coord_of(id));
+  }
+  const std::vector<Coord> hull = convex_hull(pts);
+  for (NodeId id = 0; id < mesh.size(); ++id) {
+    if (member[static_cast<std::size_t>(id)]) continue;
+    if (inside_hull(hull, mesh.coord_of(id))) return false;
+  }
+  return true;
+}
+
+bool is_staircase_region(const MeshShape& mesh,
+                         const std::vector<NodeId>& nodes) {
+  NOCS_EXPECTS(!nodes.empty());
+  // Row widths: each occupied row must be a contiguous run starting at
+  // x = 0, and widths must be non-increasing from the top row down.
+  std::vector<int> width(static_cast<std::size_t>(mesh.height()), 0);
+  std::vector<std::vector<bool>> present(
+      static_cast<std::size_t>(mesh.height()),
+      std::vector<bool>(static_cast<std::size_t>(mesh.width()), false));
+  for (NodeId id : nodes) {
+    const Coord c = mesh.coord_of(id);
+    present[static_cast<std::size_t>(c.y)][static_cast<std::size_t>(c.x)] =
+        true;
+    ++width[static_cast<std::size_t>(c.y)];
+  }
+  for (int y = 0; y < mesh.height(); ++y) {
+    for (int x = 0; x < width[static_cast<std::size_t>(y)]; ++x)
+      if (!present[static_cast<std::size_t>(y)][static_cast<std::size_t>(x)])
+        return false;  // row not left-aligned / not contiguous
+  }
+  for (int y = 1; y < mesh.height(); ++y)
+    if (width[static_cast<std::size_t>(y)] >
+        width[static_cast<std::size_t>(y - 1)])
+      return false;
+  if (width[0] == 0) return false;  // region must touch the master row
+  return true;
+}
+
+double average_pairwise_distance(const MeshShape& mesh,
+                                 const std::vector<NodeId>& nodes) {
+  NOCS_EXPECTS(nodes.size() >= 2);
+  long long total = 0;
+  for (std::size_t i = 0; i < nodes.size(); ++i)
+    for (std::size_t j = i + 1; j < nodes.size(); ++j)
+      total += manhattan(mesh.coord_of(nodes[i]), mesh.coord_of(nodes[j]));
+  const double pairs =
+      static_cast<double>(nodes.size()) *
+      static_cast<double>(nodes.size() - 1) / 2.0;
+  return static_cast<double>(total) / pairs;
+}
+
+}  // namespace nocs::sprint

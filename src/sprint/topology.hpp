@@ -1,0 +1,50 @@
+// Algorithm 1 — irregular topological sprinting.
+//
+// Starting from the master node, nodes join the sprint region in ascending
+// order of *Euclidean* distance to the master (ties broken by node index).
+// The paper argues Euclidean ordering beats Hamming/Manhattan ordering
+// because it keeps inter-node paths short (its 4-core example: Euclidean
+// picks node 5, Hamming may pick node 2), and the resulting prefix regions
+// are convex.
+#pragma once
+
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace nocs::sprint {
+
+/// The activation order of all N nodes (Algorithm 1).  `order[0]` is the
+/// master; sprinting at level k activates `order[0..k)`.
+std::vector<NodeId> sprint_order(const MeshShape& mesh,
+                                 NodeId master = 0);
+
+/// Ablation baseline: the same construction ordered by Hamming (Manhattan)
+/// distance instead, which the paper argues is inferior.
+std::vector<NodeId> sprint_order_hamming(const MeshShape& mesh,
+                                         NodeId master = 0);
+
+/// The first `level` nodes of the sprint order.
+std::vector<NodeId> active_set(const MeshShape& mesh, int level,
+                               NodeId master = 0);
+
+/// True when `nodes` forms a convex region in the paper's sense: every
+/// mesh node lying inside the convex hull of the set (inclusive of the
+/// boundary) belongs to the set.
+bool is_convex_region(const MeshShape& mesh,
+                      const std::vector<NodeId>& nodes);
+
+/// True when `nodes` is a "staircase" anchored at the top-left corner:
+/// rows are left-aligned contiguous runs whose widths do not increase with
+/// y.  This is the structural property CDOR's connectivity-bit routing
+/// relies on; Euclidean-prefix regions with a corner master satisfy it.
+bool is_staircase_region(const MeshShape& mesh,
+                         const std::vector<NodeId>& nodes);
+
+/// Average pairwise Manhattan distance within a node set — the topology
+/// quality metric behind the paper's Euclidean-vs-Hamming argument.
+double average_pairwise_distance(const MeshShape& mesh,
+                                 const std::vector<NodeId>& nodes);
+
+}  // namespace nocs::sprint

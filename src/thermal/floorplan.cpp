@@ -1,0 +1,86 @@
+#include "thermal/floorplan.hpp"
+
+#include <algorithm>
+
+namespace nocs::thermal {
+
+void Floorplan::add_block(Block b) {
+  NOCS_EXPECTS(b.w_mm > 0 && b.h_mm > 0);
+  NOCS_EXPECTS(b.x_mm >= -1e-9 && b.y_mm >= -1e-9);
+  NOCS_EXPECTS(b.x_mm + b.w_mm <= die_w_ + 1e-9);
+  NOCS_EXPECTS(b.y_mm + b.h_mm <= die_h_ + 1e-9);
+  NOCS_EXPECTS(b.power >= 0.0);
+  blocks_.push_back(std::move(b));
+}
+
+Watts Floorplan::total_power() const {
+  Watts total = 0.0;
+  for (const Block& b : blocks_) total += b.power;
+  return total;
+}
+
+std::vector<Watts> Floorplan::power_map(int cells_x, int cells_y) const {
+  NOCS_EXPECTS(cells_x >= 1 && cells_y >= 1);
+  std::vector<Watts> map(
+      static_cast<std::size_t>(cells_x) * static_cast<std::size_t>(cells_y),
+      0.0);
+  const double cw = die_w_ / cells_x;
+  const double ch = die_h_ / cells_y;
+
+  for (const Block& b : blocks_) {
+    if (b.power <= 0.0) continue;
+    const double density = b.power / b.area_mm2();  // W / mm^2
+    const int x0 = std::max(0, static_cast<int>(b.x_mm / cw));
+    const int x1 = std::min(cells_x - 1,
+                            static_cast<int>((b.x_mm + b.w_mm) / cw));
+    const int y0 = std::max(0, static_cast<int>(b.y_mm / ch));
+    const int y1 = std::min(cells_y - 1,
+                            static_cast<int>((b.y_mm + b.h_mm) / ch));
+    for (int y = y0; y <= y1; ++y) {
+      for (int x = x0; x <= x1; ++x) {
+        // Overlap of block and cell rectangles.
+        const double ox = std::min(b.x_mm + b.w_mm, (x + 1) * cw) -
+                          std::max(b.x_mm, x * cw);
+        const double oy = std::min(b.y_mm + b.h_mm, (y + 1) * ch) -
+                          std::max(b.y_mm, y * ch);
+        if (ox <= 0 || oy <= 0) continue;
+        map[static_cast<std::size_t>(y) * static_cast<std::size_t>(cells_x) +
+            static_cast<std::size_t>(x)] += density * ox * oy;
+      }
+    }
+  }
+  return map;
+}
+
+Floorplan make_cmp_floorplan(const MeshShape& mesh, double die_w_mm,
+                             double die_h_mm,
+                             const std::vector<Watts>& node_power,
+                             const std::vector<int>& positions) {
+  NOCS_EXPECTS(static_cast<int>(node_power.size()) == mesh.size());
+  NOCS_EXPECTS(static_cast<int>(positions.size()) == mesh.size());
+  Floorplan fp(die_w_mm, die_h_mm);
+  const double bw = die_w_mm / mesh.width();
+  const double bh = die_h_mm / mesh.height();
+  for (NodeId logical = 0; logical < mesh.size(); ++logical) {
+    const int slot = positions[static_cast<std::size_t>(logical)];
+    NOCS_EXPECTS(mesh.valid(slot));
+    const Coord c = mesh.coord_of(slot);
+    Block b;
+    b.name = "node" + std::to_string(logical);
+    b.x_mm = c.x * bw;
+    b.y_mm = c.y * bh;
+    b.w_mm = bw;
+    b.h_mm = bh;
+    b.power = node_power[static_cast<std::size_t>(logical)];
+    fp.add_block(std::move(b));
+  }
+  return fp;
+}
+
+std::vector<int> identity_positions(int n) {
+  std::vector<int> pos(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) pos[static_cast<std::size_t>(i)] = i;
+  return pos;
+}
+
+}  // namespace nocs::thermal

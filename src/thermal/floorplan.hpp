@@ -1,0 +1,69 @@
+// Physical floorplan: named rectangular blocks with assigned power, plus
+// rasterization onto the thermal grid.
+//
+// For the paper's Figure 12 analysis the 16-core CMP is abstracted as 16
+// blocks in a 2-D grid, each comprising a CPU, local caches, and the node's
+// network resources; helpers below build exactly that layout.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace nocs::thermal {
+
+/// One rectangular block on the die.
+struct Block {
+  std::string name;
+  double x_mm = 0.0;  ///< left edge
+  double y_mm = 0.0;  ///< top edge (y grows south, like mesh coordinates)
+  double w_mm = 0.0;
+  double h_mm = 0.0;
+  Watts power = 0.0;  ///< total power dissipated in this block
+
+  double area_mm2() const { return w_mm * h_mm; }
+};
+
+/// A die floorplan: dimensions plus non-overlapping blocks.
+class Floorplan {
+ public:
+  Floorplan(double die_w_mm, double die_h_mm)
+      : die_w_(die_w_mm), die_h_(die_h_mm) {
+    NOCS_EXPECTS(die_w_mm > 0 && die_h_mm > 0);
+  }
+
+  void add_block(Block b);
+
+  double die_w_mm() const { return die_w_; }
+  double die_h_mm() const { return die_h_; }
+  const std::vector<Block>& blocks() const { return blocks_; }
+  Watts total_power() const;
+
+  /// Rasterizes block powers onto a cells_x x cells_y grid covering the
+  /// die.  Each cell receives power proportional to its overlap with each
+  /// block.  Returns row-major watts per cell.
+  std::vector<Watts> power_map(int cells_x, int cells_y) const;
+
+ private:
+  double die_w_;
+  double die_h_;
+  std::vector<Block> blocks_;
+};
+
+/// Builds the paper's abstraction: a `width` x `height` grid of identical
+/// node blocks covering a square die, where node i (mesh id, possibly
+/// remapped by the thermal-aware floorplanner) dissipates `node_power[i]`.
+/// `positions[i]` gives the *physical* grid slot of logical node i — the
+/// identity for the default layout, or Algorithm 3's Pos() mapping.
+Floorplan make_cmp_floorplan(const MeshShape& mesh, double die_w_mm,
+                             double die_h_mm,
+                             const std::vector<Watts>& node_power,
+                             const std::vector<int>& positions);
+
+/// Identity position mapping (logical node i sits at physical slot i).
+std::vector<int> identity_positions(int n);
+
+}  // namespace nocs::thermal

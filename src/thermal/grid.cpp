@@ -1,0 +1,201 @@
+#include "thermal/grid.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace nocs::thermal {
+
+TemperatureField::TemperatureField(int total_x, int total_y, int border,
+                                   Kelvin init)
+    : total_x_(total_x),
+      total_y_(total_y),
+      border_(border),
+      t_(static_cast<std::size_t>(total_x) * static_cast<std::size_t>(total_y),
+         init) {
+  NOCS_EXPECTS(total_x > 2 * border && total_y > 2 * border);
+}
+
+Kelvin TemperatureField::at(int x, int y) const {
+  NOCS_EXPECTS(x >= 0 && x < die_cells_x() && y >= 0 && y < die_cells_y());
+  const int gx = x + border_;
+  const int gy = y + border_;
+  return t_[static_cast<std::size_t>(gy) * static_cast<std::size_t>(total_x_) +
+            static_cast<std::size_t>(gx)];
+}
+
+Kelvin TemperatureField::peak() const {
+  Kelvin p = 0.0;
+  for (int y = 0; y < die_cells_y(); ++y)
+    for (int x = 0; x < die_cells_x(); ++x) p = std::max(p, at(x, y));
+  return p;
+}
+
+Kelvin TemperatureField::average() const {
+  double sum = 0.0;
+  for (int y = 0; y < die_cells_y(); ++y)
+    for (int x = 0; x < die_cells_x(); ++x) sum += at(x, y);
+  return sum / (static_cast<double>(die_cells_x()) *
+                static_cast<double>(die_cells_y()));
+}
+
+GridThermalModel::GridThermalModel(const GridThermalParams& params,
+                                   double die_w_mm, double die_h_mm)
+    : params_(params), die_w_mm_(die_w_mm), die_h_mm_(die_h_mm) {
+  params_.validate();
+  NOCS_EXPECTS(die_w_mm > 0 && die_h_mm > 0);
+
+  total_x_ = params_.cells_x + 2 * params_.border_cells;
+  total_y_ = params_.cells_y + 2 * params_.border_cells;
+
+  const double cw = die_w_mm_ * 1e-3 / params_.cells_x;  // meters
+  const double ch = die_h_mm_ * 1e-3 / params_.cells_y;
+  // Lateral conductance between adjacent cells through the silicon sheet
+  // (square-cell approximation uses the geometric mean aspect).
+  g_lat_ = params_.k_si * params_.die_thickness_m * 0.5 * (cw / ch + ch / cw);
+  // The package's total vertical conductance is distributed uniformly over
+  // every cell of the die + spreader border.
+  const double total_cells =
+      static_cast<double>(total_x_) * static_cast<double>(total_y_);
+  g_vert_ = 1.0 / (params_.r_package * total_cells);
+  c_cell_ = params_.c_per_area * cw * ch;
+}
+
+TemperatureField GridThermalModel::ambient_field() const {
+  return TemperatureField(total_x_, total_y_, params_.border_cells,
+                          params_.ambient);
+}
+
+std::vector<Watts> GridThermalModel::padded_power(const Floorplan& fp) const {
+  NOCS_EXPECTS(std::abs(fp.die_w_mm() - die_w_mm_) < 1e-9 &&
+               std::abs(fp.die_h_mm() - die_h_mm_) < 1e-9);
+  const std::vector<Watts> die_map =
+      fp.power_map(params_.cells_x, params_.cells_y);
+  std::vector<Watts> padded(
+      static_cast<std::size_t>(total_x_) * static_cast<std::size_t>(total_y_),
+      0.0);
+  const int b = params_.border_cells;
+  for (int y = 0; y < params_.cells_y; ++y)
+    for (int x = 0; x < params_.cells_x; ++x)
+      padded[static_cast<std::size_t>(y + b) *
+                 static_cast<std::size_t>(total_x_) +
+             static_cast<std::size_t>(x + b)] =
+          die_map[static_cast<std::size_t>(y) *
+                      static_cast<std::size_t>(params_.cells_x) +
+                  static_cast<std::size_t>(x)];
+  return padded;
+}
+
+TemperatureField GridThermalModel::solve_steady(const Floorplan& fp,
+                                                double tol,
+                                                int max_iters) const {
+  const std::vector<Watts> p = padded_power(fp);
+  TemperatureField field = ambient_field();
+  auto& t = field.raw();
+  const int nx = total_x_;
+  const int ny = total_y_;
+  const double omega = 1.9;  // SOR over-relaxation
+
+  auto idx = [nx](int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  };
+
+  for (int iter = 0; iter < max_iters; ++iter) {
+    double max_delta = 0.0;
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        double nsum = 0.0;
+        int deg = 0;
+        if (x > 0) { nsum += t[idx(x - 1, y)]; ++deg; }
+        if (x + 1 < nx) { nsum += t[idx(x + 1, y)]; ++deg; }
+        if (y > 0) { nsum += t[idx(x, y - 1)]; ++deg; }
+        if (y + 1 < ny) { nsum += t[idx(x, y + 1)]; ++deg; }
+        const double denom = g_lat_ * deg + g_vert_;
+        const double t_new =
+            (p[idx(x, y)] + g_lat_ * nsum + g_vert_ * params_.ambient) /
+            denom;
+        const double updated =
+            t[idx(x, y)] + omega * (t_new - t[idx(x, y)]);
+        max_delta = std::max(max_delta, std::abs(updated - t[idx(x, y)]));
+        t[idx(x, y)] = updated;
+      }
+    }
+    if (max_delta < tol) break;
+  }
+  return field;
+}
+
+Seconds GridThermalModel::stable_dt() const {
+  // Explicit Euler stability: dt < C / sum(conductances) with a safety
+  // factor.
+  return 0.5 * c_cell_ / (4.0 * g_lat_ + g_vert_);
+}
+
+void GridThermalModel::step_transient(const Floorplan& fp,
+                                      TemperatureField& field,
+                                      Seconds dt_total) const {
+  NOCS_EXPECTS(dt_total >= 0.0);
+  NOCS_EXPECTS(field.total_x() == total_x_ && field.total_y() == total_y_);
+  const std::vector<Watts> p = padded_power(fp);
+  const Seconds dt_max = stable_dt();
+  const int steps =
+      std::max(1, static_cast<int>(std::ceil(dt_total / dt_max)));
+  const Seconds dt = dt_total / steps;
+  const int nx = total_x_;
+  const int ny = total_y_;
+
+  auto idx = [nx](int x, int y) {
+    return static_cast<std::size_t>(y) * static_cast<std::size_t>(nx) +
+           static_cast<std::size_t>(x);
+  };
+
+  std::vector<Kelvin> next(field.raw().size());
+  for (int s = 0; s < steps; ++s) {
+    auto& t = field.raw();
+    for (int y = 0; y < ny; ++y) {
+      for (int x = 0; x < nx; ++x) {
+        double flow = g_vert_ * (params_.ambient - t[idx(x, y)]);
+        if (x > 0) flow += g_lat_ * (t[idx(x - 1, y)] - t[idx(x, y)]);
+        if (x + 1 < nx) flow += g_lat_ * (t[idx(x + 1, y)] - t[idx(x, y)]);
+        if (y > 0) flow += g_lat_ * (t[idx(x, y - 1)] - t[idx(x, y)]);
+        if (y + 1 < ny) flow += g_lat_ * (t[idx(x, y + 1)] - t[idx(x, y)]);
+        next[idx(x, y)] =
+            t[idx(x, y)] + dt * (flow + p[idx(x, y)]) / c_cell_;
+      }
+    }
+    field.raw().swap(next);
+  }
+}
+
+std::string render_heatmap(const TemperatureField& field, int out_w,
+                           int out_h) {
+  NOCS_EXPECTS(out_w >= 1 && out_h >= 1);
+  const char ramp[] = " .:-=+*%@#";
+  const int ramp_n = 9;
+
+  Kelvin lo = 1e30;
+  Kelvin hi = -1e30;
+  for (int y = 0; y < field.die_cells_y(); ++y) {
+    for (int x = 0; x < field.die_cells_x(); ++x) {
+      lo = std::min(lo, field.at(x, y));
+      hi = std::max(hi, field.at(x, y));
+    }
+  }
+  const double range = std::max(1e-9, hi - lo);
+
+  std::string out;
+  for (int oy = 0; oy < out_h; ++oy) {
+    for (int ox = 0; ox < out_w; ++ox) {
+      const int x = ox * field.die_cells_x() / out_w;
+      const int y = oy * field.die_cells_y() / out_h;
+      const double f = (field.at(x, y) - lo) / range;
+      const int level = std::min(ramp_n, static_cast<int>(f * ramp_n + 0.5));
+      out += ramp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace nocs::thermal

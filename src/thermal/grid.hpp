@@ -1,0 +1,114 @@
+// HotSpot-style finite-difference thermal grid solver.
+//
+// The die (plus a spreader border that extends past the die edge, which is
+// what makes centers hotter than edges under uniform power) is discretized
+// into cells.  Each cell exchanges heat laterally with its four neighbors
+// through conductance G_lat and vertically with the ambient through the
+// package resistance; power from the rasterized floorplan is injected per
+// cell.  Steady state is solved by Gauss–Seidel iteration; transients by
+// explicit forward Euler with a stability-checked time step.
+#pragma once
+
+#include <vector>
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+#include "thermal/floorplan.hpp"
+
+namespace nocs::thermal {
+
+/// Solver configuration.  Defaults are calibrated for a ~12x12 mm, 45 nm
+/// die so that the paper's Figure 12 magnitudes come out (full 16-core
+/// sprint peaking near 358 K with a 4-core sprint near 348 K).
+struct GridThermalParams {
+  int cells_x = 32;           ///< grid resolution across the die
+  int cells_y = 32;
+  int border_cells = 6;       ///< spreader cells beyond each die edge
+  double k_si = 60.0;         ///< effective lateral conductivity, W/(m K)
+  double die_thickness_m = 0.65e-3;
+  double r_package = 0.30;    ///< total junction->ambient resistance, K/W
+  double c_per_area = 1650.0; ///< heat capacity per die area, J/(K m^2)
+  Kelvin ambient = 318.0;     ///< paper-scale ambient/baseline temperature
+
+  void validate() const {
+    NOCS_EXPECTS(cells_x >= 2 && cells_y >= 2 && border_cells >= 0);
+    NOCS_EXPECTS(k_si > 0 && die_thickness_m > 0 && r_package > 0);
+    NOCS_EXPECTS(c_per_area > 0 && ambient > 0);
+  }
+};
+
+/// Temperature field over the (die + border) grid with accessors in die
+/// coordinates.
+class TemperatureField {
+ public:
+  TemperatureField(int total_x, int total_y, int border, Kelvin init);
+
+  int die_cells_x() const { return total_x_ - 2 * border_; }
+  int die_cells_y() const { return total_y_ - 2 * border_; }
+
+  /// Temperature of die cell (x, y), 0-indexed from the die's top-left.
+  Kelvin at(int x, int y) const;
+
+  /// Hottest die-cell temperature.
+  Kelvin peak() const;
+  /// Average die-cell temperature.
+  Kelvin average() const;
+
+  /// Raw grid (including border), row-major; used by the solver.
+  std::vector<Kelvin>& raw() { return t_; }
+  const std::vector<Kelvin>& raw() const { return t_; }
+  int total_x() const { return total_x_; }
+  int total_y() const { return total_y_; }
+  int border() const { return border_; }
+
+ private:
+  int total_x_;
+  int total_y_;
+  int border_;
+  std::vector<Kelvin> t_;
+};
+
+class GridThermalModel {
+ public:
+  GridThermalModel(const GridThermalParams& params, double die_w_mm,
+                   double die_h_mm);
+
+  const GridThermalParams& params() const { return params_; }
+
+  /// Steady-state temperatures for the given floorplan (whose die
+  /// dimensions must match).  Gauss–Seidel to `tol` Kelvin max-update or
+  /// `max_iters`, whichever first.
+  TemperatureField solve_steady(const Floorplan& fp, double tol = 1e-4,
+                                int max_iters = 20000) const;
+
+  /// Advances `field` by `dt_total` seconds of transient simulation under
+  /// the floorplan's power (explicit Euler, internally sub-stepped to the
+  /// stability limit).
+  void step_transient(const Floorplan& fp, TemperatureField& field,
+                      Seconds dt_total) const;
+
+  /// A fresh field at ambient temperature.
+  TemperatureField ambient_field() const;
+
+  /// Largest stable explicit time step (seconds).
+  Seconds stable_dt() const;
+
+ private:
+  std::vector<Watts> padded_power(const Floorplan& fp) const;
+
+  GridThermalParams params_;
+  double die_w_mm_;
+  double die_h_mm_;
+  double g_lat_;       ///< lateral conductance between adjacent cells, W/K
+  double g_vert_;      ///< vertical conductance per cell to ambient, W/K
+  double c_cell_;      ///< heat capacity per cell, J/K
+  int total_x_;
+  int total_y_;
+};
+
+/// Renders the die portion of a field as an ASCII heat map (one char per
+/// cell block, '.' coolest to '#' hottest) for the examples.
+std::string render_heatmap(const TemperatureField& field, int out_w = 32,
+                           int out_h = 16);
+
+}  // namespace nocs::thermal

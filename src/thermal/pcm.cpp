@@ -1,0 +1,80 @@
+#include "thermal/pcm.hpp"
+
+#include <cmath>
+#include <limits>
+
+namespace nocs::thermal {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}
+
+Seconds PcmModel::rc_time(Watts p, Kelvin t0, Kelvin t1) const {
+  NOCS_EXPECTS(t1 >= t0);
+  if (t1 == t0) return 0.0;
+  // C dT/dt = P - (T - T_amb) / R; T(t) -> T_amb + P R asymptotically.
+  const double t_inf = params_.ambient + p * params_.r_th;
+  if (t_inf <= t1) return kInf;  // never reaches t1
+  const double tau = params_.r_th * params_.c_th;
+  return tau * std::log((t_inf - t0) / (t_inf - t1));
+}
+
+SprintTimeline PcmModel::sprint_timeline(Watts p) const {
+  NOCS_EXPECTS(p >= 0.0);
+  SprintTimeline tl;
+
+  tl.phase1 = rc_time(p, params_.ambient, params_.t_melt);
+  if (std::isinf(tl.phase1)) {
+    // Sustainable below the melt point: indefinite sprint.
+    tl.phase1 = 0.0;
+    tl.unbounded = true;
+    return tl;
+  }
+
+  // Phase 2: power beyond what the package removes at T_melt goes into
+  // melting the PCM.
+  const Watts excess = p - params_.sustainable_at_melt();
+  if (excess <= 0.0) {
+    tl.unbounded = true;  // melt plateau is an equilibrium
+    return tl;
+  }
+  tl.phase2 = params_.latent_budget() / excess;
+
+  tl.phase3 = rc_time(p, params_.t_melt, params_.t_max);
+  if (std::isinf(tl.phase3)) {
+    tl.phase3 = 0.0;
+    tl.unbounded = true;  // equilibrium between melt and max: sustainable
+  }
+  return tl;
+}
+
+Seconds PcmModel::sprint_duration(Watts p, Seconds cap) const {
+  const SprintTimeline tl = sprint_timeline(p);
+  if (tl.unbounded) return cap;
+  const Seconds total = tl.total();
+  return total > cap ? cap : total;
+}
+
+Kelvin PcmModel::temperature_at(Watts p, Seconds t) const {
+  NOCS_EXPECTS(t >= 0.0);
+  const SprintTimeline tl = sprint_timeline(p);
+  const double tau = params_.r_th * params_.c_th;
+  const double t_inf = params_.ambient + p * params_.r_th;
+
+  auto rc_temp = [&](Kelvin start, Seconds dt) {
+    return t_inf + (start - t_inf) * std::exp(-dt / tau);
+  };
+
+  if (tl.unbounded && tl.phase1 == 0.0 && tl.phase2 == 0.0)
+    return std::min(rc_temp(params_.ambient, t), params_.t_melt);
+
+  if (t < tl.phase1) return rc_temp(params_.ambient, t);
+  if (tl.unbounded && tl.phase2 == 0.0) return params_.t_melt;
+  if (t < tl.phase1 + tl.phase2) return params_.t_melt;
+  if (tl.unbounded) return params_.t_melt;
+  const Seconds into3 = t - tl.phase1 - tl.phase2;
+  const Kelvin temp = rc_temp(params_.t_melt, into3);
+  return temp > params_.t_max ? params_.t_max : temp;
+}
+
+}  // namespace nocs::thermal

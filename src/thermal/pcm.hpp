@@ -1,0 +1,87 @@
+// Phase-change-material (PCM) sprint-duration model.
+//
+// Computational sprinting places a PCM heat store near the die.  The sprint
+// timeline (paper Figure 1) has three phases:
+//   phase 1: lumped RC heat-up from ambient to the PCM melt point,
+//   phase 2: melting at constant temperature, absorbing the power that
+//            exceeds what the package can sustain (latent heat of fusion),
+//   phase 3: heat-up from the melt point to T_max, where all but one core
+//            must be terminated.
+// NoC-sprinting lowers sprint power, which lengthens all three phases —
+// the Section 4.4 result (+55.4 % average duration).
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace nocs::thermal {
+
+/// Lumped thermal + PCM parameters.  Defaults calibrated so a 16-core
+/// full sprint (~75 W chip power) sustains roughly one second, consistent
+/// with the paper's worst-case assumption.
+struct PcmParams {
+  Kelvin ambient = 318.0;       ///< starting (nominal steady) temperature
+  Kelvin t_melt = 331.0;        ///< PCM melting point
+  Kelvin t_max = 358.0;         ///< thermal shutdown threshold
+  double r_th = 2.0;            ///< junction->ambient resistance, K/W
+                                ///  => TDP = (358-318)/2 = 20 W, which is
+                                ///  exactly the 16-core chip's nominal
+                                ///  (single-active-core) power
+  double c_th = 1.0;            ///< lumped heat capacity (die+spreader), J/K
+  double pcm_mass_g = 0.125;    ///< grams of PCM
+  double latent_heat_j_per_g = 210.0;  ///< latent heat of fusion
+
+  /// Power the package can remove at T_melt without consuming PCM.
+  Watts sustainable_at_melt() const { return (t_melt - ambient) / r_th; }
+  /// Power sustainable forever just below T_max (the TDP).
+  Watts sustainable_at_max() const { return (t_max - ambient) / r_th; }
+  /// Total latent-heat budget, joules.
+  Joules latent_budget() const { return pcm_mass_g * latent_heat_j_per_g; }
+
+  void validate() const {
+    NOCS_EXPECTS(ambient < t_melt && t_melt < t_max);
+    NOCS_EXPECTS(r_th > 0 && c_th > 0);
+    NOCS_EXPECTS(pcm_mass_g >= 0 && latent_heat_j_per_g >= 0);
+  }
+};
+
+/// Duration of each sprint phase for a constant sprint power.
+struct SprintTimeline {
+  Seconds phase1 = 0.0;  ///< ambient -> melt
+  Seconds phase2 = 0.0;  ///< melting
+  Seconds phase3 = 0.0;  ///< melt -> T_max
+  bool unbounded = false;  ///< power is sustainable: sprint never ends
+
+  Seconds total() const { return phase1 + phase2 + phase3; }
+};
+
+class PcmModel {
+ public:
+  explicit PcmModel(const PcmParams& params) : params_(params) {
+    params_.validate();
+  }
+
+  const PcmParams& params() const { return params_; }
+
+  /// Sprint timeline at constant chip power `p`.  If `p` never drives the
+  /// system past T_max the timeline is marked unbounded (phases that do
+  /// complete are still reported).
+  SprintTimeline sprint_timeline(Watts p) const;
+
+  /// Convenience: total sprint duration, with unbounded mapped to `cap`.
+  Seconds sprint_duration(Watts p, Seconds cap = 1e9) const;
+
+  /// Temperature trajectory sample at time `t` into a sprint at power `p`
+  /// (piecewise: exponential rise, melt plateau, exponential rise).  Used
+  /// to regenerate the Figure 1 curve.
+  Kelvin temperature_at(Watts p, Seconds t) const;
+
+ private:
+  /// Time for the lumped RC stage to go from `t0` to `t1` at power `p`;
+  /// +inf if `p` cannot reach `t1`.
+  Seconds rc_time(Watts p, Kelvin t0, Kelvin t1) const;
+
+  PcmParams params_;
+};
+
+}  // namespace nocs::thermal

@@ -1,0 +1,88 @@
+// Tests for the CDOR area model (Section 3.2's <2% synthesis claim).
+#include <gtest/gtest.h>
+
+#include "sprint/area.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+TEST(Area, ComponentsPositive) {
+  const AreaEstimate a = estimate_router_area(RouterAreaParams{});
+  EXPECT_GT(a.buffers, 0.0);
+  EXPECT_GT(a.crossbar, 0.0);
+  EXPECT_GT(a.allocators, 0.0);
+  EXPECT_GT(a.routing_dor, 0.0);
+  EXPECT_GT(a.routing_cdor_extra, 0.0);
+  EXPECT_NEAR(a.cdor_total(), a.dor_total() + a.routing_cdor_extra, 1e-9);
+}
+
+TEST(Area, PaperBoundUnderTwoPercent) {
+  // The paper's synthesized bound must hold across every configuration we
+  // model, from the Table 1 router down to a minimal switch.
+  struct Cfg { int vcs, depth, bits; };
+  for (const Cfg c : {Cfg{4, 4, 128}, Cfg{2, 4, 128}, Cfg{2, 2, 64},
+                      Cfg{1, 2, 32}}) {
+    RouterAreaParams p;
+    p.num_vcs = c.vcs;
+    p.vc_depth = c.depth;
+    p.flit_bits = c.bits;
+    const AreaEstimate a = estimate_router_area(p);
+    EXPECT_LT(a.overhead(), 0.02)
+        << c.vcs << " VCs x " << c.depth << ", " << c.bits << " bits";
+  }
+}
+
+TEST(Area, BuffersDominateSwitchArea) {
+  const AreaEstimate a = estimate_router_area(RouterAreaParams{});
+  EXPECT_GT(a.buffers, a.crossbar);
+  EXPECT_GT(a.buffers, a.allocators);
+  EXPECT_GT(a.buffers, 0.5 * a.dor_total());
+}
+
+TEST(Area, OverheadShrinksWithBufferSize) {
+  RouterAreaParams small;
+  small.num_vcs = 1;
+  small.vc_depth = 2;
+  small.flit_bits = 32;
+  RouterAreaParams big;
+  big.num_vcs = 4;
+  big.vc_depth = 8;
+  big.flit_bits = 128;
+  EXPECT_GT(estimate_router_area(small).overhead(),
+            estimate_router_area(big).overhead());
+}
+
+TEST(Area, CdorExtraIndependentOfBuffers) {
+  // The CDOR additions are routing logic only: two connectivity bits and
+  // per-port selection gates, insensitive to buffer sizing.
+  RouterAreaParams a;
+  a.vc_depth = 2;
+  RouterAreaParams b;
+  b.vc_depth = 16;
+  EXPECT_DOUBLE_EQ(estimate_router_area(a).routing_cdor_extra,
+                   estimate_router_area(b).routing_cdor_extra);
+}
+
+TEST(Area, ScalesWithStructure) {
+  RouterAreaParams base;
+  RouterAreaParams wide = base;
+  wide.flit_bits *= 2;
+  EXPECT_GT(estimate_router_area(wide).buffers,
+            estimate_router_area(base).buffers);
+  EXPECT_GT(estimate_router_area(wide).crossbar,
+            estimate_router_area(base).crossbar);
+
+  RouterAreaParams deep = base;
+  deep.vc_depth *= 2;
+  EXPECT_NEAR(estimate_router_area(deep).buffers,
+              2.0 * estimate_router_area(base).buffers, 1e-9);
+}
+
+TEST(Area, RejectsInvalidParams) {
+  RouterAreaParams p;
+  p.flit_bits = 4;
+  EXPECT_DEATH(estimate_router_area(p), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::sprint

@@ -1,0 +1,94 @@
+// Tests for the latched channels (Pipe) and VC buffers.
+#include <gtest/gtest.h>
+
+#include "noc/buffer.hpp"
+#include "noc/channel.hpp"
+
+namespace nocs::noc {
+namespace {
+
+TEST(Pipe, ValueInvisibleBeforeLatency) {
+  Pipe<int> p(2);
+  p.push(/*now=*/10, 42);
+  EXPECT_FALSE(p.ready(10));
+  EXPECT_FALSE(p.ready(11));
+  EXPECT_TRUE(p.ready(12));
+  EXPECT_TRUE(p.ready(20));  // stays ready until popped
+  EXPECT_EQ(p.pop(12), 42);
+  EXPECT_FALSE(p.ready(12));
+}
+
+TEST(Pipe, FifoOrder) {
+  Pipe<int> p(1);
+  p.push(0, 1);
+  p.push(0, 2);
+  p.push(1, 3);
+  EXPECT_EQ(p.pop(5), 1);
+  EXPECT_EQ(p.pop(5), 2);
+  EXPECT_EQ(p.pop(5), 3);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Pipe, FrontPeeksWithoutConsuming) {
+  Pipe<int> p(1);
+  p.push(0, 9);
+  EXPECT_EQ(p.front(1), 9);
+  EXPECT_EQ(p.size(), 1u);
+  EXPECT_EQ(p.pop(1), 9);
+}
+
+TEST(Pipe, ZeroLatencyImmediatelyVisible) {
+  Pipe<int> p(0);
+  p.push(5, 7);
+  EXPECT_TRUE(p.ready(5));
+}
+
+TEST(Pipe, PopBeforeReadyDies) {
+  Pipe<int> p(3);
+  p.push(0, 1);
+  EXPECT_DEATH(p.pop(1), "precondition");
+}
+
+TEST(Pipe, MultipleReadyAtSameCycle) {
+  Pipe<int> p(1);
+  p.push(0, 10);
+  p.push(0, 20);
+  int drained = 0;
+  while (p.ready(1)) {
+    p.pop(1);
+    ++drained;
+  }
+  EXPECT_EQ(drained, 2);
+}
+
+TEST(VcBuffer, PushPopFifo) {
+  VcBuffer b(4);
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.capacity(), 4);
+  Flit f;
+  for (int i = 0; i < 4; ++i) {
+    f.index = i;
+    b.push(f);
+  }
+  EXPECT_TRUE(b.full());
+  EXPECT_EQ(b.size(), 4);
+  EXPECT_EQ(b.front().index, 0);
+  EXPECT_EQ(b.pop().index, 0);
+  EXPECT_EQ(b.pop().index, 1);
+  EXPECT_FALSE(b.full());
+  EXPECT_EQ(b.size(), 2);
+}
+
+TEST(VcBuffer, OverflowIsAProtocolBug) {
+  VcBuffer b(1);
+  b.push(Flit{});
+  EXPECT_DEATH(b.push(Flit{}), "invariant");
+}
+
+TEST(VcBuffer, PopEmptyDies) {
+  VcBuffer b(2);
+  EXPECT_DEATH(b.pop(), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::noc

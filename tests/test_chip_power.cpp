@@ -1,0 +1,121 @@
+// Tests for the McPAT-style chip power model, including the Figure 3
+// NoC-share calibration.
+#include <gtest/gtest.h>
+
+#include "power/chip_power.hpp"
+
+namespace nocs::power {
+namespace {
+
+TEST(ChipPower, BreakdownSumsToTotal) {
+  const ChipPowerModel m(ChipPowerParams{});
+  const ChipPowerBreakdown b = m.nominal();
+  EXPECT_NEAR(b.total(), b.cores + b.l2 + b.noc + b.mc + b.others, 1e-12);
+}
+
+TEST(ChipPower, Fig3NocShares) {
+  // Paper: 18% / 26% / 35% / 42% for 4/8/16/32 cores at nominal.
+  const double expected[] = {0.18, 0.26, 0.35, 0.42};
+  const int cores[] = {4, 8, 16, 32};
+  for (int i = 0; i < 4; ++i) {
+    ChipPowerParams p;
+    p.num_cores = cores[i];
+    const ChipPowerBreakdown b = ChipPowerModel(p).nominal();
+    EXPECT_NEAR(b.noc / b.total(), expected[i], 0.025)
+        << cores[i] << " cores";
+  }
+}
+
+TEST(ChipPower, NocShareMonotonicInCoreCount) {
+  double prev = 0.0;
+  for (int n : {4, 8, 16, 32, 64}) {
+    ChipPowerParams p;
+    p.num_cores = n;
+    const ChipPowerBreakdown b = ChipPowerModel(p).nominal();
+    const double share = b.noc / b.total();
+    EXPECT_GT(share, prev);
+    prev = share;
+  }
+}
+
+TEST(ChipPower, ActiveCoreShareShrinksWithDarkSilicon) {
+  double prev = 1.0;
+  for (int n : {4, 8, 16, 32}) {
+    ChipPowerParams p;
+    p.num_cores = n;
+    const ChipPowerBreakdown b = ChipPowerModel(p).nominal();
+    const double share = b.cores / b.total();
+    EXPECT_LT(share, prev);
+    prev = share;
+  }
+}
+
+TEST(ChipPower, CorePowerByState) {
+  ChipPowerParams p;
+  const ChipPowerModel m(p);
+  EXPECT_DOUBLE_EQ(m.core_power(16, CoreState::kGated), 16 * p.core_active);
+  EXPECT_DOUBLE_EQ(m.core_power(0, CoreState::kGated), 16 * p.core_gated);
+  EXPECT_DOUBLE_EQ(m.core_power(4, CoreState::kIdle),
+                   4 * p.core_active + 12 * p.core_idle);
+  EXPECT_DOUBLE_EQ(m.core_power(4, CoreState::kGated),
+                   4 * p.core_active + 12 * p.core_gated);
+  // Gating strictly beats idling for the same sprint level.
+  EXPECT_LT(m.core_power(4, CoreState::kGated),
+            m.core_power(4, CoreState::kIdle));
+}
+
+TEST(ChipPower, NocPowerByActiveNodes) {
+  ChipPowerParams p;
+  const ChipPowerModel m(p);
+  EXPECT_DOUBLE_EQ(m.noc_power(16), 16 * p.noc_per_node);
+  EXPECT_DOUBLE_EQ(m.noc_power(0), 16 * p.noc_gated_node);
+  EXPECT_LT(m.noc_power(4), m.noc_power(16));
+}
+
+TEST(ChipPower, BreakdownMatchesStates) {
+  ChipPowerParams p;
+  const ChipPowerModel m(p);
+  std::vector<CoreState> cores(16, CoreState::kGated);
+  cores[0] = cores[1] = CoreState::kActive;
+  cores[2] = CoreState::kIdle;
+  std::vector<bool> gated(16, true);
+  gated[0] = gated[1] = false;
+  const ChipPowerBreakdown b = m.breakdown(cores, gated);
+  EXPECT_NEAR(b.cores, 2 * p.core_active + p.core_idle + 13 * p.core_gated,
+              1e-9);
+  EXPECT_NEAR(b.noc, 2 * p.noc_per_node + 14 * p.noc_gated_node, 1e-9);
+  EXPECT_NEAR(b.l2, 16 * p.l2_tile, 1e-9);  // L2 never gated
+}
+
+TEST(ChipPower, BreakdownWithExternalNoc) {
+  const ChipPowerModel m(ChipPowerParams{});
+  const std::vector<CoreState> cores(16, CoreState::kActive);
+  const ChipPowerBreakdown b = m.breakdown_with_noc(cores, 3.21);
+  EXPECT_DOUBLE_EQ(b.noc, 3.21);
+}
+
+TEST(ChipPower, McCountScalesWithCores) {
+  ChipPowerParams p;
+  p.cores_per_mc = 16;
+  p.num_cores = 4;
+  EXPECT_EQ(p.num_mcs(), 1);
+  p.num_cores = 32;
+  EXPECT_EQ(p.num_mcs(), 2);
+  p.num_cores = 64;
+  EXPECT_EQ(p.num_mcs(), 4);
+}
+
+TEST(ChipPower, ValidationRejectsNonsense) {
+  ChipPowerParams p;
+  p.core_idle = p.core_active + 1.0;  // idle hotter than active
+  EXPECT_DEATH(ChipPowerModel{p}, "precondition");
+}
+
+TEST(ChipPower, WrongVectorSizeDies) {
+  const ChipPowerModel m(ChipPowerParams{});
+  const std::vector<CoreState> wrong(8, CoreState::kActive);
+  EXPECT_DEATH(m.breakdown_with_noc(wrong, 1.0), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::power

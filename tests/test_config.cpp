@@ -1,0 +1,88 @@
+// Tests for the key=value configuration store.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/config.hpp"
+
+namespace nocs {
+namespace {
+
+TEST(Config, DefaultsWhenAbsent) {
+  Config c;
+  EXPECT_FALSE(c.has("x"));
+  EXPECT_EQ(c.get_string("x", "d"), "d");
+  EXPECT_EQ(c.get_int("x", 7), 7);
+  EXPECT_DOUBLE_EQ(c.get_double("x", 1.5), 1.5);
+  EXPECT_TRUE(c.get_bool("x", true));
+}
+
+TEST(Config, SetAndGet) {
+  Config c;
+  c.set("name", "dedup");
+  c.set_int("level", 4);
+  c.set_double("rate", 0.25);
+  c.set_bool("gate", true);
+  EXPECT_EQ(c.get_string("name", ""), "dedup");
+  EXPECT_EQ(c.get_int("level", 0), 4);
+  EXPECT_DOUBLE_EQ(c.get_double("rate", 0.0), 0.25);
+  EXPECT_TRUE(c.get_bool("gate", false));
+}
+
+TEST(Config, FromArgs) {
+  const char* argv[] = {"prog", "width=8", "rate=0.3", "traffic=uniform"};
+  const Config c = Config::from_args(4, argv);
+  EXPECT_EQ(c.get_int("width", 0), 8);
+  EXPECT_DOUBLE_EQ(c.get_double("rate", 0.0), 0.3);
+  EXPECT_EQ(c.get_string("traffic", ""), "uniform");
+}
+
+TEST(Config, FromArgsRejectsMalformed) {
+  const char* bad1[] = {"prog", "novalue"};
+  EXPECT_THROW(Config::from_args(2, bad1), std::invalid_argument);
+  const char* bad2[] = {"prog", "=5"};
+  EXPECT_THROW(Config::from_args(2, bad2), std::invalid_argument);
+}
+
+TEST(Config, MalformedTypedValueThrows) {
+  Config c;
+  c.set("n", "12abc");
+  EXPECT_THROW(c.get_int("n", 0), std::invalid_argument);
+  c.set("d", "1.5x");
+  EXPECT_THROW(c.get_double("d", 0.0), std::invalid_argument);
+  c.set("b", "maybe");
+  EXPECT_THROW(c.get_bool("b", false), std::invalid_argument);
+}
+
+TEST(Config, BoolSpellings) {
+  Config c;
+  for (const char* s : {"true", "1", "yes"}) {
+    c.set("b", s);
+    EXPECT_TRUE(c.get_bool("b", false)) << s;
+  }
+  for (const char* s : {"false", "0", "no"}) {
+    c.set("b", s);
+    EXPECT_FALSE(c.get_bool("b", true)) << s;
+  }
+}
+
+TEST(Config, OverwriteAndKeys) {
+  Config c;
+  c.set("a", "1");
+  c.set("a", "2");
+  c.set("b", "3");
+  EXPECT_EQ(c.get_string("a", ""), "2");
+  const auto keys = c.keys();
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], "a");
+  EXPECT_EQ(keys[1], "b");
+}
+
+TEST(Config, ValueWithEqualsSign) {
+  const char* argv[] = {"prog", "expr=a=b"};
+  const Config c = Config::from_args(2, argv);
+  EXPECT_EQ(c.get_string("expr", ""), "a=b");
+}
+
+}  // namespace
+}  // namespace nocs

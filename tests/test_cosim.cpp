@@ -1,0 +1,87 @@
+// Tests for the CMP <-> NoC co-simulation loop.
+#include <gtest/gtest.h>
+
+#include "sprint/cosim.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+noc::NetworkParams table1() { return noc::NetworkParams{}; }
+
+CosimConfig quick(std::uint64_t seed = 7) {
+  CosimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 3000;
+  cfg.seed = seed;
+  return cfg;
+}
+
+TEST(Cosim, LevelMatchesOfflineProfile) {
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  for (const char* name : {"dedup", "vips", "blackscholes"}) {
+    const auto& w = cmp::find_workload(suite, name);
+    const CosimResult r = cosimulate(table1(), w, pm, quick());
+    EXPECT_EQ(r.level, pm.optimal_level(w)) << name;
+  }
+}
+
+TEST(Cosim, LatencyAndPowerGapsForMidLevel) {
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& dedup = cmp::find_workload(suite, "dedup");  // level 4
+  const CosimResult r = cosimulate(table1(), dedup, pm, quick());
+  EXPECT_FALSE(r.full_saturated);
+  EXPECT_FALSE(r.noc_saturated);
+  EXPECT_LT(r.noc_latency, r.full_latency);
+  EXPECT_LT(r.noc_noc_power, 0.4 * r.full_noc_power);
+}
+
+TEST(Cosim, FeedbackSpeedsUpNocSprintBeyondBaseModel) {
+  // CDOR's measured latency is below the full-network reference, so the
+  // coupled execution time must be (slightly) below the base T(k).
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& canneal = cmp::find_workload(suite, "canneal");  // gamma 0.30
+  const CosimResult r = cosimulate(table1(), canneal, pm, quick());
+  EXPECT_LT(r.exec_noc, pm.exec_time(canneal, r.level));
+  // The full run uses its own latency as reference: no adjustment.
+  EXPECT_NEAR(r.exec_full, pm.exec_time(canneal, 16), 1e-12);
+}
+
+TEST(Cosim, Level16IsAWash) {
+  // blackscholes sprints all 16 cores: both configurations are the full
+  // mesh, so latency and power must be close and exec_noc ~ exec_full.
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& bs = cmp::find_workload(suite, "blackscholes");
+  const CosimResult r = cosimulate(table1(), bs, pm, quick());
+  EXPECT_NEAR(r.noc_latency, r.full_latency, 0.1 * r.full_latency);
+  EXPECT_NEAR(r.noc_noc_power, r.full_noc_power, 0.1 * r.full_noc_power);
+}
+
+TEST(Cosim, DeterministicForSameSeed) {
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& w = cmp::find_workload(suite, "ferret");
+  const CosimResult a = cosimulate(table1(), w, pm, quick(11));
+  const CosimResult b = cosimulate(table1(), w, pm, quick(11));
+  EXPECT_EQ(a.noc_latency, b.noc_latency);
+  EXPECT_EQ(a.full_latency, b.full_latency);
+  EXPECT_EQ(a.exec_noc, b.exec_noc);
+}
+
+TEST(Cosim, SerialWorkloadSimulatedAtMinimumSize) {
+  const cmp::PerfModel pm(16);
+  cmp::WorkloadParams serial;
+  serial.name = "allserial";
+  serial.serial_frac = 0.99;
+  serial.alpha = 0.05;
+  serial.injection_rate = 0.05;
+  const CosimResult r = cosimulate(table1(), serial, pm, quick());
+  EXPECT_EQ(r.level, 1);
+  EXPECT_GT(r.noc_latency, 0.0);  // simulated at the 2-node minimum
+}
+
+}  // namespace
+}  // namespace nocs::sprint

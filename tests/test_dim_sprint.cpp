@@ -1,0 +1,141 @@
+// Tests for the dim-sprinting planner.
+#include <gtest/gtest.h>
+
+#include "sprint/dim_sprint.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+class DimTest : public ::testing::Test {
+ protected:
+  DimTest()
+      : perf_(16),
+        chip_(power::ChipPowerParams{}),
+        pcm_(thermal::PcmParams{}),
+        planner_(perf_, chip_, pcm_,
+                 {{1.0, 2.0e9}, {0.9, 1.5e9}, {0.75, 1.0e9}}) {}
+
+  cmp::PerfModel perf_;
+  power::ChipPowerModel chip_;
+  thermal::PcmModel pcm_;
+  DimSprintPlanner planner_;
+};
+
+TEST_F(DimTest, ReferencePointReproducesReferenceCorePower) {
+  EXPECT_NEAR(planner_.core_power_at(power::kReferencePoint),
+              chip_.params().core_active, 1e-12);
+}
+
+TEST_F(DimTest, LowerOperatingPointLowerCorePower) {
+  const Watts hi = planner_.core_power_at({1.0, 2.0e9});
+  const Watts mid = planner_.core_power_at({0.9, 1.5e9});
+  const Watts lo = planner_.core_power_at({0.75, 1.0e9});
+  EXPECT_GT(hi, mid);
+  EXPECT_GT(mid, lo);
+  // Dynamic portion scales with V^2 f: at (0.75, 1 GHz) the dynamic part
+  // drops to 0.28x, so total must be well under half.
+  EXPECT_LT(lo, 0.5 * hi);
+}
+
+TEST_F(DimTest, ChipPowerMonotonicInLevel) {
+  for (const power::OperatingPoint op :
+       {power::OperatingPoint{1.0, 2.0e9}, power::OperatingPoint{0.75, 1.0e9}}) {
+    double prev = 0.0;
+    for (int level : {1, 4, 8, 16}) {
+      const Watts p = planner_.chip_power_at(level, op);
+      EXPECT_GT(p, prev);
+      prev = p;
+    }
+  }
+}
+
+TEST_F(DimTest, ChipPowerAtReferenceMatchesControllerModel) {
+  // At max V/f the dim planner's chip power must agree with the
+  // ChipPowerModel-based accounting used everywhere else.
+  const auto& p = chip_.params();
+  const Watts expected = chip_.core_power(4, power::CoreState::kGated) +
+                         chip_.noc_power(4) + p.l2_tile * 16 +
+                         p.mc_each * p.num_mcs() + p.others;
+  EXPECT_NEAR(planner_.chip_power_at(4, power::kReferencePoint), expected,
+              1e-9);
+}
+
+TEST_F(DimTest, ExecSecondsStretchWithFrequency) {
+  const auto suite = cmp::parsec_suite(16);
+  const auto& w = suite.front();
+  const double at_2g = planner_.exec_seconds(w, 8, {1.0, 2.0e9});
+  const double at_1g = planner_.exec_seconds(w, 8, {0.75, 1.0e9});
+  EXPECT_NEAR(at_1g / at_2g, 2.0, 1e-9);
+}
+
+TEST_F(DimTest, EnumerateCoversLevelsTimesOps) {
+  const auto suite = cmp::parsec_suite(16);
+  const auto options = planner_.enumerate(suite.front());
+  EXPECT_EQ(options.size(), 3u * 16u);
+  for (const DimOption& o : options) {
+    EXPECT_GE(o.level, 1);
+    EXPECT_LE(o.level, 16);
+    EXPECT_GT(o.chip_power, 0.0);
+    EXPECT_GT(o.exec_seconds, 0.0);
+    EXPECT_GT(o.sprint_duration, 0.0);
+  }
+}
+
+TEST_F(DimTest, BestRespectsBudget) {
+  const auto suite = cmp::parsec_suite(16);
+  for (const auto& w : suite) {
+    for (Watts budget : {25.0, 40.0, 60.0, 100.0}) {
+      const DimOption best = planner_.best_under_budget(w, budget);
+      EXPECT_LE(best.chip_power, budget) << w.name;
+    }
+  }
+}
+
+TEST_F(DimTest, UnlimitedBudgetMatchesOfflineOptimum) {
+  // With no budget pressure, the best dim option is the paper's policy:
+  // the perf-model optimum at maximum V/f.
+  const auto suite = cmp::parsec_suite(16);
+  for (const auto& w : suite) {
+    const DimOption best = planner_.best_under_budget(w, 1e9);
+    EXPECT_EQ(best.level, perf_.optimal_level(w)) << w.name;
+    EXPECT_DOUBLE_EQ(best.op.frequency, 2.0e9) << w.name;
+  }
+}
+
+TEST_F(DimTest, TightBudgetCanPreferDimWidth) {
+  // At a tight budget a perfectly-scaling workload takes more, slower
+  // cores (verified against the ablation bench's finding).
+  cmp::WorkloadParams w;
+  w.name = "embarrassing";
+  w.serial_frac = 0.01;
+  w.alpha = 0.0;
+  w.beta = 0.0;
+  w.injection_rate = 0.1;
+  const DimOption best = planner_.best_under_budget(w, 25.0);
+  const DimSprintPlanner dark(perf_, chip_, pcm_, {{1.0, 2.0e9}});
+  const DimOption dark_best = dark.best_under_budget(w, 25.0);
+  EXPECT_LE(best.exec_seconds, dark_best.exec_seconds + 1e-12);
+  EXPECT_GE(best.level, dark_best.level);
+}
+
+TEST_F(DimTest, ImpossibleBudgetDies) {
+  const auto suite = cmp::parsec_suite(16);
+  EXPECT_DEATH(planner_.best_under_budget(suite.front(), 1.0),
+               "precondition");
+}
+
+TEST_F(DimTest, DurationLongerAtLowerPower) {
+  const auto suite = cmp::parsec_suite(16);
+  const auto& w = suite.front();
+  const auto options = planner_.enumerate(w);
+  for (const DimOption& a : options) {
+    for (const DimOption& b : options) {
+      if (a.chip_power < b.chip_power) {
+        EXPECT_GE(a.sprint_duration, b.sprint_duration);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nocs::sprint

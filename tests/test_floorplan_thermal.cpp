@@ -1,0 +1,173 @@
+// Tests for the floorplan rasterization and the HotSpot-style grid solver.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "thermal/grid.hpp"
+
+namespace nocs::thermal {
+namespace {
+
+TEST(Floorplan, PowerMapConservesTotalPower) {
+  Floorplan fp(10.0, 10.0);
+  fp.add_block({"a", 0.0, 0.0, 5.0, 5.0, 7.0});
+  fp.add_block({"b", 5.0, 5.0, 5.0, 5.0, 3.0});
+  for (int cells : {4, 16, 33}) {
+    const std::vector<Watts> map = fp.power_map(cells, cells);
+    const double sum = std::accumulate(map.begin(), map.end(), 0.0);
+    EXPECT_NEAR(sum, 10.0, 1e-6) << cells;
+  }
+  EXPECT_DOUBLE_EQ(fp.total_power(), 10.0);
+}
+
+TEST(Floorplan, PowerLandsInTheRightCells) {
+  Floorplan fp(8.0, 8.0);
+  fp.add_block({"hot", 0.0, 0.0, 4.0, 4.0, 4.0});  // top-left quadrant
+  const std::vector<Watts> map = fp.power_map(4, 4);
+  // Cells are 2x2 mm; the block covers cells (0,0),(1,0),(0,1),(1,1).
+  EXPECT_NEAR(map[0], 1.0, 1e-9);
+  EXPECT_NEAR(map[1], 1.0, 1e-9);
+  EXPECT_NEAR(map[4], 1.0, 1e-9);
+  EXPECT_NEAR(map[5], 1.0, 1e-9);
+  EXPECT_NEAR(map[15], 0.0, 1e-9);  // bottom-right empty
+}
+
+TEST(Floorplan, PartialOverlapSplitsProportionally) {
+  Floorplan fp(4.0, 4.0);
+  fp.add_block({"straddle", 1.0, 0.0, 2.0, 2.0, 2.0});  // spans 2 cells
+  const std::vector<Watts> map = fp.power_map(2, 2);
+  EXPECT_NEAR(map[0], 1.0, 1e-9);
+  EXPECT_NEAR(map[1], 1.0, 1e-9);
+}
+
+TEST(Floorplan, RejectsOutOfDieBlocks) {
+  Floorplan fp(5.0, 5.0);
+  EXPECT_DEATH(fp.add_block({"bad", 4.0, 0.0, 2.0, 1.0, 1.0}),
+               "precondition");
+}
+
+TEST(CmpFloorplan, BuildsGridOfNodeBlocks) {
+  const MeshShape mesh(4, 4);
+  std::vector<Watts> powers(16, 1.0);
+  const Floorplan fp = make_cmp_floorplan(mesh, 12.0, 12.0, powers,
+                                          identity_positions(16));
+  ASSERT_EQ(fp.blocks().size(), 16u);
+  EXPECT_DOUBLE_EQ(fp.total_power(), 16.0);
+  EXPECT_DOUBLE_EQ(fp.blocks()[0].w_mm, 3.0);
+  // Node 5 = (1,1) sits at (3mm, 3mm) under identity placement.
+  EXPECT_DOUBLE_EQ(fp.blocks()[5].x_mm, 3.0);
+  EXPECT_DOUBLE_EQ(fp.blocks()[5].y_mm, 3.0);
+}
+
+TEST(CmpFloorplan, PositionsRemapPhysicalSlots) {
+  const MeshShape mesh(2, 2);
+  std::vector<Watts> powers = {5.0, 0.0, 0.0, 0.0};
+  std::vector<int> positions = {3, 1, 2, 0};  // logical 0 -> slot 3
+  const Floorplan fp = make_cmp_floorplan(mesh, 10.0, 10.0, powers, positions);
+  EXPECT_DOUBLE_EQ(fp.blocks()[0].x_mm, 5.0);  // slot 3 = (1,1)
+  EXPECT_DOUBLE_EQ(fp.blocks()[0].y_mm, 5.0);
+  EXPECT_DOUBLE_EQ(fp.blocks()[0].power, 5.0);
+}
+
+class SolverTest : public ::testing::Test {
+ protected:
+  GridThermalParams gp_;
+  static constexpr double kDie = 12.0;
+};
+
+TEST_F(SolverTest, ZeroPowerStaysAmbient) {
+  const GridThermalModel model(gp_, kDie, kDie);
+  Floorplan fp(kDie, kDie);
+  const TemperatureField field = model.solve_steady(fp);
+  EXPECT_NEAR(field.peak(), gp_.ambient, 1e-3);
+  EXPECT_NEAR(field.average(), gp_.ambient, 1e-3);
+}
+
+TEST_F(SolverTest, UniformPowerPeaksInCenter) {
+  const GridThermalModel model(gp_, kDie, kDie);
+  Floorplan fp(kDie, kDie);
+  fp.add_block({"all", 0.0, 0.0, kDie, kDie, 60.0});
+  const TemperatureField field = model.solve_steady(fp);
+  const int cx = field.die_cells_x() / 2;
+  const int cy = field.die_cells_y() / 2;
+  EXPECT_GT(field.at(cx, cy), field.at(0, 0));
+  EXPECT_GT(field.at(cx, cy), gp_.ambient + 5.0);
+  // Four corners roughly equal by symmetry.
+  const int mx = field.die_cells_x() - 1;
+  const int my = field.die_cells_y() - 1;
+  EXPECT_NEAR(field.at(0, 0), field.at(mx, my), 0.5);
+  EXPECT_NEAR(field.at(mx, 0), field.at(0, my), 0.5);
+}
+
+TEST_F(SolverTest, HotBlockCreatesLocalHotspot) {
+  const GridThermalModel model(gp_, kDie, kDie);
+  Floorplan fp(kDie, kDie);
+  fp.add_block({"hot", 0.0, 0.0, 3.0, 3.0, 10.0});  // top-left corner
+  const TemperatureField field = model.solve_steady(fp);
+  EXPECT_GT(field.at(1, 1), field.at(field.die_cells_x() - 2,
+                                     field.die_cells_y() - 2) + 3.0);
+}
+
+TEST_F(SolverTest, MorePowerMeansHotter) {
+  const GridThermalModel model(gp_, kDie, kDie);
+  double prev_peak = 0.0;
+  for (double p : {10.0, 30.0, 60.0}) {
+    Floorplan fp(kDie, kDie);
+    fp.add_block({"all", 0.0, 0.0, kDie, kDie, p});
+    const Kelvin peak = model.solve_steady(fp).peak();
+    EXPECT_GT(peak, prev_peak);
+    prev_peak = peak;
+  }
+}
+
+TEST_F(SolverTest, SteadyStateIsLinearInPower) {
+  // The model is linear: doubling power doubles the temperature rise.
+  const GridThermalModel model(gp_, kDie, kDie);
+  Floorplan fp1(kDie, kDie);
+  fp1.add_block({"a", 0.0, 0.0, kDie, kDie, 20.0});
+  Floorplan fp2(kDie, kDie);
+  fp2.add_block({"a", 0.0, 0.0, kDie, kDie, 40.0});
+  const double rise1 = model.solve_steady(fp1).peak() - gp_.ambient;
+  const double rise2 = model.solve_steady(fp2).peak() - gp_.ambient;
+  EXPECT_NEAR(rise2 / rise1, 2.0, 0.02);
+}
+
+TEST_F(SolverTest, TransientConvergesToSteadyState) {
+  const GridThermalModel model(gp_, kDie, kDie);
+  Floorplan fp(kDie, kDie);
+  fp.add_block({"all", 0.0, 0.0, kDie, kDie, 40.0});
+  const TemperatureField steady = model.solve_steady(fp);
+  TemperatureField field = model.ambient_field();
+  model.step_transient(fp, field, 60.0);  // long enough to settle
+  EXPECT_NEAR(field.peak(), steady.peak(), 1.0);
+  EXPECT_NEAR(field.average(), steady.average(), 1.0);
+}
+
+TEST_F(SolverTest, TransientHeatsMonotonically) {
+  const GridThermalModel model(gp_, kDie, kDie);
+  Floorplan fp(kDie, kDie);
+  fp.add_block({"all", 0.0, 0.0, kDie, kDie, 50.0});
+  TemperatureField field = model.ambient_field();
+  double prev = gp_.ambient;
+  for (int i = 0; i < 5; ++i) {
+    model.step_transient(fp, field, 0.05);
+    EXPECT_GT(field.peak(), prev);
+    prev = field.peak();
+  }
+}
+
+TEST_F(SolverTest, StableDtPositiveAndSmall) {
+  const GridThermalModel model(gp_, kDie, kDie);
+  EXPECT_GT(model.stable_dt(), 0.0);
+  EXPECT_LT(model.stable_dt(), 0.1);
+}
+
+TEST(Heatmap, RendersExpectedShape) {
+  TemperatureField field(20, 20, 2, 300.0);
+  const std::string map = render_heatmap(field, 16, 8);
+  EXPECT_EQ(std::count(map.begin(), map.end(), '\n'), 8);
+  EXPECT_EQ(map.size(), 8u * 17u);  // 16 chars + newline per row
+}
+
+}  // namespace
+}  // namespace nocs::thermal

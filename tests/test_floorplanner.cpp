@@ -1,0 +1,110 @@
+// Tests for Algorithms 3 & 4 — the thermal-aware floorplanner.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sprint/floorplanner.hpp"
+#include "sprint/topology.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+TEST(Floorplanner, PositionsFormAPermutation) {
+  for (auto [w, h] : {std::pair{4, 4}, std::pair{2, 2}, std::pair{5, 3},
+                      std::pair{8, 8}}) {
+    const MeshShape mesh(w, h);
+    const FloorplanResult r = thermal_aware_floorplan(mesh, 0);
+    ASSERT_EQ(static_cast<int>(r.positions.size()), mesh.size());
+    std::set<int> slots(r.positions.begin(), r.positions.end());
+    EXPECT_EQ(static_cast<int>(slots.size()), mesh.size())
+        << w << "x" << h;
+    for (int s : slots) EXPECT_TRUE(mesh.valid(s));
+  }
+}
+
+TEST(Floorplanner, MasterStaysPut) {
+  const MeshShape mesh(4, 4);
+  const FloorplanResult r = thermal_aware_floorplan(mesh, 0);
+  EXPECT_EQ(r.positions[0], 0);
+}
+
+TEST(Floorplanner, Deterministic) {
+  const MeshShape mesh(4, 4);
+  const FloorplanResult a = thermal_aware_floorplan(mesh, 0);
+  const FloorplanResult b = thermal_aware_floorplan(mesh, 0);
+  EXPECT_EQ(a.positions, b.positions);
+  EXPECT_EQ(a.total_wire_length, b.total_wire_length);
+}
+
+TEST(Floorplanner, FourCoreSprintScattersPhysically) {
+  // The paper's Figure 5b intuition: the 4 logically-adjacent sprint nodes
+  // (0, 1, 4, 5) are spread apart physically; the identity placement
+  // clusters them in a 2x2 corner.
+  const MeshShape mesh(4, 4);
+  const FloorplanResult fp = thermal_aware_floorplan(mesh, 0);
+  const auto active = active_set(mesh, 4, 0);
+  const double spread =
+      thermal_proximity(mesh, active, fp.positions);
+  const double clustered =
+      thermal_proximity(mesh, active, identity_floorplan(mesh).positions);
+  EXPECT_LT(spread, 0.6 * clustered);
+}
+
+TEST(Floorplanner, SpreadsEverySmallSprintLevel) {
+  const MeshShape mesh(4, 4);
+  const FloorplanResult fp = thermal_aware_floorplan(mesh, 0);
+  const auto identity = identity_floorplan(mesh).positions;
+  for (int k : {2, 3, 4, 6, 8}) {
+    const auto active = active_set(mesh, k, 0);
+    EXPECT_LT(thermal_proximity(mesh, active, fp.positions),
+              thermal_proximity(mesh, active, identity))
+        << "level " << k;
+  }
+}
+
+TEST(Floorplanner, WireLengthCostIsReal) {
+  // Algorithm 3 trades wiring complexity for heat spreading (Section 3.3).
+  const MeshShape mesh(4, 4);
+  const FloorplanResult fp = thermal_aware_floorplan(mesh, 0);
+  const FloorplanResult id = identity_floorplan(mesh);
+  EXPECT_GT(fp.total_wire_length, id.total_wire_length);
+  // Identity wire length: 24 unit links in a 4x4 mesh.
+  EXPECT_DOUBLE_EQ(id.total_wire_length, 24.0);
+}
+
+TEST(Floorplanner, SecondNodeGoesFarFromMaster) {
+  // Algorithm 4's first real decision: node 1 (logically adjacent to the
+  // master) should be placed at the physical slot farthest from slot 0 —
+  // the opposite corner.
+  const MeshShape mesh(4, 4);
+  const FloorplanResult fp = thermal_aware_floorplan(mesh, 0);
+  EXPECT_EQ(fp.positions[1], 15);
+}
+
+TEST(IdentityFloorplan, IsIdentity) {
+  const MeshShape mesh(3, 3);
+  const FloorplanResult r = identity_floorplan(mesh);
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(r.positions[static_cast<std::size_t>(i)], i);
+  EXPECT_DOUBLE_EQ(r.total_wire_length, 12.0);  // 2*3 + 3*2 unit links
+}
+
+TEST(ThermalProximity, HigherWhenCloser) {
+  const MeshShape mesh(4, 4);
+  const auto identity = identity_floorplan(mesh).positions;
+  // {0,1} adjacent vs {0,15} diagonal extremes.
+  EXPECT_GT(thermal_proximity(mesh, {0, 1}, identity),
+            thermal_proximity(mesh, {0, 15}, identity));
+}
+
+TEST(Floorplanner, WorksFromOtherMasters) {
+  const MeshShape mesh(4, 4);
+  for (NodeId master : {0, 3, 12, 15}) {
+    const FloorplanResult r = thermal_aware_floorplan(mesh, master);
+    std::set<int> slots(r.positions.begin(), r.positions.end());
+    EXPECT_EQ(slots.size(), 16u) << "master " << master;
+    EXPECT_EQ(r.positions[static_cast<std::size_t>(master)], master);
+  }
+}
+
+}  // namespace
+}  // namespace nocs::sprint

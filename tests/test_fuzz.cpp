@@ -1,0 +1,117 @@
+// Randomized configuration fuzzing: flit conservation and drain
+// invariants must hold for every random combination of mesh shape, VC
+// structure, pipeline depth, message classes, traffic pattern, load, and
+// sprint level.  A single violated invariant aborts inside the simulator
+// (contract checks) or fails the conservation equations here.
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "noc/simulator.hpp"
+#include "sprint/network_builder.hpp"
+
+namespace nocs {
+namespace {
+
+struct FuzzCase {
+  noc::NetworkParams params;
+  std::string traffic;
+  double rate;
+  int level;      // 0 = full network, no sprint
+  bool protocol;
+  std::uint64_t seed;
+};
+
+FuzzCase random_case(Rng& rng) {
+  FuzzCase c;
+  c.params.width = rng.uniform_range(2, 6);
+  c.params.height = rng.uniform_range(1, 5);
+  if (c.params.width * c.params.height < 4) c.params.height += 2;
+  c.params.num_classes = rng.bernoulli(0.4) ? 2 : 1;
+  c.params.num_vcs = c.params.num_classes * rng.uniform_range(1, 3);
+  c.params.vc_depth = rng.uniform_range(1, 6);
+  c.params.packet_length = rng.uniform_range(1, 8);
+  c.params.pipeline_stages = rng.bernoulli(0.5) ? 3 : 5;
+  c.params.link_latency = rng.uniform_range(1, 3);
+  const char* kinds[] = {"uniform", "neighbor", "transpose",
+                         "bitcomp", "hotspot", "shuffle"};
+  c.traffic = kinds[rng.uniform_int(6)];
+  c.rate = 0.02 + 0.18 * rng.uniform();
+  c.level = rng.bernoulli(0.5)
+                ? rng.uniform_range(2, c.params.num_nodes())
+                : 0;
+  c.protocol = c.params.num_classes == 2 && rng.bernoulli(0.5);
+  c.seed = rng.next();
+  return c;
+}
+
+class Fuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(Fuzz, ConservationAndDrainHold) {
+  Rng rng(0xabcdef00u + static_cast<std::uint64_t>(GetParam()));
+  const FuzzCase c = random_case(rng);
+  SCOPED_TRACE(::testing::Message()
+               << c.params.width << "x" << c.params.height << " vcs="
+               << c.params.num_vcs << "/" << c.params.num_classes
+               << " depth=" << c.params.vc_depth << " pkt="
+               << c.params.packet_length << " pipe="
+               << c.params.pipeline_stages << " traffic=" << c.traffic
+               << " rate=" << c.rate << " level=" << c.level
+               << " protocol=" << c.protocol);
+
+  std::unique_ptr<noc::RoutingFunction> routing;
+  std::unique_ptr<noc::Network> net;
+  if (c.level > 0) {
+    auto bundle = sprint::make_noc_sprinting_network(c.params, c.level,
+                                                     c.traffic, c.seed);
+    routing = std::move(bundle.routing);
+    net = std::move(bundle.network);
+  } else {
+    routing = std::make_unique<noc::XyRouting>();
+    net = std::make_unique<noc::Network>(c.params, routing.get());
+    net->set_endpoints(c.params.shape().all_nodes(),
+                       noc::make_traffic(c.traffic, c.params.num_nodes()));
+    net->set_seed(c.seed);
+  }
+  if (c.protocol) net->set_request_reply(1, c.params.packet_length);
+
+  net->set_injection_rate(c.rate);
+  net->run(3000);
+  net->set_injection_rate(0.0);
+  bool drained = false;
+  for (int i = 0; i < 200000; ++i) {
+    net->tick();
+    if (net->drained()) {
+      drained = true;
+      break;
+    }
+  }
+  ASSERT_TRUE(drained) << "deadlock/livelock";
+
+  const noc::RouterCounters counters = net->total_counters();
+  EXPECT_EQ(counters.buffer_writes, counters.buffer_reads);
+  EXPECT_EQ(counters.buffer_reads, counters.xbar_traversals);
+
+  std::uint64_t ejected = 0, injected = 0;
+  for (NodeId id = 0; id < net->num_nodes(); ++id) {
+    ejected += net->ni(id).total_ejected_flits();
+    // Generated packet lengths vary in protocol mode; count flits via the
+    // conservation identity instead of recomputing lengths.
+    injected += net->ni(id).total_generated();
+  }
+  EXPECT_EQ(counters.xbar_traversals, counters.link_flits + ejected);
+  if (!c.protocol) {
+    EXPECT_EQ(ejected,
+              injected * static_cast<std::uint64_t>(c.params.packet_length));
+  } else {
+    // requests are 1 flit, replies packet_length; replies == requests.
+    EXPECT_EQ(injected % 2, 0u);
+    EXPECT_EQ(ejected,
+              (injected / 2) *
+                  (1u + static_cast<std::uint64_t>(c.params.packet_length)));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, Fuzz, ::testing::Range(0, 40));
+
+}  // namespace
+}  // namespace nocs

@@ -1,0 +1,130 @@
+// Unit and property tests for the mesh geometry primitives.
+#include <gtest/gtest.h>
+
+#include "common/geometry.hpp"
+
+namespace nocs {
+namespace {
+
+TEST(Coord, EqualityAndOrdering) {
+  EXPECT_EQ((Coord{1, 2}), (Coord{1, 2}));
+  EXPECT_NE((Coord{1, 2}), (Coord{2, 1}));
+  EXPECT_LT((Coord{0, 1}), (Coord{1, 0}));  // lexicographic on (x, y)
+}
+
+TEST(Distances, EuclideanSquared) {
+  EXPECT_EQ(euclidean_sq({0, 0}, {0, 0}), 0);
+  EXPECT_EQ(euclidean_sq({0, 0}, {3, 4}), 25);
+  EXPECT_EQ(euclidean_sq({1, 1}, {0, 0}), 2);
+  // Symmetric.
+  EXPECT_EQ(euclidean_sq({2, 5}, {7, 1}), euclidean_sq({7, 1}, {2, 5}));
+}
+
+TEST(Distances, EuclideanMatchesSquareRoot) {
+  EXPECT_DOUBLE_EQ(euclidean({0, 0}, {3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(euclidean({1, 1}, {1, 1}), 0.0);
+}
+
+TEST(Distances, ManhattanAndHammingAgree) {
+  EXPECT_EQ(manhattan({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(hamming({0, 0}, {3, 4}), 7);
+  EXPECT_EQ(manhattan({5, 2}, {1, 7}), 9);
+}
+
+TEST(Distances, TriangleInequalityManhattan) {
+  const Coord pts[] = {{0, 0}, {3, 1}, {1, 4}, {2, 2}, {4, 0}};
+  for (const Coord a : pts)
+    for (const Coord b : pts)
+      for (const Coord c : pts)
+        EXPECT_LE(manhattan(a, c), manhattan(a, b) + manhattan(b, c));
+}
+
+TEST(MeshShape, IndexCoordRoundTrip4x4) {
+  const MeshShape m(4, 4);
+  EXPECT_EQ(m.size(), 16);
+  for (NodeId id = 0; id < m.size(); ++id)
+    EXPECT_EQ(m.id_of(m.coord_of(id)), id);
+}
+
+TEST(MeshShape, RowMajorFromTopLeft) {
+  const MeshShape m(4, 4);
+  EXPECT_EQ(m.coord_of(0), (Coord{0, 0}));
+  EXPECT_EQ(m.coord_of(1), (Coord{1, 0}));
+  EXPECT_EQ(m.coord_of(4), (Coord{0, 1}));
+  EXPECT_EQ(m.coord_of(15), (Coord{3, 3}));
+  // The paper's Figure 5a example: node 5 is (1,1), node 9 is (1,2).
+  EXPECT_EQ(m.coord_of(5), (Coord{1, 1}));
+  EXPECT_EQ(m.coord_of(9), (Coord{1, 2}));
+}
+
+TEST(MeshShape, RectangularMesh) {
+  const MeshShape m(8, 2);
+  EXPECT_EQ(m.size(), 16);
+  EXPECT_EQ(m.coord_of(8), (Coord{0, 1}));
+  EXPECT_TRUE(m.contains({7, 1}));
+  EXPECT_FALSE(m.contains({8, 0}));
+  EXPECT_FALSE(m.contains({0, 2}));
+  EXPECT_FALSE(m.contains({-1, 0}));
+}
+
+TEST(MeshShape, AllNodesRowMajor) {
+  const MeshShape m(3, 2);
+  const std::vector<NodeId> nodes = m.all_nodes();
+  ASSERT_EQ(nodes.size(), 6u);
+  for (int i = 0; i < 6; ++i) EXPECT_EQ(nodes[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Ports, OppositeIsInvolution) {
+  for (Port p : {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest})
+    EXPECT_EQ(opposite(opposite(p)), p);
+}
+
+TEST(Ports, StepDirections) {
+  const Coord c{2, 2};
+  EXPECT_EQ(step(c, Port::kNorth), (Coord{2, 1}));  // y shrinks northwards
+  EXPECT_EQ(step(c, Port::kSouth), (Coord{2, 3}));
+  EXPECT_EQ(step(c, Port::kEast), (Coord{3, 2}));
+  EXPECT_EQ(step(c, Port::kWest), (Coord{1, 2}));
+  EXPECT_EQ(step(c, Port::kLocal), c);
+}
+
+TEST(Ports, StepThenOppositeReturns) {
+  const Coord c{1, 1};
+  for (Port p : {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest})
+    EXPECT_EQ(step(step(c, p), opposite(p)), c);
+}
+
+TEST(Ports, ToString) {
+  EXPECT_EQ(to_string(Port::kLocal), "local");
+  EXPECT_EQ(to_string(Port::kNorth), "north");
+  EXPECT_EQ(to_string(Coord{3, 1}), "(3,1)");
+}
+
+// Property sweep: id<->coord bijection over many mesh shapes.
+class MeshShapeSweep : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(MeshShapeSweep, BijectionAndContainment) {
+  const auto [w, h] = GetParam();
+  const MeshShape m(w, h);
+  EXPECT_EQ(m.size(), w * h);
+  std::vector<bool> seen(static_cast<std::size_t>(m.size()), false);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 0; x < w; ++x) {
+      const Coord c{x, y};
+      EXPECT_TRUE(m.contains(c));
+      const NodeId id = m.id_of(c);
+      EXPECT_TRUE(m.valid(id));
+      EXPECT_FALSE(seen[static_cast<std::size_t>(id)]);
+      seen[static_cast<std::size_t>(id)] = true;
+      EXPECT_EQ(m.coord_of(id), c);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, MeshShapeSweep,
+                         ::testing::Values(std::pair{2, 2}, std::pair{4, 4},
+                                           std::pair{8, 8}, std::pair{5, 3},
+                                           std::pair{2, 9}, std::pair{16, 1}));
+
+}  // namespace
+}  // namespace nocs

@@ -1,0 +1,207 @@
+// End-to-end integration tests: the paper's headline comparisons run
+// through the full stack (controller -> topology -> CDOR network ->
+// simulator -> power models -> PCM).
+#include <gtest/gtest.h>
+
+#include "cmp/perf_model.hpp"
+#include "noc/simulator.hpp"
+#include "power/chip_power.hpp"
+#include "power/noc_power.hpp"
+#include "common/stats.hpp"
+#include "sprint/floorplanner.hpp"
+#include "sprint/network_builder.hpp"
+#include "sprint/sprint_controller.hpp"
+#include "sprint/topology.hpp"
+#include "thermal/grid.hpp"
+#include "thermal/pcm.hpp"
+
+namespace nocs {
+namespace {
+
+noc::NetworkParams table1() {
+  noc::NetworkParams p;  // defaults are Table 1
+  return p;
+}
+
+TEST(Integration, Figure11LatencyGapAt4CoreSprint) {
+  noc::SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 4000;
+  cfg.injection_rate = 0.1;
+
+  auto noc_b = sprint::make_noc_sprinting_network(table1(), 4, "uniform", 21);
+  const noc::SimResults rn = run_simulation(*noc_b.network, cfg);
+
+  RunningStat full_lat;
+  for (std::uint64_t s = 0; s < 5; ++s) {
+    auto full_b =
+        sprint::make_full_sprinting_network(table1(), 4, "uniform", 21 + s);
+    full_lat.add(run_simulation(*full_b.network, cfg).avg_packet_latency);
+  }
+  // The paper's 4-core gap is 45%; any reproduction must show a clear
+  // double-digit cut.
+  EXPECT_LT(rn.avg_packet_latency, 0.85 * full_lat.mean());
+}
+
+TEST(Integration, Figure11EarlierSaturationForNocSprinting) {
+  // At very high load the sprint region (fewer links) saturates while the
+  // spread-out full-sprint mapping still drains.
+  noc::SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 4000;
+  cfg.drain_max = 2000;
+  cfg.injection_rate = 0.95;
+
+  auto noc_b = sprint::make_noc_sprinting_network(table1(), 8, "uniform", 33);
+  const noc::SimResults rn = run_simulation(*noc_b.network, cfg);
+  auto full_b =
+      sprint::make_full_sprinting_network(table1(), 8, "uniform", 33);
+  const noc::SimResults rf = run_simulation(*full_b.network, cfg);
+  // NoC-sprinting is at least as saturated as full-sprinting, never less.
+  EXPECT_GE(static_cast<int>(rn.saturated), static_cast<int>(rf.saturated));
+  EXPECT_TRUE(rn.saturated);
+}
+
+TEST(Integration, Figure10NetworkPowerGap) {
+  const auto rp = power::RouterPowerParams::from_network(table1());
+  const power::RouterPowerModel router_model(rp);
+  const power::LinkPowerModel link_model(128, 2.5, rp.tech, rp.op);
+
+  noc::SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 4000;
+  cfg.injection_rate = 0.15;
+
+  auto noc_b = sprint::make_noc_sprinting_network(table1(), 4, "uniform", 5);
+  const noc::SimResults rn = run_simulation(*noc_b.network, cfg);
+  const Watts p_noc = power::estimate_noc_power(*noc_b.network, router_model,
+                                                link_model, rn.cycles)
+                          .total();
+
+  auto full_b =
+      sprint::make_full_sprinting_network(table1(), 4, "uniform", 5);
+  const noc::SimResults rf = run_simulation(*full_b.network, cfg);
+  const Watts p_full = power::estimate_noc_power(
+                           *full_b.network, router_model, link_model,
+                           rf.cycles)
+                           .total();
+  EXPECT_LT(p_noc, 0.5 * p_full);  // paper: 62% saving at 4-core sprint
+}
+
+TEST(Integration, CdorNeverWakesDarkRoutersUnderStress) {
+  // Sustained high load on every sprint level: no dark router may ever
+  // receive a flit (wake_events == 0) and every measured packet drains.
+  for (int level : {2, 3, 5, 7, 8, 11, 13}) {
+    auto b = sprint::make_noc_sprinting_network(table1(), level, "uniform",
+                                                100 + level);
+    noc::SimConfig cfg;
+    cfg.warmup = 200;
+    cfg.measure = 2000;
+    cfg.injection_rate = 0.25;
+    cfg.drain_max = 200000;
+    const noc::SimResults r = run_simulation(*b.network, cfg);
+    EXPECT_EQ(b.network->total_counters().wake_events, 0u)
+        << "level " << level;
+    EXPECT_FALSE(r.saturated) << "level " << level;
+  }
+}
+
+TEST(Integration, DeadlockStressOnConvexRegions) {
+  // Near-saturation load with long drains — a deadlock would stall the
+  // drain and trip the budget.
+  for (int level : {4, 8, 12, 16}) {
+    auto b = sprint::make_noc_sprinting_network(table1(), level, "uniform",
+                                                200 + level);
+    noc::SimConfig cfg;
+    cfg.warmup = 500;
+    cfg.measure = 3000;
+    cfg.injection_rate = 0.55;
+    cfg.drain_max = 300000;
+    const noc::SimResults r = run_simulation(*b.network, cfg);
+    EXPECT_FALSE(r.saturated) << "possible deadlock at level " << level;
+    EXPECT_EQ(r.packets_ejected, r.packets_generated);
+  }
+}
+
+TEST(Integration, DynamicGatingStillDeliversEverything) {
+  noc::NetworkParams p = table1();
+  p.gate_idle_threshold = 8;
+  p.wakeup_latency = 6;
+  noc::XyRouting xy;
+  noc::Network net(p, &xy);
+  net.set_endpoints(net.params().shape().all_nodes(),
+                    noc::make_traffic("uniform", 16));
+  net.set_dynamic_gating(true);
+  net.set_seed(55);
+  noc::SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 4000;
+  cfg.injection_rate = 0.02;  // sparse: gating kicks in between packets
+  const noc::SimResults r = run_simulation(net, cfg);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.packets_ejected, r.packets_generated);
+  EXPECT_GT(net.total_counters().wake_events, 0u);
+  EXPECT_GT(net.total_counters().gated_cycles, 0u);
+}
+
+TEST(Integration, EndToEndPlanForDedupMatchesPaperStory) {
+  // The paper's Section 4.4 walk-through: dedup sprints at level 4,
+  // saving power, cutting latency, extending duration vs full-sprinting.
+  const MeshShape mesh(4, 4);
+  const cmp::PerfModel perf(16);
+  const power::ChipPowerModel chip{power::ChipPowerParams{}};
+  const thermal::PcmModel pcm{thermal::PcmParams{}};
+  const sprint::SprintController ctl(mesh, perf, chip, pcm);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& dedup = cmp::find_workload(suite, "dedup");
+
+  const auto full = ctl.plan(dedup, sprint::SprintMode::kFullSprinting);
+  const auto noc = ctl.plan(dedup, sprint::SprintMode::kNocSprinting);
+
+  EXPECT_EQ(noc.level, 4);
+  EXPECT_GT(noc.speedup, 2.0);
+  EXPECT_LT(full.speedup, 1.0);  // dedup degrades at 16 cores
+  EXPECT_LT(noc.chip_power, 0.5 * full.chip_power);
+  EXPECT_GT(noc.sprint_duration, 2.0 * full.sprint_duration);
+}
+
+TEST(Integration, ThermalOrderingAcrossSchemes) {
+  // Steady-state peaks: full > fine-grained cluster > floorplanned.
+  const MeshShape mesh(4, 4);
+  const power::ChipPowerParams chip{};
+  const thermal::GridThermalModel model(thermal::GridThermalParams{}, 12.0,
+                                        12.0);
+  auto powers = [&](const std::vector<NodeId>& active) {
+    std::vector<Watts> p(16, chip.core_gated + chip.l2_tile +
+                                 chip.noc_gated_node);
+    for (NodeId id : active)
+      p[static_cast<std::size_t>(id)] =
+          chip.core_active + chip.l2_tile + chip.noc_per_node;
+    return p;
+  };
+  const auto identity = thermal::identity_positions(16);
+  const auto remap = sprint::thermal_aware_floorplan(mesh, 0).positions;
+  const auto all = mesh.all_nodes();
+  const auto four = sprint::active_set(mesh, 4, 0);
+
+  const Kelvin full = model
+                          .solve_steady(thermal::make_cmp_floorplan(
+                              mesh, 12.0, 12.0, powers(all), identity))
+                          .peak();
+  const Kelvin fine = model
+                          .solve_steady(thermal::make_cmp_floorplan(
+                              mesh, 12.0, 12.0, powers(four), identity))
+                          .peak();
+  const Kelvin planned = model
+                             .solve_steady(thermal::make_cmp_floorplan(
+                                 mesh, 12.0, 12.0, powers(four), remap))
+                             .peak();
+  EXPECT_GT(full, fine);
+  EXPECT_GT(fine, planned);
+  // Paper magnitudes: 358.3 / 347.8 / 343.8 K.
+  EXPECT_NEAR(full, 358.3, 4.0);
+  EXPECT_NEAR(fine, 347.8, 4.0);
+}
+
+}  // namespace
+}  // namespace nocs

@@ -1,0 +1,119 @@
+// Tests for the LLC architecture / bypass-ring analysis (Section 3.4).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "sprint/llc.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+TEST(Llc, NonTiledArchitecturesGateFreely) {
+  const MeshShape mesh(4, 4);
+  for (LlcArchitecture arch :
+       {LlcArchitecture::kPrivate, LlcArchitecture::kCentralized,
+        LlcArchitecture::kNucaSeparate}) {
+    LlcParams p;
+    p.arch = arch;
+    const LlcModel model(mesh, p);
+    for (int level : {1, 4, 16}) {
+      const LlcAnalysis a = model.analyze(level);
+      EXPECT_TRUE(a.gating_safe_without_support) << to_string(arch);
+      EXPECT_EQ(a.added_avg_latency, 0.0);
+      EXPECT_EQ(a.bypass_power, 0.0);
+    }
+  }
+}
+
+TEST(Llc, TiledSharedNeedsBypassBelowFullSprint) {
+  const MeshShape mesh(4, 4);
+  LlcParams p;
+  p.arch = LlcArchitecture::kTiledShared;
+  const LlcModel model(mesh, p);
+  const LlcAnalysis a = model.analyze(4);
+  EXPECT_FALSE(a.gating_safe_without_support);
+  EXPECT_GT(a.bypass_power, 0.0);
+  EXPECT_GT(a.added_avg_latency, 0.0);
+  // Full sprint: nothing dark, no bypass needed.
+  const LlcAnalysis full = model.analyze(16);
+  EXPECT_TRUE(full.gating_safe_without_support);
+  EXPECT_EQ(full.dark_access_fraction, 0.0);
+}
+
+TEST(Llc, DarkAccessFractionIsInterleavedShare) {
+  const MeshShape mesh(4, 4);
+  LlcParams p;
+  const LlcModel model(mesh, p);
+  EXPECT_DOUBLE_EQ(model.analyze(4).dark_access_fraction, 12.0 / 16.0);
+  EXPECT_DOUBLE_EQ(model.analyze(12).dark_access_fraction, 4.0 / 16.0);
+  EXPECT_DOUBLE_EQ(model.analyze(1).dark_access_fraction, 15.0 / 16.0);
+}
+
+TEST(Llc, AddedLatencyShrinksWithLevel) {
+  const MeshShape mesh(4, 4);
+  const LlcModel model(mesh, LlcParams{});
+  double prev = 1e9;
+  for (int level : {2, 4, 8, 12, 15}) {
+    const double added = model.analyze(level).added_avg_latency;
+    EXPECT_LT(added, prev) << level;
+    prev = added;
+  }
+}
+
+TEST(Llc, BypassRoundTripIsOneFullLoop) {
+  // Unidirectional ring: request + response always sum to exactly one
+  // loop of n segments.
+  const MeshShape mesh(4, 4);
+  LlcParams p;
+  p.ring_hop_cycles = 2;
+  const LlcModel model(mesh, p);
+  EXPECT_DOUBLE_EQ(model.analyze(4).avg_bypass_round_trip, 16.0 * 2.0);
+}
+
+TEST(Llc, RingIsABoustrophedonHamiltonianWalk) {
+  const MeshShape mesh(4, 4);
+  const LlcModel model(mesh, LlcParams{});
+  const auto& ring = model.ring_order();
+  ASSERT_EQ(ring.size(), 16u);
+  // Every node once.
+  std::set<NodeId> unique(ring.begin(), ring.end());
+  EXPECT_EQ(unique.size(), 16u);
+  // Consecutive ring stops are physically adjacent (one-pitch segments),
+  // which is the point of the snake walk.
+  for (std::size_t i = 1; i < ring.size(); ++i)
+    EXPECT_EQ(manhattan(mesh.coord_of(ring[i - 1]), mesh.coord_of(ring[i])),
+              1)
+        << "segment " << i;
+  // Starts at the master's row, first row left-to-right.
+  EXPECT_EQ(ring[0], 0);
+  EXPECT_EQ(ring[3], 3);
+  EXPECT_EQ(ring[4], 7);  // second row right-to-left
+}
+
+TEST(Llc, LatencyScalesWithTrafficFraction) {
+  const MeshShape mesh(4, 4);
+  LlcParams lo;
+  lo.llc_traffic_fraction = 0.2;
+  LlcParams hi;
+  hi.llc_traffic_fraction = 0.4;
+  EXPECT_NEAR(LlcModel(mesh, hi).analyze(4).added_avg_latency,
+              2.0 * LlcModel(mesh, lo).analyze(4).added_avg_latency, 1e-12);
+}
+
+TEST(Llc, ArchitectureNames) {
+  EXPECT_STREQ(to_string(LlcArchitecture::kPrivate), "private");
+  EXPECT_STREQ(to_string(LlcArchitecture::kTiledShared), "tiled-shared");
+}
+
+TEST(Llc, RejectsBadParams) {
+  const MeshShape mesh(4, 4);
+  LlcParams p;
+  p.llc_traffic_fraction = 1.5;
+  EXPECT_DEATH(LlcModel(mesh, p), "precondition");
+  const LlcModel ok(mesh, LlcParams{});
+  EXPECT_DEATH(ok.analyze(0), "precondition");
+  EXPECT_DEATH(ok.analyze(17), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::sprint

@@ -1,0 +1,103 @@
+// Tests for the simulator -> power-model bridge.
+#include <gtest/gtest.h>
+
+#include "noc/simulator.hpp"
+#include "power/noc_power.hpp"
+#include "sprint/network_builder.hpp"
+
+namespace nocs::power {
+namespace {
+
+noc::NetworkParams params() {
+  noc::NetworkParams p;
+  p.width = 4;
+  p.height = 4;
+  return p;
+}
+
+struct Models {
+  Models()
+      : router(RouterPowerParams::from_network(params())),
+        link(params().flit_bytes * 8, 2.5, TechNode::k45nm,
+             kReferencePoint) {}
+  RouterPowerModel router;
+  LinkPowerModel link;
+};
+
+TEST(NocPower, IdleNetworkIsLeakageOnly) {
+  Models m;
+  noc::XyRouting xy;
+  noc::Network net(params(), &xy);
+  net.run(1000);
+  const NocPowerEstimate est = estimate_noc_power(net, m.router, m.link, 1000);
+  // No traffic: only leakage and clock remain.
+  EXPECT_EQ(est.routers.buffer_dynamic, 0.0);
+  EXPECT_EQ(est.routers.crossbar_dynamic, 0.0);
+  EXPECT_EQ(est.link_dynamic, 0.0);
+  EXPECT_NEAR(est.routers.leakage, 16 * m.router.leakage_power(), 1e-9);
+  // Link leakage: 48 directed mesh links in a 4x4 (24 bidirectional).
+  EXPECT_NEAR(est.link_leakage, 48 * m.link.leakage_power(), 1e-9);
+}
+
+TEST(NocPower, TrafficAddsDynamicPower) {
+  Models m;
+  noc::XyRouting xy;
+  noc::Network idle_net(params(), &xy);
+  idle_net.run(2000);
+  const Watts idle = estimate_noc_power(idle_net, m.router, m.link, 2000).total();
+
+  noc::Network busy_net(params(), &xy);
+  busy_net.set_endpoints(busy_net.params().shape().all_nodes(),
+                         noc::make_traffic("uniform", 16));
+  busy_net.set_injection_rate(0.3);
+  busy_net.set_seed(4);
+  busy_net.run(2000);
+  const Watts busy =
+      estimate_noc_power(busy_net, m.router, m.link, 2000).total();
+  EXPECT_GT(busy, idle * 1.2);
+}
+
+TEST(NocPower, GatedDarkRegionCutsLeakage) {
+  Models m;
+  noc::XyRouting xy;
+  noc::Network net(params(), &xy);
+  net.gate_dark_region({0, 1, 4, 5});
+  net.run(1000);
+  const NocPowerEstimate est = estimate_noc_power(net, m.router, m.link, 1000);
+  EXPECT_NEAR(est.routers.leakage, 4 * m.router.leakage_power(), 1e-9);
+  // Only the active nodes' outgoing links leak: nodes 0,1,4,5 have
+  // degrees 2,3,3,4 in a 4x4 mesh = 12 directed links.
+  EXPECT_NEAR(est.link_leakage, 12 * m.link.leakage_power(), 1e-9);
+}
+
+TEST(NocPower, SprintingBeatsFullForSameTraffic) {
+  Models m;
+  noc::SimConfig sim;
+  sim.warmup = 500;
+  sim.measure = 3000;
+  sim.injection_rate = 0.15;
+
+  auto noc_b = sprint::make_noc_sprinting_network(params(), 4, "uniform", 9);
+  const noc::SimResults rn = noc::run_simulation(*noc_b.network, sim);
+  const Watts noc_w =
+      estimate_noc_power(*noc_b.network, m.router, m.link, rn.cycles).total();
+
+  auto full_b =
+      sprint::make_full_sprinting_network(params(), 4, "uniform", 9);
+  const noc::SimResults rf = noc::run_simulation(*full_b.network, sim);
+  const Watts full_w =
+      estimate_noc_power(*full_b.network, m.router, m.link, rf.cycles).total();
+
+  // The paper's Figure 11b: large power gap at a 4-core sprint.
+  EXPECT_LT(noc_w, 0.6 * full_w);
+}
+
+TEST(NocPower, ZeroWindowDies) {
+  Models m;
+  noc::XyRouting xy;
+  noc::Network net(params(), &xy);
+  EXPECT_DEATH(estimate_noc_power(net, m.router, m.link, 0), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::power

@@ -1,0 +1,114 @@
+// Tests for the online hill-climbing sprint-level controller.
+#include <gtest/gtest.h>
+
+#include "cmp/perf_model.hpp"
+#include "common/rng.hpp"
+#include "sprint/online_adapt.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+/// Drives the controller with noise-free observations from the perf model
+/// for `bursts` bursts; returns the final level.
+int drive(OnlineLevelController& ctl, const cmp::PerfModel& pm,
+          const cmp::WorkloadParams& w, int bursts) {
+  for (int i = 0; i < bursts; ++i)
+    ctl.observe(pm.exec_time(w, ctl.next_level()));
+  return ctl.next_level();
+}
+
+TEST(OnlineAdapt, ConvergesNearOptimumForWholeSuite) {
+  const cmp::PerfModel pm(16);
+  for (const auto& w : cmp::parsec_suite(16)) {
+    OnlineLevelController ctl(16, /*start=*/1, /*step=*/1,
+                              /*reprobe=*/0);
+    const int final_level = drive(ctl, pm, w, 40);
+    EXPECT_TRUE(ctl.converged()) << w.name;
+    // Step-1 hill climbing on a unimodal curve finds the exact optimum.
+    EXPECT_EQ(final_level, pm.optimal_level(w)) << w.name;
+  }
+}
+
+TEST(OnlineAdapt, Step2LandsWithinOneStep) {
+  const cmp::PerfModel pm(16);
+  for (const auto& w : cmp::parsec_suite(16)) {
+    OnlineLevelController ctl(16, 1, /*step=*/2, 0);
+    const int final_level = drive(ctl, pm, w, 40);
+    EXPECT_LE(std::abs(final_level - pm.optimal_level(w)), 2) << w.name;
+  }
+}
+
+TEST(OnlineAdapt, ConvergesFromAboveToo) {
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& dedup = cmp::find_workload(suite, "dedup");  // optimum 4
+  OnlineLevelController ctl(16, /*start=*/16, 1, 0);
+  EXPECT_EQ(drive(ctl, pm, dedup, 40), 4);
+}
+
+TEST(OnlineAdapt, TracksPhaseChangeWithReprobing) {
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& dedup = cmp::find_workload(suite, "dedup");         // opt 4
+  const auto& bs = cmp::find_workload(suite, "blackscholes");     // opt 16
+  OnlineLevelController ctl(16, 1, 1, /*reprobe=*/4);
+  drive(ctl, pm, dedup, 30);
+  EXPECT_EQ(drive(ctl, pm, bs, 80), 16);  // adapts after the phase change
+}
+
+TEST(OnlineAdapt, WithoutReprobingStaysLocked) {
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& dedup = cmp::find_workload(suite, "dedup");
+  OnlineLevelController ctl(16, 1, 1, /*reprobe=*/0);
+  drive(ctl, pm, dedup, 30);
+  ASSERT_TRUE(ctl.converged());
+  const int locked = ctl.next_level();
+  // Feed wildly different observations: the locked controller ignores them.
+  for (int i = 0; i < 10; ++i) ctl.observe(0.01);
+  EXPECT_EQ(ctl.next_level(), locked);
+}
+
+TEST(OnlineAdapt, RobustToMeasurementNoise) {
+  const cmp::PerfModel pm(16);
+  const auto suite = cmp::parsec_suite(16);
+  const auto& vips = cmp::find_workload(suite, "vips");  // opt 6
+  Rng rng(2);
+  OnlineLevelController ctl(16, 1, 1, 0);
+  for (int i = 0; i < 60; ++i) {
+    const double truth = pm.exec_time(vips, ctl.next_level());
+    ctl.observe(truth * (1.0 + 0.01 * (2.0 * rng.uniform() - 1.0)));
+  }
+  EXPECT_LE(std::abs(ctl.next_level() - 6), 2);
+}
+
+TEST(OnlineAdapt, LevelsAlwaysInRange) {
+  const cmp::PerfModel pm(8);
+  cmp::WorkloadParams w;
+  w.name = "serial";
+  w.serial_frac = 0.95;
+  w.alpha = 0.05;
+  w.injection_rate = 0.1;
+  OnlineLevelController ctl(8, 8, 3, 2);
+  for (int i = 0; i < 50; ++i) {
+    const int level = ctl.next_level();
+    ASSERT_GE(level, 1);
+    ASSERT_LE(level, 8);
+    ctl.observe(pm.exec_time(w, level));
+  }
+  EXPECT_LE(ctl.next_level(), 2);  // serial workload drives it down
+}
+
+TEST(OnlineAdapt, RejectsBadConstruction) {
+  EXPECT_DEATH(OnlineLevelController(16, 0), "precondition");
+  EXPECT_DEATH(OnlineLevelController(16, 17), "precondition");
+  EXPECT_DEATH(OnlineLevelController(16, 1, 0), "precondition");
+}
+
+TEST(OnlineAdapt, RejectsNonPositiveObservation) {
+  OnlineLevelController ctl(16);
+  EXPECT_DEATH(ctl.observe(0.0), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::sprint

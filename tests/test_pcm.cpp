@@ -1,0 +1,139 @@
+// Tests for the phase-change-material sprint-duration model.
+#include <gtest/gtest.h>
+
+#include "thermal/pcm.hpp"
+
+namespace nocs::thermal {
+namespace {
+
+TEST(PcmParams, DerivedQuantities) {
+  PcmParams p;
+  EXPECT_NEAR(p.sustainable_at_melt(), (p.t_melt - p.ambient) / p.r_th,
+              1e-12);
+  EXPECT_NEAR(p.sustainable_at_max(), (p.t_max - p.ambient) / p.r_th, 1e-12);
+  EXPECT_NEAR(p.latent_budget(), p.pcm_mass_g * p.latent_heat_j_per_g,
+              1e-12);
+  EXPECT_GT(p.sustainable_at_max(), p.sustainable_at_melt());
+}
+
+TEST(Pcm, DefaultTdpMatchesNominalChipPower) {
+  // Calibration invariant: the TDP is ~20 W, the 16-core chip's nominal
+  // power — nominal operation is exactly sustainable.
+  PcmParams p;
+  EXPECT_NEAR(p.sustainable_at_max(), 20.0, 0.5);
+}
+
+TEST(Pcm, FullSprintLastsAboutOneSecond) {
+  // The paper assumes the chip sustains a worst-case (16-core, ~79 W)
+  // sprint for about one second.
+  const PcmModel m{PcmParams{}};
+  const SprintTimeline tl = m.sprint_timeline(79.0);
+  EXPECT_FALSE(tl.unbounded);
+  EXPECT_GT(tl.total(), 0.5);
+  EXPECT_LT(tl.total(), 1.5);
+}
+
+TEST(Pcm, SustainablePowerIsUnbounded) {
+  const PcmModel m{PcmParams{}};
+  const SprintTimeline low = m.sprint_timeline(5.0);  // below melt threshold
+  EXPECT_TRUE(low.unbounded);
+  const SprintTimeline mid = m.sprint_timeline(15.0);  // melt equilibrium
+  EXPECT_TRUE(mid.unbounded);
+  EXPECT_EQ(m.sprint_duration(5.0, 10.0), 10.0);  // capped
+}
+
+TEST(Pcm, AllPhasesPositiveWhenUnsustainable) {
+  const PcmModel m{PcmParams{}};
+  const SprintTimeline tl = m.sprint_timeline(60.0);
+  EXPECT_FALSE(tl.unbounded);
+  EXPECT_GT(tl.phase1, 0.0);
+  EXPECT_GT(tl.phase2, 0.0);
+  EXPECT_GT(tl.phase3, 0.0);
+}
+
+TEST(Pcm, DurationMonotonicallyShrinksWithPower) {
+  const PcmModel m{PcmParams{}};
+  double prev = 1e18;
+  for (double p : {30.0, 45.0, 60.0, 80.0, 120.0}) {
+    const double d = m.sprint_duration(p, 1e6);
+    EXPECT_LT(d, prev) << p;
+    prev = d;
+  }
+}
+
+TEST(Pcm, LowerPowerLengthensEveryPhase) {
+  // The mechanism behind the paper's +55.4%: NoC-sprinting reduces the
+  // slopes of phases 1 & 3 and stretches the melt phase.
+  const PcmModel m{PcmParams{}};
+  const SprintTimeline full = m.sprint_timeline(79.0);
+  const SprintTimeline noc = m.sprint_timeline(40.0);
+  EXPECT_GT(noc.phase1, full.phase1);
+  EXPECT_GT(noc.phase2, full.phase2);
+  EXPECT_GT(noc.phase3, full.phase3);
+}
+
+TEST(Pcm, MeltPhaseInverseInExcessPower) {
+  PcmParams p;
+  const PcmModel m(p);
+  const double sus = p.sustainable_at_melt();
+  const SprintTimeline a = m.sprint_timeline(sus + 10.0);
+  const SprintTimeline b = m.sprint_timeline(sus + 20.0);
+  EXPECT_NEAR(a.phase2 / b.phase2, 2.0, 1e-9);
+}
+
+TEST(Pcm, MoreLatentHeatLongerMelt) {
+  PcmParams small;
+  PcmParams big = small;
+  big.pcm_mass_g *= 3.0;
+  EXPECT_NEAR(PcmModel(big).sprint_timeline(60.0).phase2,
+              3.0 * PcmModel(small).sprint_timeline(60.0).phase2, 1e-9);
+}
+
+TEST(Pcm, TemperatureTrajectoryShape) {
+  PcmParams p;
+  const PcmModel m(p);
+  const double power = 79.0;
+  const SprintTimeline tl = m.sprint_timeline(power);
+
+  // Starts at ambient, rises during phase 1.
+  EXPECT_NEAR(m.temperature_at(power, 0.0), p.ambient, 1e-9);
+  EXPECT_GT(m.temperature_at(power, tl.phase1 * 0.5), p.ambient);
+  EXPECT_LT(m.temperature_at(power, tl.phase1 * 0.5), p.t_melt);
+
+  // Plateau at t_melt during phase 2 (the PCM's defining property).
+  EXPECT_NEAR(m.temperature_at(power, tl.phase1 + tl.phase2 * 0.5), p.t_melt,
+              1e-9);
+
+  // Rises again in phase 3, capped at t_max.
+  const double in3 = tl.phase1 + tl.phase2 + tl.phase3 * 0.5;
+  EXPECT_GT(m.temperature_at(power, in3), p.t_melt);
+  EXPECT_LE(m.temperature_at(power, tl.total() + 10.0), p.t_max);
+}
+
+TEST(Pcm, TrajectoryMonotonicNonDecreasing) {
+  const PcmModel m{PcmParams{}};
+  double prev = 0.0;
+  for (double t = 0.0; t < 3.0; t += 0.01) {
+    const double temp = m.temperature_at(60.0, t);
+    EXPECT_GE(temp + 1e-9, prev);
+    prev = temp;
+  }
+}
+
+TEST(Pcm, SustainableTrajectorySaturatesBelowMelt) {
+  PcmParams p;
+  const PcmModel m(p);
+  const double power = 5.0;  // well below everything
+  const double t_inf = p.ambient + power * p.r_th;
+  EXPECT_LT(t_inf, p.t_melt);
+  EXPECT_NEAR(m.temperature_at(power, 1e3), t_inf, 0.1);
+}
+
+TEST(Pcm, InvalidParamsRejected) {
+  PcmParams p;
+  p.t_melt = p.t_max + 1.0;
+  EXPECT_DEATH(PcmModel{p}, "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::thermal

@@ -1,0 +1,97 @@
+// Tests for the execution-time model.
+#include <gtest/gtest.h>
+
+#include "cmp/perf_model.hpp"
+
+namespace nocs::cmp {
+namespace {
+
+WorkloadParams simple() {
+  WorkloadParams w;
+  w.name = "synthetic";
+  w.serial_frac = 0.1;
+  w.alpha = 0.01;
+  w.beta = 0.001;
+  w.comm_gamma = 0.2;
+  w.injection_rate = 0.1;
+  return w;
+}
+
+TEST(PerfModel, SingleCoreIsUnity) {
+  const PerfModel pm(16);
+  EXPECT_DOUBLE_EQ(pm.exec_time(simple(), 1), 1.0);
+  EXPECT_DOUBLE_EQ(pm.speedup(simple(), 1), 1.0);
+}
+
+TEST(PerfModel, MatchesClosedForm) {
+  const PerfModel pm(16);
+  const WorkloadParams w = simple();
+  const int n = 6;
+  const double expected = 0.1 + 0.9 / 6.0 + 0.01 * 5.0 + 0.001 * 25.0;
+  EXPECT_NEAR(pm.exec_time(w, n), expected, 1e-12);
+}
+
+TEST(PerfModel, PureAmdahlWithoutOverheads) {
+  WorkloadParams w = simple();
+  w.alpha = 0.0;
+  w.beta = 0.0;
+  const PerfModel pm(16);
+  EXPECT_NEAR(pm.speedup(w, 16), 1.0 / (0.1 + 0.9 / 16.0), 1e-12);
+  // Monotone improvement under pure Amdahl.
+  for (int n = 2; n <= 16; ++n)
+    EXPECT_LT(pm.exec_time(w, n), pm.exec_time(w, n - 1));
+}
+
+TEST(PerfModel, OptimalLevelMinimizes) {
+  const PerfModel pm(16);
+  const WorkloadParams w = simple();
+  const int k = pm.optimal_level(w);
+  const double tk = pm.exec_time(w, k);
+  for (int n = 1; n <= 16; ++n) EXPECT_LE(tk, pm.exec_time(w, n) + 1e-12);
+}
+
+TEST(PerfModel, ScalingCurveMatchesPointQueries) {
+  const PerfModel pm(16);
+  const WorkloadParams w = simple();
+  const std::vector<double> curve = pm.scaling_curve(w);
+  ASSERT_EQ(curve.size(), 16u);
+  for (int n = 1; n <= 16; ++n)
+    EXPECT_DOUBLE_EQ(curve[static_cast<std::size_t>(n - 1)],
+                     pm.exec_time(w, n));
+}
+
+TEST(PerfModel, LatencyCouplingDirection) {
+  // Higher measured network latency slows the run; lower speeds it up —
+  // the channel through which CDOR's 24.5% latency cut helps end-to-end.
+  const PerfModel pm(16);
+  const WorkloadParams w = simple();
+  const double base = pm.exec_time(w, 8);
+  EXPECT_GT(pm.exec_time(w, 8, /*measured=*/30.0, /*reference=*/20.0), base);
+  EXPECT_LT(pm.exec_time(w, 8, /*measured=*/15.0, /*reference=*/20.0), base);
+  EXPECT_NEAR(pm.exec_time(w, 8, 20.0, 20.0), base, 1e-12);
+}
+
+TEST(PerfModel, LatencyCouplingProportionalToGamma) {
+  const PerfModel pm(16);
+  WorkloadParams lo = simple();
+  lo.comm_gamma = 0.1;
+  WorkloadParams hi = simple();
+  hi.comm_gamma = 0.4;
+  const double dlo = pm.exec_time(lo, 8, 30.0, 20.0) - pm.exec_time(lo, 8);
+  const double dhi = pm.exec_time(hi, 8, 30.0, 20.0) - pm.exec_time(hi, 8);
+  EXPECT_NEAR(dhi / dlo, 4.0, 1e-9);
+}
+
+TEST(PerfModel, SingleCoreIgnoresNetwork) {
+  const PerfModel pm(16);
+  EXPECT_DOUBLE_EQ(pm.exec_time(simple(), 1, 100.0, 10.0), 1.0);
+}
+
+TEST(PerfModel, RejectsOutOfRangeCores) {
+  const PerfModel pm(8);
+  EXPECT_DEATH(pm.exec_time(simple(), 9), "precondition");
+  EXPECT_DEATH(pm.exec_time(simple(), 0), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::cmp

@@ -1,0 +1,123 @@
+// Tests for the configurable router pipeline depth (5-stage classic vs
+// 3-stage lookahead/speculative).
+#include <gtest/gtest.h>
+
+#include "noc/network.hpp"
+#include "noc/simulator.hpp"
+#include "sprint/network_builder.hpp"
+
+namespace nocs::noc {
+namespace {
+
+NetworkParams with_stages(int stages) {
+  NetworkParams p;
+  p.pipeline_stages = stages;
+  return p;
+}
+
+Cycle single_packet_delivery_time(int stages) {
+  const NetworkParams p = with_stages(stages);
+  XyRouting xy;
+  Network net(p, &xy);
+  net.ni(0).send_packet(net.now(), 15);
+  for (int i = 0; i < 300; ++i) {
+    net.tick();
+    if (net.ni(15).total_ejected_flits() == 5) return net.now();
+  }
+  return 0;
+}
+
+TEST(Pipeline, ThreeStageIsFasterPerHop) {
+  const Cycle t5 = single_packet_delivery_time(5);
+  const Cycle t3 = single_packet_delivery_time(3);
+  ASSERT_GT(t5, 0u);
+  ASSERT_GT(t3, 0u);
+  // The 0 -> 15 XY path traverses 7 routers (source and destination
+  // included); each saves exactly 2 pipeline cycles: 14 cycles total.
+  EXPECT_EQ(t5 - t3, 14u);
+}
+
+TEST(Pipeline, ThreeStageDeliversAllPairs) {
+  const NetworkParams p = with_stages(3);
+  XyRouting xy;
+  Network net(p, &xy);
+  for (NodeId s = 0; s < 16; ++s)
+    for (NodeId d = 0; d < 16; ++d)
+      if (s != d) net.ni(s).send_packet(net.now(), d);
+  for (int i = 0; i < 20000 && !net.drained(); ++i) net.tick();
+  EXPECT_TRUE(net.drained());
+  const RouterCounters c = net.total_counters();
+  EXPECT_EQ(c.buffer_writes, c.buffer_reads);  // conservation holds
+}
+
+TEST(Pipeline, ThreeStageZeroLoadLatencyDrops) {
+  SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 8000;
+  cfg.injection_rate = 0.02;
+  double lat[2];
+  int i = 0;
+  for (int stages : {5, 3}) {
+    const NetworkParams p = with_stages(stages);
+    XyRouting xy;
+    Network net(p, &xy);
+    net.set_endpoints(net.params().shape().all_nodes(),
+                      make_traffic("uniform", 16));
+    net.set_seed(19);
+    lat[i++] = run_simulation(net, cfg).avg_packet_latency;
+  }
+  // ~2 cycles per hop * ~2.7 average hops: expect a 4-7 cycle drop.
+  EXPECT_GT(lat[0] - lat[1], 3.5);
+  EXPECT_LT(lat[0] - lat[1], 8.0);
+}
+
+TEST(Pipeline, DeeperPipelineAmplifiesSprintLatencyCut) {
+  // Per-hop router delay scales the hop-proportional part of latency
+  // while serialization/queueing stay fixed, so the *relative* latency
+  // cut of NoC-sprinting's shorter paths grows with pipeline depth: the
+  // 5-stage cut must exceed the 3-stage cut.
+  SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 6000;
+  cfg.injection_rate = 0.1;
+  double cut[2];
+  int i = 0;
+  for (int stages : {5, 3}) {
+    NetworkParams p = with_stages(stages);
+    auto nb = sprint::make_noc_sprinting_network(p, 4, "uniform", 41);
+    const double noc_lat =
+        run_simulation(*nb.network, cfg).avg_packet_latency;
+    auto fb = sprint::make_full_sprinting_network(p, 4, "uniform", 41);
+    const double full_lat =
+        run_simulation(*fb.network, cfg).avg_packet_latency;
+    cut[i++] = 1.0 - noc_lat / full_lat;
+  }
+  EXPECT_GT(cut[0], cut[1]);  // cut[0] = 5-stage, cut[1] = 3-stage
+}
+
+TEST(Pipeline, ThreeStageWorksWithProtocolTraffic) {
+  NetworkParams p = with_stages(3);
+  p.num_classes = 2;
+  XyRouting xy;
+  Network net(p, &xy);
+  net.set_request_reply(1, 5);
+  net.set_endpoints(net.params().shape().all_nodes(),
+                    make_traffic("uniform", 16));
+  net.set_seed(23);
+  SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 4000;
+  cfg.injection_rate = 0.08;
+  const SimResults r = run_simulation(net, cfg);
+  EXPECT_FALSE(r.saturated);
+  EXPECT_EQ(r.packets_ejected, r.packets_generated);
+}
+
+TEST(Pipeline, InvalidDepthRejected) {
+  NetworkParams p;
+  p.pipeline_stages = 4;
+  EXPECT_DEATH(p.validate(), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::noc

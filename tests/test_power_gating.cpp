@@ -1,0 +1,74 @@
+// Tests for the gating break-even analysis and dark-node computation.
+#include <gtest/gtest.h>
+
+#include "sprint/power_gating.hpp"
+#include "sprint/topology.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+power::RouterPowerModel table1_router() {
+  noc::NetworkParams net;
+  return power::RouterPowerModel(
+      power::RouterPowerParams::from_network(net));
+}
+
+TEST(GatingAnalysis, BreakEvenPositiveAndFinite) {
+  const GatingAnalysis a(table1_router(), GatingParams{});
+  EXPECT_GT(a.break_even_cycles(), 0.0);
+  EXPECT_LT(a.break_even_cycles(), 1e7);
+}
+
+TEST(GatingAnalysis, BenefitSignFlipsAtBreakEven) {
+  const GatingAnalysis a(table1_router(), GatingParams{});
+  const double be = a.break_even_cycles();
+  EXPECT_LT(a.gating_benefit(0.5 * be), 0.0);
+  EXPECT_NEAR(a.gating_benefit(be), 0.0, 1e-15);
+  EXPECT_GT(a.gating_benefit(2.0 * be), 0.0);
+}
+
+TEST(GatingAnalysis, BiggerWakeEnergyLongerBreakEven) {
+  GatingParams cheap;
+  GatingParams costly;
+  costly.wake_energy = cheap.wake_energy * 4.0;
+  const auto model = table1_router();
+  EXPECT_NEAR(GatingAnalysis(model, costly).break_even_cycles(),
+              4.0 * GatingAnalysis(model, cheap).break_even_cycles(), 1e-6);
+}
+
+TEST(GatingAnalysis, SleepPowerReducesBenefit) {
+  GatingParams ideal;
+  ideal.sleep_power = 0.0;
+  GatingParams leaky;
+  leaky.sleep_power = 1e-3;  // 1 mW residual
+  const auto model = table1_router();
+  EXPECT_GT(GatingAnalysis(model, ideal).gating_benefit(1e5),
+            GatingAnalysis(model, leaky).gating_benefit(1e5));
+}
+
+TEST(GatingAnalysis, RejectsSleepAboveLeakage) {
+  GatingParams bad;
+  bad.sleep_power = 1.0;  // more than the router leaks — gating can't help
+  EXPECT_DEATH(GatingAnalysis(table1_router(), bad), "precondition");
+}
+
+TEST(DarkNodes, ComplementOfActiveSet) {
+  const MeshShape mesh(4, 4);
+  const auto active = active_set(mesh, 4, 0);  // {0,1,4,5}
+  const auto dark = dark_nodes(mesh, active);
+  EXPECT_EQ(dark.size(), 12u);
+  for (NodeId id : dark) {
+    EXPECT_EQ(std::count(active.begin(), active.end(), id), 0);
+  }
+  // Together they partition the mesh.
+  EXPECT_EQ(dark.size() + active.size(),
+            static_cast<std::size_t>(mesh.size()));
+}
+
+TEST(DarkNodes, EmptyWhenAllActive) {
+  const MeshShape mesh(4, 4);
+  EXPECT_TRUE(dark_nodes(mesh, mesh.all_nodes()).empty());
+}
+
+}  // namespace
+}  // namespace nocs::sprint

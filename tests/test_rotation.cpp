@@ -1,0 +1,95 @@
+// Tests for thermal-aware sprint rotation.
+#include <gtest/gtest.h>
+
+#include "sprint/rotation.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+thermal::GridThermalParams slow_thermals() {
+  thermal::GridThermalParams gp;
+  gp.c_per_area = 16500.0;  // include spreader mass: tau ~ 0.7 s
+  return gp;
+}
+
+TEST(Rotation, ColdChipPrefersDefaultCorner) {
+  const MeshShape mesh(4, 4);
+  const thermal::GridThermalModel model(slow_thermals(), 12.0, 12.0);
+  const auto field = model.ambient_field();
+  EXPECT_EQ(coolest_corner_master(field, mesh, 4), 0);  // tie -> node 0
+}
+
+TEST(Rotation, AvoidsTheHeatedCorner) {
+  const MeshShape mesh(4, 4);
+  SprintRotationSim sim(mesh, slow_thermals(), power::ChipPowerParams{},
+                        12.0);
+  // Heat the top-left region with a fixed-master burst.
+  sim.run_burst(4, 0.3, 0.0, /*rotate=*/false);
+  const NodeId next = coolest_corner_master(sim.field(), mesh, 4);
+  EXPECT_NE(next, 0);  // anywhere but the hot corner
+}
+
+TEST(Rotation, RegionTemperatureTracksHeating) {
+  const MeshShape mesh(4, 4);
+  SprintRotationSim sim(mesh, slow_thermals(), power::ChipPowerParams{},
+                        12.0);
+  const double before = region_temperature(sim.field(), mesh, 0, 4);
+  sim.run_burst(4, 0.3, 0.0, false);
+  const double after_hot = region_temperature(sim.field(), mesh, 0, 4);
+  const double after_far = region_temperature(sim.field(), mesh, 15, 4);
+  EXPECT_GT(after_hot, before + 3.0);
+  EXPECT_LT(after_far, after_hot - 3.0);  // opposite corner stayed cooler
+}
+
+TEST(Rotation, LowersRunningPeakOverBurstTrain) {
+  const MeshShape mesh(4, 4);
+  SprintRotationSim fixed(mesh, slow_thermals(), power::ChipPowerParams{},
+                          12.0);
+  SprintRotationSim rotated(mesh, slow_thermals(), power::ChipPowerParams{},
+                            12.0);
+  Kelvin fixed_peak = 0.0, rotated_peak = 0.0;
+  for (int b = 0; b < 6; ++b) {
+    fixed_peak = fixed.run_burst(4, 0.3, 0.3, false).peak_after;
+    rotated_peak = rotated.run_burst(4, 0.3, 0.3, true).peak_after;
+  }
+  EXPECT_LT(rotated_peak, fixed_peak - 3.0);
+}
+
+TEST(Rotation, FixedModeAlwaysUsesMasterZero) {
+  const MeshShape mesh(4, 4);
+  SprintRotationSim sim(mesh, slow_thermals(), power::ChipPowerParams{},
+                        12.0);
+  for (int b = 0; b < 4; ++b)
+    EXPECT_EQ(sim.run_burst(4, 0.2, 0.1, false).master, 0);
+}
+
+TEST(Rotation, RotatingMastersAreCorners) {
+  const MeshShape mesh(4, 4);
+  SprintRotationSim sim(mesh, slow_thermals(), power::ChipPowerParams{},
+                        12.0);
+  for (int b = 0; b < 6; ++b) {
+    const NodeId m = sim.run_burst(4, 0.3, 0.1, true).master;
+    EXPECT_TRUE(m == 0 || m == 3 || m == 12 || m == 15) << m;
+  }
+}
+
+TEST(Rotation, ResetReturnsToAmbient) {
+  const MeshShape mesh(4, 4);
+  SprintRotationSim sim(mesh, slow_thermals(), power::ChipPowerParams{},
+                        12.0);
+  sim.run_burst(8, 0.5, 0.0, false);
+  EXPECT_GT(sim.field().peak(), slow_thermals().ambient + 5.0);
+  sim.reset();
+  EXPECT_NEAR(sim.field().peak(), slow_thermals().ambient, 1e-9);
+}
+
+TEST(Rotation, FullSprintHasNoCoolCornerToFind) {
+  // At level 16 every corner's region is the whole chip: all equal.
+  const MeshShape mesh(4, 4);
+  const thermal::GridThermalModel model(slow_thermals(), 12.0, 12.0);
+  const auto field = model.ambient_field();
+  EXPECT_EQ(coolest_corner_master(field, mesh, 16), 0);
+}
+
+}  // namespace
+}  // namespace nocs::sprint

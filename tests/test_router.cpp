@@ -1,0 +1,260 @@
+// Cycle-level tests for the five-stage router: pipeline timing, credit
+// flow, wormhole ordering, and the power-gating state machine.
+#include <gtest/gtest.h>
+
+#include "noc/router.hpp"
+
+namespace nocs::noc {
+namespace {
+
+/// Harness wiring one router's local input and all outputs to test pipes.
+class RouterHarness {
+ public:
+  explicit RouterHarness(NodeId id = 5, NetworkParams params = {})
+      : params_(params), router_(id, params, &xy_) {
+    for (int p = 0; p < kNumPorts; ++p) {
+      in_flits_.emplace_back(std::make_unique<Pipe<Flit>>(1));
+      in_credits_.emplace_back(std::make_unique<Pipe<Credit>>(1));
+      out_flits_.emplace_back(std::make_unique<Pipe<Flit>>(1));
+      out_credits_.emplace_back(std::make_unique<Pipe<Credit>>(1));
+      router_.connect_input(static_cast<Port>(p), in_flits_.back().get(),
+                            in_credits_.back().get());
+      router_.connect_output(static_cast<Port>(p), out_flits_.back().get(),
+                             out_credits_.back().get());
+    }
+  }
+
+  /// Sends one flit into `port` at the current cycle.
+  void inject(Port port, const Flit& f) {
+    in_flits_[static_cast<std::size_t>(port)]->push(now_, f);
+  }
+
+  void tick() { router_.tick(now_++); }
+
+  /// Ticks until `port`'s output pipe has a flit or `budget` cycles pass.
+  bool tick_until_output(Port port, int budget) {
+    for (int i = 0; i < budget; ++i) {
+      if (out_flits_[static_cast<std::size_t>(port)]->ready(now_))
+        return true;
+      tick();
+    }
+    return out_flits_[static_cast<std::size_t>(port)]->ready(now_);
+  }
+
+  Flit take_output(Port port) {
+    return out_flits_[static_cast<std::size_t>(port)]->pop(now_);
+  }
+
+  bool credit_returned(Port port) {
+    return in_credits_[static_cast<std::size_t>(port)]->ready(now_);
+  }
+
+  Cycle now() const { return now_; }
+  Router& router() { return router_; }
+
+  Flit make_flit(NodeId dst, VcId vc, bool head = true, bool tail = true,
+                 int index = 0) {
+    Flit f;
+    f.packet = 1;
+    f.index = index;
+    f.is_head = head;
+    f.is_tail = tail;
+    f.src = 0;
+    f.dst = dst;
+    f.vc = vc;
+    return f;
+  }
+
+ private:
+  NetworkParams params_;
+  XyRouting xy_;
+  Router router_;
+  Cycle now_ = 0;
+  std::vector<std::unique_ptr<Pipe<Flit>>> in_flits_;
+  std::vector<std::unique_ptr<Pipe<Credit>>> in_credits_;
+  std::vector<std::unique_ptr<Pipe<Flit>>> out_flits_;
+  std::vector<std::unique_ptr<Pipe<Credit>>> out_credits_;
+};
+
+TEST(Router, FiveStagePipelineLatency) {
+  RouterHarness h;  // node 5 = (1,1) in the 4x4 mesh
+  // Destination (3,1): XY routes east.
+  h.inject(Port::kLocal, h.make_flit(/*dst=*/7, /*vc=*/0));
+  // Inject at cycle 0, link latency 1 => BW at cycle 1; RC 2; VA 3; SA 4;
+  // ST 5 => flit on the output pipe, visible downstream at cycle 6.
+  ASSERT_TRUE(h.tick_until_output(Port::kEast, 20));
+  EXPECT_EQ(h.now(), 6u);
+  const Flit out = h.take_output(Port::kEast);
+  EXPECT_EQ(out.dst, 7);
+  EXPECT_EQ(out.hops, 1);
+}
+
+TEST(Router, RoutesEachDirectionAndLocal) {
+  struct Case { NodeId dst; Port expect; };
+  const Case cases[] = {
+      {7, Port::kEast},   // (3,1) east of (1,1)
+      {4, Port::kWest},   // (0,1)
+      {1, Port::kNorth},  // (1,0)
+      {13, Port::kSouth}, // (1,3)
+      {5, Port::kLocal},  // self: ejects to the local port
+  };
+  for (const Case& c : cases) {
+    RouterHarness h;
+    h.inject(c.dst == 5 ? Port::kWest : Port::kLocal,
+             h.make_flit(c.dst, 0));
+    ASSERT_TRUE(h.tick_until_output(c.expect, 20))
+        << "dst " << c.dst << " expected " << to_string(c.expect);
+  }
+}
+
+TEST(Router, CreditReturnedWhenFlitLeavesBuffer) {
+  RouterHarness h;
+  h.inject(Port::kLocal, h.make_flit(7, 0));
+  ASSERT_TRUE(h.tick_until_output(Port::kEast, 20));
+  // ST at cycle 5 sends the credit upstream (1-cycle credit pipe): ready
+  // at cycle 6, which is `now` after tick_until_output stops.
+  EXPECT_TRUE(h.credit_returned(Port::kLocal));
+}
+
+TEST(Router, WormholeKeepsPacketContiguousOnVc) {
+  RouterHarness h;
+  // 3-flit packet: head, body, tail on VC 2.
+  h.inject(Port::kLocal, h.make_flit(7, 2, true, false, 0));
+  h.tick();
+  h.inject(Port::kLocal, h.make_flit(7, 2, false, false, 1));
+  h.tick();
+  h.inject(Port::kLocal, h.make_flit(7, 2, false, true, 2));
+  int received = 0;
+  VcId out_vc = -1;
+  for (int i = 0; i < 30 && received < 3; ++i) {
+    if (h.tick_until_output(Port::kEast, 30 - i)) {
+      const Flit f = h.take_output(Port::kEast);
+      EXPECT_EQ(f.index, received);  // in order
+      if (received == 0)
+        out_vc = f.vc;  // VA picks the downstream VC freely...
+      else
+        EXPECT_EQ(f.vc, out_vc);  // ...but the whole packet stays on it
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, 3);
+  EXPECT_TRUE(h.router().drained());
+}
+
+TEST(Router, BackToBackPacketsOnSameVc) {
+  RouterHarness h;
+  // Two single-flit packets on VC 1; second head queues behind first tail.
+  h.inject(Port::kLocal, h.make_flit(7, 1));
+  h.tick();
+  h.inject(Port::kLocal, h.make_flit(7, 1));
+  int received = 0;
+  for (int i = 0; i < 40 && received < 2; ++i) {
+    if (h.tick_until_output(Port::kEast, 40)) {
+      h.take_output(Port::kEast);
+      ++received;
+    }
+  }
+  EXPECT_EQ(received, 2);
+}
+
+TEST(Router, StallsWithoutDownstreamCredits) {
+  NetworkParams p;
+  p.vc_depth = 1;  // single credit per VC
+  RouterHarness h(5, p);
+  // Two single-flit packets on the same VC; the downstream credit is never
+  // returned, so only one flit may leave.
+  h.inject(Port::kLocal, h.make_flit(7, 0));
+  ASSERT_TRUE(h.tick_until_output(Port::kEast, 20));
+  h.take_output(Port::kEast);
+  h.inject(Port::kLocal, h.make_flit(7, 0));
+  EXPECT_FALSE(h.tick_until_output(Port::kEast, 20));  // stalled
+  EXPECT_GT(h.router().buffered_flits(), 0);
+}
+
+TEST(Router, CountersTrackActivity) {
+  RouterHarness h;
+  h.inject(Port::kLocal, h.make_flit(7, 0));
+  ASSERT_TRUE(h.tick_until_output(Port::kEast, 20));
+  const RouterCounters& c = h.router().counters();
+  EXPECT_EQ(c.buffer_writes, 1u);
+  EXPECT_EQ(c.buffer_reads, 1u);
+  EXPECT_EQ(c.xbar_traversals, 1u);
+  EXPECT_EQ(c.vc_allocs, 1u);
+  EXPECT_EQ(c.sa_arbitrations, 1u);
+  EXPECT_EQ(c.link_flits, 1u);
+  EXPECT_EQ(c.active_cycles, h.now());
+  EXPECT_EQ(c.gated_cycles, 0u);
+}
+
+TEST(Router, EjectedFlitsDoNotCountAsLinkTraversals) {
+  RouterHarness h;
+  h.inject(Port::kWest, h.make_flit(5, 0));  // destined to this node
+  ASSERT_TRUE(h.tick_until_output(Port::kLocal, 20));
+  const Flit f = h.take_output(Port::kLocal);
+  EXPECT_EQ(f.hops, 0);  // local ejection adds no hop
+  EXPECT_EQ(h.router().counters().link_flits, 0u);
+}
+
+TEST(Router, StaticGatingBlocksAndCounts) {
+  RouterHarness h;
+  h.router().set_gated(true);
+  EXPECT_EQ(h.router().power_state(), PowerState::kGated);
+  for (int i = 0; i < 10; ++i) h.tick();
+  EXPECT_EQ(h.router().counters().gated_cycles, 10u);
+  EXPECT_EQ(h.router().counters().active_cycles, 0u);
+}
+
+TEST(Router, ArrivalAtStaticallyGatedRouterDies) {
+  RouterHarness h;
+  h.router().set_gated(true);
+  h.inject(Port::kWest, h.make_flit(7, 0));
+  h.tick();  // flit not yet visible (link latency)
+  EXPECT_DEATH(h.tick(), "precondition");
+}
+
+TEST(Router, WakeOnArrivalAfterLatency) {
+  NetworkParams p;
+  p.wakeup_latency = 5;
+  RouterHarness h(5, p);
+  h.router().set_allow_wakeup(true);
+  h.router().set_gated(true);
+  h.inject(Port::kWest, h.make_flit(7, 0));
+  ASSERT_TRUE(h.tick_until_output(Port::kEast, 40));
+  const RouterCounters& c = h.router().counters();
+  EXPECT_EQ(c.wake_events, 1u);
+  EXPECT_EQ(c.waking_cycles, 5u);
+  // Total latency = gated detection + wake + normal pipeline.
+  EXPECT_GE(h.now(), 6u + 5u);
+}
+
+TEST(Router, DynamicGatingEngagesAfterIdleThreshold) {
+  NetworkParams p;
+  p.gate_idle_threshold = 4;
+  RouterHarness h(5, p);
+  h.router().set_dynamic_gating(true);
+  for (int i = 0; i < 10; ++i) h.tick();
+  EXPECT_EQ(h.router().power_state(), PowerState::kGated);
+  EXPECT_GT(h.router().counters().gated_cycles, 0u);
+}
+
+TEST(Router, DrainedReflectsBufferedState) {
+  RouterHarness h;
+  EXPECT_TRUE(h.router().drained());
+  h.inject(Port::kLocal, h.make_flit(7, 0));
+  h.tick();
+  h.tick();  // flit buffered now
+  EXPECT_FALSE(h.router().drained());
+  ASSERT_TRUE(h.tick_until_output(Port::kEast, 20));
+  EXPECT_TRUE(h.router().drained());
+}
+
+TEST(Router, GatingRequiresDrained) {
+  RouterHarness h;
+  h.inject(Port::kLocal, h.make_flit(7, 0));
+  h.tick();
+  h.tick();
+  EXPECT_DEATH(h.router().set_gated(true), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::noc

@@ -1,0 +1,161 @@
+// Tests for the DSENT-style router/link power models, including the
+// Figure 2 shape properties.
+#include <gtest/gtest.h>
+
+#include "power/router_power.hpp"
+
+namespace nocs::power {
+namespace {
+
+RouterPowerParams fig2_params(OperatingPoint op = kReferencePoint) {
+  RouterPowerParams p;
+  p.num_ports = 5;
+  p.num_vcs = 2;
+  p.vc_depth = 4;
+  p.flit_bits = 128;
+  p.tech = TechNode::k45nm;
+  p.op = op;
+  return p;
+}
+
+TEST(RouterPower, AllComponentsPositive) {
+  const RouterPowerModel m(fig2_params());
+  EXPECT_GT(m.buffer_write_energy(), 0.0);
+  EXPECT_GT(m.buffer_read_energy(), 0.0);
+  EXPECT_GT(m.crossbar_energy(), 0.0);
+  EXPECT_GT(m.arbitration_energy(), 0.0);
+  EXPECT_GT(m.clock_energy_per_cycle(), 0.0);
+  EXPECT_GT(m.leakage_power(), 0.0);
+}
+
+TEST(RouterPower, Fig2MagnitudesAreMilliwatts) {
+  // The canonical router at the reference point and 0.4 flits/cycle should
+  // land in the single-digit-mW range DSENT reports at 45 nm.
+  const RouterPowerModel m(fig2_params());
+  const RouterPowerBreakdown b = m.at_injection(0.4);
+  EXPECT_GT(b.total(), 1e-3);
+  EXPECT_LT(b.total(), 20e-3);
+}
+
+TEST(RouterPower, Fig2LeakageShareGrowsAsVfScaleDown) {
+  const OperatingPoint pts[] = {{1.0, 2.0e9}, {0.9, 1.5e9}, {0.75, 1.0e9}};
+  double prev_share = 0.0;
+  for (const OperatingPoint& op : pts) {
+    const RouterPowerModel m(fig2_params(op));
+    const RouterPowerBreakdown b = m.at_injection(0.4);
+    const double share = b.leakage / b.total();
+    EXPECT_GT(share, prev_share);
+    prev_share = share;
+  }
+  // At the lowest point leakage exceeds dynamic (the paper's observation).
+  const RouterPowerModel low(fig2_params({0.75, 1.0e9}));
+  const RouterPowerBreakdown b = low.at_injection(0.4);
+  EXPECT_GT(b.leakage, b.dynamic());
+}
+
+TEST(RouterPower, LeakageSignificantAtReference) {
+  const RouterPowerModel m(fig2_params());
+  const RouterPowerBreakdown b = m.at_injection(0.4);
+  const double share = b.leakage / b.total();
+  EXPECT_GT(share, 0.2);
+  EXPECT_LT(share, 0.5);
+}
+
+TEST(RouterPower, DynamicScalesWithInjection) {
+  const RouterPowerModel m(fig2_params());
+  const auto lo = m.at_injection(0.1);
+  const auto hi = m.at_injection(0.4);
+  EXPECT_NEAR(hi.buffer_dynamic / lo.buffer_dynamic, 4.0, 1e-9);
+  EXPECT_EQ(hi.leakage, lo.leakage);          // load-independent
+  EXPECT_EQ(hi.clock_dynamic, lo.clock_dynamic);
+}
+
+TEST(RouterPower, EnergyScalesWithVoltageSquared) {
+  const RouterPowerModel v10(fig2_params({1.0, 2.0e9}));
+  const RouterPowerModel v05(fig2_params({0.5, 2.0e9}));
+  EXPECT_NEAR(v05.buffer_write_energy() / v10.buffer_write_energy(), 0.25,
+              1e-9);
+  // Leakage scales ~linearly with V.
+  EXPECT_NEAR(v05.leakage_power() / v10.leakage_power(), 0.5, 1e-9);
+}
+
+TEST(RouterPower, TechScalingReducesDynamicRaisesRelativeLeakage) {
+  RouterPowerParams p45 = fig2_params();
+  RouterPowerParams p22 = fig2_params();
+  p22.tech = TechNode::k22nm;
+  const RouterPowerModel m45(p45), m22(p22);
+  EXPECT_LT(m22.crossbar_energy(), m45.crossbar_energy());
+  EXPECT_GT(m22.leakage_power(), m45.leakage_power());
+}
+
+TEST(RouterPower, BiggerBuffersLeakMore) {
+  RouterPowerParams small = fig2_params();
+  RouterPowerParams big = fig2_params();
+  big.num_vcs = 4;
+  big.vc_depth = 8;
+  EXPECT_GT(RouterPowerModel(big).leakage_power(),
+            RouterPowerModel(small).leakage_power());
+}
+
+TEST(RouterPower, FromCountersMatchesAnalytic) {
+  // A synthetic counter set describing the same steady activity as
+  // at_injection(0.4) must give nearly the same answer.
+  const RouterPowerModel m(fig2_params());
+  const Cycle window = 10000;
+  noc::RouterCounters c;
+  c.buffer_writes = 4000;  // 0.4 flits/cycle
+  c.buffer_reads = 4000;
+  c.xbar_traversals = 4000;
+  c.vc_allocs = 800;       // one per 5-flit packet
+  c.sa_arbitrations = 4000;
+  c.active_cycles = window;
+  const RouterPowerBreakdown from_c = m.from_counters(c, window);
+  const RouterPowerBreakdown analytic = m.at_injection(0.4);
+  EXPECT_NEAR(from_c.buffer_dynamic, analytic.buffer_dynamic,
+              0.05 * analytic.buffer_dynamic);
+  EXPECT_NEAR(from_c.crossbar_dynamic, analytic.crossbar_dynamic, 1e-12);
+  EXPECT_EQ(from_c.leakage, m.leakage_power());
+  EXPECT_EQ(from_c.clock_dynamic, analytic.clock_dynamic);
+}
+
+TEST(RouterPower, GatedCyclesEliminateLeakage) {
+  const RouterPowerModel m(fig2_params());
+  const Cycle window = 1000;
+  noc::RouterCounters gated;
+  gated.gated_cycles = window;
+  const RouterPowerBreakdown b = m.from_counters(gated, window);
+  EXPECT_EQ(b.leakage, 0.0);
+  EXPECT_EQ(b.total(), 0.0);
+
+  noc::RouterCounters half;
+  half.active_cycles = window / 2;
+  half.gated_cycles = window / 2;
+  EXPECT_NEAR(m.from_counters(half, window).leakage,
+              0.5 * m.leakage_power(), 1e-12);
+}
+
+TEST(RouterPower, FromNetworkDerivesStructure) {
+  noc::NetworkParams net;
+  net.flit_bytes = 16;
+  net.num_vcs = 4;
+  net.vc_depth = 4;
+  const RouterPowerParams p = RouterPowerParams::from_network(net);
+  EXPECT_EQ(p.flit_bits, 128);
+  EXPECT_EQ(p.num_vcs, 4);
+  EXPECT_EQ(p.num_ports, 5);
+}
+
+TEST(LinkPower, ScalesWithLengthAndGatesToZero) {
+  const LinkPowerModel short_link(128, 2.5, TechNode::k45nm,
+                                  kReferencePoint);
+  const LinkPowerModel long_link(128, 5.0, TechNode::k45nm,
+                                 kReferencePoint);
+  EXPECT_NEAR(long_link.traversal_energy() / short_link.traversal_energy(),
+              2.0, 1e-9);
+  EXPECT_GT(short_link.average_power(0.2, false),
+            short_link.average_power(0.0, false));
+  EXPECT_EQ(short_link.average_power(0.5, true), 0.0);
+}
+
+}  // namespace
+}  // namespace nocs::power

@@ -1,0 +1,127 @@
+// Tests for the SprintController facade.
+#include <gtest/gtest.h>
+
+#include "cmp/perf_model.hpp"
+#include "power/chip_power.hpp"
+#include "sprint/sprint_controller.hpp"
+#include "sprint/topology.hpp"
+#include "thermal/pcm.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+class ControllerTest : public ::testing::Test {
+ protected:
+  ControllerTest()
+      : mesh_(4, 4),
+        perf_(16),
+        chip_(power::ChipPowerParams{}),
+        pcm_(thermal::PcmParams{}),
+        ctl_(mesh_, perf_, chip_, pcm_, 0, /*duration_cap=*/10.0),
+        suite_(cmp::parsec_suite(16)) {}
+
+  MeshShape mesh_;
+  cmp::PerfModel perf_;
+  power::ChipPowerModel chip_;
+  thermal::PcmModel pcm_;
+  SprintController ctl_;
+  std::vector<cmp::WorkloadParams> suite_;
+};
+
+TEST_F(ControllerTest, LevelPerMode) {
+  const auto& dedup = cmp::find_workload(suite_, "dedup");
+  EXPECT_EQ(ctl_.plan(dedup, SprintMode::kNonSprinting).level, 1);
+  EXPECT_EQ(ctl_.plan(dedup, SprintMode::kFullSprinting).level, 16);
+  EXPECT_EQ(ctl_.plan(dedup, SprintMode::kFineGrained).level, 4);
+  EXPECT_EQ(ctl_.plan(dedup, SprintMode::kNocSprinting).level, 4);
+}
+
+TEST_F(ControllerTest, ActiveSetIsAlgorithm1Prefix) {
+  const auto& dedup = cmp::find_workload(suite_, "dedup");
+  const SprintPlan p = ctl_.plan(dedup, SprintMode::kNocSprinting);
+  EXPECT_EQ(p.active, active_set(mesh_, 4, 0));
+}
+
+TEST_F(ControllerTest, SpeedupConsistentWithPerfModel) {
+  for (const auto& w : suite_) {
+    const SprintPlan p = ctl_.plan(w, SprintMode::kNocSprinting);
+    EXPECT_NEAR(p.speedup, perf_.speedup(w, p.level), 1e-12) << w.name;
+    EXPECT_NEAR(p.exec_time, perf_.exec_time(w, p.level), 1e-12) << w.name;
+  }
+}
+
+TEST_F(ControllerTest, NonSprintingIsBaseline) {
+  const auto& w = suite_.front();
+  const SprintPlan p = ctl_.plan(w, SprintMode::kNonSprinting);
+  EXPECT_DOUBLE_EQ(p.exec_time, 1.0);
+  EXPECT_DOUBLE_EQ(p.speedup, 1.0);
+  EXPECT_EQ(p.active.size(), 1u);
+  EXPECT_EQ(p.active[0], 0);  // the master
+  EXPECT_DOUBLE_EQ(p.sprint_duration, 10.0);  // sustainable forever
+}
+
+TEST_F(ControllerTest, CorePowerOrderingFigure8) {
+  // For any workload whose optimum is below 16:
+  // noc-sprinting < fine-grained < full-sprinting core power.
+  for (const auto& w : suite_) {
+    const SprintPlan full = ctl_.plan(w, SprintMode::kFullSprinting);
+    const SprintPlan fg = ctl_.plan(w, SprintMode::kFineGrained);
+    const SprintPlan noc = ctl_.plan(w, SprintMode::kNocSprinting);
+    EXPECT_LE(noc.core_power, fg.core_power + 1e-12) << w.name;
+    EXPECT_LE(fg.core_power, full.core_power + 1e-12) << w.name;
+    if (fg.level < 16) {
+      EXPECT_LT(noc.core_power, fg.core_power) << w.name;
+      EXPECT_LT(fg.core_power, full.core_power) << w.name;
+    }
+  }
+}
+
+TEST_F(ControllerTest, OnlyNocSprintingGatesTheNetwork) {
+  const auto& dedup = cmp::find_workload(suite_, "dedup");
+  const SprintPlan fg = ctl_.plan(dedup, SprintMode::kFineGrained);
+  const SprintPlan noc = ctl_.plan(dedup, SprintMode::kNocSprinting);
+  EXPECT_DOUBLE_EQ(fg.noc_power, chip_.noc_power(16));
+  EXPECT_DOUBLE_EQ(noc.noc_power, chip_.noc_power(4));
+  EXPECT_LT(noc.noc_power, fg.noc_power);
+}
+
+TEST_F(ControllerTest, DurationOrderingSection44) {
+  // Lower sprint power => no shorter sprint, for every workload.
+  for (const auto& w : suite_) {
+    const SprintPlan full = ctl_.plan(w, SprintMode::kFullSprinting);
+    const SprintPlan noc = ctl_.plan(w, SprintMode::kNocSprinting);
+    EXPECT_LE(full.chip_power, 90.0) << w.name;
+    EXPECT_GE(noc.sprint_duration, full.sprint_duration - 1e-12) << w.name;
+  }
+}
+
+TEST_F(ControllerTest, ChipPowerIncludesUncore) {
+  const auto& w = suite_.front();
+  const SprintPlan p = ctl_.plan(w, SprintMode::kNocSprinting);
+  EXPECT_GT(p.chip_power, p.core_power + p.noc_power);
+}
+
+TEST_F(ControllerTest, PlanSuiteCoversAll) {
+  const auto plans = ctl_.plan_suite(suite_, SprintMode::kNocSprinting);
+  ASSERT_EQ(plans.size(), suite_.size());
+  for (std::size_t i = 0; i < plans.size(); ++i)
+    EXPECT_EQ(plans[i].workload, suite_[i].name);
+}
+
+TEST(SprintMode, Names) {
+  EXPECT_STREQ(to_string(SprintMode::kNonSprinting), "non-sprinting");
+  EXPECT_STREQ(to_string(SprintMode::kFullSprinting), "full-sprinting");
+  EXPECT_STREQ(to_string(SprintMode::kFineGrained), "fine-grained");
+  EXPECT_STREQ(to_string(SprintMode::kNocSprinting), "noc-sprinting");
+}
+
+TEST(SprintControllerValidation, MeshMustMatchModels) {
+  const MeshShape mesh(2, 2);  // 4 nodes vs 16-core models
+  const cmp::PerfModel perf(16);
+  const power::ChipPowerModel chip{power::ChipPowerParams{}};
+  const thermal::PcmModel pcm{thermal::PcmParams{}};
+  EXPECT_DEATH(SprintController(mesh, perf, chip, pcm), "precondition");
+}
+
+}  // namespace
+}  // namespace nocs::sprint

@@ -1,0 +1,133 @@
+// Tests for statistics accumulators.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace nocs {
+namespace {
+
+TEST(RunningStat, EmptyIsZero) {
+  RunningStat s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.min(), 0.0);
+  EXPECT_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  const double xs[] = {3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0};
+  RunningStat s;
+  double sum = 0.0;
+  for (double x : xs) {
+    s.add(x);
+    sum += x;
+  }
+  const double mean = sum / 8.0;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= 7.0;  // sample variance
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.sum(), sum);
+  EXPECT_NEAR(s.mean(), mean, 1e-12);
+  EXPECT_NEAR(s.variance(), var, 1e-12);
+  EXPECT_EQ(s.min(), 1.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  for (int i = 0; i < 50; ++i) {
+    const double x = std::sin(i) * 10.0;
+    (i % 2 ? a : b).add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+  EXPECT_EQ(a.min(), all.min());
+  EXPECT_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty) {
+  RunningStat a, empty;
+  a.add(5.0);
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  empty.merge(a);
+  EXPECT_EQ(empty.count(), 1u);
+  EXPECT_EQ(empty.mean(), 5.0);
+}
+
+TEST(RunningStat, Reset) {
+  RunningStat s;
+  s.add(1.0);
+  s.reset();
+  EXPECT_EQ(s.count(), 0u);
+}
+
+TEST(Histogram, BinningAndClamping) {
+  Histogram h(10.0, 5);  // bins [0,10) [10,20) ... [40,50); beyond clamps
+  h.add(5.0);
+  h.add(15.0);
+  h.add(999.0);
+  h.add(-3.0);  // clamps into bin 0
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bin(0), 2u);
+  EXPECT_EQ(h.bin(1), 1u);
+  EXPECT_EQ(h.bin(4), 1u);
+}
+
+TEST(Histogram, Quantile) {
+  Histogram h(1.0, 100);
+  for (int i = 0; i < 100; ++i) h.add(i + 0.5);
+  EXPECT_NEAR(h.quantile(0.5), 50.0, 1.5);
+  EXPECT_NEAR(h.quantile(0.99), 99.0, 1.5);
+  EXPECT_LE(h.quantile(0.0), 1.0);
+}
+
+TEST(Means, Geometric) {
+  EXPECT_DOUBLE_EQ(geometric_mean({4.0, 1.0}), 2.0);
+  EXPECT_NEAR(geometric_mean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_EQ(geometric_mean({}), 0.0);
+}
+
+TEST(Means, Arithmetic) {
+  EXPECT_DOUBLE_EQ(arithmetic_mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_EQ(arithmetic_mean({}), 0.0);
+}
+
+TEST(RunningStat, SingleSampleVarianceZero) {
+  RunningStat s;
+  s.add(42.0);
+  EXPECT_EQ(s.variance(), 0.0);
+  EXPECT_EQ(s.mean(), 42.0);
+  EXPECT_EQ(s.min(), 42.0);
+  EXPECT_EQ(s.max(), 42.0);
+}
+
+TEST(RunningStat, NumericallyStableForLargeOffsets) {
+  // Welford's algorithm must not catastrophically cancel when values sit
+  // on a huge offset (naive sum-of-squares would).
+  RunningStat s;
+  for (int i = 0; i < 1000; ++i) s.add(1e9 + (i % 2 ? 1.0 : -1.0));
+  EXPECT_NEAR(s.variance(), 1000.0 / 999.0, 1e-6);  // sample variance of +-1
+  EXPECT_NEAR(s.mean(), 1e9, 1.0);
+}
+
+TEST(Histogram, QuantileMonotonicInQ) {
+  Histogram h(1.0, 50);
+  for (int i = 0; i < 500; ++i) h.add(static_cast<double>(i % 37));
+  double prev = -1.0;
+  for (double q : {0.1, 0.25, 0.5, 0.75, 0.9, 0.99}) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace nocs

@@ -1,0 +1,57 @@
+// Tests for the ASCII table formatter.
+#include <gtest/gtest.h>
+
+#include "common/table.hpp"
+
+namespace nocs {
+namespace {
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "v"});
+  t.add_row({"a", "1234"});
+  t.add_row({"longer", "5"});
+  const std::string out = t.to_string();
+  // Header, rule, 2 rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+  // Every line has the same width (trailing pad keeps columns aligned).
+  std::size_t start = 0;
+  std::size_t expected = out.find('\n');
+  while (start < out.size()) {
+    const std::size_t end = out.find('\n', start);
+    EXPECT_EQ(end - start, expected);
+    start = end + 1;
+  }
+}
+
+TEST(Table, RowArityEnforced) {
+  Table t({"a", "b"});
+  EXPECT_DEATH(t.add_row({"only-one"}), "precondition");
+}
+
+TEST(Table, NumRows) {
+  Table t({"x"});
+  EXPECT_EQ(t.num_rows(), 0);
+  t.add_row({"1"});
+  t.add_row({"2"});
+  EXPECT_EQ(t.num_rows(), 2);
+}
+
+TEST(Table, FormatHelpers) {
+  EXPECT_EQ(Table::fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::fmt(3.0, 0), "3");
+  EXPECT_EQ(Table::fmt(static_cast<long long>(-42)), "-42");
+  EXPECT_EQ(Table::pct(0.255, 1), "25.5%");
+  EXPECT_EQ(Table::pct(1.0, 0), "100%");
+}
+
+TEST(Table, ContainsCells) {
+  Table t({"benchmark", "speedup"});
+  t.add_row({"dedup", "2.10"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("benchmark"), std::string::npos);
+  EXPECT_NE(out.find("dedup"), std::string::npos);
+  EXPECT_NE(out.find("2.10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace nocs

@@ -1,0 +1,171 @@
+// Tests for Algorithm 1 (topological sprinting) and the region predicates.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "sprint/topology.hpp"
+
+namespace nocs::sprint {
+namespace {
+
+TEST(SprintOrder, PaperFigure5aSequence) {
+  // The paper's running example: 4x4 mesh, master at the top-left corner.
+  // 8-core sprinting activates {0, 1, 4, 5, 2, 8, 6, 9} in that order
+  // (Euclidean distances 0, 1, 1, sqrt2, 2, 2, sqrt5, sqrt5; ties by id).
+  const MeshShape mesh(4, 4);
+  const std::vector<NodeId> order = sprint_order(mesh, 0);
+  const std::vector<NodeId> expect8 = {0, 1, 4, 5, 2, 8, 6, 9};
+  ASSERT_GE(order.size(), 8u);
+  for (int i = 0; i < 8; ++i)
+    EXPECT_EQ(order[static_cast<std::size_t>(i)],
+              expect8[static_cast<std::size_t>(i)])
+        << "position " << i;
+}
+
+TEST(SprintOrder, PaperEuclideanVsHamming4Core) {
+  // The paper's argument for Euclidean distance: at 4-core sprinting,
+  // Euclidean picks node 5 (diagonal) while Hamming ordering (ties by
+  // index) picks node 2.
+  const MeshShape mesh(4, 4);
+  const auto euclid = sprint_order(mesh, 0);
+  const auto ham = sprint_order_hamming(mesh, 0);
+  const std::set<NodeId> e4(euclid.begin(), euclid.begin() + 4);
+  const std::set<NodeId> h4(ham.begin(), ham.begin() + 4);
+  EXPECT_TRUE(e4.count(5));
+  EXPECT_FALSE(e4.count(2));
+  EXPECT_TRUE(h4.count(2));
+  EXPECT_FALSE(h4.count(5));
+  // And the paper's quality claim holds: the Euclidean set is tighter.
+  EXPECT_LT(average_pairwise_distance(mesh, {e4.begin(), e4.end()}),
+            average_pairwise_distance(mesh, {h4.begin(), h4.end()}));
+}
+
+class OrderSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, NodeId>> {};
+
+TEST_P(OrderSweep, IsPermutationStartingAtMaster) {
+  const auto [w, h, master_corner] = GetParam();
+  const MeshShape mesh(w, h);
+  // Translate corner index 0..3 to a node id.
+  const NodeId master = std::vector<NodeId>{
+      0, w - 1, w * (h - 1), w * h - 1}[static_cast<std::size_t>(
+      master_corner)];
+  const std::vector<NodeId> order = sprint_order(mesh, master);
+  ASSERT_EQ(static_cast<int>(order.size()), mesh.size());
+  EXPECT_EQ(order.front(), master);
+  std::set<NodeId> unique(order.begin(), order.end());
+  EXPECT_EQ(static_cast<int>(unique.size()), mesh.size());
+}
+
+TEST_P(OrderSweep, DistancesNonDecreasing) {
+  const auto [w, h, master_corner] = GetParam();
+  const MeshShape mesh(w, h);
+  const NodeId master = std::vector<NodeId>{
+      0, w - 1, w * (h - 1), w * h - 1}[static_cast<std::size_t>(
+      master_corner)];
+  const std::vector<NodeId> order = sprint_order(mesh, master);
+  const Coord m = mesh.coord_of(master);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(euclidean_sq(mesh.coord_of(order[i]), m),
+              euclidean_sq(mesh.coord_of(order[i - 1]), m));
+}
+
+TEST_P(OrderSweep, EveryPrefixIsConvex) {
+  // The paper's claim: "chosen nodes would form a convex set in the
+  // Euclidean space".
+  const auto [w, h, master_corner] = GetParam();
+  const MeshShape mesh(w, h);
+  const NodeId master = std::vector<NodeId>{
+      0, w - 1, w * (h - 1), w * h - 1}[static_cast<std::size_t>(
+      master_corner)];
+  const std::vector<NodeId> order = sprint_order(mesh, master);
+  for (int k = 1; k <= mesh.size(); ++k) {
+    const std::vector<NodeId> prefix(order.begin(), order.begin() + k);
+    EXPECT_TRUE(is_convex_region(mesh, prefix))
+        << "level " << k << " master " << master;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeshesAndMasters, OrderSweep,
+    ::testing::Combine(::testing::Values(2, 4, 5, 8),
+                       ::testing::Values(2, 4, 6),
+                       ::testing::Values(0, 1, 2, 3)));
+
+TEST(SprintOrder, CornerMasterPrefixesAreStaircases) {
+  // CDOR's structural requirement, checked here for the paper's top-left
+  // master (other corners are handled by reflection inside CdorRouting).
+  for (int w : {2, 4, 8}) {
+    for (int h : {2, 4, 5}) {
+      const MeshShape mesh(w, h);
+      const std::vector<NodeId> order = sprint_order(mesh, 0);
+      for (int k = 1; k <= mesh.size(); ++k) {
+        const std::vector<NodeId> prefix(order.begin(), order.begin() + k);
+        EXPECT_TRUE(is_staircase_region(mesh, prefix))
+            << w << "x" << h << " level " << k;
+      }
+    }
+  }
+}
+
+TEST(ActiveSet, PrefixOfOrder) {
+  const MeshShape mesh(4, 4);
+  const auto order = sprint_order(mesh, 0);
+  for (int k = 1; k <= 16; ++k) {
+    const auto set = active_set(mesh, k, 0);
+    ASSERT_EQ(static_cast<int>(set.size()), k);
+    for (int i = 0; i < k; ++i)
+      EXPECT_EQ(set[static_cast<std::size_t>(i)],
+                order[static_cast<std::size_t>(i)]);
+  }
+}
+
+TEST(ConvexRegion, DetectsNonConvexSets) {
+  const MeshShape mesh(4, 4);
+  // Nodes 0 and 2 without node 1 between them: not convex.
+  EXPECT_FALSE(is_convex_region(mesh, {0, 2}));
+  EXPECT_TRUE(is_convex_region(mesh, {0, 1, 2}));
+  // An L-shape missing its inner corner is still convex by the hull test
+  // only if no mesh node falls inside; {0,1,4} triangle is convex.
+  EXPECT_TRUE(is_convex_region(mesh, {0, 1, 4}));
+  // Diagonal without the off-diagonal nodes: hull contains none of the
+  // integer interior points... 0=(0,0), 5=(1,1): segment passes no other
+  // lattice point, so it is convex; add 10=(2,2) and the hull is a longer
+  // diagonal, still missing no lattice point.
+  EXPECT_TRUE(is_convex_region(mesh, {0, 5}));
+  // A hollow square is not convex (center missing).
+  EXPECT_FALSE(is_convex_region(mesh, {0, 2, 8, 10}));
+}
+
+TEST(StaircaseRegion, DetectsViolations) {
+  const MeshShape mesh(4, 4);
+  EXPECT_TRUE(is_staircase_region(mesh, {0}));
+  EXPECT_TRUE(is_staircase_region(mesh, {0, 1, 4}));
+  EXPECT_TRUE(is_staircase_region(mesh, {0, 1, 2, 3, 4, 5}));
+  // Row 0 narrower than row 1: widths increase downward -> not staircase.
+  EXPECT_FALSE(is_staircase_region(mesh, {0, 4, 5}));
+  // Gap in a row -> not left-aligned.
+  EXPECT_FALSE(is_staircase_region(mesh, {0, 2}));
+  // Missing the master row entirely.
+  EXPECT_FALSE(is_staircase_region(mesh, {4, 5}));
+}
+
+TEST(PairwiseDistance, HandComputed) {
+  const MeshShape mesh(4, 4);
+  // {0,1}: single pair at distance 1.
+  EXPECT_DOUBLE_EQ(average_pairwise_distance(mesh, {0, 1}), 1.0);
+  // {0,1,4}: pairs (0,1)=1, (0,4)=1, (1,4)=2 -> mean 4/3.
+  EXPECT_NEAR(average_pairwise_distance(mesh, {0, 1, 4}), 4.0 / 3.0, 1e-12);
+}
+
+TEST(SprintOrderHamming, OrderedByManhattanDistance) {
+  const MeshShape mesh(4, 4);
+  const auto order = sprint_order_hamming(mesh, 0);
+  for (std::size_t i = 1; i < order.size(); ++i)
+    EXPECT_GE(manhattan(mesh.coord_of(order[i]), {0, 0}),
+              manhattan(mesh.coord_of(order[i - 1]), {0, 0}));
+}
+
+}  // namespace
+}  // namespace nocs::sprint

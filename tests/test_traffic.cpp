@@ -1,0 +1,126 @@
+// Tests for the synthetic traffic patterns.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "noc/traffic.hpp"
+
+namespace nocs::noc {
+namespace {
+
+TEST(UniformTraffic, NeverSelfAndInRange) {
+  UniformTraffic t(8);
+  Rng rng(1);
+  for (int src = 0; src < 8; ++src) {
+    for (int i = 0; i < 500; ++i) {
+      const int d = t.dest(src, rng);
+      ASSERT_NE(d, src);
+      ASSERT_GE(d, 0);
+      ASSERT_LT(d, 8);
+    }
+  }
+}
+
+TEST(UniformTraffic, AllDestinationsRoughlyEqual) {
+  UniformTraffic t(5);
+  Rng rng(2);
+  std::map<int, int> counts;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) ++counts[t.dest(0, rng)];
+  for (int d = 1; d < 5; ++d)
+    EXPECT_NEAR(counts[d] / static_cast<double>(trials), 0.25, 0.02);
+  EXPECT_EQ(counts.count(0), 0u);
+}
+
+TEST(UniformTraffic, TwoEndpointsAlwaysTheOther) {
+  UniformTraffic t(2);
+  Rng rng(3);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(t.dest(0, rng), 1);
+    EXPECT_EQ(t.dest(1, rng), 0);
+  }
+}
+
+TEST(PermutationTraffic, AppliesPermAndRedirectsSelf) {
+  PermutationTraffic t(4, {1, 0, 2, 3}, "test");
+  Rng rng(4);
+  EXPECT_EQ(t.dest(0, rng), 1);
+  EXPECT_EQ(t.dest(1, rng), 0);
+  EXPECT_EQ(t.dest(2, rng), 3);  // perm[2]==2 redirects to next
+  EXPECT_EQ(t.dest(3, rng), 0);  // perm[3]==3 redirects (wraps)
+}
+
+TEST(HotspotTraffic, HotNodeGetsTheConfiguredShare) {
+  HotspotTraffic t(16, /*hot=*/0, /*hot_fraction=*/0.5);
+  Rng rng(5);
+  int to_hot = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i)
+    if (t.dest(5, rng) == 0) ++to_hot;
+  // 50% direct + uniform remainder hitting node 0 with prob 1/15.
+  const double expect = 0.5 + 0.5 / 15.0;
+  EXPECT_NEAR(to_hot / static_cast<double>(trials), expect, 0.02);
+}
+
+TEST(HotspotTraffic, HotNodeNeverSendsToItself) {
+  HotspotTraffic t(8, 3, 0.9);
+  Rng rng(6);
+  for (int i = 0; i < 1000; ++i) EXPECT_NE(t.dest(3, rng), 3);
+}
+
+TEST(NeighborTraffic, RingSuccessor) {
+  NeighborTraffic t(6);
+  Rng rng(7);
+  for (int s = 0; s < 6; ++s) EXPECT_EQ(t.dest(s, rng), (s + 1) % 6);
+}
+
+class PermutationKinds : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(PermutationKinds, ValidOverVariousSizes) {
+  for (int k : {2, 4, 7, 8, 16}) {
+    auto t = make_permutation(GetParam(), k);
+    Rng rng(8);
+    for (int s = 0; s < k; ++s) {
+      const int d = t->dest(s, rng);
+      EXPECT_GE(d, 0);
+      EXPECT_LT(d, k);
+      EXPECT_NE(d, s);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kinds, PermutationKinds,
+                         ::testing::Values("transpose", "bitcomp", "bitrev",
+                                           "shuffle"));
+
+TEST(Permutations, TransposeOn16SwapsHalves) {
+  auto t = make_permutation("transpose", 16);
+  Rng rng(9);
+  // 16 endpoints = 4 bits; transpose swaps the two 2-bit halves:
+  // src 1 (0001) -> 0100 = 4.
+  EXPECT_EQ(t->dest(1, rng), 4);
+  EXPECT_EQ(t->dest(4, rng), 1);
+}
+
+TEST(Permutations, BitcompOn16) {
+  auto t = make_permutation("bitcomp", 16);
+  Rng rng(10);
+  EXPECT_EQ(t->dest(0, rng), 15);
+  EXPECT_EQ(t->dest(5, rng), 10);
+}
+
+TEST(MakeTraffic, FactoryCoversAllNames) {
+  for (const char* name : {"uniform", "neighbor", "hotspot", "transpose",
+                           "bitcomp", "bitrev", "shuffle"}) {
+    auto t = make_traffic(name, 8);
+    ASSERT_NE(t, nullptr) << name;
+    Rng rng(11);
+    const int d = t->dest(0, rng);
+    EXPECT_GE(d, 0);
+    EXPECT_LT(d, 8);
+  }
+  EXPECT_THROW(make_traffic("nosuch", 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nocs::noc

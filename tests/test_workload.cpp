@@ -1,0 +1,126 @@
+// Tests for workload calibration and the PARSEC suite table.
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "cmp/perf_model.hpp"
+#include "cmp/workload.hpp"
+
+namespace nocs::cmp {
+namespace {
+
+TEST(Calibration, HitsOptimalLevelExactly) {
+  const PerfModel pm(16);
+  for (const CalibrationTarget& t : parsec_targets()) {
+    const WorkloadParams w = calibrate_workload(t, 16);
+    EXPECT_EQ(pm.optimal_level(w), t.optimal_cores) << t.name;
+    EXPECT_NEAR(pm.speedup(w, t.optimal_cores), t.speedup_optimal, 0.01)
+        << t.name;
+  }
+}
+
+TEST(Calibration, FullMachineSpeedupApproximate) {
+  // The 2-D scan matches s(16) only as well as the model family allows;
+  // direction must always be right (never better than the optimum).
+  const PerfModel pm(16);
+  for (const CalibrationTarget& t : parsec_targets()) {
+    const WorkloadParams w = calibrate_workload(t, 16);
+    EXPECT_LE(pm.speedup(w, 16), pm.speedup(w, t.optimal_cores) + 1e-9)
+        << t.name;
+  }
+}
+
+TEST(Calibration, InfeasibleTargetThrows) {
+  CalibrationTarget t;
+  t.name = "impossible";
+  t.optimal_cores = 4;
+  t.speedup_optimal = 4.5;  // superlinear: beyond Amdahl at 4 cores
+  t.speedup_full = 1.0;
+  EXPECT_THROW(calibrate_workload(t, 16), std::invalid_argument);
+}
+
+TEST(Calibration, MonotonicWorkloadNeedsConsistentTargets) {
+  CalibrationTarget t;
+  t.name = "scalable";
+  t.optimal_cores = 16;
+  t.speedup_optimal = 6.0;
+  t.speedup_full = 6.0;
+  const WorkloadParams w = calibrate_workload(t, 16);
+  const PerfModel pm(16);
+  EXPECT_EQ(pm.optimal_level(w), 16);
+  EXPECT_NEAR(pm.speedup(w, 16), 6.0, 0.01);
+}
+
+TEST(ParsecSuite, ElevenBenchmarks) {
+  const auto suite = parsec_suite();
+  EXPECT_EQ(suite.size(), 11u);
+  for (const WorkloadParams& w : suite) {
+    w.validate();
+    EXPECT_LE(w.injection_rate, 0.3)
+        << w.name << ": paper reports PARSEC injection never exceeds 0.3";
+  }
+}
+
+TEST(ParsecSuite, WorkloadClassesOfFigure4) {
+  const PerfModel pm(16);
+  const auto suite = parsec_suite();
+
+  // Scalable: blackscholes and bodytrack sprint all 16 cores.
+  EXPECT_EQ(pm.optimal_level(find_workload(suite, "blackscholes")), 16);
+  EXPECT_EQ(pm.optimal_level(find_workload(suite, "bodytrack")), 16);
+
+  // Serial-ish: freqmine's optimum is tiny and 16-core runs are *slower*
+  // than one core.
+  const auto& fm = find_workload(suite, "freqmine");
+  EXPECT_LE(pm.optimal_level(fm), 3);
+  EXPECT_GT(pm.exec_time(fm, 16), 1.0);
+
+  // Peak-then-degrade: vips and swaptions peak in the middle.
+  for (const char* name : {"vips", "swaptions"}) {
+    const auto& w = find_workload(suite, name);
+    const int k = pm.optimal_level(w);
+    EXPECT_GT(k, 2) << name;
+    EXPECT_LT(k, 16) << name;
+    EXPECT_GT(pm.exec_time(w, 16), pm.exec_time(w, k)) << name;
+  }
+
+  // Section 4.4's anchor: dedup's optimal level is 4.
+  EXPECT_EQ(pm.optimal_level(find_workload(suite, "dedup")), 4);
+}
+
+TEST(ParsecSuite, AggregateSpeedupsMatchFigure7Shape) {
+  // Paper: NoC-sprinting 3.6x average vs full-sprinting 1.9x.
+  const PerfModel pm(16);
+  double sum_opt = 0.0, sum_full = 0.0;
+  const auto suite = parsec_suite();
+  for (const WorkloadParams& w : suite) {
+    sum_opt += pm.speedup(w, pm.optimal_level(w));
+    sum_full += pm.speedup(w, 16);
+  }
+  const double avg_opt = sum_opt / static_cast<double>(suite.size());
+  const double avg_full = sum_full / static_cast<double>(suite.size());
+  EXPECT_NEAR(avg_opt, 3.6, 0.4);
+  EXPECT_GT(avg_opt, 1.4 * avg_full);  // the paper's headline gap
+}
+
+TEST(ParsecSuite, FindWorkload) {
+  const auto suite = parsec_suite();
+  EXPECT_EQ(find_workload(suite, "dedup").name, "dedup");
+  EXPECT_THROW(find_workload(suite, "doom3"), std::out_of_range);
+}
+
+TEST(Calibration, WorksForOtherMachineSizes) {
+  CalibrationTarget t;
+  t.name = "mid";
+  t.optimal_cores = 4;
+  t.speedup_optimal = 2.5;
+  t.speedup_full = 1.5;
+  for (int n_max : {8, 32, 64}) {
+    const WorkloadParams w = calibrate_workload(t, n_max);
+    const PerfModel pm(n_max);
+    EXPECT_EQ(pm.optimal_level(w), 4) << n_max;
+  }
+}
+
+}  // namespace
+}  // namespace nocs::cmp
