@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dim_sprint.dir/ablation_dim_sprint.cpp.o"
+  "CMakeFiles/ablation_dim_sprint.dir/ablation_dim_sprint.cpp.o.d"
+  "ablation_dim_sprint"
+  "ablation_dim_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dim_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ablation_dim_sprint.
+# This may be replaced when dependencies are built.

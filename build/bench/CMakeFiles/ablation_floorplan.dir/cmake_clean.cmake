@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_floorplan.dir/ablation_floorplan.cpp.o"
+  "CMakeFiles/ablation_floorplan.dir/ablation_floorplan.cpp.o.d"
+  "ablation_floorplan"
+  "ablation_floorplan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_floorplan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

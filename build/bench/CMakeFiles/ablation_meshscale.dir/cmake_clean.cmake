@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_meshscale.dir/ablation_meshscale.cpp.o"
+  "CMakeFiles/ablation_meshscale.dir/ablation_meshscale.cpp.o.d"
+  "ablation_meshscale"
+  "ablation_meshscale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_meshscale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_wires.dir/ablation_wires.cpp.o"
+  "CMakeFiles/ablation_wires.dir/ablation_wires.cpp.o.d"
+  "ablation_wires"
+  "ablation_wires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_wires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

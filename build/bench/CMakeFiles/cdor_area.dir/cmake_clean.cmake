@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cdor_area.dir/cdor_area.cpp.o"
+  "CMakeFiles/cdor_area.dir/cdor_area.cpp.o.d"
+  "cdor_area"
+  "cdor_area.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cdor_area.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig01_sprint_phases.dir/fig01_sprint_phases.cpp.o"
+  "CMakeFiles/fig01_sprint_phases.dir/fig01_sprint_phases.cpp.o.d"
+  "fig01_sprint_phases"
+  "fig01_sprint_phases.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig01_sprint_phases.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

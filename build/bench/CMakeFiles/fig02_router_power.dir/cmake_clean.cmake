@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig02_router_power.dir/fig02_router_power.cpp.o"
+  "CMakeFiles/fig02_router_power.dir/fig02_router_power.cpp.o.d"
+  "fig02_router_power"
+  "fig02_router_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig02_router_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig03_chip_power.dir/fig03_chip_power.cpp.o"
+  "CMakeFiles/fig03_chip_power.dir/fig03_chip_power.cpp.o.d"
+  "fig03_chip_power"
+  "fig03_chip_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig03_chip_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

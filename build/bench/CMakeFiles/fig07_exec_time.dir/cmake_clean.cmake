@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_exec_time.dir/fig07_exec_time.cpp.o"
+  "CMakeFiles/fig07_exec_time.dir/fig07_exec_time.cpp.o.d"
+  "fig07_exec_time"
+  "fig07_exec_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_exec_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

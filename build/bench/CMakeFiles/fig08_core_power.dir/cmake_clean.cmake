@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_core_power.dir/fig08_core_power.cpp.o"
+  "CMakeFiles/fig08_core_power.dir/fig08_core_power.cpp.o.d"
+  "fig08_core_power"
+  "fig08_core_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_core_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_net_power.dir/fig10_net_power.cpp.o"
+  "CMakeFiles/fig10_net_power.dir/fig10_net_power.cpp.o.d"
+  "fig10_net_power"
+  "fig10_net_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_net_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

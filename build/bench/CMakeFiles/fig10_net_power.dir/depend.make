@@ -1,0 +1,2 @@
+# Empty dependencies file for fig10_net_power.
+# This may be replaced when dependencies are built.

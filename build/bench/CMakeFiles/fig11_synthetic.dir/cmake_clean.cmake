@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_synthetic.dir/fig11_synthetic.cpp.o"
+  "CMakeFiles/fig11_synthetic.dir/fig11_synthetic.cpp.o.d"
+  "fig11_synthetic"
+  "fig11_synthetic.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_synthetic.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

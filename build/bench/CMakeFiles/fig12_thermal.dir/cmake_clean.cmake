@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_thermal.dir/fig12_thermal.cpp.o"
+  "CMakeFiles/fig12_thermal.dir/fig12_thermal.cpp.o.d"
+  "fig12_thermal"
+  "fig12_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

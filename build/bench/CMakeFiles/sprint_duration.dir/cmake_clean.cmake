@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sprint_duration.dir/sprint_duration.cpp.o"
+  "CMakeFiles/sprint_duration.dir/sprint_duration.cpp.o.d"
+  "sprint_duration"
+  "sprint_duration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sprint_duration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

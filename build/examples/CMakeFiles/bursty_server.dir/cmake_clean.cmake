@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bursty_server.dir/bursty_server.cpp.o"
+  "CMakeFiles/bursty_server.dir/bursty_server.cpp.o.d"
+  "bursty_server"
+  "bursty_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bursty_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

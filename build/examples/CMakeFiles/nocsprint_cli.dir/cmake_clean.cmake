@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocsprint_cli.dir/nocsprint_cli.cpp.o"
+  "CMakeFiles/nocsprint_cli.dir/nocsprint_cli.cpp.o.d"
+  "nocsprint_cli"
+  "nocsprint_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocsprint_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

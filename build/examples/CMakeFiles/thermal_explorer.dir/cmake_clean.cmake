@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/thermal_explorer.dir/thermal_explorer.cpp.o"
+  "CMakeFiles/thermal_explorer.dir/thermal_explorer.cpp.o.d"
+  "thermal_explorer"
+  "thermal_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/thermal_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/traffic_sweep.dir/traffic_sweep.cpp.o"
+  "CMakeFiles/traffic_sweep.dir/traffic_sweep.cpp.o.d"
+  "traffic_sweep"
+  "traffic_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/traffic_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocs_cmp.dir/perf_model.cpp.o"
+  "CMakeFiles/nocs_cmp.dir/perf_model.cpp.o.d"
+  "CMakeFiles/nocs_cmp.dir/workload.cpp.o"
+  "CMakeFiles/nocs_cmp.dir/workload.cpp.o.d"
+  "libnocs_cmp.a"
+  "libnocs_cmp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocs_cmp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

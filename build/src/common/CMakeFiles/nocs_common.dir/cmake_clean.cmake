@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocs_common.dir/config.cpp.o"
+  "CMakeFiles/nocs_common.dir/config.cpp.o.d"
+  "CMakeFiles/nocs_common.dir/geometry.cpp.o"
+  "CMakeFiles/nocs_common.dir/geometry.cpp.o.d"
+  "CMakeFiles/nocs_common.dir/log.cpp.o"
+  "CMakeFiles/nocs_common.dir/log.cpp.o.d"
+  "CMakeFiles/nocs_common.dir/stats.cpp.o"
+  "CMakeFiles/nocs_common.dir/stats.cpp.o.d"
+  "CMakeFiles/nocs_common.dir/table.cpp.o"
+  "CMakeFiles/nocs_common.dir/table.cpp.o.d"
+  "libnocs_common.a"
+  "libnocs_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocs_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

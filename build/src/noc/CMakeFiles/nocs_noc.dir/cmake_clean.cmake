@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocs_noc.dir/network.cpp.o"
+  "CMakeFiles/nocs_noc.dir/network.cpp.o.d"
+  "CMakeFiles/nocs_noc.dir/network_interface.cpp.o"
+  "CMakeFiles/nocs_noc.dir/network_interface.cpp.o.d"
+  "CMakeFiles/nocs_noc.dir/router.cpp.o"
+  "CMakeFiles/nocs_noc.dir/router.cpp.o.d"
+  "CMakeFiles/nocs_noc.dir/simulator.cpp.o"
+  "CMakeFiles/nocs_noc.dir/simulator.cpp.o.d"
+  "CMakeFiles/nocs_noc.dir/traffic.cpp.o"
+  "CMakeFiles/nocs_noc.dir/traffic.cpp.o.d"
+  "libnocs_noc.a"
+  "libnocs_noc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocs_noc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/chip_power.cpp" "src/power/CMakeFiles/nocs_power.dir/chip_power.cpp.o" "gcc" "src/power/CMakeFiles/nocs_power.dir/chip_power.cpp.o.d"
+  "/root/repo/src/power/noc_power.cpp" "src/power/CMakeFiles/nocs_power.dir/noc_power.cpp.o" "gcc" "src/power/CMakeFiles/nocs_power.dir/noc_power.cpp.o.d"
+  "/root/repo/src/power/router_power.cpp" "src/power/CMakeFiles/nocs_power.dir/router_power.cpp.o" "gcc" "src/power/CMakeFiles/nocs_power.dir/router_power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nocs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocs_noc.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocs_power.dir/chip_power.cpp.o"
+  "CMakeFiles/nocs_power.dir/chip_power.cpp.o.d"
+  "CMakeFiles/nocs_power.dir/noc_power.cpp.o"
+  "CMakeFiles/nocs_power.dir/noc_power.cpp.o.d"
+  "CMakeFiles/nocs_power.dir/router_power.cpp.o"
+  "CMakeFiles/nocs_power.dir/router_power.cpp.o.d"
+  "libnocs_power.a"
+  "libnocs_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocs_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

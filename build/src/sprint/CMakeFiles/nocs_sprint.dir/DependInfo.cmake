@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sprint/area.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/area.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/area.cpp.o.d"
+  "/root/repo/src/sprint/cdor.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/cdor.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/cdor.cpp.o.d"
+  "/root/repo/src/sprint/cosim.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/cosim.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/cosim.cpp.o.d"
+  "/root/repo/src/sprint/dim_sprint.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/dim_sprint.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/dim_sprint.cpp.o.d"
+  "/root/repo/src/sprint/floorplanner.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/floorplanner.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/floorplanner.cpp.o.d"
+  "/root/repo/src/sprint/llc.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/llc.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/llc.cpp.o.d"
+  "/root/repo/src/sprint/network_builder.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/network_builder.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/network_builder.cpp.o.d"
+  "/root/repo/src/sprint/online_adapt.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/online_adapt.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/online_adapt.cpp.o.d"
+  "/root/repo/src/sprint/physical_wires.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/physical_wires.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/physical_wires.cpp.o.d"
+  "/root/repo/src/sprint/power_gating.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/power_gating.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/power_gating.cpp.o.d"
+  "/root/repo/src/sprint/rotation.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/rotation.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/rotation.cpp.o.d"
+  "/root/repo/src/sprint/sprint_controller.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/sprint_controller.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/sprint_controller.cpp.o.d"
+  "/root/repo/src/sprint/topology.cpp" "src/sprint/CMakeFiles/nocs_sprint.dir/topology.cpp.o" "gcc" "src/sprint/CMakeFiles/nocs_sprint.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nocs_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocs_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nocs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/nocs_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/nocs_cmp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

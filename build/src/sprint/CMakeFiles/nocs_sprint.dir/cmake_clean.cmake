@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocs_sprint.dir/area.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/area.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/cdor.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/cdor.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/cosim.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/cosim.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/dim_sprint.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/dim_sprint.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/floorplanner.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/floorplanner.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/llc.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/llc.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/network_builder.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/network_builder.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/online_adapt.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/online_adapt.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/physical_wires.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/physical_wires.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/power_gating.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/power_gating.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/rotation.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/rotation.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/sprint_controller.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/sprint_controller.cpp.o.d"
+  "CMakeFiles/nocs_sprint.dir/topology.cpp.o"
+  "CMakeFiles/nocs_sprint.dir/topology.cpp.o.d"
+  "libnocs_sprint.a"
+  "libnocs_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocs_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

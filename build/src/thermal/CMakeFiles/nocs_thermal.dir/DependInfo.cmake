@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/thermal/floorplan.cpp" "src/thermal/CMakeFiles/nocs_thermal.dir/floorplan.cpp.o" "gcc" "src/thermal/CMakeFiles/nocs_thermal.dir/floorplan.cpp.o.d"
+  "/root/repo/src/thermal/grid.cpp" "src/thermal/CMakeFiles/nocs_thermal.dir/grid.cpp.o" "gcc" "src/thermal/CMakeFiles/nocs_thermal.dir/grid.cpp.o.d"
+  "/root/repo/src/thermal/pcm.cpp" "src/thermal/CMakeFiles/nocs_thermal.dir/pcm.cpp.o" "gcc" "src/thermal/CMakeFiles/nocs_thermal.dir/pcm.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/nocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

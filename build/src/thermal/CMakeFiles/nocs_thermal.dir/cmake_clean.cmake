@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nocs_thermal.dir/floorplan.cpp.o"
+  "CMakeFiles/nocs_thermal.dir/floorplan.cpp.o.d"
+  "CMakeFiles/nocs_thermal.dir/grid.cpp.o"
+  "CMakeFiles/nocs_thermal.dir/grid.cpp.o.d"
+  "CMakeFiles/nocs_thermal.dir/pcm.cpp.o"
+  "CMakeFiles/nocs_thermal.dir/pcm.cpp.o.d"
+  "libnocs_thermal.a"
+  "libnocs_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nocs_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libnocs_thermal.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cdor.dir/test_cdor.cpp.o"
+  "CMakeFiles/test_cdor.dir/test_cdor.cpp.o.d"
+  "test_cdor"
+  "test_cdor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cdor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_channel_buffer.dir/test_channel_buffer.cpp.o"
+  "CMakeFiles/test_channel_buffer.dir/test_channel_buffer.cpp.o.d"
+  "test_channel_buffer"
+  "test_channel_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_channel_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

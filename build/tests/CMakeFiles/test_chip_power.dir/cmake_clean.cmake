@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chip_power.dir/test_chip_power.cpp.o"
+  "CMakeFiles/test_chip_power.dir/test_chip_power.cpp.o.d"
+  "test_chip_power"
+  "test_chip_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chip_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

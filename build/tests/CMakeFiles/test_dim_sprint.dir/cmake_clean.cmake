@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dim_sprint.dir/test_dim_sprint.cpp.o"
+  "CMakeFiles/test_dim_sprint.dir/test_dim_sprint.cpp.o.d"
+  "test_dim_sprint"
+  "test_dim_sprint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dim_sprint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

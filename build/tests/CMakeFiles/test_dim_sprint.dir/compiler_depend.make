@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_dim_sprint.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floorplan_thermal.dir/test_floorplan_thermal.cpp.o"
+  "CMakeFiles/test_floorplan_thermal.dir/test_floorplan_thermal.cpp.o.d"
+  "test_floorplan_thermal"
+  "test_floorplan_thermal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floorplan_thermal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

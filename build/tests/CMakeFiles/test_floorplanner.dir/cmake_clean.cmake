@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_floorplanner.dir/test_floorplanner.cpp.o"
+  "CMakeFiles/test_floorplanner.dir/test_floorplanner.cpp.o.d"
+  "test_floorplanner"
+  "test_floorplanner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_floorplanner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for test_floorplanner.
+# This may be replaced when dependencies are built.

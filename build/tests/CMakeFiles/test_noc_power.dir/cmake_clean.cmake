@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_noc_power.dir/test_noc_power.cpp.o"
+  "CMakeFiles/test_noc_power.dir/test_noc_power.cpp.o.d"
+  "test_noc_power"
+  "test_noc_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_noc_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_online_adapt.dir/test_online_adapt.cpp.o"
+  "CMakeFiles/test_online_adapt.dir/test_online_adapt.cpp.o.d"
+  "test_online_adapt"
+  "test_online_adapt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_online_adapt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

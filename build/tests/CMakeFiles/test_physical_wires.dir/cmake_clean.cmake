@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_physical_wires.dir/test_physical_wires.cpp.o"
+  "CMakeFiles/test_physical_wires.dir/test_physical_wires.cpp.o.d"
+  "test_physical_wires"
+  "test_physical_wires.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_physical_wires.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_gating.dir/test_power_gating.cpp.o"
+  "CMakeFiles/test_power_gating.dir/test_power_gating.cpp.o.d"
+  "test_power_gating"
+  "test_power_gating.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_gating.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rotation.dir/test_rotation.cpp.o"
+  "CMakeFiles/test_rotation.dir/test_rotation.cpp.o.d"
+  "test_rotation"
+  "test_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_router_power.dir/test_router_power.cpp.o"
+  "CMakeFiles/test_router_power.dir/test_router_power.cpp.o.d"
+  "test_router_power"
+  "test_router_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_router_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sprint_controller.dir/test_sprint_controller.cpp.o"
+  "CMakeFiles/test_sprint_controller.dir/test_sprint_controller.cpp.o.d"
+  "test_sprint_controller"
+  "test_sprint_controller.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sprint_controller.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
