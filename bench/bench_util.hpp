@@ -8,12 +8,34 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "common/config.hpp"
 #include "common/table.hpp"
 #include "noc/params.hpp"
 
 namespace nocs::bench {
+
+/// Writes a flat {"name": value, ...} JSON object — the machine-readable
+/// summary (e.g. BENCH_noc.json) perf-tracking scripts diff across
+/// commits.  Returns false (after logging) when the file cannot be opened.
+inline bool write_bench_json(
+    const std::string& path,
+    const std::vector<std::pair<std::string, double>>& metrics) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n");
+  for (std::size_t i = 0; i < metrics.size(); ++i)
+    std::fprintf(f, "  \"%s\": %.6g%s\n", metrics[i].first.c_str(),
+                 metrics[i].second, i + 1 < metrics.size() ? "," : "");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  return true;
+}
 
 /// Parses key=value overrides from argv, tolerating none.
 inline Config parse_config(int argc, char** argv) {

@@ -22,15 +22,20 @@ int main(int argc, char** argv) {
                 net);
 
   const std::uint64_t seed = cfg.get_int("seed", 7);
+  const int threads = static_cast<int>(cfg.get_int("threads", 0));
   const PerfModel pm(net.num_nodes());
   const auto suite = parsec_suite(net.num_nodes());
+
+  // One worker per benchmark; rows are folded in suite order afterwards so
+  // the table and averages match the serial loop exactly.
+  const auto results = bench::run_parsec_suite(net, suite, pm, seed, threads);
 
   Table t({"benchmark", "inj (flits/cyc)", "level", "full lat (cyc)",
            "noc-sprint lat (cyc)", "reduction"});
   std::vector<double> reductions;
-  for (const WorkloadParams& w : suite) {
-    const bench::ParsecNetResult r =
-        bench::run_parsec_network(net, w, pm, seed);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const WorkloadParams& w = suite[i];
+    const bench::ParsecNetResult& r = results[i];
     const double red = 1.0 - r.noc_latency / r.full_latency;
     reductions.push_back(red);
     t.add_row({w.name, Table::fmt(w.injection_rate, 2),

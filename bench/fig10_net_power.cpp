@@ -21,15 +21,18 @@ int main(int argc, char** argv) {
                 net);
 
   const std::uint64_t seed = cfg.get_int("seed", 7);
+  const int threads = static_cast<int>(cfg.get_int("threads", 0));
   const PerfModel pm(net.num_nodes());
   const auto suite = parsec_suite(net.num_nodes());
+
+  const auto results = bench::run_parsec_suite(net, suite, pm, seed, threads);
 
   Table t({"benchmark", "level", "full power (mW)", "noc-sprint power (mW)",
            "saving"});
   std::vector<double> savings;
-  for (const WorkloadParams& w : suite) {
-    const bench::ParsecNetResult r =
-        bench::run_parsec_network(net, w, pm, seed);
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    const WorkloadParams& w = suite[i];
+    const bench::ParsecNetResult& r = results[i];
     const double save = 1.0 - r.noc_power / r.full_power;
     savings.push_back(save);
     t.add_row({w.name, Table::fmt(static_cast<long long>(r.level)),

@@ -8,9 +8,11 @@
 // power cut 62.1 % / 25.9 %, and NoC-sprinting saturates earlier because
 // it concentrates the same traffic on fewer links.
 #include <cstdio>
+#include <functional>
 #include <vector>
 
 #include "bench_util.hpp"
+#include "common/parallel.hpp"
 #include "common/stats.hpp"
 #include "noc/simulator.hpp"
 #include "parsec_sim.hpp"
@@ -27,6 +29,14 @@ struct Point {
   bool noc_sat = false, full_sat = false;
 };
 
+/// One full-sprinting random-mapping sample (folded in sample order after
+/// the parallel batch so averages match the serial loop bit for bit).
+struct FullSample {
+  double lat = 0.0;
+  double pow = 0.0;
+  bool sat = false;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -39,6 +49,7 @@ int main(int argc, char** argv) {
 
   const int samples = static_cast<int>(cfg.get_int("samples", 10));
   const std::uint64_t seed = cfg.get_int("seed", 11);
+  const int threads = static_cast<int>(cfg.get_int("threads", 0));
   const std::vector<double> rates = {0.02, 0.05, 0.10, 0.15, 0.20, 0.25,
                                      0.30, 0.35, 0.40, 0.50, 0.60, 0.70};
 
@@ -54,40 +65,61 @@ int main(int argc, char** argv) {
   sim.drain_max = 40000;
 
   for (int level : {4, 8}) {
-    std::vector<Point> points;
-    for (double rate : rates) {
-      Point pt;
-      pt.rate = rate;
-      sim.injection_rate = rate;
+    // Every (rate, mapping) simulation is independent: one task per
+    // NoC-sprinting point plus one per full-sprinting random mapping, all
+    // with the same seeds the serial loop used, so the tables below are
+    // identical for any thread count.
+    std::vector<Point> points(rates.size());
+    std::vector<std::vector<FullSample>> full(
+        rates.size(), std::vector<FullSample>(static_cast<std::size_t>(
+                          samples)));
+    std::vector<std::function<void()>> tasks;
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      noc::SimConfig point_sim = sim;
+      point_sim.injection_rate = rates[i];
+      points[i].rate = rates[i];
 
-      {  // NoC-sprinting: deterministic convex region.
-        auto b = sprint::make_noc_sprinting_network(net, level, "uniform",
-                                                    seed);
-        const noc::SimResults r = noc::run_simulation(*b.network, sim);
-        pt.noc_lat = r.avg_packet_latency;
-        pt.noc_sat = r.saturated;
-        pt.noc_pow = power::estimate_noc_power(*b.network, router_model,
-                                               link_model, r.cycles)
-                         .total();
-      }
-      {  // Full-sprinting: average over random endpoint mappings.
-        RunningStat lat, pow;
-        int saturated = 0;
-        for (int s = 0; s < samples; ++s) {
+      tasks.push_back([&, i, point_sim, level] {
+        // NoC-sprinting: deterministic convex region.
+        auto b =
+            sprint::make_noc_sprinting_network(net, level, "uniform", seed);
+        const noc::SimResults r = noc::run_simulation(*b.network, point_sim);
+        points[i].noc_lat = r.avg_packet_latency;
+        points[i].noc_sat = r.saturated;
+        points[i].noc_pow = power::estimate_noc_power(*b.network,
+                                                      router_model,
+                                                      link_model, r.cycles)
+                                .total();
+      });
+      for (int s = 0; s < samples; ++s) {
+        tasks.push_back([&, i, s, point_sim, level] {
+          // Full-sprinting: one random endpoint mapping.
           auto b = sprint::make_full_sprinting_network(
               net, level, "uniform", seed + static_cast<std::uint64_t>(s));
-          const noc::SimResults r = noc::run_simulation(*b.network, sim);
-          lat.add(r.avg_packet_latency);
-          pow.add(power::estimate_noc_power(*b.network, router_model,
-                                            link_model, r.cycles)
-                      .total());
-          saturated += r.saturated ? 1 : 0;
-        }
-        pt.full_lat = lat.mean();
-        pt.full_pow = pow.mean();
-        pt.full_sat = saturated > samples / 2;
+          const noc::SimResults r =
+              noc::run_simulation(*b.network, point_sim);
+          FullSample& fs = full[i][static_cast<std::size_t>(s)];
+          fs.lat = r.avg_packet_latency;
+          fs.sat = r.saturated;
+          fs.pow = power::estimate_noc_power(*b.network, router_model,
+                                             link_model, r.cycles)
+                       .total();
+        });
       }
-      points.push_back(pt);
+    }
+    run_tasks(tasks, threads);
+
+    for (std::size_t i = 0; i < rates.size(); ++i) {
+      RunningStat lat, pow;
+      int saturated = 0;
+      for (const FullSample& fs : full[i]) {
+        lat.add(fs.lat);
+        pow.add(fs.pow);
+        saturated += fs.sat ? 1 : 0;
+      }
+      points[i].full_lat = lat.mean();
+      points[i].full_pow = pow.mean();
+      points[i].full_sat = saturated > samples / 2;
     }
 
     std::printf("\n--- %d-core sprinting ---\n", level);

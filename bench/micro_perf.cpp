@@ -1,9 +1,18 @@
 // Micro-benchmarks (google-benchmark): raw speed of the simulator and the
 // paper's algorithms.  Not a paper figure — engineering data for users
 // sizing their own sweeps.
+//
+// The custom main() additionally times the headline throughput numbers
+// outside google-benchmark and writes them to BENCH_noc.json (flat
+// name -> value JSON) so perf regressions are diffable across commits.
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <deque>
+
+#include "bench_util.hpp"
 #include "cmp/perf_model.hpp"
+#include "noc/parallel_sweep.hpp"
 #include "noc/simulator.hpp"
 #include "sprint/cdor.hpp"
 #include "sprint/floorplanner.hpp"
@@ -13,24 +22,105 @@
 
 using namespace nocs;
 
-static void BM_NetworkTick(benchmark::State& state) {
-  const int side = static_cast<int>(state.range(0));
+namespace {
+
+/// Builds the standard tick-benchmark network: side x side mesh, every
+/// node an endpoint, uniform traffic at 0.2 flits/cycle, pipelines warm.
+std::unique_ptr<noc::Network> make_tick_network(
+    int side, const noc::RoutingFunction* routing) {
   noc::NetworkParams p;
   p.width = side;
   p.height = side;
-  noc::XyRouting xy;
-  noc::Network net(p, &xy);
+  auto net = std::make_unique<noc::Network>(p, routing);
   std::vector<NodeId> all;
   for (int i = 0; i < p.num_nodes(); ++i) all.push_back(i);
-  net.set_endpoints(all, noc::make_traffic("uniform", p.num_nodes()));
-  net.set_injection_rate(0.2);
-  net.set_seed(1);
-  net.run(1000);  // warm the pipelines
-  for (auto _ : state) net.tick();
+  net->set_endpoints(all, noc::make_traffic("uniform", p.num_nodes()));
+  net->set_injection_rate(0.2);
+  net->set_seed(1);
+  net->run(1000);  // warm the pipelines
+  return net;
+}
+
+}  // namespace
+
+static void BM_NetworkTick(benchmark::State& state) {
+  noc::XyRouting xy;
+  auto net = make_tick_network(static_cast<int>(state.range(0)), &xy);
+  for (auto _ : state) net->tick();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(net->num_nodes()));
+}
+BENCHMARK(BM_NetworkTick)->Arg(4)->Arg(8);
+
+// Sprint level 4 of 16: a 2x2 active region, 12 routers dark.  The
+// active-router fast path should make the dark region's tick cost ~zero,
+// so this lands far below BM_NetworkTick/4 per tick.
+static void BM_NetworkTickGated(benchmark::State& state) {
+  noc::NetworkParams p;
+  p.width = 4;
+  p.height = 4;
+  sprint::NetworkBundle b =
+      sprint::make_noc_sprinting_network(p, 4, "uniform", 1);
+  b.network->set_injection_rate(0.2);
+  b.network->run(1000);
+  for (auto _ : state) b.network->tick();
   state.SetItemsProcessed(state.iterations() *
                           static_cast<std::int64_t>(p.num_nodes()));
 }
-BENCHMARK(BM_NetworkTick)->Arg(4)->Arg(8);
+BENCHMARK(BM_NetworkTickGated);
+
+namespace {
+
+/// The pre-ring VcBuffer implementation, kept here as the comparison
+/// baseline for BM_VcBuffer (std::deque allocates/frees chunks as flits
+/// stream through, which is what the ring rewrite removed).
+class DequeVcBuffer {
+ public:
+  explicit DequeVcBuffer(int capacity) : capacity_(capacity) {}
+  bool empty() const { return q_.empty(); }
+  bool full() const { return static_cast<int>(q_.size()) >= capacity_; }
+  void push(const noc::Flit& f) { q_.push_back(f); }
+  const noc::Flit& front() const { return q_.front(); }
+  noc::Flit pop() {
+    noc::Flit f = q_.front();
+    q_.pop_front();
+    return f;
+  }
+
+ private:
+  int capacity_;
+  std::deque<noc::Flit> q_;
+};
+
+template <typename Buffer>
+void run_buffer_benchmark(benchmark::State& state) {
+  Buffer buf(4);
+  noc::Flit f;
+  f.packet = 42;
+  std::int64_t items = 0;
+  for (auto _ : state) {
+    // One wormhole burst: fill the VC, then drain it.
+    for (int i = 0; i < 4; ++i) {
+      f.index = i;
+      buf.push(f);
+    }
+    while (!buf.empty()) benchmark::DoNotOptimize(buf.pop());
+    items += 4;
+  }
+  state.SetItemsProcessed(items);
+}
+
+}  // namespace
+
+static void BM_VcBufferRing(benchmark::State& state) {
+  run_buffer_benchmark<noc::VcBuffer>(state);
+}
+BENCHMARK(BM_VcBufferRing);
+
+static void BM_VcBufferDeque(benchmark::State& state) {
+  run_buffer_benchmark<DequeVcBuffer>(state);
+}
+BENCHMARK(BM_VcBufferDeque);
 
 static void BM_SprintOrder(benchmark::State& state) {
   const MeshShape mesh(static_cast<int>(state.range(0)),
@@ -79,4 +169,85 @@ static void BM_CalibrateSuite(benchmark::State& state) {
 }
 BENCHMARK(BM_CalibrateSuite);
 
-BENCHMARK_MAIN();
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Ticks `net` for `n` cycles and returns ticks per second.
+double measure_ticks_per_sec(noc::Network& net, Cycle n) {
+  const auto t0 = std::chrono::steady_clock::now();
+  net.run(n);
+  return static_cast<double>(n) / seconds_since(t0);
+}
+
+/// Times a small fig11-style injection sweep (fresh 4x4 sprint network per
+/// point) at the given worker count; returns wall-clock seconds.
+double measure_sweep_seconds(int threads) {
+  const std::vector<double> rates = {0.05, 0.10, 0.15, 0.20, 0.25, 0.30,
+                                     0.35, 0.40};
+  noc::NetworkParams p;
+  p.width = 4;
+  p.height = 4;
+  noc::SimConfig sim;
+  sim.warmup = 500;
+  sim.measure = 4000;
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto points = noc::parallel_sweep_injection(
+      [&](const noc::SweepTask& task) {
+        sprint::NetworkBundle b =
+            sprint::make_noc_sprinting_network(p, 8, "uniform", task.seed);
+        noc::SimConfig point_sim = sim;
+        point_sim.injection_rate = task.injection_rate;
+        return noc::run_simulation(*b.network, point_sim);
+      },
+      rates, /*base_seed=*/11, threads);
+  benchmark::DoNotOptimize(points);
+  return seconds_since(t0);
+}
+
+/// Headline metrics for BENCH_noc.json, measured outside google-benchmark
+/// (simple wall-clock timing is enough for the cross-commit diff).
+void emit_bench_json() {
+  std::vector<std::pair<std::string, double>> metrics;
+
+  noc::XyRouting xy;
+  auto full = make_tick_network(8, &xy);
+  metrics.emplace_back("network_tick_8x8_ticks_per_sec",
+                       measure_ticks_per_sec(*full, 200000));
+
+  noc::NetworkParams p4;
+  p4.width = 4;
+  p4.height = 4;
+  sprint::NetworkBundle gated =
+      sprint::make_noc_sprinting_network(p4, 4, "uniform", 1);
+  gated.network->set_injection_rate(0.2);
+  gated.network->run(1000);
+  metrics.emplace_back("network_tick_gated_4of16_ticks_per_sec",
+                       measure_ticks_per_sec(*gated.network, 2000000));
+
+  const double serial = measure_sweep_seconds(1);
+  const double parallel = measure_sweep_seconds(4);
+  metrics.emplace_back("sweep_8pt_serial_seconds", serial);
+  metrics.emplace_back("sweep_8pt_4threads_seconds", parallel);
+  metrics.emplace_back("sweep_4thread_speedup",
+                       parallel > 0 ? serial / parallel : 0.0);
+
+  bench::write_bench_json("BENCH_noc.json", metrics);
+  std::printf("wrote BENCH_noc.json (8x8 %.3g ticks/s, gated %.3g ticks/s, "
+              "4-thread sweep speedup %.2fx)\n",
+              metrics[0].second, metrics[1].second, metrics[4].second);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  emit_bench_json();
+  return 0;
+}

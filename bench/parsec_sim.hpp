@@ -2,7 +2,10 @@
 // and 10) — a thin adapter over the library's sprint::cosimulate().
 #pragma once
 
+#include <vector>
+
 #include "cmp/perf_model.hpp"
+#include "common/parallel.hpp"
 #include "sprint/cosim.hpp"
 
 namespace nocs::bench {
@@ -18,9 +21,11 @@ struct ParsecNetResult {
 inline ParsecNetResult run_parsec_network(const noc::NetworkParams& params,
                                           const cmp::WorkloadParams& w,
                                           const cmp::PerfModel& pm,
-                                          std::uint64_t seed) {
+                                          std::uint64_t seed,
+                                          int num_threads = 0) {
   sprint::CosimConfig cfg;
   cfg.seed = seed;
+  cfg.num_threads = num_threads;
   const sprint::CosimResult r = sprint::cosimulate(params, w, pm, cfg);
   ParsecNetResult out;
   out.level = r.level;
@@ -29,6 +34,25 @@ inline ParsecNetResult run_parsec_network(const noc::NetworkParams& params,
   out.full_power = r.full_noc_power;
   out.noc_power = r.noc_noc_power;
   return out;
+}
+
+/// Runs the whole suite with one worker per benchmark (each co-simulation
+/// stays serial internally).  Every benchmark uses the same fixed `seed`
+/// and its own networks, so results are identical to the serial loop no
+/// matter the thread count.
+inline std::vector<ParsecNetResult> run_parsec_suite(
+    const noc::NetworkParams& params,
+    const std::vector<cmp::WorkloadParams>& suite, const cmp::PerfModel& pm,
+    std::uint64_t seed, int num_threads = 0) {
+  std::vector<ParsecNetResult> results(suite.size());
+  ParallelFor(
+      suite.size(),
+      [&](std::size_t i) {
+        results[i] =
+            run_parsec_network(params, suite[i], pm, seed, /*num_threads=*/1);
+      },
+      num_threads);
+  return results;
 }
 
 }  // namespace nocs::bench

@@ -118,9 +118,13 @@ bench/CMakeFiles/fig10_net_power.dir/fig10_net_power.cpp.o: \
  /usr/include/asm-generic/errno.h /usr/include/asm-generic/errno-base.h \
  /usr/include/x86_64-linux-gnu/bits/types/error_t.h \
  /usr/include/c++/12/bits/charconv.h \
- /usr/include/c++/12/bits/basic_string.tcc \
- /root/repo/src/common/config.hpp /usr/include/c++/12/map \
- /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/bits/basic_string.tcc /usr/include/c++/12/utility \
+ /usr/include/c++/12/bits/stl_relops.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_uninitialized.h \
+ /usr/include/c++/12/bits/stl_vector.h \
+ /usr/include/c++/12/bits/stl_bvector.h \
+ /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/config.hpp \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
  /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
@@ -131,13 +135,10 @@ bench/CMakeFiles/fig10_net_power.dir/fig10_net_power.cpp.o: \
  /usr/include/c++/12/bits/cxxabi_init_exception.h \
  /usr/include/c++/12/typeinfo /usr/include/c++/12/bits/nested_exception.h \
  /usr/include/c++/12/bits/enable_special_members.h \
- /usr/include/c++/12/vector /usr/include/c++/12/bits/stl_uninitialized.h \
- /usr/include/c++/12/bits/stl_vector.h \
- /usr/include/c++/12/bits/stl_bvector.h \
- /usr/include/c++/12/bits/vector.tcc /root/repo/src/common/table.hpp \
- /root/repo/src/noc/params.hpp /root/repo/src/common/assert.hpp \
- /root/repo/src/common/geometry.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/common/table.hpp /root/repo/src/noc/params.hpp \
+ /root/repo/src/common/assert.hpp /root/repo/src/common/geometry.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -171,13 +172,14 @@ bench/CMakeFiles/fig10_net_power.dir/fig10_net_power.cpp.o: \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
  /root/repo/bench/parsec_sim.hpp /root/repo/src/cmp/perf_model.hpp \
- /root/repo/src/cmp/workload.hpp /root/repo/src/sprint/cosim.hpp \
- /root/repo/src/noc/simulator.hpp /root/repo/src/noc/counters.hpp \
- /root/repo/src/noc/network.hpp /usr/include/c++/12/functional \
+ /root/repo/src/cmp/workload.hpp /root/repo/src/common/parallel.hpp \
+ /usr/include/c++/12/cstddef /usr/include/c++/12/functional \
  /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /root/repo/src/sprint/cosim.hpp /root/repo/src/noc/simulator.hpp \
+ /root/repo/src/noc/counters.hpp /root/repo/src/noc/network.hpp \
  /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
@@ -249,7 +251,6 @@ bench/CMakeFiles/fig10_net_power.dir/fig10_net_power.cpp.o: \
  /root/repo/src/noc/network_interface.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/rng.hpp /root/repo/src/noc/channel.hpp \
- /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/noc/flit.hpp /root/repo/src/noc/stats_collector.hpp \
  /root/repo/src/noc/traffic.hpp /root/repo/src/noc/router.hpp \
  /root/repo/src/noc/buffer.hpp /root/repo/src/noc/routing.hpp \

@@ -136,8 +136,7 @@ examples/CMakeFiles/nocsprint_cli.dir/nocsprint_cli.cpp.o: \
  /usr/include/c++/12/bits/stl_multimap.h \
  /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
- /root/repo/src/common/table.hpp /root/repo/src/noc/simulator.hpp \
- /root/repo/src/noc/counters.hpp /root/repo/src/noc/network.hpp \
+ /root/repo/src/common/table.hpp /root/repo/src/noc/parallel_sweep.hpp \
  /usr/include/c++/12/functional /usr/include/c++/12/bits/std_function.h \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
@@ -146,7 +145,9 @@ examples/CMakeFiles/nocsprint_cli.dir/nocsprint_cli.cpp.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/stl_tempbuf.h \
- /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/memory \
+ /usr/include/c++/12/bits/uniform_int_dist.h \
+ /root/repo/src/noc/simulator.hpp /root/repo/src/noc/counters.hpp \
+ /root/repo/src/noc/network.hpp /usr/include/c++/12/memory \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h /usr/include/c++/12/ostream \

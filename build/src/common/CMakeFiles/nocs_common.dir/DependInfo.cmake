@@ -11,6 +11,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/common/config.cpp" "src/common/CMakeFiles/nocs_common.dir/config.cpp.o" "gcc" "src/common/CMakeFiles/nocs_common.dir/config.cpp.o.d"
   "/root/repo/src/common/geometry.cpp" "src/common/CMakeFiles/nocs_common.dir/geometry.cpp.o" "gcc" "src/common/CMakeFiles/nocs_common.dir/geometry.cpp.o.d"
   "/root/repo/src/common/log.cpp" "src/common/CMakeFiles/nocs_common.dir/log.cpp.o" "gcc" "src/common/CMakeFiles/nocs_common.dir/log.cpp.o.d"
+  "/root/repo/src/common/parallel.cpp" "src/common/CMakeFiles/nocs_common.dir/parallel.cpp.o" "gcc" "src/common/CMakeFiles/nocs_common.dir/parallel.cpp.o.d"
   "/root/repo/src/common/stats.cpp" "src/common/CMakeFiles/nocs_common.dir/stats.cpp.o" "gcc" "src/common/CMakeFiles/nocs_common.dir/stats.cpp.o.d"
   "/root/repo/src/common/table.cpp" "src/common/CMakeFiles/nocs_common.dir/table.cpp.o" "gcc" "src/common/CMakeFiles/nocs_common.dir/table.cpp.o.d"
   )

@@ -5,6 +5,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nocs_common.dir/geometry.cpp.o.d"
   "CMakeFiles/nocs_common.dir/log.cpp.o"
   "CMakeFiles/nocs_common.dir/log.cpp.o.d"
+  "CMakeFiles/nocs_common.dir/parallel.cpp.o"
+  "CMakeFiles/nocs_common.dir/parallel.cpp.o.d"
   "CMakeFiles/nocs_common.dir/stats.cpp.o"
   "CMakeFiles/nocs_common.dir/stats.cpp.o.d"
   "CMakeFiles/nocs_common.dir/table.cpp.o"

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/noc/network.cpp" "src/noc/CMakeFiles/nocs_noc.dir/network.cpp.o" "gcc" "src/noc/CMakeFiles/nocs_noc.dir/network.cpp.o.d"
   "/root/repo/src/noc/network_interface.cpp" "src/noc/CMakeFiles/nocs_noc.dir/network_interface.cpp.o" "gcc" "src/noc/CMakeFiles/nocs_noc.dir/network_interface.cpp.o.d"
+  "/root/repo/src/noc/parallel_sweep.cpp" "src/noc/CMakeFiles/nocs_noc.dir/parallel_sweep.cpp.o" "gcc" "src/noc/CMakeFiles/nocs_noc.dir/parallel_sweep.cpp.o.d"
   "/root/repo/src/noc/router.cpp" "src/noc/CMakeFiles/nocs_noc.dir/router.cpp.o" "gcc" "src/noc/CMakeFiles/nocs_noc.dir/router.cpp.o.d"
   "/root/repo/src/noc/simulator.cpp" "src/noc/CMakeFiles/nocs_noc.dir/simulator.cpp.o" "gcc" "src/noc/CMakeFiles/nocs_noc.dir/simulator.cpp.o.d"
   "/root/repo/src/noc/traffic.cpp" "src/noc/CMakeFiles/nocs_noc.dir/traffic.cpp.o" "gcc" "src/noc/CMakeFiles/nocs_noc.dir/traffic.cpp.o.d"

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/nocs_noc.dir/network.cpp.o.d"
   "CMakeFiles/nocs_noc.dir/network_interface.cpp.o"
   "CMakeFiles/nocs_noc.dir/network_interface.cpp.o.d"
+  "CMakeFiles/nocs_noc.dir/parallel_sweep.cpp.o"
+  "CMakeFiles/nocs_noc.dir/parallel_sweep.cpp.o.d"
   "CMakeFiles/nocs_noc.dir/router.cpp.o"
   "CMakeFiles/nocs_noc.dir/router.cpp.o.d"
   "CMakeFiles/nocs_noc.dir/simulator.cpp.o"

@@ -214,11 +214,10 @@ src/noc/CMakeFiles/nocs_noc.dir/simulator.cpp.o: \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/rng.hpp /root/repo/src/common/assert.hpp \
  /root/repo/src/common/types.hpp /root/repo/src/noc/channel.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/noc/flit.hpp \
- /root/repo/src/noc/params.hpp /root/repo/src/common/geometry.hpp \
- /usr/include/c++/12/cmath /usr/include/math.h \
- /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/noc/flit.hpp /root/repo/src/noc/params.hpp \
+ /root/repo/src/common/geometry.hpp /usr/include/c++/12/cmath \
+ /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \

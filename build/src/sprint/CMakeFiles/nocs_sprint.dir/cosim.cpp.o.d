@@ -240,14 +240,15 @@ src/sprint/CMakeFiles/nocs_sprint.dir/cosim.cpp.o: \
  /root/repo/src/noc/network_interface.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/rng.hpp /root/repo/src/noc/channel.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/noc/flit.hpp \
- /root/repo/src/noc/stats_collector.hpp /root/repo/src/common/stats.hpp \
- /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/noc/flit.hpp /root/repo/src/noc/stats_collector.hpp \
+ /root/repo/src/common/stats.hpp /usr/include/c++/12/algorithm \
+ /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/noc/traffic.hpp /root/repo/src/noc/router.hpp \
  /root/repo/src/noc/buffer.hpp /root/repo/src/noc/routing.hpp \
  /root/repo/src/power/noc_power.hpp /root/repo/src/power/router_power.hpp \
- /root/repo/src/power/tech.hpp /root/repo/src/sprint/network_builder.hpp \
+ /root/repo/src/power/tech.hpp /root/repo/src/common/parallel.hpp \
+ /usr/include/c++/12/cstddef /root/repo/src/sprint/network_builder.hpp \
  /root/repo/src/sprint/cdor.hpp /root/repo/src/sprint/physical_wires.hpp

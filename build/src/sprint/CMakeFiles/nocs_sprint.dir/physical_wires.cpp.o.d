@@ -239,11 +239,10 @@ src/sprint/CMakeFiles/nocs_sprint.dir/physical_wires.cpp.o: \
  /root/repo/src/noc/network_interface.hpp /usr/include/c++/12/deque \
  /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
  /root/repo/src/common/rng.hpp /root/repo/src/noc/channel.hpp \
- /usr/include/c++/12/optional /usr/include/c++/12/utility \
- /usr/include/c++/12/bits/stl_relops.h /root/repo/src/noc/flit.hpp \
- /root/repo/src/noc/params.hpp /root/repo/src/noc/stats_collector.hpp \
- /root/repo/src/common/stats.hpp /usr/include/c++/12/algorithm \
- /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
+ /root/repo/src/noc/flit.hpp /root/repo/src/noc/params.hpp \
+ /root/repo/src/noc/stats_collector.hpp /root/repo/src/common/stats.hpp \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
  /usr/include/c++/12/bits/ranges_util.h \
  /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /root/repo/src/noc/traffic.hpp /root/repo/src/noc/router.hpp \

@@ -293,7 +293,6 @@ tests/CMakeFiles/test_channel_buffer.dir/test_channel_buffer.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/src/noc/buffer.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/common/assert.hpp /root/repo/src/noc/flit.hpp \
- /root/repo/src/common/types.hpp /root/repo/src/noc/channel.hpp
+ /root/repo/src/noc/buffer.hpp /root/repo/src/common/assert.hpp \
+ /root/repo/src/noc/flit.hpp /root/repo/src/common/types.hpp \
+ /root/repo/src/noc/channel.hpp

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/test_parallel.dir/test_parallel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sprint/CMakeFiles/nocs_sprint.dir/DependInfo.cmake"
+  "/root/repo/build/src/power/CMakeFiles/nocs_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/thermal/CMakeFiles/nocs_thermal.dir/DependInfo.cmake"
+  "/root/repo/build/src/cmp/CMakeFiles/nocs_cmp.dir/DependInfo.cmake"
+  "/root/repo/build/src/noc/CMakeFiles/nocs_noc.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/nocs_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

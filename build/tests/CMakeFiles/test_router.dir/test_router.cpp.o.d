@@ -317,8 +317,6 @@ tests/CMakeFiles/test_router.dir/test_router.cpp.o: \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
  /root/repo/src/common/assert.hpp /root/repo/src/common/types.hpp \
- /root/repo/src/noc/buffer.hpp /usr/include/c++/12/deque \
- /usr/include/c++/12/bits/stl_deque.h /usr/include/c++/12/bits/deque.tcc \
- /root/repo/src/noc/flit.hpp /root/repo/src/noc/channel.hpp \
- /root/repo/src/noc/counters.hpp /root/repo/src/noc/params.hpp \
- /root/repo/src/noc/routing.hpp
+ /root/repo/src/noc/buffer.hpp /root/repo/src/noc/flit.hpp \
+ /root/repo/src/noc/channel.hpp /root/repo/src/noc/counters.hpp \
+ /root/repo/src/noc/params.hpp /root/repo/src/noc/routing.hpp

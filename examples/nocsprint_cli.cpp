@@ -22,6 +22,7 @@
 #include "cmp/perf_model.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "noc/parallel_sweep.hpp"
 #include "noc/simulator.hpp"
 #include "power/chip_power.hpp"
 #include "power/noc_power.hpp"
@@ -125,15 +126,25 @@ int mode_sweep(const Config& cfg) {
   if (std::sscanf(spec.c_str(), "%lf:%lf:%lf", &start, &step, &end) != 3)
     throw std::invalid_argument("rates=start:step:end");
 
-  sprint::NetworkBundle b = sprint::make_noc_sprinting_network(
-      params, level, cfg.get_string("traffic", "uniform"),
-      cfg.get_int("seed", 1));
+  const std::string traffic = cfg.get_string("traffic", "uniform");
+  const std::uint64_t seed = cfg.get_int("seed", 1);
+  const int threads = static_cast<int>(cfg.get_int("threads", 0));
   std::vector<double> rates;
   for (double r = start; r <= end + 1e-12; r += step) rates.push_back(r);
   noc::SimConfig sim;
   sim.warmup = 1000;
   sim.measure = 6000;
-  const auto points = sweep_injection(*b.network, sim, rates);
+  // One independent network per point, seeded per task: results are
+  // identical for any threads= value (threads=1 is the plain serial loop).
+  const auto points = noc::parallel_sweep_injection(
+      [&](const noc::SweepTask& task) {
+        sprint::NetworkBundle b = sprint::make_noc_sprinting_network(
+            params, level, traffic, task.seed);
+        noc::SimConfig point_sim = sim;
+        point_sim.injection_rate = task.injection_rate;
+        return noc::run_simulation(*b.network, point_sim);
+      },
+      rates, seed, threads);
 
   Table t({"rate", "latency", "p99", "accepted", "saturated"});
   for (const auto& pt : points)

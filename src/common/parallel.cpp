@@ -1,0 +1,135 @@
+#include "common/parallel.hpp"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <thread>
+
+#include "common/assert.hpp"
+
+namespace nocs {
+
+int default_thread_count() {
+  if (const char* env = std::getenv("NOCS_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed >= 1) return static_cast<int>(parsed);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? static_cast<int>(hw) : 1;
+}
+
+struct ThreadPool::Impl {
+  std::mutex mu;
+  std::condition_variable work_cv;   // signalled when a task is queued
+  std::condition_variable idle_cv;   // signalled when a task completes
+  std::deque<std::function<void()>> queue;
+  std::vector<std::thread> workers;
+  int in_flight = 0;  // queued + currently executing
+  bool stopping = false;
+
+  void worker_loop() {
+    for (;;) {
+      std::function<void()> task;
+      {
+        std::unique_lock<std::mutex> lock(mu);
+        work_cv.wait(lock, [&] { return stopping || !queue.empty(); });
+        if (queue.empty()) return;  // stopping and drained
+        task = std::move(queue.front());
+        queue.pop_front();
+      }
+      task();
+      {
+        std::lock_guard<std::mutex> lock(mu);
+        --in_flight;
+      }
+      idle_cv.notify_all();
+    }
+  }
+};
+
+ThreadPool::ThreadPool(int num_threads)
+    : impl_(new Impl),
+      num_workers_(num_threads <= 0 ? default_thread_count() : num_threads) {
+  impl_->workers.reserve(static_cast<std::size_t>(num_workers_));
+  for (int i = 0; i < num_workers_; ++i)
+    impl_->workers.emplace_back([impl = impl_] { impl->worker_loop(); });
+}
+
+ThreadPool::~ThreadPool() {
+  wait_idle();
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    impl_->stopping = true;
+  }
+  impl_->work_cv.notify_all();
+  for (std::thread& w : impl_->workers) w.join();
+  delete impl_;
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  NOCS_EXPECTS(task != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(impl_->mu);
+    NOCS_EXPECTS(!impl_->stopping);
+    impl_->queue.push_back(std::move(task));
+    ++impl_->in_flight;
+  }
+  impl_->work_cv.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  impl_->idle_cv.wait(lock, [&] { return impl_->in_flight == 0; });
+}
+
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 int num_threads) {
+  NOCS_EXPECTS(body != nullptr);
+  if (n == 0) return;
+
+  int workers = num_threads <= 0 ? default_thread_count() : num_threads;
+  if (static_cast<std::size_t>(workers) > n)
+    workers = static_cast<int>(n);
+
+  if (workers <= 1) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  // Dynamic scheduling: each worker repeatedly claims the next index, so
+  // uneven task durations (e.g. saturated sweep points) balance out.
+  std::atomic<std::size_t> next{0};
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  auto drain = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= n) return;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mu);
+        if (!first_error) first_error = std::current_exception();
+      }
+    }
+  };
+
+  {
+    ThreadPool pool(workers);
+    for (int w = 0; w < workers; ++w) pool.submit(drain);
+    pool.wait_idle();
+  }
+
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void run_tasks(const std::vector<std::function<void()>>& tasks,
+               int num_threads) {
+  ParallelFor(tasks.size(), [&](std::size_t i) { tasks[i](); }, num_threads);
+}
+
+}  // namespace nocs

@@ -1,0 +1,61 @@
+// Thread-pool parallelism for embarrassingly parallel simulation batches
+// (injection-rate sweeps, random-mapping samples, per-benchmark runs).
+//
+// The simulator itself stays single-threaded and deterministic; parallelism
+// lives one level up, where every task builds its own independent Network.
+// ParallelFor/run_tasks therefore require task bodies that share no mutable
+// state except their own output slot.  Worker count defaults to the
+// hardware concurrency and can be overridden with the NOCS_THREADS
+// environment variable (benches also accept a threads=N config key that is
+// passed through explicitly).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+namespace nocs {
+
+/// Worker-thread count used when a caller passes num_threads <= 0:
+/// the NOCS_THREADS environment variable when set to a positive integer,
+/// otherwise std::thread::hardware_concurrency().  Always >= 1.
+int default_thread_count();
+
+/// Fixed-size pool of worker threads draining a shared task queue.
+/// Destruction waits for all submitted tasks to finish.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (<= 0 selects default_thread_count()).
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int size() const { return num_workers_; }
+
+  /// Enqueues one task; returns immediately.
+  void submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void wait_idle();
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_workers_;
+};
+
+/// Runs body(0) .. body(n-1) across up to `num_threads` workers
+/// (<= 0 selects default_thread_count()) and returns when all completed.
+/// With one worker (or n <= 1) the body runs inline on the calling thread,
+/// so a 1-thread ParallelFor is exactly a serial loop.  The first exception
+/// thrown by any body is rethrown after all indices finish or are skipped.
+void ParallelFor(std::size_t n, const std::function<void(std::size_t)>& body,
+                 int num_threads = 0);
+
+/// Runs every closure in `tasks` across up to `num_threads` workers.
+void run_tasks(const std::vector<std::function<void()>>& tasks,
+               int num_threads = 0);
+
+}  // namespace nocs

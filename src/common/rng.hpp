@@ -28,6 +28,17 @@ class SplitMix64 {
   std::uint64_t state_;
 };
 
+/// Deterministic per-task seed for parallel batches.  Equals the
+/// (index + 1)-th output of SplitMix64(base_seed) — SplitMix's state
+/// advances by a fixed gamma per draw, so the stream can be indexed in
+/// O(1).  Tasks get decorrelated seeds and results are independent of
+/// thread count and execution order.
+inline std::uint64_t task_seed(std::uint64_t base_seed,
+                               std::uint64_t task_index) {
+  SplitMix64 sm(base_seed + task_index * 0x9e3779b97f4a7c15ULL);
+  return sm.next();
+}
+
 /// xoshiro256** generator (Blackman & Vigna).  Satisfies the essentials of
 /// UniformRandomBitGenerator but we provide our own distributions to keep
 /// results platform-independent.

@@ -7,57 +7,113 @@
 // and the reason we need no global two-phase update.
 #pragma once
 
-#include <deque>
-#include <optional>
 #include <utility>
+#include <vector>
 
 #include "common/assert.hpp"
 #include "common/types.hpp"
 
 namespace nocs::noc {
 
+/// Sentinel ready time meaning "no value pending".
+inline constexpr Cycle kNoPendingEvent = ~Cycle{0};
+
+/// Consumer-side wake hook: a pipe notifies its sink when a value is
+/// pushed into an empty queue, telling the network when the consuming
+/// router/NI next has work.  Pushes into a non-empty queue are not
+/// reported — the consumer re-arms from next_ready_time() after it drains
+/// the earlier value, so one notification per busy period suffices.
+class WakeSink {
+ public:
+  virtual ~WakeSink() = default;
+
+  /// A value will become receivable at `ready_at`.
+  virtual void on_push(Cycle ready_at) = 0;
+};
+
 /// FIFO channel with a fixed propagation latency in cycles.
+///
+/// Storage is a growable ring allocated once: a pipe holds at most one
+/// value per cycle of latency in steady state (producers push at most once
+/// per cycle), so the initial capacity of latency + 1 almost never grows,
+/// and push/pop on the tick hot path stay heap-free (std::deque churned an
+/// allocation per chunk as values flowed through).
 template <typename T>
 class Pipe {
  public:
-  explicit Pipe(int latency = 1) : latency_(static_cast<Cycle>(latency)) {
+  explicit Pipe(int latency = 1)
+      : latency_(static_cast<Cycle>(latency)),
+        slots_(static_cast<std::size_t>(latency) + 1) {
     NOCS_EXPECTS(latency >= 0);
   }
+
+  /// Registers the consumer's wake hook (optional; null disables).
+  void set_sink(WakeSink* sink) { sink_ = sink; }
 
   /// Enqueues `value` at cycle `now`; it becomes receivable at
   /// `now + latency`.
   void push(Cycle now, T value) {
     // FIFO ordering requires monotonically non-decreasing ready times.
-    NOCS_ENSURES(queue_.empty() || queue_.back().first <= now + latency_);
-    queue_.emplace_back(now + latency_, std::move(value));
+    NOCS_ENSURES(count_ == 0 || slots_[last()].first <= now + latency_);
+    if (count_ == 0 && sink_ != nullptr) sink_->on_push(now + latency_);
+    if (count_ == static_cast<int>(slots_.size())) grow();
+    slots_[wrap(head_ + count_)] = {now + latency_, std::move(value)};
+    ++count_;
   }
 
   /// True when a value is receivable at cycle `now`.
   bool ready(Cycle now) const {
-    return !queue_.empty() && queue_.front().first <= now;
+    return count_ != 0 && slots_[static_cast<std::size_t>(head_)].first <= now;
   }
 
   /// Peeks the next receivable value; precondition: ready(now).
   const T& front(Cycle now) const {
     NOCS_EXPECTS(ready(now));
-    return queue_.front().second;
+    return slots_[static_cast<std::size_t>(head_)].second;
   }
 
   /// Removes and returns the next receivable value; precondition: ready(now).
   T pop(Cycle now) {
     NOCS_EXPECTS(ready(now));
-    T v = std::move(queue_.front().second);
-    queue_.pop_front();
+    T v = std::move(slots_[static_cast<std::size_t>(head_)].second);
+    head_ = static_cast<int>(wrap(head_ + 1));
+    --count_;
     return v;
   }
 
-  bool empty() const { return queue_.empty(); }
-  std::size_t size() const { return queue_.size(); }
+  bool empty() const { return count_ == 0; }
+  std::size_t size() const { return static_cast<std::size_t>(count_); }
   int latency() const { return static_cast<int>(latency_); }
 
+  /// Ready time of the oldest pending value, or kNoPendingEvent when empty
+  /// (used by idle consumers to re-arm their next wake-up).
+  Cycle next_ready_time() const {
+    return count_ == 0 ? kNoPendingEvent
+                       : slots_[static_cast<std::size_t>(head_)].first;
+  }
+
  private:
+  std::size_t wrap(int index) const {
+    const int cap = static_cast<int>(slots_.size());
+    return static_cast<std::size_t>(index >= cap ? index - cap : index);
+  }
+  std::size_t last() const { return wrap(head_ + count_ - 1); }
+
+  /// Doubles capacity, unrolling the ring into fresh storage (rare: only
+  /// when a consumer lags more pushes behind than the pipe's latency).
+  void grow() {
+    std::vector<std::pair<Cycle, T>> bigger(slots_.size() * 2);
+    for (int i = 0; i < count_; ++i)
+      bigger[static_cast<std::size_t>(i)] = std::move(slots_[wrap(head_ + i)]);
+    slots_ = std::move(bigger);
+    head_ = 0;
+  }
+
   Cycle latency_;
-  std::deque<std::pair<Cycle, T>> queue_;
+  WakeSink* sink_ = nullptr;
+  int head_ = 0;   // index of the oldest value
+  int count_ = 0;  // queued values
+  std::vector<std::pair<Cycle, T>> slots_;
 };
 
 }  // namespace nocs::noc

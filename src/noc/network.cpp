@@ -28,7 +28,27 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
     nis_.push_back(std::make_unique<NetworkInterface>(id, params_, &stats_));
   }
 
+  // Fast-path bookkeeping: everything starts hot and cools after the first
+  // tick in which it reports no work.
+  sinks_.resize(static_cast<std::size_t>(2 * n));
+  router_hot_.assign(static_cast<std::size_t>(n), 1);
+  ni_hot_.assign(static_cast<std::size_t>(n), 1);
+  for (NodeId id = 0; id < n; ++id) {
+    auto& rs = sinks_[static_cast<std::size_t>(2 * id)];
+    rs.net = this;
+    rs.enc = static_cast<std::uint32_t>(id) << 1;
+    auto& ns = sinks_[static_cast<std::size_t>(2 * id + 1)];
+    ns.net = this;
+    ns.enc = (static_cast<std::uint32_t>(id) << 1) | 1u;
+    routers_[static_cast<std::size_t>(id)]->set_wake_callback(
+        [this, id] { router_hot_[static_cast<std::size_t>(id)] = 1; });
+    nis_[static_cast<std::size_t>(id)]->set_wake_callback(
+        [this, id] { ni_hot_[static_cast<std::size_t>(id)] = 1; });
+  }
+
+  int max_latency = 1;
   auto new_flit_pipe = [&](int latency) {
+    max_latency = std::max(max_latency, latency);
     flit_pipes_.push_back(std::make_unique<Pipe<Flit>>(latency));
     return flit_pipes_.back().get();
   };
@@ -57,11 +77,15 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
 
       Pipe<Flit>* ab = new_flit_pipe(ab_lat);
       Pipe<Credit>* ab_credit = new_credit_pipe();
+      ab->set_sink(router_sink(nid));       // b consumes a's flits
+      ab_credit->set_sink(router_sink(id)); // a consumes b's credits
       a.connect_output(p, ab, ab_credit);
       b.connect_input(opposite(p), ab, ab_credit);
 
       Pipe<Flit>* ba = new_flit_pipe(ba_lat);
       Pipe<Credit>* ba_credit = new_credit_pipe();
+      ba->set_sink(router_sink(id));
+      ba_credit->set_sink(router_sink(nid));
       b.connect_output(opposite(p), ba, ba_credit);
       a.connect_input(p, ba, ba_credit);
     }
@@ -74,14 +98,37 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
 
     Pipe<Flit>* inj = new_flit_pipe(1);
     Pipe<Credit>* inj_credit = new_credit_pipe();
+    inj->set_sink(router_sink(id));    // router consumes injected flits
+    inj_credit->set_sink(ni_sink(id)); // NI consumes freed credits
     r.connect_input(Port::kLocal, inj, inj_credit);
 
     Pipe<Flit>* ej = new_flit_pipe(1);
     Pipe<Credit>* ej_credit = new_credit_pipe();
+    ej->set_sink(ni_sink(id));
+    ej_credit->set_sink(router_sink(id));
     r.connect_output(Port::kLocal, ej, ej_credit);
 
     ni.connect(inj, inj_credit, ej, ej_credit);
   }
+
+  // Calendar wheel sized to cover the farthest-future event a pipe push can
+  // produce (max latency), plus slack so `t % size` never aliases `now`.
+  wheel_.assign(static_cast<std::size_t>(max_latency + 2),
+                std::vector<std::uint32_t>{});
+}
+
+void Network::NodeSink::on_push(Cycle ready_at) {
+  net->schedule(enc, ready_at);
+}
+
+void Network::schedule(std::uint32_t enc, Cycle ready_at) {
+  if (ready_at == kNoPendingEvent) return;
+  if (ready_at <= now_) {  // already due: activate immediately
+    mark_hot(enc);
+    return;
+  }
+  NOCS_EXPECTS(ready_at - now_ < static_cast<Cycle>(wheel_.size()));
+  wheel_[static_cast<std::size_t>(ready_at % wheel_.size())].push_back(enc);
 }
 
 int Network::link_latency(NodeId from, NodeId to) const {
@@ -114,17 +161,25 @@ void Network::gate_dark_region(const std::vector<NodeId>& active) {
     NOCS_EXPECTS(params_.shape().valid(id));
     is_active[static_cast<std::size_t>(id)] = true;
   }
-  for (NodeId id = 0; id < num_nodes(); ++id)
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    // Settle skipped-cycle accounting under the old power state before
+    // switching; set_gated re-activates the router via its wake callback.
+    routers_[static_cast<std::size_t>(id)]->sync_counters(now_);
     routers_[static_cast<std::size_t>(id)]->set_gated(
         !is_active[static_cast<std::size_t>(id)]);
+  }
 }
 
 void Network::ungate_all() {
-  for (auto& r : routers_) r->set_gated(false);
+  for (auto& r : routers_) {
+    r->sync_counters(now_);
+    r->set_gated(false);
+  }
 }
 
 void Network::set_dynamic_gating(bool enabled) {
   for (auto& r : routers_) {
+    r->sync_counters(now_);
     r->set_dynamic_gating(enabled);
     r->set_allow_wakeup(enabled);
   }
@@ -144,8 +199,40 @@ void Network::set_seed(std::uint64_t seed) {
 }
 
 void Network::tick() {
-  for (auto& ni : nis_) ni->tick(now_);
-  for (auto& r : routers_) r->tick(now_);
+  // Activate nodes whose wake-up was scheduled for this cycle.  Stale
+  // entries (node woke earlier for another reason) are harmless: ticking a
+  // quiescent node is a no-op beyond counters sync_counters() reproduces.
+  auto& bucket = wheel_[static_cast<std::size_t>(now_ % wheel_.size())];
+  for (const std::uint32_t enc : bucket) mark_hot(enc);
+  bucket.clear();
+
+  // Ascending-id order over hot nodes matches the tick-everything loop, so
+  // stats and counters accumulate in the identical order (bit-identical
+  // floating-point results).
+  const int n = num_nodes();
+  for (NodeId id = 0; id < n; ++id)
+    if (ni_hot_[static_cast<std::size_t>(id)] != 0)
+      nis_[static_cast<std::size_t>(id)]->tick(now_);
+  for (NodeId id = 0; id < n; ++id)
+    if (router_hot_[static_cast<std::size_t>(id)] != 0)
+      routers_[static_cast<std::size_t>(id)]->tick(now_);
+
+  // Cool nodes reporting no work; re-arm their wake-up at the earliest
+  // pending input event (all pipe latencies are >= 1, so after this cycle's
+  // producers ran every pending event is strictly in the future).
+  for (NodeId id = 0; id < n; ++id) {
+    const auto idx = static_cast<std::size_t>(id);
+    if (ni_hot_[idx] != 0 && !nis_[idx]->busy_next_cycle()) {
+      ni_hot_[idx] = 0;
+      schedule((static_cast<std::uint32_t>(id) << 1) | 1u,
+               nis_[idx]->next_input_event());
+    }
+    if (router_hot_[idx] != 0 && !routers_[idx]->busy_next_cycle()) {
+      router_hot_[idx] = 0;
+      schedule(static_cast<std::uint32_t>(id) << 1,
+               routers_[idx]->next_input_event());
+    }
+  }
   ++now_;
 }
 
@@ -165,19 +252,30 @@ bool Network::drained() const {
 
 RouterCounters Network::total_counters() const {
   RouterCounters total;
-  for (const auto& r : routers_) total += r->counters();
+  for (const auto& r : routers_) {
+    r->sync_counters(now_);
+    total += r->counters();
+  }
   return total;
 }
 
 std::vector<RouterCounters> Network::per_router_counters() const {
   std::vector<RouterCounters> out;
   out.reserve(routers_.size());
-  for (const auto& r : routers_) out.push_back(r->counters());
+  for (const auto& r : routers_) {
+    r->sync_counters(now_);
+    out.push_back(r->counters());
+  }
   return out;
 }
 
 void Network::reset_counters() {
-  for (auto& r : routers_) r->reset_counters();
+  for (auto& r : routers_) {
+    // Advance the lazy accounting to `now` first so the zeroed counters
+    // cover exactly the cycles from this point on.
+    r->sync_counters(now_);
+    r->reset_counters();
+  }
 }
 
 }  // namespace nocs::noc

@@ -3,6 +3,7 @@
 // dark region) used by the NoC-sprinting controller.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -28,6 +29,10 @@ class Network {
   /// provided (must return >= 1).
   Network(const NetworkParams& params, const RoutingFunction* routing,
           LinkLatencyFn link_latency = nullptr);
+
+  // Channel sinks and wake callbacks capture `this`.
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
 
   /// Latency of the directed link between adjacent nodes (cycles).
   int link_latency(NodeId from, NodeId to) const;
@@ -71,12 +76,27 @@ class Network {
   /// Runs `n` cycles.
   void run(Cycle n);
 
-  Router& router(NodeId id) { return *routers_.at(static_cast<std::size_t>(id)); }
+  // Router accessors flush the lazily-synced leakage counters first so
+  // callers always observe the same counts as if every cycle were ticked.
+  Router& router(NodeId id) {
+    Router& r = *routers_.at(static_cast<std::size_t>(id));
+    r.sync_counters(now_);
+    return r;
+  }
   const Router& router(NodeId id) const {
-    return *routers_.at(static_cast<std::size_t>(id));
+    const Router& r = *routers_.at(static_cast<std::size_t>(id));
+    r.sync_counters(now_);
+    return r;
   }
   NetworkInterface& ni(NodeId id) {
     return *nis_.at(static_cast<std::size_t>(id));
+  }
+
+  /// Number of routers ticked last cycle (fast-path instrumentation).
+  int hot_routers() const {
+    int n = 0;
+    for (const auto h : router_hot_) n += h;
+    return n;
   }
 
   StatsCollector& stats() { return stats_; }
@@ -97,6 +117,37 @@ class Network {
   const std::vector<NodeId>& endpoints() const { return endpoints_; }
 
  private:
+  // --- active-node fast path ----------------------------------------------
+  //
+  // tick() only visits routers/NIs whose hot flag is set.  A node stays hot
+  // while it self-reports work (busy_next_cycle()); when it goes cold the
+  // network re-arms a wake-up at the earliest pending event on its input
+  // pipes (calendar wheel indexed by cycle modulo its size), and every pipe
+  // push into an empty queue schedules the consumer via its NodeSink.  Hot
+  // nodes are ticked in ascending node id order, preserving the exact
+  // stats/counter accumulation order of the tick-everything loop.
+
+  /// Per-consumer wake hook: routes Pipe push notifications to schedule().
+  struct NodeSink final : WakeSink {
+    Network* net = nullptr;
+    std::uint32_t enc = 0;  ///< node id << 1 | is_ni
+    void on_push(Cycle ready_at) override;
+  };
+
+  void schedule(std::uint32_t enc, Cycle ready_at);
+  void mark_hot(std::uint32_t enc) {
+    if ((enc & 1u) != 0)
+      ni_hot_[enc >> 1] = 1;
+    else
+      router_hot_[enc >> 1] = 1;
+  }
+  WakeSink* router_sink(NodeId id) {
+    return &sinks_[static_cast<std::size_t>(2 * id)];
+  }
+  WakeSink* ni_sink(NodeId id) {
+    return &sinks_[static_cast<std::size_t>(2 * id + 1)];
+  }
+
   NetworkParams params_;
   const RoutingFunction* routing_;
   Cycle now_ = 0;
@@ -109,6 +160,11 @@ class Network {
   std::vector<NodeId> endpoints_;
   std::unique_ptr<TrafficPattern> traffic_;
   std::vector<std::vector<int>> link_latencies_;  // [from][to], 0 = no link
+
+  std::vector<NodeSink> sinks_;            // [2*id] router, [2*id+1] NI
+  std::vector<std::uint8_t> router_hot_;   // ticked this cycle when set
+  std::vector<std::uint8_t> ni_hot_;
+  std::vector<std::vector<std::uint32_t>> wheel_;  // wake events, t % size
 
   StatsCollector stats_;
 };

@@ -32,6 +32,7 @@ void NetworkInterface::set_endpoint(int logical_id,
   logical_id_ = logical_id;
   endpoints_ = endpoints;
   traffic_ = traffic;
+  if (wake_cb_) wake_cb_();
 }
 
 void NetworkInterface::clear_endpoint() {
@@ -60,6 +61,7 @@ PacketId NetworkInterface::send_packet(Cycle now, NodeId dst, int msg_class,
       PendingPacket{pid, dst, now, stats_->measuring(), msg_class, length});
   ++total_generated_;
   if (stats_->measuring()) stats_->on_packet_generated();
+  if (wake_cb_) wake_cb_();
   return pid;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <deque>
+#include <functional>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
@@ -38,6 +39,7 @@ class NetworkInterface {
   void set_injection_rate(double flits_per_cycle) {
     NOCS_EXPECTS(flits_per_cycle >= 0.0);
     injection_rate_ = flits_per_cycle;
+    if (wake_cb_) wake_cb_();
   }
 
   void set_seed(std::uint64_t seed) { rng_.reseed(seed); }
@@ -63,6 +65,36 @@ class NetworkInterface {
 
   /// True when nothing is queued or mid-injection.
   bool idle() const { return source_queue_.empty() && !sending_; }
+
+  // --- active-node fast path (see Router's invariant) ----------------------
+
+  /// True when the NI must be ticked next cycle regardless of channel
+  /// arrivals: it may generate traffic stochastically, or it holds queued /
+  /// in-flight packets.  NIs keep no per-cycle counters, so skipped cycles
+  /// need no lazy accounting.
+  bool busy_next_cycle() const {
+    if (traffic_ != nullptr && injection_rate_ > 0.0) return true;
+    return !idle();
+  }
+
+  /// Ready time of the earliest pending flit/credit from the router, or
+  /// kNoPendingEvent.
+  Cycle next_input_event() const {
+    Cycle earliest = kNoPendingEvent;
+    if (from_router_ != nullptr) {
+      const Cycle t = from_router_->next_ready_time();
+      if (t < earliest) earliest = t;
+    }
+    if (credit_from_router_ != nullptr) {
+      const Cycle t = credit_from_router_->next_ready_time();
+      if (t < earliest) earliest = t;
+    }
+    return earliest;
+  }
+
+  /// Callback invoked when new work appears outside tick() (direct
+  /// send_packet, endpoint/rate configuration).
+  void set_wake_callback(std::function<void()> cb) { wake_cb_ = std::move(cb); }
 
   std::uint64_t total_generated() const { return total_generated_; }
   std::uint64_t total_ejected_flits() const { return total_ejected_flits_; }
@@ -109,6 +141,8 @@ class NetworkInterface {
   bool request_reply_ = false;
   int request_length_ = 1;
   int reply_length_ = 5;
+
+  std::function<void()> wake_cb_;
 
   std::uint64_t total_generated_ = 0;
   std::uint64_t total_ejected_flits_ = 0;

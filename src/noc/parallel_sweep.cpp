@@ -1,0 +1,41 @@
+#include "noc/parallel_sweep.hpp"
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+
+namespace nocs::noc {
+
+std::vector<SweepPoint> parallel_sweep_injection(
+    const SweepRunner& run, const std::vector<double>& rates,
+    std::uint64_t base_seed, int num_threads) {
+  NOCS_EXPECTS(run != nullptr);
+  std::vector<SweepPoint> points(rates.size());
+  ParallelFor(
+      rates.size(),
+      [&](std::size_t i) {
+        const SweepTask task{i, rates[i], task_seed(base_seed, i)};
+        points[i].injection_rate = rates[i];
+        points[i].results = run(task);
+      },
+      num_threads);
+  return points;
+}
+
+std::vector<SimResults> parallel_samples(const SweepRunner& run,
+                                         std::size_t num_samples,
+                                         double injection_rate,
+                                         std::uint64_t base_seed,
+                                         int num_threads) {
+  NOCS_EXPECTS(run != nullptr);
+  std::vector<SimResults> results(num_samples);
+  ParallelFor(
+      num_samples,
+      [&](std::size_t i) {
+        const SweepTask task{i, injection_rate, task_seed(base_seed, i)};
+        results[i] = run(task);
+      },
+      num_threads);
+  return results;
+}
+
+}  // namespace nocs::noc

@@ -15,7 +15,10 @@ Router::Router(NodeId id, const NetworkParams& params,
   params_.validate();
   const auto n = static_cast<std::size_t>(kNumPorts * params_.num_vcs);
   input_vcs_.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) input_vcs_.emplace_back(params_.vc_depth);
+  for (std::size_t i = 0; i < n; ++i) {
+    input_vcs_.emplace_back(params_.vc_depth);
+    input_vcs_.back().port = static_cast<int>(i) / params_.num_vcs;
+  }
   output_vcs_.resize(n);
   for (auto& ovc : output_vcs_) ovc.credits = params_.vc_depth;
 }
@@ -40,6 +43,57 @@ void Router::set_gated(bool gated) {
     state_ = PowerState::kActive;
     idle_streak_ = 0;
   }
+  if (wake_cb_) wake_cb_();
+}
+
+void Router::sync_counters(Cycle now) const {
+  if (counted_until_ >= now) return;
+  const std::uint64_t gap = now - counted_until_;
+  counted_until_ = now;
+  // Only quiescent routers are ever skipped: each skipped cycle is a pure
+  // leakage cycle in the state the router was left in.
+  if (state_ == PowerState::kGated) {
+    counters_.gated_cycles += gap;
+  } else {
+    counters_.active_cycles += gap;
+    counters_.idle_active_cycles += gap;
+  }
+}
+
+Cycle Router::next_input_event() const {
+  Cycle earliest = kNoPendingEvent;
+  for (int p = 0; p < kNumPorts; ++p) {
+    if (const auto* pipe = flit_in_[static_cast<std::size_t>(p)]) {
+      const Cycle t = pipe->next_ready_time();
+      if (t < earliest) earliest = t;
+    }
+    if (const auto* pipe = credit_in_[static_cast<std::size_t>(p)]) {
+      const Cycle t = pipe->next_ready_time();
+      if (t < earliest) earliest = t;
+    }
+  }
+  return earliest;
+}
+
+void Router::set_stage(InputVc& ivc, InputVc::Stage next) {
+  if (ivc.stage == next) return;
+  switch (ivc.stage) {
+    case InputVc::Stage::kIdle: ++active_packets_; break;
+    case InputVc::Stage::kRouting: --routing_pending_; break;
+    case InputVc::Stage::kVcAlloc: --vca_pending_; break;
+    case InputVc::Stage::kActive:
+      --active_by_port_[static_cast<std::size_t>(ivc.port)];
+      break;
+  }
+  switch (next) {
+    case InputVc::Stage::kIdle: --active_packets_; break;
+    case InputVc::Stage::kRouting: ++routing_pending_; break;
+    case InputVc::Stage::kVcAlloc: ++vca_pending_; break;
+    case InputVc::Stage::kActive:
+      ++active_by_port_[static_cast<std::size_t>(ivc.port)];
+      break;
+  }
+  ivc.stage = next;
 }
 
 bool Router::drained() const {
@@ -71,6 +125,10 @@ bool Router::any_input_pending(Cycle now) const {
 }
 
 void Router::tick(Cycle now) {
+  // Credit leakage cycles skipped since the last tick, then claim this one.
+  sync_counters(now);
+  counted_until_ = now + 1;
+
   // Credits are consumed even while gated: they only update bookkeeping for
   // flits that left downstream buffers before we gated.
   receive_credits(now);
@@ -181,13 +239,14 @@ void Router::begin_packet(InputVc& ivc, const Flit& head) {
   if (params_.pipeline_stages == 3) {
     // Lookahead: route compute folded into buffer write.
     ivc.out_port = routing_->route(coord_, shape_.coord_of(head.dst));
-    ivc.stage = InputVc::Stage::kVcAlloc;
+    set_stage(ivc, InputVc::Stage::kVcAlloc);
   } else {
-    ivc.stage = InputVc::Stage::kRouting;
+    set_stage(ivc, InputVc::Stage::kRouting);
   }
 }
 
 void Router::stage_route_compute(Cycle) {
+  if (routing_pending_ == 0) return;
   for (int p = 0; p < kNumPorts; ++p) {
     for (int v = 0; v < params_.num_vcs; ++v) {
       auto& ivc = in_vc(p, v);
@@ -199,7 +258,7 @@ void Router::stage_route_compute(Cycle) {
       // port; the routing function returns kLocal in that case.
       NOCS_ENSURES(ivc.out_port != static_cast<Port>(p) ||
                    ivc.out_port == Port::kLocal);
-      ivc.stage = InputVc::Stage::kVcAlloc;
+      set_stage(ivc, InputVc::Stage::kVcAlloc);
     }
   }
 }
@@ -209,17 +268,19 @@ void Router::stage_vc_allocation(Cycle) {
   // to requesting input VCs in round-robin order over (port, vc) requester
   // slots.  Each input VC holds at most one request, so no input-side
   // conflict resolution is needed.
+  if (vca_pending_ == 0) return;
   const int nv = params_.num_vcs;
   const int slots = kNumPorts * nv;
+  // One pass over the slots finds every requested output port (the per-port
+  // "any requester?" scans this replaces were the stage's main cost).
+  unsigned req_mask = 0;
+  for (int s = 0; s < slots; ++s) {
+    const auto& ivc = input_vcs_[static_cast<std::size_t>(s)];
+    if (ivc.stage == InputVc::Stage::kVcAlloc)
+      req_mask |= 1u << static_cast<int>(ivc.out_port);
+  }
   for (int op = 0; op < kNumPorts; ++op) {
-    // Collect requesters targeting this output port.
-    bool any = false;
-    for (int s = 0; s < slots && !any; ++s)
-      any = input_vcs_[static_cast<std::size_t>(s)].stage ==
-                InputVc::Stage::kVcAlloc &&
-            static_cast<int>(input_vcs_[static_cast<std::size_t>(s)].out_port)
-                == op;
-    if (!any) continue;
+    if ((req_mask & (1u << op)) == 0) continue;
 
     for (int ov = 0; ov < nv; ++ov) {
       auto& target = out_vc(op, ov);
@@ -247,41 +308,52 @@ void Router::stage_vc_allocation(Cycle) {
       target.owner_port = granted_slot / nv;
       target.owner_vc = granted_slot % nv;
       ivc.out_vc = ov;
-      ivc.stage = InputVc::Stage::kActive;
+      set_stage(ivc, InputVc::Stage::kActive);
       ++counters_.vc_allocs;
     }
   }
 }
 
 void Router::stage_switch_allocation(Cycle) {
+  if (active_packets_ == 0) return;
   const int nv = params_.num_vcs;
 
   // Stage 1 (input arbitration): each input port nominates one active VC
-  // that has a buffered flit and a downstream credit.
+  // that has a buffered flit and a downstream credit.  Ports with no
+  // active VC are skipped outright — the round-robin pointer only moves on
+  // a nomination, so skipping them cannot change any arbitration outcome.
   std::array<int, kNumPorts> nominee{};
   nominee.fill(-1);
+  unsigned out_mask = 0;  // output ports some nominee targets
   for (int p = 0; p < kNumPorts; ++p) {
+    if (active_by_port_[static_cast<std::size_t>(p)] == 0) continue;
     int& rr = sa_input_rr_[static_cast<std::size_t>(p)];
+    int v = rr;
     for (int k = 1; k <= nv; ++k) {
-      const int v = (rr + k) % nv;
+      if (++v >= nv) v = 0;
       const auto& ivc = in_vc(p, v);
       if (ivc.stage != InputVc::Stage::kActive || ivc.buf.empty()) continue;
       const auto& ovc =
           out_vc(static_cast<int>(ivc.out_port), ivc.out_vc);
       if (ovc.credits <= 0) continue;
       nominee[static_cast<std::size_t>(p)] = v;
+      out_mask |= 1u << static_cast<int>(ivc.out_port);
       rr = v;
       break;
     }
   }
+  if (out_mask == 0) return;
 
-  // Stage 2 (output arbitration): each output port grants one nominee.
+  // Stage 2 (output arbitration): each targeted output port grants one
+  // nominee (un-targeted ports would scan and grant nothing).
   std::array<bool, kNumPorts> output_claimed{};
   std::array<bool, kNumPorts> input_granted{};
   for (int op = 0; op < kNumPorts; ++op) {
+    if ((out_mask & (1u << op)) == 0) continue;
     int& rr = sa_output_rr_[static_cast<std::size_t>(op)];
+    int p = rr;
     for (int k = 1; k <= kNumPorts; ++k) {
-      const int p = (rr + k) % kNumPorts;
+      if (++p >= kNumPorts) p = 0;
       if (input_granted[static_cast<std::size_t>(p)]) continue;
       const int v = nominee[static_cast<std::size_t>(p)];
       if (v < 0) continue;
@@ -333,7 +405,7 @@ void Router::stage_switch_traversal(Cycle now) {
       ovc.owner_vc = -1;
       ivc.out_vc = -1;
       if (ivc.buf.empty()) {
-        ivc.stage = InputVc::Stage::kIdle;
+        set_stage(ivc, InputVc::Stage::kIdle);
       } else {
         // The next packet's head is already buffered behind the tail.
         NOCS_EXPECTS(ivc.buf.front().is_head);

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <array>
+#include <functional>
 #include <vector>
 
 #include "common/geometry.hpp"
@@ -60,13 +61,47 @@ class Router {
 
   /// Enables wake-on-arrival plus idle-timeout gating (the conventional
   /// dynamic scheme).  Off by default.
-  void set_dynamic_gating(bool enabled) { dynamic_gating_ = enabled; }
+  void set_dynamic_gating(bool enabled) {
+    dynamic_gating_ = enabled;
+    if (wake_cb_) wake_cb_();
+  }
 
   /// Allows a statically gated router to wake on arrival rather than
   /// asserting (used by the dynamic scheme and fault-injection tests).
   void set_allow_wakeup(bool allowed) { allow_wakeup_ = allowed; }
 
   PowerState power_state() const { return state_; }
+
+  // --- active-router fast path ---------------------------------------------
+  //
+  // The network skips a router's tick() while the router self-reports no
+  // work.  Invariant: a router must report busy_next_cycle() whenever it
+  // holds flits, owns an output VC, has switch grants in flight, is mid
+  // wake-up, or runs the dynamic-gating idle counter.  Skipped cycles are
+  // pure no-ops except leakage accounting, which sync_counters() credits
+  // lazily so counters stay bit-identical to ticking every cycle.
+
+  /// True when the router must be ticked next cycle regardless of channel
+  /// arrivals (arrivals re-activate a skipped router via WakeSink).
+  bool busy_next_cycle() const {
+    if (state_ == PowerState::kWaking) return true;
+    if (dynamic_gating_ && state_ != PowerState::kGated) return true;
+    return active_packets_ > 0 || !st_grants_.empty();
+  }
+
+  /// Ready time of the earliest pending value on any input flit/credit
+  /// pipe, or kNoPendingEvent; a skipped router is re-ticked at this cycle.
+  Cycle next_input_event() const;
+
+  /// Credits the leakage counters for cycles [counted_until, now) during
+  /// which tick() was skipped: gated cycles while gated, idle active
+  /// cycles while powered on.  Called by the network before counters are
+  /// read and at the head of tick().
+  void sync_counters(Cycle now) const;
+
+  /// Callback invoked when a configuration change (gating mode) may
+  /// require the network to re-activate this router.
+  void set_wake_callback(std::function<void()> cb) { wake_cb_ = std::move(cb); }
 
   /// True when no flit is buffered and no output VC is held.
   bool drained() const;
@@ -90,6 +125,7 @@ class Router {
     VcBuffer buf;
     enum class Stage { kIdle, kRouting, kVcAlloc, kActive } stage =
         Stage::kIdle;
+    int port = 0;       ///< owning input port (fixed at construction)
     Port out_port = Port::kLocal;
     VcId out_vc = -1;
     int msg_class = 0;  ///< class of the packet currently in flight
@@ -110,6 +146,7 @@ class Router {
   void receive_credits(Cycle now);
   void receive_flits(Cycle now);
   void begin_packet(InputVc& ivc, const Flit& head);
+  void set_stage(InputVc& ivc, InputVc::Stage next);
   void stage_switch_traversal(Cycle now);
   void stage_switch_allocation(Cycle now);
   void stage_vc_allocation(Cycle now);
@@ -157,7 +194,18 @@ class Router {
   int wake_remaining_ = 0;
   Cycle idle_streak_ = 0;
 
-  RouterCounters counters_;
+  // Work tracking for the skip fast path and for skipping empty pipeline
+  // stages: counts of input VCs per non-idle stage.
+  int active_packets_ = 0;   // input VCs with stage != kIdle
+  int routing_pending_ = 0;  // input VCs in kRouting
+  int vca_pending_ = 0;      // input VCs in kVcAlloc
+  std::array<int, kNumPorts> active_by_port_{};  // kActive VCs per in-port
+  std::function<void()> wake_cb_;
+
+  // Lazily synced so skipped cycles can be credited on demand from const
+  // accessors (counter reads happen through const Network paths).
+  mutable RouterCounters counters_;
+  mutable Cycle counted_until_ = 0;  // first cycle not yet in counters_
 };
 
 }  // namespace nocs::noc

@@ -31,12 +31,16 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
   r.avg_hops = s.hops().mean();
   r.packets_generated = s.generated_packets();
   r.packets_ejected = s.ejected_packets();
+  // ejected_flits() counts only measurement-tagged flits (those generated
+  // inside the measurement window), so the normalization base is the window
+  // length: the drain phase merely lets tagged flits finish and offers no
+  // additional tagged load.  Dividing by measure + drain understated
+  // throughput whenever draining took a while (i.e. near saturation).
   const auto active = static_cast<double>(net.endpoints().size());
-  r.accepted_rate =
-      active > 0
-          ? static_cast<double>(s.ejected_flits()) /
-                (static_cast<double>(cfg.measure + drained_cycles) * active)
-          : 0.0;
+  r.accepted_rate = active > 0
+                        ? static_cast<double>(s.ejected_flits()) /
+                              (static_cast<double>(cfg.measure) * active)
+                        : 0.0;
   r.saturated = !s.all_drained();
   r.cycles = cfg.warmup + cfg.measure + drained_cycles;
   r.counters = net.total_counters();

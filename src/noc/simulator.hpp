@@ -28,7 +28,10 @@ struct SimResults {
   double avg_hops = 0.0;
   std::uint64_t packets_generated = 0;
   std::uint64_t packets_ejected = 0;
-  double accepted_rate = 0.0;  ///< ejected flits/cycle per active endpoint
+  /// Measurement-window throughput: measurement-tagged flits ejected per
+  /// measurement cycle per active endpoint (drain cycles add no tagged
+  /// load and are excluded from the normalization).
+  double accepted_rate = 0.0;
   bool saturated = false;      ///< drain budget exhausted (unstable load)
   Cycle cycles = 0;            ///< total cycles simulated
   RouterCounters counters;     ///< summed router activity (whole run)

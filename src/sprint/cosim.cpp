@@ -1,5 +1,6 @@
 #include "sprint/cosim.hpp"
 
+#include "common/parallel.hpp"
 #include "sprint/network_builder.hpp"
 
 namespace nocs::sprint {
@@ -22,28 +23,33 @@ CosimResult cosimulate(const noc::NetworkParams& params,
   const power::LinkPowerModel link_model(params.flit_bytes * 8,
                                          cfg.link_length_mm, rp.tech, rp.op);
 
-  {
-    NetworkBundle full = make_full_sprinting_network(
-        params, params.num_nodes(), "uniform", cfg.seed);
-    const noc::SimResults r = noc::run_simulation(*full.network, sim);
-    out.full_latency = r.avg_packet_latency;
-    out.full_saturated = r.saturated;
-    out.full_noc_power = power::estimate_noc_power(*full.network,
-                                                   router_model, link_model,
-                                                   r.cycles)
-                             .total();
-  }
-  {
-    NetworkBundle sprint_net =
-        make_noc_sprinting_network(params, sim_level, "uniform", cfg.seed);
-    const noc::SimResults r = noc::run_simulation(*sprint_net.network, sim);
-    out.noc_latency = r.avg_packet_latency;
-    out.noc_saturated = r.saturated;
-    out.noc_noc_power = power::estimate_noc_power(*sprint_net.network,
-                                                  router_model, link_model,
-                                                  r.cycles)
-                            .total();
-  }
+  // The two configurations are independent simulations (own network, own
+  // seed); run them as parallel tasks writing disjoint result fields.
+  run_tasks(
+      {[&] {
+         NetworkBundle full = make_full_sprinting_network(
+             params, params.num_nodes(), "uniform", cfg.seed);
+         const noc::SimResults r = noc::run_simulation(*full.network, sim);
+         out.full_latency = r.avg_packet_latency;
+         out.full_saturated = r.saturated;
+         out.full_noc_power =
+             power::estimate_noc_power(*full.network, router_model,
+                                       link_model, r.cycles)
+                 .total();
+       },
+       [&] {
+         NetworkBundle sprint_net = make_noc_sprinting_network(
+             params, sim_level, "uniform", cfg.seed);
+         const noc::SimResults r =
+             noc::run_simulation(*sprint_net.network, sim);
+         out.noc_latency = r.avg_packet_latency;
+         out.noc_saturated = r.saturated;
+         out.noc_noc_power =
+             power::estimate_noc_power(*sprint_net.network, router_model,
+                                       link_model, r.cycles)
+                 .total();
+       }},
+      cfg.num_threads);
 
   // Feedback: full-sprinting's measured latency is the reference (the
   // off-line profiling ran with the whole network powered), so its

@@ -43,6 +43,11 @@ struct CosimConfig {
   Cycle measure = 10000;
   std::uint64_t seed = 7;
   double link_length_mm = 2.5;  ///< uniform physical link length
+
+  /// Workers for the two independent network simulations (<= 0 selects
+  /// the default thread count, 1 forces serial).  Results are identical
+  /// for any value: each simulation owns its network and seed.
+  int num_threads = 0;
 };
 
 /// Runs both configurations for `workload` and couples the results.

@@ -61,6 +61,53 @@ TEST(Pipe, MultipleReadyAtSameCycle) {
   EXPECT_EQ(drained, 2);
 }
 
+TEST(Pipe, RingGrowsPastInitialCapacityPreservingOrder) {
+  // The ring starts sized for the steady state (latency+1 slots).  Bursts
+  // beyond that must transparently grow without reordering.
+  Pipe<int> p(1);
+  for (int i = 0; i < 37; ++i) p.push(/*now=*/static_cast<Cycle>(i), i);
+  EXPECT_EQ(p.size(), 37u);
+  for (int i = 0; i < 37; ++i) EXPECT_EQ(p.pop(100), i);
+  EXPECT_TRUE(p.empty());
+}
+
+TEST(Pipe, NextReadyTimeTracksTheFront) {
+  Pipe<int> p(3);
+  EXPECT_EQ(p.next_ready_time(), kNoPendingEvent);
+  p.push(10, 1);
+  p.push(12, 2);
+  EXPECT_EQ(p.next_ready_time(), 13u);  // first push arrives at 10+3
+  p.pop(13);
+  EXPECT_EQ(p.next_ready_time(), 15u);  // second arrives at 12+3
+  p.pop(15);
+  EXPECT_EQ(p.next_ready_time(), kNoPendingEvent);
+}
+
+TEST(Pipe, NotifiesSinkOnlyWhenEmptyBecomesNonEmpty) {
+  struct CountingSink final : WakeSink {
+    int notifications = 0;
+    Cycle last_ready = 0;
+    void on_push(Cycle ready_at) override {
+      ++notifications;
+      last_ready = ready_at;
+    }
+  } sink;
+  Pipe<int> p(2);
+  p.set_sink(&sink);
+  p.push(5, 1);  // empty -> non-empty: notify
+  EXPECT_EQ(sink.notifications, 1);
+  EXPECT_EQ(sink.last_ready, 7u);
+  p.push(6, 2);  // already non-empty: consumer is armed, no notify
+  p.push(7, 3);
+  EXPECT_EQ(sink.notifications, 1);
+  p.pop(7);
+  p.pop(8);
+  p.pop(9);
+  p.push(20, 4);  // drained back to empty: notify again
+  EXPECT_EQ(sink.notifications, 2);
+  EXPECT_EQ(sink.last_ready, 22u);
+}
+
 TEST(VcBuffer, PushPopFifo) {
   VcBuffer b(4);
   EXPECT_TRUE(b.empty());
@@ -77,6 +124,56 @@ TEST(VcBuffer, PushPopFifo) {
   EXPECT_EQ(b.pop().index, 1);
   EXPECT_FALSE(b.full());
   EXPECT_EQ(b.size(), 2);
+}
+
+TEST(VcBuffer, RingWrapsAroundPastCapacity) {
+  // Steady-state wormhole traffic: a ring of capacity 4 sees far more than
+  // 4 flits stream through.  FIFO order must survive head wrapping.
+  VcBuffer b(4);
+  Flit f;
+  int next_push = 0;
+  int next_pop = 0;
+  // Prime with 3 so head sits mid-ring, then cycle push/pop 100 times.
+  for (; next_push < 3; ++next_push) {
+    f.index = next_push;
+    b.push(f);
+  }
+  for (int step = 0; step < 100; ++step) {
+    f.index = next_push++;
+    b.push(f);
+    EXPECT_EQ(b.pop().index, next_pop++);
+  }
+  EXPECT_EQ(b.size(), 3);
+  while (!b.empty()) EXPECT_EQ(b.pop().index, next_pop++);
+  EXPECT_EQ(next_pop, next_push);
+}
+
+TEST(VcBuffer, RepeatedFillDrainCycles) {
+  VcBuffer b(2);
+  Flit f;
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    f.index = 2 * cycle;
+    b.push(f);
+    f.index = 2 * cycle + 1;
+    b.push(f);
+    EXPECT_TRUE(b.full());
+    EXPECT_EQ(b.front().index, 2 * cycle);
+    EXPECT_EQ(b.pop().index, 2 * cycle);
+    EXPECT_EQ(b.pop().index, 2 * cycle + 1);
+    EXPECT_TRUE(b.empty());
+  }
+}
+
+TEST(VcBuffer, CapacityOneBehavesLikeALatch) {
+  VcBuffer b(1);
+  Flit f;
+  for (int i = 0; i < 10; ++i) {
+    f.index = i;
+    b.push(f);
+    EXPECT_TRUE(b.full());
+    EXPECT_EQ(b.pop().index, i);
+    EXPECT_TRUE(b.empty());
+  }
 }
 
 TEST(VcBuffer, OverflowIsAProtocolBug) {

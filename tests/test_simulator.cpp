@@ -50,6 +50,26 @@ TEST(Simulator, AcceptedTracksOfferedBelowSaturation) {
   }
 }
 
+TEST(Simulator, AcceptedRateNormalizesByMeasureWindowOnly) {
+  // Regression: accepted_rate used to divide by measure + drain cycles,
+  // understating throughput whenever draining took a while.  Only flits
+  // generated inside the measurement window are tagged, so the correct
+  // base is the window length times the active-endpoint count — exactly.
+  NetFixture f;
+  SimConfig cfg;
+  cfg.warmup = 500;
+  cfg.measure = 4000;
+  cfg.injection_rate = 0.3;  // busy enough that the drain tail is nonzero
+  const SimResults r = run_simulation(f.net, cfg);
+  ASSERT_FALSE(r.saturated);
+  EXPECT_GT(r.cycles, cfg.warmup + cfg.measure) << "load too low to drain";
+  const double expected =
+      static_cast<double>(f.net.stats().ejected_flits()) /
+      (static_cast<double>(cfg.measure) *
+       static_cast<double>(f.net.endpoints().size()));
+  EXPECT_EQ(r.accepted_rate, expected);
+}
+
 TEST(Simulator, LatencyMonotonicInLoad) {
   NetFixture f;
   SimConfig cfg;
