@@ -5,7 +5,10 @@
 //       -> the sprint controller's decision for one workload
 //   mode=simulate  level=<k> [traffic=uniform] [injection=0.1] [seed=1]
 //                  [scheme=noc|full] [classes=1|2] [pipeline=5|3]
-//       -> one cycle-accurate run with latency/power/percentiles
+//                  [faults=true fault_flip_rate=... fault_seed=...]
+//       -> one cycle-accurate run with latency/power/percentiles;
+//          faults=true enables the fault injector + end-to-end protection
+//          and a livelock watchdog (see README "Robustness")
 //   mode=sweep     level=<k> [traffic=...] [rates=start:step:end]
 //       -> latency-throughput curve
 //   mode=thermal   level=<k> [floorplan=identity|thermal]
@@ -17,11 +20,13 @@
 //   ./nocsprint_cli mode=sweep level=8 rates=0.05:0.05:0.5
 //   ./nocsprint_cli mode=thermal level=4 floorplan=thermal
 #include <cstdio>
+#include <memory>
 #include <stdexcept>
 
 #include "cmp/perf_model.hpp"
 #include "common/config.hpp"
 #include "common/table.hpp"
+#include "fault/fault_injector.hpp"
 #include "noc/parallel_sweep.hpp"
 #include "noc/simulator.hpp"
 #include "power/chip_power.hpp"
@@ -86,13 +91,25 @@ int mode_simulate(const Config& cfg) {
   sprint::NetworkBundle b =
       full ? sprint::make_full_sprinting_network(params, level, traffic, seed)
            : sprint::make_noc_sprinting_network(params, level, traffic, seed);
-  if (params.num_classes >= 2 && cfg.get_bool("protocol", false))
-    b.network->set_request_reply(1, 5);
+  const bool protocol = cfg.get_bool("protocol", false);
+  if (params.num_classes >= 2 && protocol) b.network->set_request_reply(1, 5);
 
   noc::SimConfig sim;
   sim.warmup = cfg.get_int("warmup", 2000);
   sim.measure = cfg.get_int("measure", 10000);
   sim.injection_rate = cfg.get_double("injection", 0.1);
+
+  const fault::FaultParams fparams = fault::FaultParams::from_config(cfg);
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (fparams.enabled) {
+    injector =
+        std::make_unique<fault::FaultInjector>(params.shape(), fparams);
+    const noc::ProtectionParams prot = fparams.protection();
+    b.network->enable_resilience(injector.get(), &prot);
+    sim.watchdog_cycles =
+        static_cast<Cycle>(cfg.get_int("watchdog", 50000));
+  }
+
   const noc::SimResults r = run_simulation(*b.network, sim);
 
   const auto rp = power::RouterPowerParams::from_network(params);
@@ -115,6 +132,24 @@ int mode_simulate(const Config& cfg) {
   std::printf("network power    %.2f mW (routers %.2f, links %.2f)\n",
               power_est.total() * 1e3, power_est.routers.total() * 1e3,
               (power_est.link_dynamic + power_est.link_leakage) * 1e3);
+  if (fparams.enabled) {
+    const noc::ResilienceCounters& rs = r.resilience;
+    std::printf(
+        "resilience       retx %llu (timeouts %llu), corrupted %llu, "
+        "dropped %llu, dups %llu\n",
+        static_cast<unsigned long long>(rs.retransmissions),
+        static_cast<unsigned long long>(rs.timeouts),
+        static_cast<unsigned long long>(rs.corrupted_packets),
+        static_cast<unsigned long long>(rs.dropped_packets),
+        static_cast<unsigned long long>(rs.duplicates));
+    std::printf("fault activity   corrupted flits %llu, reroutes %llu, "
+                "wake failures %llu\n",
+                static_cast<unsigned long long>(r.counters.flits_corrupted),
+                static_cast<unsigned long long>(r.counters.reroutes),
+                static_cast<unsigned long long>(r.counters.wake_failures));
+    if (r.hung)
+      std::printf("WATCHDOG FIRED: no flit progress\n%s", r.diagnostic.c_str());
+  }
   return 0;
 }
 
@@ -129,6 +164,9 @@ int mode_sweep(const Config& cfg) {
   const std::string traffic = cfg.get_string("traffic", "uniform");
   const std::uint64_t seed = cfg.get_int("seed", 1);
   const int threads = static_cast<int>(cfg.get_int("threads", 0));
+  const fault::FaultParams fparams = fault::FaultParams::from_config(cfg);
+  const Cycle watchdog =
+      static_cast<Cycle>(cfg.get_int("watchdog", 50000));
   std::vector<double> rates;
   for (double r = start; r <= end + 1e-12; r += step) rates.push_back(r);
   noc::SimConfig sim;
@@ -136,11 +174,21 @@ int mode_sweep(const Config& cfg) {
   sim.measure = 6000;
   // One independent network per point, seeded per task: results are
   // identical for any threads= value (threads=1 is the plain serial loop).
+  // Fault injection follows the same rule — one injector per point, so
+  // fault schedules never depend on scheduling.
   const auto points = noc::parallel_sweep_injection(
       [&](const noc::SweepTask& task) {
         sprint::NetworkBundle b = sprint::make_noc_sprinting_network(
             params, level, traffic, task.seed);
+        std::unique_ptr<fault::FaultInjector> injector;
         noc::SimConfig point_sim = sim;
+        if (fparams.enabled) {
+          injector = std::make_unique<fault::FaultInjector>(params.shape(),
+                                                            fparams);
+          const noc::ProtectionParams prot = fparams.protection();
+          b.network->enable_resilience(injector.get(), &prot);
+          point_sim.watchdog_cycles = watchdog;
+        }
         point_sim.injection_rate = task.injection_rate;
         return noc::run_simulation(*b.network, point_sim);
       },
@@ -187,14 +235,23 @@ int main(int argc, char** argv) {
   try {
     const Config cfg = Config::from_args(argc, argv);
     const std::string mode = cfg.get_string("mode", "plan");
-    if (mode == "plan") return mode_plan(cfg);
-    if (mode == "simulate") return mode_simulate(cfg);
-    if (mode == "sweep") return mode_sweep(cfg);
-    if (mode == "thermal") return mode_thermal(cfg);
-    std::fprintf(stderr, "unknown mode '%s' (plan|simulate|sweep|thermal)\n",
-                 mode.c_str());
-    return 2;
+    int rc = 2;
+    if (mode == "plan") rc = mode_plan(cfg);
+    else if (mode == "simulate") rc = mode_simulate(cfg);
+    else if (mode == "sweep") rc = mode_sweep(cfg);
+    else if (mode == "thermal") rc = mode_thermal(cfg);
+    else {
+      std::fprintf(stderr,
+                   "unknown mode '%s' (plan|simulate|sweep|thermal)\n",
+                   mode.c_str());
+      return 2;
+    }
+    // Every knob the mode understands has been queried by now; anything
+    // left over is a typo (error out with a near-miss suggestion).
+    cfg.reject_unknown();
+    return rc;
   } catch (const std::exception& e) {
+    std::fflush(stdout);  // keep the error after the mode's buffered output
     std::fprintf(stderr, "error: %s\n", e.what());
     return 2;
   }

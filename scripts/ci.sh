@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Full build-and-test matrix: a Release build (what the benches and
+# figures run as) and an AddressSanitizer build (guards the ring-buffer /
+# calendar-wheel index arithmetic and the new fault/retransmission
+# paths), each running the complete ctest suite.
+#
+# Usage: scripts/ci.sh [jobs]        (default: all cores)
+#
+# Exits non-zero on the first failing configure/build/test step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+run_config() {
+  local dir="$1"
+  shift
+  echo "==== configure ${dir} ($*) ===="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "==== build ${dir} ===="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==== test ${dir} ===="
+  ctest --test-dir "${dir}" -j "${JOBS}" --output-on-failure
+}
+
+run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
+run_config build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNOCS_SANITIZE=address
+
+echo "==== ci.sh: all configurations passed ===="

@@ -1,5 +1,6 @@
 #include "common/config.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <stdexcept>
 
@@ -34,16 +35,19 @@ void Config::set_bool(const std::string& key, bool value) {
 }
 
 bool Config::has(const std::string& key) const {
+  queried_.insert(key);
   return values_.count(key) != 0;
 }
 
 std::string Config::get_string(const std::string& key,
                                const std::string& def) const {
+  queried_.insert(key);
   const auto it = values_.find(key);
   return it == values_.end() ? def : it->second;
 }
 
 long long Config::get_int(const std::string& key, long long def) const {
+  queried_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
   std::size_t pos = 0;
@@ -54,6 +58,7 @@ long long Config::get_int(const std::string& key, long long def) const {
 }
 
 double Config::get_double(const std::string& key, double def) const {
+  queried_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
   std::size_t pos = 0;
@@ -64,6 +69,7 @@ double Config::get_double(const std::string& key, double def) const {
 }
 
 bool Config::get_bool(const std::string& key, bool def) const {
+  queried_.insert(key);
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
   const std::string& s = it->second;
@@ -77,6 +83,57 @@ std::vector<std::string> Config::keys() const {
   out.reserve(values_.size());
   for (const auto& [k, _] : values_) out.push_back(k);
   return out;
+}
+
+namespace {
+
+/// Levenshtein distance, early-exiting once it must exceed `cap`.
+std::size_t edit_distance(const std::string& a, const std::string& b,
+                          std::size_t cap) {
+  const std::size_t la = a.size(), lb = b.size();
+  const std::size_t diff = la > lb ? la - lb : lb - la;
+  if (diff > cap) return cap + 1;
+  std::vector<std::size_t> row(lb + 1);
+  for (std::size_t j = 0; j <= lb; ++j) row[j] = j;
+  for (std::size_t i = 1; i <= la; ++i) {
+    std::size_t prev = row[0];  // row[i-1][j-1]
+    row[0] = i;
+    std::size_t best = row[0];
+    for (std::size_t j = 1; j <= lb; ++j) {
+      const std::size_t del = row[j] + 1;
+      const std::size_t ins = row[j - 1] + 1;
+      const std::size_t sub = prev + (a[i - 1] == b[j - 1] ? 0 : 1);
+      prev = row[j];
+      row[j] = std::min(std::min(del, ins), sub);
+      best = std::min(best, row[j]);
+    }
+    if (best > cap) return cap + 1;
+  }
+  return row[lb];
+}
+
+}  // namespace
+
+void Config::reject_unknown() const {
+  std::string msg;
+  for (const auto& [key, _] : values_) {
+    if (queried_.count(key) != 0) continue;
+    if (!msg.empty()) msg += "; ";
+    msg += "unknown config key '" + key + "'";
+    // Suggest the closest recognized key within edit distance 2.
+    const std::size_t cap = 2;
+    std::size_t best = cap + 1;
+    std::string suggestion;
+    for (const std::string& known : queried_) {
+      const std::size_t d = edit_distance(key, known, cap);
+      if (d < best) {
+        best = d;
+        suggestion = known;
+      }
+    }
+    if (!suggestion.empty()) msg += " (did you mean '" + suggestion + "'?)";
+  }
+  if (!msg.empty()) throw std::invalid_argument(msg);
 }
 
 }  // namespace nocs

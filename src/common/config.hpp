@@ -7,6 +7,7 @@
 
 #include <map>
 #include <optional>
+#include <set>
 #include <string>
 #include <vector>
 
@@ -39,8 +40,22 @@ class Config {
   /// All keys in sorted order (for dumping effective configuration).
   std::vector<std::string> keys() const;
 
+  /// Marks a key as recognized without reading it (for keys a mode
+  /// intentionally ignores).  Getters and has() record automatically.
+  void allow(const std::string& key) const { queried_.insert(key); }
+
+  /// Throws std::invalid_argument if any stored key was never queried
+  /// through a getter/has()/allow() — i.e. the user set a knob nothing
+  /// reads, usually a typo.  The message suggests near misses (edit
+  /// distance <= 2) among the recognized keys.  Call after a mode has read
+  /// all its parameters.
+  void reject_unknown() const;
+
  private:
   std::map<std::string, std::string> values_;
+  /// Keys the program asked about; populated by the const getters, hence
+  /// mutable.  A key queried with any accessor counts as recognized.
+  mutable std::set<std::string> queried_;
 };
 
 }  // namespace nocs

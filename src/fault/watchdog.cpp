@@ -1,0 +1,37 @@
+#include "fault/watchdog.hpp"
+
+namespace nocs::fault {
+
+Watchdog::Watchdog(const noc::Network& net, Cycle no_progress_limit)
+    : net_(net),
+      limit_(no_progress_limit),
+      last_sig_(net.progress_signature()),
+      last_progress_(net.now()) {
+  NOCS_EXPECTS(no_progress_limit >= 1);
+}
+
+bool Watchdog::poll() {
+  if (fired_) return true;
+  const std::uint64_t sig = net_.progress_signature();
+  if (sig != last_sig_) {
+    last_sig_ = sig;
+    last_progress_ = net_.now();
+    return false;
+  }
+  // An idle network is not a wedged one: only flits in flight with no
+  // movement count as livelock/deadlock.
+  if (net_.now() - last_progress_ >= limit_ && !net_.drained()) {
+    fired_ = true;
+    diagnostic_ = net_.debug_snapshot();
+  }
+  return fired_;
+}
+
+void Watchdog::reset() {
+  fired_ = false;
+  diagnostic_.clear();
+  last_sig_ = net_.progress_signature();
+  last_progress_ = net_.now();
+}
+
+}  // namespace nocs::fault

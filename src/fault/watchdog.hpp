@@ -1,0 +1,46 @@
+// Livelock/deadlock watchdog: samples the network's flit-movement
+// signature and fires once nothing has moved for a configured number of
+// cycles while flits are still in flight.  run_simulation() embeds the
+// same logic; this class serves custom simulation loops (tests, the fuzz
+// harness, co-simulation drivers).
+#pragma once
+
+#include <string>
+
+#include "noc/network.hpp"
+
+namespace nocs::fault {
+
+class Watchdog {
+ public:
+  /// Fires after `no_progress_limit` cycles without flit movement.  `net`
+  /// must outlive the watchdog.
+  Watchdog(const noc::Network& net, Cycle no_progress_limit);
+
+  /// Samples the network at its current cycle; call at any cadence with
+  /// nondecreasing net.now().  Returns true once the watchdog has fired
+  /// (and keeps returning true; the diagnostic is from the first firing).
+  bool poll();
+
+  bool fired() const { return fired_; }
+
+  /// Cycle at which progress was last observed.
+  Cycle last_progress() const { return last_progress_; }
+
+  /// Per-router occupancy/credit snapshot captured when the watchdog
+  /// fired; empty before that.
+  const std::string& diagnostic() const { return diagnostic_; }
+
+  /// Re-arms after a recovery action (keeps the diagnostic history empty).
+  void reset();
+
+ private:
+  const noc::Network& net_;
+  Cycle limit_;
+  std::uint64_t last_sig_;
+  Cycle last_progress_;
+  bool fired_ = false;
+  std::string diagnostic_;
+};
+
+}  // namespace nocs::fault

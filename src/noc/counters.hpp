@@ -22,6 +22,11 @@ struct RouterCounters {
   std::uint64_t wake_events = 0;       ///< number of wake-ups
   std::uint64_t idle_active_cycles = 0;  ///< powered on but no flit movement
 
+  // Fault-injection activity (zero on a fault-free run).
+  std::uint64_t flits_corrupted = 0;  ///< flits hit by a link fault here
+  std::uint64_t reroutes = 0;         ///< packets detoured off a faulty link
+  std::uint64_t wake_failures = 0;    ///< failed power-gate wake attempts
+
   RouterCounters& operator+=(const RouterCounters& o) {
     buffer_writes += o.buffer_writes;
     buffer_reads += o.buffer_reads;
@@ -34,6 +39,9 @@ struct RouterCounters {
     waking_cycles += o.waking_cycles;
     wake_events += o.wake_events;
     idle_active_cycles += o.idle_active_cycles;
+    flits_corrupted += o.flits_corrupted;
+    reroutes += o.reroutes;
+    wake_failures += o.wake_failures;
     return *this;
   }
 };

@@ -1,0 +1,77 @@
+// Fault-injection hooks the network core consults when resilience is
+// enabled.
+//
+// The simulator core stays fault-agnostic: routers and network interfaces
+// talk to an abstract FaultOracle, and src/fault/ provides the concrete
+// deterministic injector.  This keeps the dependency one-way (nocs_fault
+// links nocs_noc, never the reverse) and means a null oracle — the default —
+// leaves every hot path bit-identical to the fault-free simulator.
+//
+// Fault model (what each hook represents physically):
+//  * corrupt_link_flit — a transient bit flip on the wire.  Flow control is
+//    unaffected (the flit still occupies buffers and returns credits); the
+//    receiving NI's end-to-end checksum catches it at packet granularity.
+//  * link_down — a link marked faulty for an interval.  Traffic already
+//    committed to the link still crosses (corrupted); route computation
+//    detours new packets around it when the routing function knows a safe
+//    convex alternative.
+//  * drop_packet — a whole packet lost at the source interface (e.g. an
+//    injection-queue overrun).  Recovered purely by the sender's
+//    retransmission timeout, exercising the no-NACK path.
+//  * wake_fails — a power-gate wake-up attempt that did not restore the
+//    rail; the router retries after wake_retry_latency cycles.
+//  * router_stuck — a fail-stop router that freezes entirely (no credits,
+//    no forwarding).  There is no in-network recovery; the watchdog detects
+//    the wedge and the sprint controller degrades around the node.
+#pragma once
+
+#include "common/assert.hpp"
+#include "common/types.hpp"
+
+namespace nocs::noc {
+
+/// Queried by routers/NIs each time a fault could strike.  Non-const hooks
+/// may draw from injector-owned RNG streams; implementations must keep
+/// draws per-entity so outcomes are independent of which other entities
+/// are queried (determinism across configurations and thread counts).
+class FaultOracle {
+ public:
+  virtual ~FaultOracle() = default;
+
+  /// A flit is crossing the directed link `from`->`to` at `now`; true
+  /// means it arrives corrupted.
+  virtual bool corrupt_link_flit(NodeId from, NodeId to, Cycle now) = 0;
+
+  /// True while the directed link `from`->`to` is marked faulty at `now`
+  /// (route computation should prefer a detour).
+  virtual bool link_down(NodeId from, NodeId to, Cycle now) = 0;
+
+  /// A whole packet is about to leave `src`'s source queue at `now`; true
+  /// means it is silently lost before injection.
+  virtual bool drop_packet(NodeId src, Cycle now) = 0;
+
+  /// Wake-up attempt number `attempt` (1-based) of router `node` completed
+  /// at `now`; true means the rail failed to charge and the router must
+  /// retry.
+  virtual bool wake_fails(NodeId node, int attempt, Cycle now) = 0;
+
+  /// Extra cycles a failed wake-up costs before the next attempt.
+  virtual int wake_retry_latency() const = 0;
+
+  /// True while router `node` is stuck (fail-stop: consumes nothing,
+  /// forwards nothing).
+  virtual bool router_stuck(NodeId node, Cycle now) = 0;
+};
+
+/// End-to-end protection knobs for the network interfaces (active only
+/// when a fault oracle is attached).
+struct ProtectionParams {
+  int ack_timeout = 256;   ///< cycles before an unacked packet retransmits
+  int max_backoff = 4096;  ///< cap on the exponential backoff (cycles)
+
+  void validate() const {
+    NOCS_EXPECTS(ack_timeout >= 1 && max_backoff >= ack_timeout);
+  }
+};
+
+}  // namespace nocs::noc

@@ -10,6 +10,12 @@ namespace nocs::noc {
 /// Unique packet identifier (monotonic per simulation).
 using PacketId = std::uint64_t;
 
+/// Packet role under end-to-end protection.  Data packets are checked and
+/// acknowledged; ACK/NACK are single-flit control packets carrying the
+/// acknowledged packet id in `ack_for`.  Without a fault oracle every
+/// packet is kData and the control fields stay inert.
+enum class PacketKind : std::uint8_t { kData = 0, kAck = 1, kNack = 2 };
+
 /// One flow-control unit.  Packets are wormhole-switched: the head flit
 /// carries routing state, body/tail flits follow the head's path on the
 /// same VC.
@@ -29,6 +35,11 @@ struct Flit {
   Cycle injected = 0;     ///< cycle the flit entered the network (left NI)
   int hops = 0;           ///< router-to-router hops traversed so far
   bool measured = false;  ///< generated inside the measurement window
+
+  // End-to-end protection state (inert without a fault oracle).
+  bool corrupted = false;            ///< a link fault flipped payload bits
+  PacketKind kind = PacketKind::kData;
+  PacketId ack_for = 0;              ///< packet id an ACK/NACK refers to
 };
 
 /// Credit returned upstream when a flit leaves a VC buffer.

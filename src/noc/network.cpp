@@ -1,6 +1,7 @@
 #include "noc/network.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace nocs::noc {
 
@@ -196,6 +197,54 @@ void Network::set_request_reply(int request_length, int reply_length) {
 void Network::set_seed(std::uint64_t seed) {
   SplitMix64 sm(seed);
   for (auto& ni : nis_) ni->set_seed(sm.next());
+}
+
+void Network::enable_resilience(FaultOracle* oracle,
+                                const ProtectionParams* prot) {
+  for (auto& r : routers_) r->set_fault_oracle(oracle);
+  for (auto& ni : nis_) {
+    ni->set_fault_oracle(oracle);
+    if (prot != nullptr) ni->enable_protection(*prot);
+  }
+}
+
+std::uint64_t Network::progress_signature() const {
+  std::uint64_t sig = 0;
+  for (const auto& r : routers_) {
+    // No sync_counters: skipped cycles only accrue cycle counters, which
+    // are deliberately excluded from the signature anyway.
+    const RouterCounters& c = r->counters();
+    sig += c.buffer_writes + c.xbar_traversals + c.link_flits;
+  }
+  // Ejections count as progress; generation deliberately does not.  NIs
+  // keep generating into their (unbounded) source queues even when the
+  // network core is wedged, so counting generation would let a hung
+  // network look alive for as long as injection stays on.
+  for (const auto& ni : nis_) sig += ni->total_ejected_flits();
+  return sig;
+}
+
+std::string Network::debug_snapshot() const {
+  std::ostringstream os;
+  os << "network diagnostic @ cycle " << now_ << "\n";
+  const char* state_names[] = {"active", "gated", "waking"};
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Router& r = *routers_[static_cast<std::size_t>(id)];
+    const NetworkInterface& ni = *nis_[static_cast<std::size_t>(id)];
+    const int buffered = r.buffered_flits();
+    const std::size_t queued = ni.source_queue_depth();
+    const std::size_t unacked = ni.unacked_count();
+    const bool quiet = buffered == 0 && queued == 0 && unacked == 0 &&
+                       r.power_state() == PowerState::kActive;
+    if (quiet) continue;
+    const Coord c = params_.shape().coord_of(id);
+    os << "  node " << id << " (" << c.x << "," << c.y << ")"
+       << " state=" << state_names[static_cast<int>(r.power_state())]
+       << " buffered_flits=" << buffered
+       << " output_credits=" << r.total_output_credits()
+       << " ni_queue=" << queued << " ni_unacked=" << unacked << "\n";
+  }
+  return os.str();
 }
 
 void Network::tick() {

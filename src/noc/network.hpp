@@ -6,6 +6,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "noc/network_interface.hpp"
@@ -69,6 +70,27 @@ class Network {
 
   /// Reseeds all NI RNGs deterministically from one master seed.
   void set_seed(std::uint64_t seed);
+
+  // --- fault resilience -----------------------------------------------------
+
+  /// Attaches `oracle` to every router and NI and, when `prot` is non-null,
+  /// turns on end-to-end protection (checksum + ACK/NACK retransmission +
+  /// duplicate filtering) at every NI.  Pass a null oracle to detach; the
+  /// fault-free path is bit-identical when nothing is attached.
+  void enable_resilience(FaultOracle* oracle,
+                         const ProtectionParams* prot = nullptr);
+
+  /// Flit-movement signature consumed by livelock/deadlock watchdogs: the
+  /// value changes whenever any flit moves anywhere (buffer write, crossbar
+  /// traversal, NI inject/eject) and stays put while the network is wedged.
+  /// Pure cycle counters are excluded so an idle-but-alive network does not
+  /// mask a stall.
+  std::uint64_t progress_signature() const;
+
+  /// Multi-line per-router diagnostic dump (power state, buffered flits,
+  /// output credits, NI queue/unacked depth) for watchdog reports.  Only
+  /// non-quiescent nodes are listed.
+  std::string debug_snapshot() const;
 
   /// Advances the whole network by one cycle.
   void tick();

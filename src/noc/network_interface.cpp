@@ -1,5 +1,7 @@
 #include "noc/network_interface.hpp"
 
+#include <algorithm>
+
 namespace nocs::noc {
 
 NetworkInterface::NetworkInterface(NodeId id, const NetworkParams& params,
@@ -50,6 +52,12 @@ void NetworkInterface::set_request_reply(int request_length,
   reply_length_ = reply_length;
 }
 
+void NetworkInterface::enable_protection(const ProtectionParams& prot) {
+  prot.validate();
+  protection_ = true;
+  prot_ = prot;
+}
+
 PacketId NetworkInterface::send_packet(Cycle now, NodeId dst, int msg_class,
                                        int length) {
   NOCS_EXPECTS(dst != id_);
@@ -57,12 +65,69 @@ PacketId NetworkInterface::send_packet(Cycle now, NodeId dst, int msg_class,
   if (length <= 0) length = params_.packet_length;
   const PacketId pid =
       (static_cast<PacketId>(id_) << 48) | next_packet_id_++;
-  source_queue_.push_back(
-      PendingPacket{pid, dst, now, stats_->measuring(), msg_class, length});
+  const PendingPacket pkt{pid,       dst,       now, stats_->measuring(),
+                          msg_class, length,    PacketKind::kData, 0};
+  source_queue_.push_back(pkt);
   ++total_generated_;
   if (stats_->measuring()) stats_->on_packet_generated();
+  if (protection_) {
+    // Track until acknowledged; the first timeout fires after the base
+    // ACK window, then backs off exponentially up to the cap.
+    const Cycle deadline = now + backoff(0);
+    unacked_.emplace(pid, Unacked{pkt, deadline, 0});
+    next_deadline_ = std::min(next_deadline_, deadline);
+  }
   if (wake_cb_) wake_cb_();
   return pid;
+}
+
+Cycle NetworkInterface::backoff(int retries) const {
+  const int shift = std::min(retries, 16);
+  const long long b = static_cast<long long>(prot_.ack_timeout) << shift;
+  return static_cast<Cycle>(
+      std::min<long long>(b, static_cast<long long>(prot_.max_backoff)));
+}
+
+void NetworkInterface::send_control(Cycle now, NodeId dst, PacketKind kind,
+                                    PacketId ack_for, int msg_class) {
+  // Control packets are never measured, never tracked for retransmission,
+  // and never re-acknowledged: a lost ACK/NACK is recovered by the data
+  // sender's timeout (the duplicate filter absorbs the re-delivery).
+  PendingPacket pkt;
+  pkt.id = (static_cast<PacketId>(id_) << 48) | next_packet_id_++;
+  pkt.dst = dst;
+  pkt.created = now;
+  pkt.measured = false;
+  pkt.msg_class = msg_class;
+  pkt.length = 1;
+  pkt.kind = kind;
+  pkt.ack_for = ack_for;
+  source_queue_.push_back(pkt);
+  if (kind == PacketKind::kAck)
+    ++stats_->resilience().acks_sent;
+  else
+    ++stats_->resilience().nacks_sent;
+  if (wake_cb_) wake_cb_();
+}
+
+void NetworkInterface::queue_retransmit(Cycle now, Unacked& u) {
+  ++u.retries;
+  ++stats_->resilience().retransmissions;
+  u.deadline = now + backoff(u.retries);
+  next_deadline_ = std::min(next_deadline_, u.deadline);
+  source_queue_.push_back(u.pkt);
+}
+
+void NetworkInterface::check_timeouts(Cycle now) {
+  if (unacked_.empty() || now < next_deadline_) return;
+  next_deadline_ = kNoPendingEvent;
+  for (auto& [pid, u] : unacked_) {
+    if (u.deadline <= now) {
+      ++stats_->resilience().timeouts;
+      queue_retransmit(now, u);
+    }
+    next_deadline_ = std::min(next_deadline_, u.deadline);
+  }
 }
 
 void NetworkInterface::tick(Cycle now) {
@@ -76,6 +141,7 @@ void NetworkInterface::tick(Cycle now) {
     }
   }
   eject(now);
+  if (protection_) check_timeouts(now);
   generate(now);
   inject(now);
 }
@@ -88,6 +154,10 @@ void NetworkInterface::eject(Cycle now) {
     // The ejection buffer drains instantly; return the credit right away.
     credit_to_router_->push(now, Credit{f.vc});
     ++total_ejected_flits_;
+    if (protection_) {
+      eject_protected(now, f);
+      continue;
+    }
     if (f.measured) {
       stats_->on_flit_ejected();
       if (f.is_tail) {
@@ -102,6 +172,51 @@ void NetworkInterface::eject(Cycle now) {
     if (request_reply_ && f.is_tail && f.msg_class == 0)
       send_packet(now, f.src, /*msg_class=*/1, reply_length_);
   }
+}
+
+void NetworkInterface::eject_protected(Cycle now, const Flit& f) {
+  if (f.kind != PacketKind::kData) {
+    // Single-flit control packet.  A corrupted one is ignored — the data
+    // sender's timeout covers a lost ACK/NACK.
+    if (f.corrupted) return;
+    if (f.kind == PacketKind::kAck) {
+      unacked_.erase(f.ack_for);
+    } else {
+      const auto it = unacked_.find(f.ack_for);
+      if (it != unacked_.end()) queue_retransmit(now, it->second);
+    }
+    return;
+  }
+  RxPacket& rx = rx_state_[f.packet];
+  rx.corrupted |= f.corrupted;
+  if (f.measured) ++rx.measured_flits;
+  if (!f.is_tail) return;
+  const RxPacket done = rx;
+  rx_state_.erase(f.packet);
+  if (done.corrupted) {
+    // Checksum failure over the whole packet: discard and request a
+    // retransmission straight away instead of waiting out the timeout.
+    ++stats_->resilience().corrupted_packets;
+    send_control(now, f.src, PacketKind::kNack, f.packet, f.msg_class);
+    return;
+  }
+  // Acknowledge every clean copy — a duplicate means the previous ACK was
+  // lost or overtaken by the sender's timeout, so it must be re-sent.
+  send_control(now, f.src, PacketKind::kAck, f.packet, f.msg_class);
+  if (!delivered_.insert(f.packet).second) {
+    ++stats_->resilience().duplicates;
+    return;
+  }
+  // Goodput is recorded only here, on the first successful delivery, so
+  // corrupted/duplicate copies never inflate the measured statistics.
+  if (done.measured_flits > 0) {
+    for (int i = 0; i < done.measured_flits; ++i) stats_->on_flit_ejected();
+    stats_->on_packet_ejected(static_cast<double>(now - f.created),
+                              static_cast<double>(now - f.injected), f.hops,
+                              f.msg_class);
+  }
+  if (request_reply_ && f.msg_class == 0)
+    send_packet(now, f.src, /*msg_class=*/1, reply_length_);
 }
 
 void NetworkInterface::generate(Cycle now) {
@@ -124,6 +239,18 @@ void NetworkInterface::inject(Cycle now) {
   if (to_router_ == nullptr) return;
   if (!sending_) {
     if (source_queue_.empty()) return;
+    // Injection-time fault drops: the whole packet vanishes before it ever
+    // enters the network.  It stays in unacked_, so the retransmission
+    // timeout recovers it.
+    if (protection_ && oracle_ != nullptr) {
+      while (!source_queue_.empty() &&
+             source_queue_.front().kind == PacketKind::kData &&
+             oracle_->drop_packet(id_, now)) {
+        ++stats_->resilience().dropped_packets;
+        source_queue_.pop_front();
+      }
+      if (source_queue_.empty()) return;
+    }
     // Pick a VC with a free credit *within the packet's class partition*,
     // round-robin for fairness.
     const int cls = source_queue_.front().msg_class;
@@ -161,6 +288,8 @@ void NetworkInterface::inject(Cycle now) {
   f.created = current_.created;
   f.injected = head_injected_;  // every flit carries the head's entry time
   f.measured = current_.measured;
+  f.kind = current_.kind;
+  f.ack_for = current_.ack_for;
 
   --credits_[static_cast<std::size_t>(current_vc_)];
   to_router_->push(now, f);

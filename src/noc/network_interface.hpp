@@ -5,10 +5,13 @@
 
 #include <deque>
 #include <functional>
+#include <map>
+#include <unordered_set>
 
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "noc/channel.hpp"
+#include "noc/fault_hooks.hpp"
 #include "noc/flit.hpp"
 #include "noc/params.hpp"
 #include "noc/stats_collector.hpp"
@@ -51,6 +54,19 @@ class NetworkInterface {
   /// params.num_classes >= 2.
   void set_request_reply(int request_length, int reply_length);
 
+  // --- end-to-end protection (fault resilience) -----------------------------
+
+  /// Turns on per-packet checksum verification, ACK/NACK-driven
+  /// retransmission with capped exponential backoff, and duplicate
+  /// filtering.  Off by default; fault-free runs are bit-identical.
+  void enable_protection(const ProtectionParams& prot);
+
+  /// Oracle consulted for injection-time packet drops (may be null).
+  void set_fault_oracle(FaultOracle* oracle) { oracle_ = oracle; }
+
+  /// Data packets sent but not yet acknowledged (protection mode only).
+  std::size_t unacked_count() const { return unacked_.size(); }
+
   /// Advances one cycle: eject, generate, inject.
   void tick(Cycle now);
 
@@ -63,8 +79,10 @@ class NetworkInterface {
   /// Number of packets waiting in the source queue (saturation signal).
   std::size_t source_queue_depth() const { return source_queue_.size(); }
 
-  /// True when nothing is queued or mid-injection.
-  bool idle() const { return source_queue_.empty() && !sending_; }
+  /// True when nothing is queued, mid-injection, or awaiting an ACK.
+  bool idle() const {
+    return source_queue_.empty() && !sending_ && unacked_.empty();
+  }
 
   // --- active-node fast path (see Router's invariant) ----------------------
 
@@ -74,6 +92,7 @@ class NetworkInterface {
   /// need no lazy accounting.
   bool busy_next_cycle() const {
     if (traffic_ != nullptr && injection_rate_ > 0.0) return true;
+    // Unacked packets keep the NI ticking so retransmission timers fire.
     return !idle();
   }
 
@@ -107,11 +126,32 @@ class NetworkInterface {
     bool measured;
     int msg_class;
     int length;
+    PacketKind kind = PacketKind::kData;
+    PacketId ack_for = 0;
+  };
+
+  /// Sender-side retransmission record for one unacknowledged data packet.
+  struct Unacked {
+    PendingPacket pkt;
+    Cycle deadline = 0;  ///< when the next timeout retransmission fires
+    int retries = 0;
+  };
+
+  /// Receiver-side state of one packet mid-ejection (protection mode).
+  struct RxPacket {
+    bool corrupted = false;
+    int measured_flits = 0;
   };
 
   void eject(Cycle now);
+  void eject_protected(Cycle now, const Flit& f);
   void generate(Cycle now);
   void inject(Cycle now);
+  void check_timeouts(Cycle now);
+  void queue_retransmit(Cycle now, Unacked& u);
+  void send_control(Cycle now, NodeId dst, PacketKind kind, PacketId ack_for,
+                    int msg_class);
+  Cycle backoff(int retries) const;
 
   NodeId id_;
   NetworkParams params_;
@@ -141,6 +181,16 @@ class NetworkInterface {
   bool request_reply_ = false;
   int request_length_ = 1;
   int reply_length_ = 5;
+
+  // End-to-end protection state (all empty/inert unless enabled).
+  // std::map keeps timeout-scan iteration order deterministic.
+  bool protection_ = false;
+  ProtectionParams prot_;
+  FaultOracle* oracle_ = nullptr;
+  std::map<PacketId, Unacked> unacked_;
+  Cycle next_deadline_ = kNoPendingEvent;  ///< earliest unacked deadline
+  std::map<PacketId, RxPacket> rx_state_;  ///< packets mid-ejection
+  std::unordered_set<PacketId> delivered_; ///< duplicate filter
 
   std::function<void()> wake_cb_;
 

@@ -1,5 +1,7 @@
 #include "noc/router.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 
 namespace nocs::noc {
@@ -129,6 +131,15 @@ void Router::tick(Cycle now) {
   sync_counters(now);
   counted_until_ = now + 1;
 
+  if (oracle_ != nullptr && oracle_->router_stuck(id_, now)) {
+    // Fail-stop freeze: nothing is consumed or forwarded, not even credits.
+    // Upstream back-pressure wedges; the watchdog detects it and the sprint
+    // controller degrades around the node — there is no in-network cure.
+    ++counters_.active_cycles;
+    ++counters_.idle_active_cycles;
+    return;
+  }
+
   // Credits are consumed even while gated: they only update bookkeeping for
   // flits that left downstream buffers before we gated.
   receive_credits(now);
@@ -143,9 +154,16 @@ void Router::tick(Cycle now) {
       ++counters_.wake_events;
       state_ = PowerState::kWaking;
       wake_remaining_ = params_.wakeup_latency;
+      wake_attempts_ = 0;
       if (wake_remaining_ == 0) {
-        state_ = PowerState::kActive;
-        idle_streak_ = 0;
+        if (oracle_ != nullptr) {
+          // Even a zero-latency wake takes one cycle so the attempt can be
+          // judged (and fail) in the kWaking branch below.
+          wake_remaining_ = 1;
+        } else {
+          state_ = PowerState::kActive;
+          idle_streak_ = 0;
+        }
       }
     }
     return;
@@ -154,8 +172,17 @@ void Router::tick(Cycle now) {
   if (state_ == PowerState::kWaking) {
     ++counters_.waking_cycles;
     if (--wake_remaining_ <= 0) {
-      state_ = PowerState::kActive;
-      idle_streak_ = 0;
+      ++wake_attempts_;
+      if (oracle_ != nullptr &&
+          oracle_->wake_fails(id_, wake_attempts_, now)) {
+        // The rail failed to charge; retry after the oracle's penalty.
+        ++counters_.wake_failures;
+        wake_remaining_ = std::max(1, oracle_->wake_retry_latency());
+      } else {
+        state_ = PowerState::kActive;
+        idle_streak_ = 0;
+        wake_attempts_ = 0;
+      }
     }
     return;
   }
@@ -226,7 +253,7 @@ void Router::receive_flits(Cycle now) {
         // Flits must arrive on a VC of their own class (partition
         // discipline upheld by the upstream allocator / NI).
         NOCS_EXPECTS(params_.class_of_vc(f.vc) == f.msg_class);
-        begin_packet(ivc, f);
+        begin_packet(ivc, f, now);
       }
       ivc.buf.push(f);
       ++counters_.buffer_writes;
@@ -234,18 +261,32 @@ void Router::receive_flits(Cycle now) {
   }
 }
 
-void Router::begin_packet(InputVc& ivc, const Flit& head) {
+void Router::begin_packet(InputVc& ivc, const Flit& head, Cycle now) {
   ivc.msg_class = head.msg_class;
   if (params_.pipeline_stages == 3) {
     // Lookahead: route compute folded into buffer write.
-    ivc.out_port = routing_->route(coord_, shape_.coord_of(head.dst));
+    const Coord dst = shape_.coord_of(head.dst);
+    ivc.out_port = fault_aware_port(routing_->route(coord_, dst), dst, now);
     set_stage(ivc, InputVc::Stage::kVcAlloc);
   } else {
     set_stage(ivc, InputVc::Stage::kRouting);
   }
 }
 
-void Router::stage_route_compute(Cycle) {
+Port Router::fault_aware_port(Port preferred, Coord dst, Cycle now) {
+  if (oracle_ == nullptr || preferred == Port::kLocal) return preferred;
+  // Routing never points off-mesh, so the step lands on a valid neighbor.
+  const NodeId nbr = shape_.id_of(step(coord_, preferred));
+  if (!oracle_->link_down(id_, nbr, now)) return preferred;
+  const Port alt = routing_->reroute(coord_, dst, preferred);
+  if (alt == preferred) return preferred;  // no safe detour: ride it out
+  const NodeId alt_nbr = shape_.id_of(step(coord_, alt));
+  if (oracle_->link_down(id_, alt_nbr, now)) return preferred;
+  ++counters_.reroutes;
+  return alt;
+}
+
+void Router::stage_route_compute(Cycle now) {
   if (routing_pending_ == 0) return;
   for (int p = 0; p < kNumPorts; ++p) {
     for (int v = 0; v < params_.num_vcs; ++v) {
@@ -258,6 +299,7 @@ void Router::stage_route_compute(Cycle) {
       // port; the routing function returns kLocal in that case.
       NOCS_ENSURES(ivc.out_port != static_cast<Port>(p) ||
                    ivc.out_port == Port::kLocal);
+      ivc.out_port = fault_aware_port(ivc.out_port, dst, now);
       set_stage(ivc, InputVc::Stage::kVcAlloc);
     }
   }
@@ -394,6 +436,13 @@ void Router::stage_switch_traversal(Cycle now) {
     if (ivc.out_port != Port::kLocal) {
       ++f.hops;
       ++counters_.link_flits;
+      if (oracle_ != nullptr) {
+        const NodeId nbr = shape_.id_of(step(coord_, ivc.out_port));
+        if (oracle_->corrupt_link_flit(id_, nbr, now)) {
+          f.corrupted = true;
+          ++counters_.flits_corrupted;
+        }
+      }
     }
     auto* out_pipe = flit_out_[static_cast<std::size_t>(op)];
     NOCS_EXPECTS(out_pipe != nullptr);
@@ -409,7 +458,7 @@ void Router::stage_switch_traversal(Cycle now) {
       } else {
         // The next packet's head is already buffered behind the tail.
         NOCS_EXPECTS(ivc.buf.front().is_head);
-        begin_packet(ivc, ivc.buf.front());
+        begin_packet(ivc, ivc.buf.front(), now);
       }
     }
   }

@@ -23,6 +23,7 @@
 #include "noc/buffer.hpp"
 #include "noc/channel.hpp"
 #include "noc/counters.hpp"
+#include "noc/fault_hooks.hpp"
 #include "noc/flit.hpp"
 #include "noc/params.hpp"
 #include "noc/routing.hpp"
@@ -71,6 +72,17 @@ class Router {
   void set_allow_wakeup(bool allowed) { allow_wakeup_ = allowed; }
 
   PowerState power_state() const { return state_; }
+
+  // --- fault injection ------------------------------------------------------
+
+  /// Attaches the fault oracle (null detaches).  With an oracle the router
+  /// corrupts flits on faulty links, detours new packets off down links via
+  /// RoutingFunction::reroute, retries failed power-gate wake-ups, and can
+  /// freeze entirely while the oracle reports it stuck.
+  void set_fault_oracle(FaultOracle* oracle) {
+    oracle_ = oracle;
+    if (wake_cb_) wake_cb_();
+  }
 
   // --- active-router fast path ---------------------------------------------
   //
@@ -145,7 +157,10 @@ class Router {
 
   void receive_credits(Cycle now);
   void receive_flits(Cycle now);
-  void begin_packet(InputVc& ivc, const Flit& head);
+  void begin_packet(InputVc& ivc, const Flit& head, Cycle now);
+  /// Applies the link-fault detour: when the preferred output's link is
+  /// down, asks the routing function for a safe alternative.
+  Port fault_aware_port(Port preferred, Coord dst, Cycle now);
   void set_stage(InputVc& ivc, InputVc::Stage next);
   void stage_switch_traversal(Cycle now);
   void stage_switch_allocation(Cycle now);
@@ -192,7 +207,9 @@ class Router {
   bool dynamic_gating_ = false;
   bool allow_wakeup_ = false;
   int wake_remaining_ = 0;
+  int wake_attempts_ = 0;  ///< attempts of the wake-up currently in flight
   Cycle idle_streak_ = 0;
+  FaultOracle* oracle_ = nullptr;
 
   // Work tracking for the skip fast path and for skipping empty pipeline
   // stages: counts of input VCs per non-idle stage.

@@ -22,6 +22,18 @@ class RoutingFunction {
   /// Precondition: `dst` must be reachable from `cur` under this function.
   virtual Port route(Coord cur, Coord dst) const = 0;
 
+  /// Fault fallback: the link behind `blocked` (the port route() returned)
+  /// is marked faulty — return an alternative output port, or `blocked`
+  /// itself when no detour is safe (the packet then rides the faulty link
+  /// and end-to-end retransmission recovers any corruption).  The default
+  /// declines to detour; CDOR overrides it with its deadlock-free convex
+  /// detour (the same NE-turn its staircase argument already admits).
+  virtual Port reroute(Coord cur, Coord dst, Port blocked) const {
+    (void)cur;
+    (void)dst;
+    return blocked;
+  }
+
   /// Human-readable name for logs/tables.
   virtual const char* name() const = 0;
 };

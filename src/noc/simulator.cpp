@@ -1,5 +1,7 @@
 #include "noc/simulator.hpp"
 
+#include <algorithm>
+
 namespace nocs::noc {
 
 SimResults run_simulation(Network& net, const SimConfig& cfg) {
@@ -8,21 +10,61 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
   net.stats().reset();
   net.set_injection_rate(cfg.injection_rate);
 
-  net.run(cfg.warmup);
+  // Livelock/deadlock watchdog: sample the flit-movement signature every
+  // `poll` cycles; if it sits still for watchdog_cycles while flits are
+  // still in flight, declare the run hung and capture a diagnostic.  With
+  // watchdog_cycles == 0 the phase loops below reduce to net.run(n) and
+  // the fault-free path is untouched.
+  bool hung = false;
+  std::string diagnostic;
+  std::uint64_t last_sig = 0;
+  Cycle last_change = net.now();
+  const Cycle poll =
+      cfg.watchdog_cycles > 0
+          ? std::max<Cycle>(1, std::min<Cycle>(cfg.watchdog_cycles / 4, 256))
+          : 0;
+  auto watchdog_check = [&]() {
+    const std::uint64_t sig = net.progress_signature();
+    if (sig != last_sig) {
+      last_sig = sig;
+      last_change = net.now();
+    } else if (net.now() - last_change >= cfg.watchdog_cycles &&
+               !net.drained()) {
+      hung = true;
+      diagnostic = net.debug_snapshot();
+    }
+  };
+  auto run_phase = [&](Cycle n) {
+    if (poll == 0) {
+      net.run(n);
+      return;
+    }
+    for (Cycle i = 0; i < n && !hung; ++i) {
+      net.tick();
+      if (net.now() % poll == 0) watchdog_check();
+    }
+  };
+  if (poll != 0) last_sig = net.progress_signature();
+
+  run_phase(cfg.warmup);
 
   net.stats().set_measuring(true);
-  net.run(cfg.measure);
+  run_phase(cfg.measure);
   net.stats().set_measuring(false);
 
   // Drain: keep injecting background (unmeasured) traffic so the network
   // stays under load while the tagged packets finish.
   Cycle drained_cycles = 0;
-  while (!net.stats().all_drained() && drained_cycles < cfg.drain_max) {
+  while (!net.stats().all_drained() && drained_cycles < cfg.drain_max &&
+         !hung) {
     net.tick();
     ++drained_cycles;
+    if (poll != 0 && net.now() % poll == 0) watchdog_check();
   }
 
   SimResults r;
+  r.hung = hung;
+  r.diagnostic = std::move(diagnostic);
   const StatsCollector& s = net.stats();
   r.avg_packet_latency = s.packet_latency().mean();
   r.avg_network_latency = s.network_latency().mean();
@@ -44,6 +86,7 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
   r.saturated = !s.all_drained();
   r.cycles = cfg.warmup + cfg.measure + drained_cycles;
   r.counters = net.total_counters();
+  r.resilience = s.resilience();
   return r;
 }
 

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "noc/counters.hpp"
@@ -17,6 +18,11 @@ struct SimConfig {
   Cycle measure = 10000;     ///< measurement window length
   Cycle drain_max = 100000;  ///< drain budget after the window closes
   double injection_rate = 0.1;  ///< flits/cycle per active endpoint
+  /// Livelock/deadlock watchdog: abort the run and capture a diagnostic
+  /// snapshot once no flit makes progress for this many cycles while the
+  /// network is not drained.  0 disables the watchdog (the default, so
+  /// fault-free runs are untouched).
+  Cycle watchdog_cycles = 0;
 };
 
 /// Aggregated results of one run.
@@ -33,8 +39,11 @@ struct SimResults {
   /// load and are excluded from the normalization).
   double accepted_rate = 0.0;
   bool saturated = false;      ///< drain budget exhausted (unstable load)
+  bool hung = false;           ///< watchdog fired (livelock/deadlock)
+  std::string diagnostic;      ///< per-router snapshot when `hung`
   Cycle cycles = 0;            ///< total cycles simulated
   RouterCounters counters;     ///< summed router activity (whole run)
+  ResilienceCounters resilience;  ///< end-to-end protection activity
 };
 
 /// Runs warmup, a measurement window, and a drain phase on `net`, which

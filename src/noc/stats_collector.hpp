@@ -11,6 +11,19 @@ namespace nocs::noc {
 /// Upper bound on message classes tracked separately by the collector.
 inline constexpr int kMaxStatClasses = 4;
 
+/// End-to-end protection activity (all zero on a fault-free run).  Bumped
+/// by the network interfaces; retransmissions and control packets add
+/// offered load but never touch the packet-latency statistics.
+struct ResilienceCounters {
+  std::uint64_t retransmissions = 0;    ///< data packets re-queued (any cause)
+  std::uint64_t timeouts = 0;           ///< retransmissions due to ACK timeout
+  std::uint64_t corrupted_packets = 0;  ///< packets discarded by the checksum
+  std::uint64_t dropped_packets = 0;    ///< packets lost at injection (faults)
+  std::uint64_t duplicates = 0;         ///< re-deliveries the filter removed
+  std::uint64_t acks_sent = 0;
+  std::uint64_t nacks_sent = 0;
+};
+
 /// Gathers packet-level statistics from all network interfaces.  The
 /// simulator toggles `set_measuring()` around the measurement window;
 /// packets generated while measuring are tagged and only they contribute
@@ -66,6 +79,9 @@ class StatsCollector {
   const RunningStat& network_latency() const { return network_latency_; }
   const RunningStat& hops() const { return hops_; }
 
+  ResilienceCounters& resilience() { return resilience_; }
+  const ResilienceCounters& resilience() const { return resilience_; }
+
  private:
   bool measuring_ = false;
   std::uint64_t generated_ = 0;
@@ -76,6 +92,7 @@ class StatsCollector {
   RunningStat hops_;
   Histogram latency_hist_;
   std::array<RunningStat, kMaxStatClasses> class_latency_;
+  ResilienceCounters resilience_;
 };
 
 }  // namespace nocs::noc

@@ -98,4 +98,22 @@ Port CdorRouting::route(Coord cur, Coord dst) const {
   return unreflect(d.y > c.y ? Port::kSouth : Port::kNorth);
 }
 
+Port CdorRouting::reroute(Coord cur, Coord dst, Port blocked) const {
+  if (!mesh_.contains(cur) || !mesh_.contains(dst)) return blocked;
+  if (!is_active(mesh_.id_of(cur)) || !is_active(mesh_.id_of(dst)))
+    return blocked;
+  const Coord c = reflect(cur);
+  const Coord d = reflect(dst);
+  // Only an eastward X-phase hop can be detoured: going canonical-north
+  // instead is the NE turn Figure 5a already uses when a row narrows, and
+  // the row above a staircase cell is always at least as wide, so the
+  // detour stays inside the active region.  Westward/Y-phase hops have no
+  // turn-safe alternative; the caller keeps the planned port and recovery
+  // falls to end-to-end retransmission.
+  if (blocked != unreflect(Port::kEast) || d.x <= c.x) return blocked;
+  if (c.y == 0) return blocked;  // master row: no row above to detour into
+  if (!active_canonical(Coord{c.x, c.y - 1})) return blocked;
+  return unreflect(Port::kNorth);
+}
+
 }  // namespace nocs::sprint

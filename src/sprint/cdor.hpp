@@ -30,6 +30,15 @@ class CdorRouting final : public noc::RoutingFunction {
               NodeId master = 0);
 
   Port route(Coord cur, Coord dst) const override;
+
+  /// Fault fallback: when the planned hop's link is down, returns a safe
+  /// detour or `blocked` unchanged if none exists.  Only the eastward
+  /// X-phase hop is detoured — one row canonical-north, the same NE turn
+  /// class the staircase argument already proves deadlock-free — so the
+  /// detour can never introduce a new turn cycle or leave the active
+  /// region.
+  Port reroute(Coord cur, Coord dst, Port blocked) const override;
+
   const char* name() const override { return "cdor"; }
 
   /// The paper's per-switch connectivity bits (in physical orientation).

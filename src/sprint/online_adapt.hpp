@@ -39,6 +39,22 @@ class OnlineLevelController {
 
   int n_max() const { return n_max_; }
 
+  /// Shrinks the usable level ceiling, e.g. after a node fails to wake and
+  /// the sprint region degrades to a smaller healthy prefix.  If the
+  /// controller was operating above the new ceiling it re-measures from
+  /// the clamped level (its old baseline no longer exists).
+  void restrict_max(int new_max) {
+    NOCS_EXPECTS(new_max >= 1);
+    if (new_max >= n_max_) return;
+    n_max_ = new_max;
+    if (current_ > n_max_ || base_level_ > n_max_) {
+      current_ = clamp(current_);
+      base_level_ = clamp(base_level_);
+      phase_ = Phase::kMeasureBase;
+      locked_bursts_ = 0;
+    }
+  }
+
  private:
   enum class Phase { kMeasureBase, kProbeUp, kProbeDown, kLocked };
 

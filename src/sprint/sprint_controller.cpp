@@ -34,6 +34,12 @@ SprintController::SprintController(const MeshShape& mesh,
 
 SprintPlan SprintController::plan(const cmp::WorkloadParams& workload,
                                   SprintMode mode) const {
+  return plan(workload, mode, {});
+}
+
+SprintPlan SprintController::plan(const cmp::WorkloadParams& workload,
+                                  SprintMode mode,
+                                  const std::vector<NodeId>& failed) const {
   SprintPlan p;
   p.workload = workload.name;
   p.mode = mode;
@@ -46,7 +52,14 @@ SprintPlan SprintController::plan(const cmp::WorkloadParams& workload,
       p.level = perf_.optimal_level(workload);
       break;
   }
-  p.active = active_set(mesh_, p.level, master_);
+  if (failed.empty()) {
+    p.active = active_set(mesh_, p.level, master_);
+  } else {
+    // Graceful degradation: shrink to the largest healthy convex prefix.
+    p.active = largest_healthy_prefix(mesh_, p.level, failed, master_);
+    NOCS_EXPECTS(!p.active.empty());  // the master itself must be healthy
+    p.level = static_cast<int>(p.active.size());
+  }
 
   p.exec_time = perf_.exec_time(workload, p.level);
   p.speedup = perf_.exec_time(workload, 1) / p.exec_time;

@@ -53,6 +53,14 @@ class SprintController {
   /// Plans one workload under one scheme.
   SprintPlan plan(const cmp::WorkloadParams& workload, SprintMode mode) const;
 
+  /// Plans one workload while degrading gracefully around `failed` nodes
+  /// (routers that are stuck or whose power-gate wake-up failed
+  /// permanently): the active set shrinks to the largest healthy
+  /// sprint-order prefix, which stays convex so CDOR remains valid without
+  /// re-derivation.  The master must be healthy.
+  SprintPlan plan(const cmp::WorkloadParams& workload, SprintMode mode,
+                  const std::vector<NodeId>& failed) const;
+
   /// Plans the whole suite under one scheme.
   std::vector<SprintPlan> plan_suite(
       const std::vector<cmp::WorkloadParams>& suite, SprintMode mode) const;

@@ -92,6 +92,26 @@ std::vector<NodeId> active_set(const MeshShape& mesh, int level,
   return order;
 }
 
+std::vector<NodeId> largest_healthy_prefix(const MeshShape& mesh, int level,
+                                           const std::vector<NodeId>& failed,
+                                           NodeId master) {
+  NOCS_EXPECTS(level >= 1 && level <= mesh.size());
+  std::vector<bool> bad(static_cast<std::size_t>(mesh.size()), false);
+  for (NodeId id : failed) {
+    NOCS_EXPECTS(mesh.valid(id));
+    bad[static_cast<std::size_t>(id)] = true;
+  }
+  const std::vector<NodeId> order = sprint_order(mesh, master);
+  std::vector<NodeId> healthy;
+  healthy.reserve(static_cast<std::size_t>(level));
+  for (int i = 0; i < level; ++i) {
+    const NodeId id = order[static_cast<std::size_t>(i)];
+    if (bad[static_cast<std::size_t>(id)]) break;
+    healthy.push_back(id);
+  }
+  return healthy;
+}
+
 bool is_convex_region(const MeshShape& mesh,
                       const std::vector<NodeId>& nodes) {
   NOCS_EXPECTS(!nodes.empty());

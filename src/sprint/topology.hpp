@@ -29,6 +29,16 @@ std::vector<NodeId> sprint_order_hamming(const MeshShape& mesh,
 std::vector<NodeId> active_set(const MeshShape& mesh, int level,
                                NodeId master = 0);
 
+/// Graceful degradation: the longest sprint-order prefix of length <=
+/// `level` containing none of `failed` — the largest healthy active set
+/// still available when nodes fail to wake or freeze.  Being a prefix of
+/// Algorithm 1's order it is automatically convex/staircase, so CDOR
+/// remains valid on it without re-deriving anything.  Empty when the
+/// master itself failed (no healthy region exists in this scheme).
+std::vector<NodeId> largest_healthy_prefix(const MeshShape& mesh, int level,
+                                           const std::vector<NodeId>& failed,
+                                           NodeId master = 0);
+
 /// True when `nodes` forms a convex region in the paper's sense: every
 /// mesh node lying inside the convex hull of the set (inclusive of the
 /// boundary) belongs to the set.

@@ -84,5 +84,65 @@ TEST(Config, ValueWithEqualsSign) {
   EXPECT_EQ(c.get_string("expr", ""), "a=b");
 }
 
+TEST(Config, RejectUnknownPassesWhenAllKeysQueried) {
+  Config c;
+  c.set("threads", "4");
+  c.set("rate", "0.1");
+  (void)c.get_int("threads", 0);
+  (void)c.get_double("rate", 0.0);
+  EXPECT_NO_THROW(c.reject_unknown());
+}
+
+TEST(Config, RejectUnknownSuggestsNearMiss) {
+  Config c;
+  c.set("thread", "4");           // user typo
+  (void)c.get_int("threads", 0);  // the program reads 'threads'
+  try {
+    c.reject_unknown();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown config key 'thread'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("did you mean 'threads'?"), std::string::npos) << msg;
+  }
+}
+
+TEST(Config, RejectUnknownOmitsFarFetchedSuggestions) {
+  Config c;
+  c.set("zzzqqq", "1");
+  (void)c.get_int("threads", 0);
+  try {
+    c.reject_unknown();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_EQ(std::string(e.what()).find("did you mean"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(Config, RejectUnknownListsEveryUnknownKey) {
+  Config c;
+  c.set("alpha", "1");
+  c.set("beta", "2");
+  try {
+    c.reject_unknown();
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'alpha'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'beta'"), std::string::npos) << msg;
+  }
+}
+
+TEST(Config, AllowAndHasMarkKeysRecognized) {
+  Config c;
+  c.set("deliberately_ignored", "1");
+  c.set("probed", "2");
+  c.allow("deliberately_ignored");
+  (void)c.has("probed");
+  EXPECT_NO_THROW(c.reject_unknown());
+}
+
 }  // namespace
 }  // namespace nocs

@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "fault/fault_injector.hpp"
 #include "noc/simulator.hpp"
 #include "sprint/network_builder.hpp"
 
@@ -112,6 +113,80 @@ TEST_P(Fuzz, ConservationAndDrainHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, Fuzz, ::testing::Range(0, 40));
+
+// Fault fuzzing: random configurations crossed with random (moderate)
+// fault schedules.  Whatever the combination, the run must terminate (no
+// hang — watchdog-checked), lose zero measured packets (the protection
+// layer retransmits until delivery), and reproduce bit-identically.
+class FaultFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(FaultFuzz, NoHangNoLossAndDeterministic) {
+  Rng rng(0xfa017000u + static_cast<std::uint64_t>(GetParam()));
+  FuzzCase c = random_case(rng);
+  c.protocol = false;      // keep the oracle interaction the variable here
+  c.rate *= 0.7;           // retransmissions add load; stay below saturation
+
+  fault::FaultParams fp;
+  fp.enabled = true;
+  fp.seed = rng.next();
+  fp.flip_rate = 0.005 * rng.uniform();
+  fp.drop_rate = 0.02 * rng.uniform();
+  fp.link_down_rate = 0.001 * rng.uniform();
+  fp.link_down_cycles = rng.uniform_range(5, 60);
+  fp.ack_timeout = rng.uniform_range(64, 512);
+  fp.max_backoff = fp.ack_timeout * rng.uniform_range(4, 16);
+
+  SCOPED_TRACE(::testing::Message()
+               << c.params.width << "x" << c.params.height << " pipe="
+               << c.params.pipeline_stages << " traffic=" << c.traffic
+               << " rate=" << c.rate << " level=" << c.level << " flip="
+               << fp.flip_rate << " drop=" << fp.drop_rate << " down="
+               << fp.link_down_rate << "/" << fp.link_down_cycles);
+
+  auto run_once = [&]() {
+    std::unique_ptr<noc::RoutingFunction> routing;
+    std::unique_ptr<noc::Network> net;
+    if (c.level > 0) {
+      auto bundle = sprint::make_noc_sprinting_network(c.params, c.level,
+                                                       c.traffic, c.seed);
+      routing = std::move(bundle.routing);
+      net = std::move(bundle.network);
+    } else {
+      routing = std::make_unique<noc::XyRouting>();
+      net = std::make_unique<noc::Network>(c.params, routing.get());
+      net->set_endpoints(c.params.shape().all_nodes(),
+                         noc::make_traffic(c.traffic, c.params.num_nodes()));
+      net->set_seed(c.seed);
+    }
+    fault::FaultInjector injector(c.params.shape(), fp);
+    const noc::ProtectionParams prot = fp.protection();
+    net->enable_resilience(&injector, &prot);
+    noc::SimConfig sim;
+    sim.warmup = 500;
+    sim.measure = 2500;
+    sim.drain_max = 400000;
+    sim.injection_rate = c.rate;
+    sim.watchdog_cycles = 30000;
+    return run_simulation(*net, sim);
+  };
+
+  const noc::SimResults r1 = run_once();
+  ASSERT_FALSE(r1.hung) << r1.diagnostic;
+  ASSERT_FALSE(r1.saturated) << "measured packets lost or drain exceeded";
+  EXPECT_EQ(r1.packets_ejected, r1.packets_generated);
+
+  // Same configuration, same seeds: bit-identical replay.
+  const noc::SimResults r2 = run_once();
+  EXPECT_EQ(r1.packets_generated, r2.packets_generated);
+  EXPECT_EQ(r1.avg_packet_latency, r2.avg_packet_latency);
+  EXPECT_EQ(r1.p99_latency, r2.p99_latency);
+  EXPECT_EQ(r1.resilience.retransmissions, r2.resilience.retransmissions);
+  EXPECT_EQ(r1.resilience.corrupted_packets, r2.resilience.corrupted_packets);
+  EXPECT_EQ(r1.counters.flits_corrupted, r2.counters.flits_corrupted);
+  EXPECT_EQ(r1.counters.reroutes, r2.counters.reroutes);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomFaults, FaultFuzz, ::testing::Range(0, 20));
 
 }  // namespace
 }  // namespace nocs
