@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/config.hpp"
+#include "common/json.hpp"
 #include "common/table.hpp"
 #include "noc/params.hpp"
 
@@ -40,6 +41,29 @@ inline bool write_bench_json(
 /// Parses key=value overrides from argv, tolerating none.
 inline Config parse_config(int argc, char** argv) {
   return Config::from_args(argc, argv);
+}
+
+/// Writes a structured run report to the path given by the `report=`
+/// config key; a silent no-op when the key is unset.  The standard way
+/// for a bench to expose its table as machine-readable JSON.
+inline bool maybe_write_report(const Config& cfg, json::Value doc) {
+  const std::string path = cfg.get_string("report", "");
+  if (path.empty()) return false;
+  if (!json::write_file(path, doc)) return false;
+  std::printf("report written to %s\n", path.c_str());
+  return true;
+}
+
+/// Serializes the Table 1 network configuration (for report headers).
+inline json::Value to_json(const noc::NetworkParams& p) {
+  json::Value o = json::Value::object();
+  o.set("width", p.width);
+  o.set("height", p.height);
+  o.set("num_vcs", p.num_vcs);
+  o.set("vc_depth", p.vc_depth);
+  o.set("packet_length", p.packet_length);
+  o.set("flit_bytes", p.flit_bytes);
+  return o;
 }
 
 /// Builds the Table 1 network configuration with optional overrides

@@ -33,6 +33,7 @@ int main(int argc, char** argv) {
   Table t({"benchmark", "inj (flits/cyc)", "level", "full lat (cyc)",
            "noc-sprint lat (cyc)", "reduction"});
   std::vector<double> reductions;
+  json::Value rows = json::Value::array();
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const WorkloadParams& w = suite[i];
     const bench::ParsecNetResult& r = results[i];
@@ -42,10 +43,26 @@ int main(int argc, char** argv) {
                Table::fmt(static_cast<long long>(r.level)),
                Table::fmt(r.full_latency, 2), Table::fmt(r.noc_latency, 2),
                Table::pct(red)});
+    json::Value row = json::Value::object();
+    row.set("benchmark", w.name);
+    row.set("injection_rate", w.injection_rate);
+    row.set("level", r.level);
+    row.set("full_latency", r.full_latency);
+    row.set("noc_latency", r.noc_latency);
+    row.set("reduction", red);
+    rows.push_back(std::move(row));
   }
   t.print();
 
   bench::headline("average network latency reduction", "24.5%",
                   Table::pct(arithmetic_mean(reductions)));
+
+  json::Value doc = json::Value::object();
+  doc.set("figure", "fig09_net_latency");
+  doc.set("config", bench::to_json(net));
+  doc.set("seed", static_cast<std::uint64_t>(seed));
+  doc.set("benchmarks", std::move(rows));
+  doc.set("avg_latency_reduction", arithmetic_mean(reductions));
+  bench::maybe_write_report(cfg, std::move(doc));
   return 0;
 }

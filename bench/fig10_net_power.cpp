@@ -30,6 +30,7 @@ int main(int argc, char** argv) {
   Table t({"benchmark", "level", "full power (mW)", "noc-sprint power (mW)",
            "saving"});
   std::vector<double> savings;
+  json::Value rows = json::Value::array();
   for (std::size_t i = 0; i < suite.size(); ++i) {
     const WorkloadParams& w = suite[i];
     const bench::ParsecNetResult& r = results[i];
@@ -38,10 +39,25 @@ int main(int argc, char** argv) {
     t.add_row({w.name, Table::fmt(static_cast<long long>(r.level)),
                Table::fmt(r.full_power * 1e3, 2),
                Table::fmt(r.noc_power * 1e3, 2), Table::pct(save)});
+    json::Value row = json::Value::object();
+    row.set("benchmark", w.name);
+    row.set("level", r.level);
+    row.set("full_power_w", r.full_power);
+    row.set("noc_power_w", r.noc_power);
+    row.set("saving", save);
+    rows.push_back(std::move(row));
   }
   t.print();
 
   bench::headline("average network power saving", "71.9%",
                   Table::pct(arithmetic_mean(savings)));
+
+  json::Value doc = json::Value::object();
+  doc.set("figure", "fig10_net_power");
+  doc.set("config", bench::to_json(net));
+  doc.set("seed", static_cast<std::uint64_t>(seed));
+  doc.set("benchmarks", std::move(rows));
+  doc.set("avg_power_saving", arithmetic_mean(savings));
+  bench::maybe_write_report(cfg, std::move(doc));
   return 0;
 }

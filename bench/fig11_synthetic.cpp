@@ -64,6 +64,7 @@ int main(int argc, char** argv) {
   sim.measure = 8000;
   sim.drain_max = 40000;
 
+  json::Value levels = json::Value::array();
   for (int level : {4, 8}) {
     // Every (rate, mapping) simulation is independent: one task per
     // NoC-sprinting point plus one per full-sprinting random mapping, all
@@ -130,6 +131,7 @@ int main(int argc, char** argv) {
     // for BOTH schemes (matching the paper's "before saturation" framing).
     const double noc_zero = points.front().noc_lat;
     const double full_zero = points.front().full_lat;
+    json::Value point_rows = json::Value::array();
     for (const Point& pt : points) {
       const bool presat = !pt.noc_sat && !pt.full_sat &&
                           pt.noc_lat < 3.0 * noc_zero &&
@@ -138,6 +140,16 @@ int main(int argc, char** argv) {
         lat_cuts.push_back(1.0 - pt.noc_lat / pt.full_lat);
         pow_cuts.push_back(1.0 - pt.noc_pow / pt.full_pow);
       }
+      json::Value row = json::Value::object();
+      row.set("injection_rate", pt.rate);
+      row.set("noc_latency", pt.noc_lat);
+      row.set("full_latency", pt.full_lat);
+      row.set("noc_power_w", pt.noc_pow);
+      row.set("full_power_w", pt.full_pow);
+      row.set("noc_saturated", pt.noc_sat);
+      row.set("full_saturated", pt.full_sat);
+      row.set("pre_saturation", presat);
+      point_rows.push_back(std::move(row));
       std::string sat = pt.noc_sat ? (pt.full_sat ? "both" : "noc") :
                                      (pt.full_sat ? "full" : "-");
       t.add_row({Table::fmt(pt.rate, 2),
@@ -158,7 +170,22 @@ int main(int argc, char** argv) {
         std::string("latency cut ") + paper_lat + ", power cut " + paper_pow,
         "latency cut " + Table::pct(arithmetic_mean(lat_cuts)) +
             ", power cut " + Table::pct(arithmetic_mean(pow_cuts)));
+
+    json::Value lv = json::Value::object();
+    lv.set("level", level);
+    lv.set("points", std::move(point_rows));
+    lv.set("avg_presat_latency_cut", arithmetic_mean(lat_cuts));
+    lv.set("avg_presat_power_cut", arithmetic_mean(pow_cuts));
+    levels.push_back(std::move(lv));
   }
+
+  json::Value doc = json::Value::object();
+  doc.set("figure", "fig11_synthetic");
+  doc.set("config", bench::to_json(net));
+  doc.set("seed", static_cast<std::uint64_t>(seed));
+  doc.set("samples", samples);
+  doc.set("levels", std::move(levels));
+  bench::maybe_write_report(cfg, std::move(doc));
 
   std::printf(
       "\nnote: NoC-sprinting saturates at lower offered load than "

@@ -11,6 +11,14 @@
 //          and a livelock watchdog (see README "Robustness")
 //   mode=sweep     level=<k> [traffic=...] [rates=start:step:end]
 //       -> latency-throughput curve
+//
+// Observability (simulate and sweep modes, all off by default — see
+// README "Observability"):
+//   trace=path.json         Chrome trace-event file (chrome://tracing /
+//                           Perfetto); trace_sample=N sets the counter
+//                           sampling window in cycles (default 256)
+//   report=path.json        machine-readable JSON run report
+//   metrics=path.json       metrics-registry snapshot (counters/gauges)
 //   mode=thermal   level=<k> [floorplan=identity|thermal]
 //       -> steady-state heat map + peak temperature
 //
@@ -25,7 +33,9 @@
 
 #include "cmp/perf_model.hpp"
 #include "common/config.hpp"
+#include "common/metrics.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "fault/fault_injector.hpp"
 #include "noc/parallel_sweep.hpp"
 #include "noc/simulator.hpp"
@@ -49,6 +59,25 @@ noc::NetworkParams params_from(const Config& cfg) {
   p.validate();
   return p;
 }
+
+/// Opens/closes the global trace session around a mode when `trace=` is
+/// set; a no-op otherwise.
+class TraceSession {
+ public:
+  explicit TraceSession(const Config& cfg)
+      : path_(cfg.get_string("trace", "")) {
+    if (!path_.empty()) trace::begin(path_);
+  }
+  ~TraceSession() {
+    if (!path_.empty() && trace::end())
+      std::printf("trace written to %s (load in chrome://tracing or "
+                  "https://ui.perfetto.dev)\n",
+                  path_.c_str());
+  }
+
+ private:
+  std::string path_;
+};
 
 int mode_plan(const Config& cfg) {
   const MeshShape mesh(4, 4);
@@ -98,6 +127,8 @@ int mode_simulate(const Config& cfg) {
   sim.warmup = cfg.get_int("warmup", 2000);
   sim.measure = cfg.get_int("measure", 10000);
   sim.injection_rate = cfg.get_double("injection", 0.1);
+  sim.trace_sample = static_cast<Cycle>(cfg.get_int("trace_sample", 256));
+  const TraceSession trace_session(cfg);
 
   const fault::FaultParams fparams = fault::FaultParams::from_config(cfg);
   std::unique_ptr<fault::FaultInjector> injector;
@@ -150,6 +181,35 @@ int mode_simulate(const Config& cfg) {
     if (r.hung)
       std::printf("WATCHDOG FIRED: no flit progress\n%s", r.diagnostic.c_str());
   }
+
+  const std::string report = cfg.get_string("report", "");
+  if (!report.empty()) {
+    json::Value doc = noc::to_json(r);
+    doc.set("mode", "simulate");
+    doc.set("scheme", full ? "full" : "noc");
+    doc.set("level", level);
+    doc.set("traffic", traffic);
+    doc.set("injection_rate", sim.injection_rate);
+    doc.set("seed", static_cast<std::uint64_t>(seed));
+    json::Value pw = json::Value::object();
+    pw.set("total_mw", power_est.total() * 1e3);
+    pw.set("routers_mw", power_est.routers.total() * 1e3);
+    pw.set("links_mw",
+           (power_est.link_dynamic + power_est.link_leakage) * 1e3);
+    doc.set("power", std::move(pw));
+    if (noc::write_report(report, doc))
+      std::printf("report written to %s\n", report.c_str());
+  }
+
+  const std::string metrics = cfg.get_string("metrics", "");
+  if (!metrics.empty()) {
+    MetricsRegistry reg;
+    r.export_metrics(reg);
+    b.network->stats().export_metrics(reg);
+    power_est.export_metrics(reg);
+    if (reg.write_json(metrics))
+      std::printf("metrics written to %s\n", metrics.c_str());
+  }
   return 0;
 }
 
@@ -172,6 +232,8 @@ int mode_sweep(const Config& cfg) {
   noc::SimConfig sim;
   sim.warmup = 1000;
   sim.measure = 6000;
+  sim.trace_sample = static_cast<Cycle>(cfg.get_int("trace_sample", 256));
+  const TraceSession trace_session(cfg);
   // One independent network per point, seeded per task: results are
   // identical for any threads= value (threads=1 is the plain serial loop).
   // Fault injection follows the same rule — one injector per point, so
@@ -202,6 +264,24 @@ int mode_sweep(const Config& cfg) {
                Table::fmt(pt.results.accepted_rate, 4),
                pt.results.saturated ? "yes" : "no"});
   t.print();
+
+  const std::string report = cfg.get_string("report", "");
+  if (!report.empty()) {
+    json::Value doc = json::Value::object();
+    doc.set("mode", "sweep");
+    doc.set("level", level);
+    doc.set("traffic", traffic);
+    doc.set("seed", static_cast<std::uint64_t>(seed));
+    json::Value arr = json::Value::array();
+    for (const auto& pt : points) {
+      json::Value p = noc::to_json(pt.results);
+      p.set("injection_rate", pt.injection_rate);
+      arr.push_back(std::move(p));
+    }
+    doc.set("points", std::move(arr));
+    if (noc::write_report(report, doc))
+      std::printf("report written to %s\n", report.c_str());
+  }
   return 0;
 }
 

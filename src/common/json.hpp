@@ -1,0 +1,108 @@
+// Minimal JSON value: parse, build, serialize.
+//
+// Backs the observability layer — Chrome trace emission, metrics dumps,
+// and the `report=` machine-readable run reports — and lets tests verify
+// well-formedness and round-trip emitted files without an external
+// dependency.  Objects preserve insertion order so dumps are stable and
+// diffable; numbers round-trip bit-exactly (shortest representation that
+// parses back to the same double).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace nocs::json {
+
+/// One JSON value (null, bool, number, string, array, or object).
+class Value {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Value() = default;  // null
+  Value(bool b) : type_(Type::kBool), bool_(b) {}
+  Value(double d) : type_(Type::kNumber), num_(d) {}
+  Value(int i) : type_(Type::kNumber), num_(i) {}
+  Value(long long i) : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Value(std::uint64_t i)
+      : type_(Type::kNumber), num_(static_cast<double>(i)) {}
+  Value(const char* s) : type_(Type::kString), str_(s) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}
+
+  static Value array() {
+    Value v;
+    v.type_ = Type::kArray;
+    return v;
+  }
+  static Value object() {
+    Value v;
+    v.type_ = Type::kObject;
+    return v;
+  }
+
+  /// Parses `text` (a complete JSON document).  Throws
+  /// std::invalid_argument on malformed input or trailing garbage.
+  static Value parse(const std::string& text);
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; throw std::invalid_argument on a type mismatch.
+  bool as_bool() const;
+  double as_number() const;
+  const std::string& as_string() const;
+
+  // --- arrays ---------------------------------------------------------------
+
+  void push_back(Value v);
+  std::size_t size() const;  ///< element/member count (arrays and objects)
+  const Value& at(std::size_t i) const;
+
+  // --- objects --------------------------------------------------------------
+
+  /// Inserts or overwrites a member (this value must be an object or null;
+  /// null is promoted to an empty object).
+  Value& set(const std::string& key, Value v);
+
+  /// Member lookup; nullptr when absent (or not an object).
+  const Value* find(const std::string& key) const;
+
+  /// Member lookup that throws std::invalid_argument when absent.
+  const Value& at(const std::string& key) const;
+
+  /// Object members in insertion order.
+  const std::vector<std::pair<std::string, Value>>& members() const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces per
+  /// level, 0 emits a compact single line.
+  std::string dump(int indent = 0) const;
+
+ private:
+  void dump_to(std::string& out, int indent, int depth) const;
+
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::string str_;
+  std::vector<Value> arr_;
+  std::vector<std::pair<std::string, Value>> obj_;
+};
+
+/// Serializes a double with the shortest precision that parses back to the
+/// same bits (used for report numbers so round-trips are exact).
+std::string format_number(double d);
+
+/// Escapes a string for embedding in JSON (adds surrounding quotes).
+std::string escape(const std::string& s);
+
+/// Writes `v` to `path` with a trailing newline; false (after logging to
+/// stderr) when the file cannot be opened.
+bool write_file(const std::string& path, const Value& v, int indent = 2);
+
+}  // namespace nocs::json

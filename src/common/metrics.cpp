@@ -1,0 +1,70 @@
+#include "common/metrics.hpp"
+
+namespace nocs {
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  return counters_[name];
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  return gauges_[name];
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      double bin_width, int num_bins) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end())
+    it = histograms_
+             .emplace(name, Histogram(bin_width, num_bins, /*auto_grow=*/true))
+             .first;
+  return it->second;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : &it->second;
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : &it->second;
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : &it->second;
+}
+
+json::Value MetricsRegistry::to_json() const {
+  json::Value root = json::Value::object();
+  json::Value counters = json::Value::object();
+  for (const auto& [name, c] : counters_) counters.set(name, c.value());
+  json::Value gauges = json::Value::object();
+  for (const auto& [name, g] : gauges_) gauges.set(name, g.value());
+  json::Value histograms = json::Value::object();
+  for (const auto& [name, h] : histograms_) {
+    json::Value summary = json::Value::object();
+    summary.set("count", h.total());
+    summary.set("bin_width", h.bin_width());
+    summary.set("num_bins", h.num_bins());
+    summary.set("range_extended", h.range_extended());
+    if (h.total() > 0) {
+      summary.set("max", h.max_value());
+      summary.set("p50", h.quantile(0.5));
+      summary.set("p90", h.quantile(0.9));
+      summary.set("p99", h.quantile(0.99));
+    }
+    histograms.set(name, std::move(summary));
+  }
+  root.set("counters", std::move(counters));
+  root.set("gauges", std::move(gauges));
+  root.set("histograms", std::move(histograms));
+  return root;
+}
+
+bool MetricsRegistry::write_json(const std::string& path) const {
+  return json::write_file(path, to_json());
+}
+
+}  // namespace nocs

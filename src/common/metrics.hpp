@@ -1,0 +1,76 @@
+// Lightweight metrics registry: named counters, gauges, and histograms.
+//
+// The observability layer's aggregation point.  Components (the stats
+// collector, resilience counters, power models, PCM/thermal state) expose
+// `export_metrics(MetricsRegistry&)` hooks that register their state under
+// stable dotted names; the registry then serializes one JSON snapshot
+// (`metrics=path.json` in the CLI) that dashboards and diff scripts
+// consume.  Entirely passive: nothing in the simulator reads it, so runs
+// are bit-identical whether or not a registry is populated.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/stats.hpp"
+
+namespace nocs {
+
+/// Monotonically increasing count (events, packets, retransmissions).
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  /// Snapshot-style assignment for exporting an already-accumulated total.
+  void set(std::uint64_t v) { value_ = v; }
+  std::uint64_t value() const { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Point-in-time measurement (latency mean, power, temperature).
+class Gauge {
+ public:
+  void set(double v) { value_ = v; }
+  double value() const { return value_; }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Owns metrics by name.  Re-requesting a name returns the same object
+/// (references stay valid for the registry's lifetime).  Histograms are
+/// auto-growing, so no sample range has to be guessed up front.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name, double bin_width = 1.0,
+                       int num_bins = 256);
+
+  /// Lookup without creation; nullptr when the name is not registered.
+  const Counter* find_counter(const std::string& name) const;
+  const Gauge* find_gauge(const std::string& name) const;
+  const Histogram* find_histogram(const std::string& name) const;
+
+  std::size_t size() const {
+    return counters_.size() + gauges_.size() + histograms_.size();
+  }
+
+  /// One JSON snapshot: {"counters": {...}, "gauges": {...},
+  /// "histograms": {name: {count, mean-free summary, p50/p90/p99, ...}}}.
+  json::Value to_json() const;
+
+  /// Dumps the snapshot to `path`; false (after logging) on IO failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace nocs

@@ -2,6 +2,8 @@
 #pragma once
 
 #include <algorithm>
+#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -63,18 +65,38 @@ class RunningStat {
   double max_ = -std::numeric_limits<double>::infinity();
 };
 
-/// Fixed-bin histogram over [0, bin_width * num_bins); values beyond the
-/// last bin are clamped into it.  Used for latency distributions.
+/// Fixed-bin-count histogram starting at [0, bin_width * num_bins).
+/// Values beyond the last bin either grow the range (auto-grow mode:
+/// adjacent bins merge pairwise, doubling the bin width, so memory stays
+/// fixed while the range covers the largest sample) or are clamped into
+/// the last bin with an overflow count.  Either way `range_extended()`
+/// reports that samples exceeded the initial range, so tail quantiles at
+/// saturation are never silently understated.  Used for latency
+/// distributions.
 class Histogram {
  public:
-  Histogram(double bin_width, int num_bins)
-      : bin_width_(bin_width), bins_(static_cast<std::size_t>(num_bins), 0) {
+  Histogram(double bin_width, int num_bins, bool auto_grow = false)
+      : bin_width_(bin_width),
+        initial_bin_width_(bin_width),
+        auto_grow_(auto_grow),
+        bins_(static_cast<std::size_t>(num_bins), 0) {
     NOCS_EXPECTS(bin_width > 0 && num_bins > 0);
   }
 
   void add(double x) {
+    max_value_ = std::max(max_value_, x);
     auto idx = static_cast<std::size_t>(std::max(0.0, x / bin_width_));
-    if (idx >= bins_.size()) idx = bins_.size() - 1;
+    if (idx >= bins_.size()) {
+      if (auto_grow_) {
+        do {
+          collapse();
+        } while (static_cast<std::size_t>(x / bin_width_) >= bins_.size());
+        idx = static_cast<std::size_t>(x / bin_width_);
+      } else {
+        idx = bins_.size() - 1;
+        ++overflow_;
+      }
+    }
     ++bins_[idx];
     ++total_;
   }
@@ -86,26 +108,67 @@ class Histogram {
   int num_bins() const { return static_cast<int>(bins_.size()); }
   double bin_width() const { return bin_width_; }
 
-  /// Value below which `q` (0..1) of the samples fall, estimated at bin
-  /// upper edges.
+  /// Adds clamped into the last bin (always 0 in auto-grow mode).
+  std::uint64_t overflow() const { return overflow_; }
+  /// Largest sample seen (-inf when empty).
+  double max_value() const { return max_value_; }
+  /// True when any sample landed beyond the initial range — the histogram
+  /// grew (auto-grow) or clamped (fixed); tail quantiles are then coarser
+  /// (grow) or capped (fixed) and callers should surface that.
+  bool range_extended() const {
+    return overflow_ > 0 || bin_width_ != initial_bin_width_;
+  }
+
+  /// Value below which a fraction `q` (0..1) of the samples fall,
+  /// interpolated within the containing bin (sample ranks spread uniformly
+  /// across the bin).  q=0 is the lower edge of the first occupied bin;
+  /// q=1 the upper edge of the last occupied one.
   double quantile(double q) const {
     NOCS_EXPECTS(q >= 0.0 && q <= 1.0);
     if (total_ == 0) return 0.0;
-    const auto target =
-        static_cast<std::uint64_t>(q * static_cast<double>(total_));
+    // ceil(q * total): the smallest rank whose sample bounds fraction q
+    // from above.  Truncation would bias every quantile up to a bin low.
+    const auto target = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               std::ceil(q * static_cast<double>(total_))));
     std::uint64_t seen = 0;
     for (std::size_t i = 0; i < bins_.size(); ++i) {
+      if (bins_[i] == 0) continue;
+      if (q == 0.0) return static_cast<double>(i) * bin_width_;
+      const std::uint64_t before = seen;
       seen += bins_[i];
-      if (seen >= target)
-        return static_cast<double>(i + 1) * bin_width_;
+      if (seen >= target) {
+        const double frac = static_cast<double>(target - before) /
+                            static_cast<double>(bins_[i]);
+        return (static_cast<double>(i) + frac) * bin_width_;
+      }
     }
     return static_cast<double>(bins_.size()) * bin_width_;
   }
 
  private:
+  /// Merges adjacent bin pairs, doubling the bin width: same samples, half
+  /// the resolution, twice the range, constant memory.
+  void collapse() {
+    const std::size_t n = bins_.size();
+    const std::size_t merged = (n + 1) / 2;
+    for (std::size_t i = 0; i < merged; ++i) {
+      const std::size_t lo = 2 * i;
+      const std::size_t hi = 2 * i + 1;
+      bins_[i] = bins_[lo] + (hi < n ? bins_[hi] : 0);
+    }
+    std::fill(bins_.begin() + static_cast<std::ptrdiff_t>(merged),
+              bins_.end(), 0);
+    bin_width_ *= 2.0;
+  }
+
   double bin_width_;
+  double initial_bin_width_;
+  bool auto_grow_;
   std::vector<std::uint64_t> bins_;
   std::uint64_t total_ = 0;
+  std::uint64_t overflow_ = 0;
+  double max_value_ = -std::numeric_limits<double>::infinity();
 };
 
 /// Geometric mean over a sequence of positive values; the conventional way

@@ -1,0 +1,164 @@
+#include "common/trace.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace nocs::trace {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// The process-global session.  `active` is the lock-free fast-path guard;
+/// the mutex serializes buffer appends and begin/end transitions.
+struct Session {
+  std::atomic<bool> active{false};
+  std::mutex mu;
+  std::string path;
+  Clock::time_point start;
+  std::vector<std::string> events;  ///< pre-rendered JSON objects
+  std::uint64_t count = 0;
+};
+
+Session& session() {
+  static Session s;
+  return s;
+}
+
+/// Renders one event object.  `dur` < 0 omits the field; `args` null
+/// omits it.
+std::string render(char ph, const std::string& name, const char* cat,
+                   int pid, int tid, double ts, double dur,
+                   const json::Value& args) {
+  std::string out = "{\"name\":" + json::escape(name);
+  out += ",\"ph\":\"";
+  out += ph;
+  out += '"';
+  if (cat != nullptr && cat[0] != '\0')
+    out += ",\"cat\":" + json::escape(cat);
+  out += ",\"pid\":" + std::to_string(pid);
+  out += ",\"tid\":" + std::to_string(tid);
+  out += ",\"ts\":" + json::format_number(ts);
+  if (dur >= 0.0) out += ",\"dur\":" + json::format_number(dur);
+  if (!args.is_null()) out += ",\"args\":" + args.dump();
+  if (ph == 'i') out += ",\"s\":\"t\"";  // instant scope: thread
+  out += '}';
+  return out;
+}
+
+void emit(std::string event) {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed)) return;
+  s.events.push_back(std::move(event));
+  ++s.count;
+}
+
+}  // namespace
+
+bool begin(const std::string& path) {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (s.active.load(std::memory_order_relaxed)) {
+    std::fprintf(stderr, "trace: session already active (%s)\n",
+                 s.path.c_str());
+    return false;
+  }
+  s.path = path;
+  s.start = Clock::now();
+  s.events.clear();
+  s.count = 0;
+  s.active.store(true, std::memory_order_release);
+  return true;
+}
+
+bool end() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  if (!s.active.load(std::memory_order_relaxed)) return false;
+  s.active.store(false, std::memory_order_release);
+  std::FILE* f = std::fopen(s.path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "trace: cannot write %s\n", s.path.c_str());
+    s.events.clear();
+    return false;
+  }
+  std::fputs("{\"traceEvents\": [\n", f);
+  for (std::size_t i = 0; i < s.events.size(); ++i) {
+    std::fputs(s.events[i].c_str(), f);
+    if (i + 1 < s.events.size()) std::fputc(',', f);
+    std::fputc('\n', f);
+  }
+  std::fputs("], \"displayTimeUnit\": \"ms\"}\n", f);
+  std::fclose(f);
+  s.events.clear();
+  return true;
+}
+
+bool enabled() {
+  return session().active.load(std::memory_order_relaxed);
+}
+
+std::uint64_t event_count() {
+  Session& s = session();
+  std::lock_guard<std::mutex> lock(s.mu);
+  return s.count;
+}
+
+double host_now_us() {
+  Session& s = session();
+  if (!s.active.load(std::memory_order_relaxed)) return 0.0;
+  return std::chrono::duration<double, std::micro>(Clock::now() - s.start)
+      .count();
+}
+
+void complete(const std::string& name, const char* cat, int pid, int tid,
+              double ts, double dur, json::Value args) {
+  if (!enabled()) return;
+  emit(render('X', name, cat, pid, tid, ts, dur, args));
+}
+
+void instant(const std::string& name, const char* cat, int pid, int tid,
+             double ts, json::Value args) {
+  if (!enabled()) return;
+  emit(render('i', name, cat, pid, tid, ts, -1.0, args));
+}
+
+void counter(const std::string& name, int pid, double ts,
+             json::Value series) {
+  if (!enabled()) return;
+  emit(render('C', name, "counter", pid, 0, ts, -1.0, series));
+}
+
+void process_name(int pid, const std::string& name) {
+  if (!enabled()) return;
+  json::Value args = json::Value::object();
+  args.set("name", name);
+  emit(render('M', "process_name", nullptr, pid, 0, 0.0, -1.0, args));
+}
+
+void thread_name(int pid, int tid, const std::string& name) {
+  if (!enabled()) return;
+  json::Value args = json::Value::object();
+  args.set("name", name);
+  emit(render('M', "thread_name", nullptr, pid, tid, 0.0, -1.0, args));
+}
+
+HostScope::HostScope(std::string name, const char* cat, int tid)
+    : name_(std::move(name)),
+      cat_(cat),
+      tid_(tid),
+      start_us_(host_now_us()),
+      active_(enabled()) {}
+
+HostScope::~HostScope() {
+  if (!active_ || !enabled()) return;
+  const double now = host_now_us();
+  complete(name_, cat_, kHostPid, tid_, start_us_, now - start_us_);
+}
+
+}  // namespace nocs::trace

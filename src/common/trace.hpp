@@ -1,0 +1,87 @@
+// Chrome trace-event emitter (chrome://tracing / Perfetto loadable).
+//
+// One process-global trace session, off by default: every emit function
+// early-returns on a relaxed atomic load when no session is active, so
+// instrumentation sprinkled through the simulator costs one predictable
+// branch and simulation results stay bit-identical (the trace only
+// observes, never steers).
+//
+// Two virtual processes separate the timelines:
+//   pid kSimPid  — simulation time; `ts` is the cycle count (1 cycle
+//                  renders as 1 us), tid = node id where meaningful.
+//   pid kHostPid — wall-clock microseconds since begin(); used for the
+//                  parallel experiment drivers (tid = OS worker).
+//   pid kCtrlPid — the online sprint controller; `ts` is the burst index.
+//
+// Events buffer in memory and are written as one JSON document
+// ({"traceEvents": [...]}) by end().  Emission is mutex-serialized so
+// parallel sweep workers can trace concurrently.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/json.hpp"
+
+namespace nocs::trace {
+
+inline constexpr int kSimPid = 1;   ///< simulation timeline (ts = cycles)
+inline constexpr int kHostPid = 2;  ///< host timeline (ts = wall us)
+inline constexpr int kCtrlPid = 3;  ///< controller timeline (ts = bursts)
+
+/// Starts a session writing to `path` on end().  Fails (returning false,
+/// logging to stderr) when a session is already active.
+bool begin(const std::string& path);
+
+/// Flushes the buffered events to the session's path and ends the
+/// session.  False when no session is active or the file cannot be
+/// written.
+bool end();
+
+/// True while a session is active (the cheap guard for custom emitters).
+bool enabled();
+
+/// Events emitted so far in this session.
+std::uint64_t event_count();
+
+/// Wall-clock microseconds since begin() (0 when disabled) — the `ts`
+/// for kHostPid events.
+double host_now_us();
+
+// --- emitters (no-ops when disabled) ---------------------------------------
+
+/// Complete event ("ph":"X"): a named span of `dur` starting at `ts`.
+void complete(const std::string& name, const char* cat, int pid, int tid,
+              double ts, double dur, json::Value args = json::Value());
+
+/// Instant event ("ph":"i").
+void instant(const std::string& name, const char* cat, int pid, int tid,
+             double ts, json::Value args = json::Value());
+
+/// Counter event ("ph":"C"): `series` is an object of name -> number;
+/// each distinct `name` renders as one counter track.
+void counter(const std::string& name, int pid, double ts,
+             json::Value series);
+
+/// Metadata: names a virtual process / thread in the viewer.
+void process_name(int pid, const std::string& name);
+void thread_name(int pid, int tid, const std::string& name);
+
+/// RAII complete-event span on the host timeline (kHostPid).
+class HostScope {
+ public:
+  HostScope(std::string name, const char* cat, int tid = 0);
+  ~HostScope();
+
+  HostScope(const HostScope&) = delete;
+  HostScope& operator=(const HostScope&) = delete;
+
+ private:
+  std::string name_;
+  const char* cat_;
+  int tid_;
+  double start_us_;
+  bool active_;
+};
+
+}  // namespace nocs::trace

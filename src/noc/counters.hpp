@@ -5,6 +5,9 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
+
+#include "common/metrics.hpp"
 
 namespace nocs::noc {
 
@@ -43,6 +46,25 @@ struct RouterCounters {
     reroutes += o.reroutes;
     wake_failures += o.wake_failures;
     return *this;
+  }
+
+  /// Registers every counter under "<prefix>.<field>" (default "router").
+  void export_metrics(MetricsRegistry& reg,
+                      const std::string& prefix = "router") const {
+    reg.counter(prefix + ".buffer_writes").set(buffer_writes);
+    reg.counter(prefix + ".buffer_reads").set(buffer_reads);
+    reg.counter(prefix + ".xbar_traversals").set(xbar_traversals);
+    reg.counter(prefix + ".vc_allocs").set(vc_allocs);
+    reg.counter(prefix + ".sa_arbitrations").set(sa_arbitrations);
+    reg.counter(prefix + ".link_flits").set(link_flits);
+    reg.counter(prefix + ".active_cycles").set(active_cycles);
+    reg.counter(prefix + ".gated_cycles").set(gated_cycles);
+    reg.counter(prefix + ".waking_cycles").set(waking_cycles);
+    reg.counter(prefix + ".wake_events").set(wake_events);
+    reg.counter(prefix + ".idle_active_cycles").set(idle_active_cycles);
+    reg.counter(prefix + ".flits_corrupted").set(flits_corrupted);
+    reg.counter(prefix + ".reroutes").set(reroutes);
+    reg.counter(prefix + ".wake_failures").set(wake_failures);
   }
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/trace.hpp"
+
 namespace nocs::noc {
 
 NetworkInterface::NetworkInterface(NodeId id, const NetworkParams& params,
@@ -116,6 +118,14 @@ void NetworkInterface::queue_retransmit(Cycle now, Unacked& u) {
   u.deadline = now + backoff(u.retries);
   next_deadline_ = std::min(next_deadline_, u.deadline);
   source_queue_.push_back(u.pkt);
+  if (trace::enabled()) {
+    json::Value args = json::Value::object();
+    args.set("packet", static_cast<double>(u.pkt.id & 0xFFFFFFFFFFFFull));
+    args.set("dst", u.pkt.dst);
+    args.set("retries", u.retries);
+    trace::instant("retransmit", "ni", trace::kSimPid, id_,
+                   static_cast<double>(now), std::move(args));
+  }
 }
 
 void NetworkInterface::check_timeouts(Cycle now) {
@@ -197,6 +207,9 @@ void NetworkInterface::eject_protected(Cycle now, const Flit& f) {
     // Checksum failure over the whole packet: discard and request a
     // retransmission straight away instead of waiting out the timeout.
     ++stats_->resilience().corrupted_packets;
+    if (trace::enabled())
+      trace::instant("packet_corrupted", "ni", trace::kSimPid, id_,
+                     static_cast<double>(now));
     send_control(now, f.src, PacketKind::kNack, f.packet, f.msg_class);
     return;
   }

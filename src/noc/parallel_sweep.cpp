@@ -2,6 +2,7 @@
 
 #include "common/parallel.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace nocs::noc {
 
@@ -14,6 +15,10 @@ std::vector<SweepPoint> parallel_sweep_injection(
       rates.size(),
       [&](std::size_t i) {
         const SweepTask task{i, rates[i], task_seed(base_seed, i)};
+        const trace::HostScope span(
+            "sweep[" + std::to_string(i) +
+                "] rate=" + std::to_string(rates[i]),
+            "sweep", static_cast<int>(i));
         points[i].injection_rate = rates[i];
         points[i].results = run(task);
       },
@@ -32,6 +37,8 @@ std::vector<SimResults> parallel_samples(const SweepRunner& run,
       num_samples,
       [&](std::size_t i) {
         const SweepTask task{i, injection_rate, task_seed(base_seed, i)};
+        const trace::HostScope span("sample[" + std::to_string(i) + "]",
+                                    "sweep", static_cast<int>(i));
         results[i] = run(task);
       },
       num_threads);

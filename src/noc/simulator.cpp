@@ -2,7 +2,45 @@
 
 #include <algorithm>
 
+#include "common/trace.hpp"
+
 namespace nocs::noc {
+
+namespace {
+
+/// One per-window trace sample: in-flight packets, hot routers,
+/// cumulative retransmissions, and per-router buffer occupancy.
+void emit_trace_sample(const Network& net) {
+  const double ts = static_cast<double>(net.now());
+  const StatsCollector& s = net.stats();
+
+  json::Value activity = json::Value::object();
+  const auto generated = s.generated_packets();
+  const auto ejected = s.ejected_packets();
+  activity.set("in_flight",
+               generated > ejected
+                   ? static_cast<double>(generated - ejected)
+                   : 0.0);
+  activity.set("hot_routers", static_cast<double>(net.hot_routers()));
+  trace::counter("network_activity", trace::kSimPid, ts, std::move(activity));
+
+  json::Value retx = json::Value::object();
+  retx.set("retransmissions",
+           static_cast<double>(s.resilience().retransmissions));
+  trace::counter("retransmissions", trace::kSimPid, ts, std::move(retx));
+
+  // Per-router occupancy renders as one stacked counter track; cap the
+  // series count so large meshes do not bloat the trace.
+  if (net.num_nodes() <= 64) {
+    json::Value occ = json::Value::object();
+    for (NodeId id = 0; id < net.num_nodes(); ++id)
+      occ.set("r" + std::to_string(id),
+              static_cast<double>(net.router(id).buffered_flits()));
+    trace::counter("router_occupancy", trace::kSimPid, ts, std::move(occ));
+  }
+}
+
+}  // namespace
 
 SimResults run_simulation(Network& net, const SimConfig& cfg) {
   NOCS_EXPECTS(cfg.measure > 0);
@@ -10,11 +48,23 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
   net.stats().reset();
   net.set_injection_rate(cfg.injection_rate);
 
+  // Tracing is observational only: when no session is active every hook
+  // below is a single predictable branch and the run takes the exact seed
+  // code paths (bit-identical results).
+  const bool tracing = trace::enabled();
+  const Cycle sample_every =
+      tracing && cfg.trace_sample > 0 ? cfg.trace_sample : 0;
+  if (tracing) {
+    trace::process_name(trace::kSimPid, "simulation (ts = cycles)");
+    trace::process_name(trace::kHostPid, "host (ts = wall clock us)");
+    trace::process_name(trace::kCtrlPid, "online controller (ts = bursts)");
+  }
+
   // Livelock/deadlock watchdog: sample the flit-movement signature every
   // `poll` cycles; if it sits still for watchdog_cycles while flits are
   // still in flight, declare the run hung and capture a diagnostic.  With
-  // watchdog_cycles == 0 the phase loops below reduce to net.run(n) and
-  // the fault-free path is untouched.
+  // watchdog_cycles == 0 and no tracing the phase loops below reduce to
+  // net.run(n) and the fault-free path is untouched.
   bool hung = false;
   std::string diagnostic;
   std::uint64_t last_sig = 0;
@@ -32,35 +82,55 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
                !net.drained()) {
       hung = true;
       diagnostic = net.debug_snapshot();
+      if (tracing)
+        trace::instant("watchdog_fired", "sim.fault", trace::kSimPid, 0,
+                       static_cast<double>(net.now()));
     }
   };
   auto run_phase = [&](Cycle n) {
-    if (poll == 0) {
+    if (poll == 0 && sample_every == 0) {
       net.run(n);
       return;
     }
     for (Cycle i = 0; i < n && !hung; ++i) {
       net.tick();
-      if (net.now() % poll == 0) watchdog_check();
+      if (poll != 0 && net.now() % poll == 0) watchdog_check();
+      if (sample_every != 0 && net.now() % sample_every == 0)
+        emit_trace_sample(net);
     }
+  };
+  auto traced_phase = [&](const char* name, Cycle n) {
+    const Cycle start = net.now();
+    run_phase(n);
+    if (tracing)
+      trace::complete(name, "sim.phase", trace::kSimPid, 0,
+                      static_cast<double>(start),
+                      static_cast<double>(net.now() - start));
   };
   if (poll != 0) last_sig = net.progress_signature();
 
-  run_phase(cfg.warmup);
+  traced_phase("warmup", cfg.warmup);
 
   net.stats().set_measuring(true);
-  run_phase(cfg.measure);
+  traced_phase("measure", cfg.measure);
   net.stats().set_measuring(false);
 
   // Drain: keep injecting background (unmeasured) traffic so the network
   // stays under load while the tagged packets finish.
+  const Cycle drain_start = net.now();
   Cycle drained_cycles = 0;
   while (!net.stats().all_drained() && drained_cycles < cfg.drain_max &&
          !hung) {
     net.tick();
     ++drained_cycles;
     if (poll != 0 && net.now() % poll == 0) watchdog_check();
+    if (sample_every != 0 && net.now() % sample_every == 0)
+      emit_trace_sample(net);
   }
+  if (tracing)
+    trace::complete("drain", "sim.phase", trace::kSimPid, 0,
+                    static_cast<double>(drain_start),
+                    static_cast<double>(net.now() - drain_start));
 
   SimResults r;
   r.hung = hung;
@@ -84,10 +154,80 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
                               (static_cast<double>(cfg.measure) * active)
                         : 0.0;
   r.saturated = !s.all_drained();
+  r.histogram_saturated = s.histogram_saturated();
+  r.max_packet_latency = s.packet_latency().max();
   r.cycles = cfg.warmup + cfg.measure + drained_cycles;
   r.counters = net.total_counters();
   r.resilience = s.resilience();
   return r;
+}
+
+void SimResults::export_metrics(MetricsRegistry& reg) const {
+  reg.gauge("sim.avg_packet_latency").set(avg_packet_latency);
+  reg.gauge("sim.avg_network_latency").set(avg_network_latency);
+  reg.gauge("sim.p50_latency").set(p50_latency);
+  reg.gauge("sim.p99_latency").set(p99_latency);
+  reg.gauge("sim.max_packet_latency").set(max_packet_latency);
+  reg.gauge("sim.avg_hops").set(avg_hops);
+  reg.gauge("sim.accepted_rate").set(accepted_rate);
+  reg.counter("sim.packets_generated").set(packets_generated);
+  reg.counter("sim.packets_ejected").set(packets_ejected);
+  reg.counter("sim.cycles").set(cycles);
+  reg.counter("sim.saturated").set(saturated ? 1 : 0);
+  reg.counter("sim.histogram_saturated").set(histogram_saturated ? 1 : 0);
+  reg.counter("sim.hung").set(hung ? 1 : 0);
+  counters.export_metrics(reg);
+  resilience.export_metrics(reg);
+}
+
+json::Value to_json(const SimResults& r) {
+  json::Value o = json::Value::object();
+  o.set("avg_packet_latency", r.avg_packet_latency);
+  o.set("avg_network_latency", r.avg_network_latency);
+  o.set("p50_latency", r.p50_latency);
+  o.set("p99_latency", r.p99_latency);
+  o.set("max_packet_latency", r.max_packet_latency);
+  o.set("avg_hops", r.avg_hops);
+  o.set("packets_generated", r.packets_generated);
+  o.set("packets_ejected", r.packets_ejected);
+  o.set("accepted_rate", r.accepted_rate);
+  o.set("saturated", r.saturated);
+  o.set("histogram_saturated", r.histogram_saturated);
+  o.set("hung", r.hung);
+  if (r.hung) o.set("diagnostic", r.diagnostic);
+  o.set("cycles", r.cycles);
+
+  json::Value c = json::Value::object();
+  c.set("buffer_writes", r.counters.buffer_writes);
+  c.set("buffer_reads", r.counters.buffer_reads);
+  c.set("xbar_traversals", r.counters.xbar_traversals);
+  c.set("vc_allocs", r.counters.vc_allocs);
+  c.set("sa_arbitrations", r.counters.sa_arbitrations);
+  c.set("link_flits", r.counters.link_flits);
+  c.set("active_cycles", r.counters.active_cycles);
+  c.set("gated_cycles", r.counters.gated_cycles);
+  c.set("waking_cycles", r.counters.waking_cycles);
+  c.set("wake_events", r.counters.wake_events);
+  c.set("idle_active_cycles", r.counters.idle_active_cycles);
+  c.set("flits_corrupted", r.counters.flits_corrupted);
+  c.set("reroutes", r.counters.reroutes);
+  c.set("wake_failures", r.counters.wake_failures);
+  o.set("counters", std::move(c));
+
+  json::Value res = json::Value::object();
+  res.set("retransmissions", r.resilience.retransmissions);
+  res.set("timeouts", r.resilience.timeouts);
+  res.set("corrupted_packets", r.resilience.corrupted_packets);
+  res.set("dropped_packets", r.resilience.dropped_packets);
+  res.set("duplicates", r.resilience.duplicates);
+  res.set("acks_sent", r.resilience.acks_sent);
+  res.set("nacks_sent", r.resilience.nacks_sent);
+  o.set("resilience", std::move(res));
+  return o;
+}
+
+bool write_report(const std::string& path, const json::Value& v) {
+  return json::write_file(path, v);
 }
 
 std::vector<SweepPoint> sweep_injection(Network& net, SimConfig cfg,

@@ -7,6 +7,8 @@
 #include <string>
 #include <vector>
 
+#include "common/json.hpp"
+#include "common/metrics.hpp"
 #include "noc/counters.hpp"
 #include "noc/network.hpp"
 
@@ -23,6 +25,11 @@ struct SimConfig {
   /// network is not drained.  0 disables the watchdog (the default, so
   /// fault-free runs are untouched).
   Cycle watchdog_cycles = 0;
+  /// Cycles between per-window trace samples (counter events for in-flight
+  /// packets, hot routers, per-router occupancy).  Only read while a trace
+  /// session is active; with tracing off the run is bit-identical
+  /// regardless of this value.
+  Cycle trace_sample = 256;
 };
 
 /// Aggregated results of one run.
@@ -39,12 +46,32 @@ struct SimResults {
   /// load and are excluded from the normalization).
   double accepted_rate = 0.0;
   bool saturated = false;      ///< drain budget exhausted (unstable load)
+  /// True when some packet latency exceeded the latency histogram's
+  /// initial range (the histogram grew to cover it), i.e. the reported
+  /// tail quantiles come from a coarsened-but-complete distribution — the
+  /// telltale of a run at or past saturation.
+  bool histogram_saturated = false;
+  double max_packet_latency = 0.0;  ///< worst measured packet latency
   bool hung = false;           ///< watchdog fired (livelock/deadlock)
   std::string diagnostic;      ///< per-router snapshot when `hung`
   Cycle cycles = 0;            ///< total cycles simulated
   RouterCounters counters;     ///< summed router activity (whole run)
   ResilienceCounters resilience;  ///< end-to-end protection activity
+
+  /// Registers the run's statistics into `reg` ("sim.*" gauges/counters
+  /// plus the router/resilience counter families).
+  void export_metrics(MetricsRegistry& reg) const;
 };
+
+/// Serializes every SimResults field (including resilience counters and
+/// the watchdog diagnostic) as a JSON object — the payload of `report=`
+/// run reports.
+json::Value to_json(const SimResults& r);
+
+/// Writes `v` to `path` (pretty-printed, trailing newline); false after
+/// logging when the file cannot be opened.  Thin alias of
+/// json::write_file so report call sites read uniformly.
+bool write_report(const std::string& path, const json::Value& v);
 
 /// Runs warmup, a measurement window, and a drain phase on `net`, which
 /// must already be configured (endpoints, traffic, gating).  Counters are

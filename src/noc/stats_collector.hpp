@@ -3,6 +3,7 @@
 
 #include <array>
 
+#include "common/metrics.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -22,6 +23,17 @@ struct ResilienceCounters {
   std::uint64_t duplicates = 0;         ///< re-deliveries the filter removed
   std::uint64_t acks_sent = 0;
   std::uint64_t nacks_sent = 0;
+
+  /// Registers every counter under "resilience.<field>".
+  void export_metrics(MetricsRegistry& reg) const {
+    reg.counter("resilience.retransmissions").set(retransmissions);
+    reg.counter("resilience.timeouts").set(timeouts);
+    reg.counter("resilience.corrupted_packets").set(corrupted_packets);
+    reg.counter("resilience.dropped_packets").set(dropped_packets);
+    reg.counter("resilience.duplicates").set(duplicates);
+    reg.counter("resilience.acks_sent").set(acks_sent);
+    reg.counter("resilience.nacks_sent").set(nacks_sent);
+  }
 };
 
 /// Gathers packet-level statistics from all network interfaces.  The
@@ -30,7 +42,9 @@ struct ResilienceCounters {
 /// to latency statistics (the standard warmup/measure/drain methodology).
 class StatsCollector {
  public:
-  StatsCollector() : latency_hist_(2.0, 512) {}  // 2-cycle bins to 1024
+  // 2-cycle bins to 1024 initially; the histogram grows (bins merge
+  // pairwise) rather than clamping, so saturated-run tails stay honest.
+  StatsCollector() : latency_hist_(2.0, 512, /*auto_grow=*/true) {}
 
   void reset() { *this = StatsCollector{}; }
 
@@ -50,8 +64,14 @@ class StatsCollector {
     network_latency_.add(network_latency);
     hops_.add(static_cast<double>(hops));
     latency_hist_.add(packet_latency);
-    if (msg_class >= 0 && msg_class < kMaxStatClasses)
-      class_latency_[static_cast<std::size_t>(msg_class)].add(packet_latency);
+    // Classes outside [0, kMaxStatClasses) land in the trailing
+    // "unclassified" bucket instead of being silently dropped, so
+    // per-class totals always sum to the overall packet count.
+    const std::size_t cls =
+        (msg_class >= 0 && msg_class < kMaxStatClasses)
+            ? static_cast<std::size_t>(msg_class)
+            : static_cast<std::size_t>(kMaxStatClasses);
+    class_latency_[cls].add(packet_latency);
   }
 
   /// Per-message-class packet latency (e.g. class 0 = requests, class 1 =
@@ -61,9 +81,21 @@ class StatsCollector {
     return class_latency_[static_cast<std::size_t>(msg_class)];
   }
 
+  /// Latency of packets whose class fell outside [0, kMaxStatClasses).
+  const RunningStat& unclassified_latency() const {
+    return class_latency_[static_cast<std::size_t>(kMaxStatClasses)];
+  }
+
   /// Packet-latency quantile (e.g. 0.99 for the tail latency interactive
-  /// workloads care about), estimated from 2-cycle histogram bins.
+  /// workloads care about), interpolated from the latency histogram.
   double latency_quantile(double q) const { return latency_hist_.quantile(q); }
+
+  /// The underlying packet-latency histogram.
+  const Histogram& latency_histogram() const { return latency_hist_; }
+
+  /// True when some packet latency exceeded the histogram's initial range
+  /// (it grew to cover the tail — quantiles are correct but coarser).
+  bool histogram_saturated() const { return latency_hist_.range_extended(); }
 
   /// Called per measured flit ejected (throughput accounting).
   void on_flit_ejected() { ++flits_ejected_; }
@@ -82,6 +114,22 @@ class StatsCollector {
   ResilienceCounters& resilience() { return resilience_; }
   const ResilienceCounters& resilience() const { return resilience_; }
 
+  /// Registers packet/latency statistics (and the resilience counters)
+  /// into `reg` under "noc.*" / "resilience.*".
+  void export_metrics(MetricsRegistry& reg) const {
+    reg.counter("noc.packets_generated").set(generated_);
+    reg.counter("noc.packets_ejected").set(ejected_);
+    reg.counter("noc.flits_ejected").set(flits_ejected_);
+    reg.counter("noc.unclassified_packets").set(unclassified_latency().count());
+    reg.gauge("noc.packet_latency.mean").set(packet_latency_.mean());
+    reg.gauge("noc.packet_latency.max").set(packet_latency_.max());
+    reg.gauge("noc.packet_latency.p50").set(latency_quantile(0.5));
+    reg.gauge("noc.packet_latency.p99").set(latency_quantile(0.99));
+    reg.gauge("noc.network_latency.mean").set(network_latency_.mean());
+    reg.gauge("noc.hops.mean").set(hops_.mean());
+    resilience_.export_metrics(reg);
+  }
+
  private:
   bool measuring_ = false;
   std::uint64_t generated_ = 0;
@@ -91,7 +139,8 @@ class StatsCollector {
   RunningStat network_latency_;
   RunningStat hops_;
   Histogram latency_hist_;
-  std::array<RunningStat, kMaxStatClasses> class_latency_;
+  // One slot per tracked class plus the trailing unclassified bucket.
+  std::array<RunningStat, kMaxStatClasses + 1> class_latency_;
   ResilienceCounters resilience_;
 };
 

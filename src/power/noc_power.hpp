@@ -3,6 +3,7 @@
 // gating state into a full NoC power estimate (routers + links).
 #pragma once
 
+#include "common/metrics.hpp"
 #include "noc/network.hpp"
 #include "power/router_power.hpp"
 
@@ -16,6 +17,15 @@ struct NocPowerEstimate {
 
   Watts total() const {
     return routers.total() + link_dynamic + link_leakage;
+  }
+
+  /// Registers the estimate as "power.noc.*" gauges (watts).
+  void export_metrics(MetricsRegistry& reg) const {
+    reg.gauge("power.noc.total_w").set(total());
+    reg.gauge("power.noc.router_dynamic_w").set(routers.dynamic());
+    reg.gauge("power.noc.router_leakage_w").set(routers.leakage);
+    reg.gauge("power.noc.link_dynamic_w").set(link_dynamic);
+    reg.gauge("power.noc.link_leakage_w").set(link_leakage);
   }
 };
 

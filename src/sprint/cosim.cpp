@@ -1,6 +1,7 @@
 #include "sprint/cosim.hpp"
 
 #include "common/parallel.hpp"
+#include "common/trace.hpp"
 #include "sprint/network_builder.hpp"
 
 namespace nocs::sprint {
@@ -27,6 +28,7 @@ CosimResult cosimulate(const noc::NetworkParams& params,
   // seed); run them as parallel tasks writing disjoint result fields.
   run_tasks(
       {[&] {
+         const trace::HostScope span("cosim full " + workload.name, "cosim");
          NetworkBundle full = make_full_sprinting_network(
              params, params.num_nodes(), "uniform", cfg.seed);
          const noc::SimResults r = noc::run_simulation(*full.network, sim);
@@ -38,6 +40,7 @@ CosimResult cosimulate(const noc::NetworkParams& params,
                  .total();
        },
        [&] {
+         const trace::HostScope span("cosim noc " + workload.name, "cosim");
          NetworkBundle sprint_net = make_noc_sprinting_network(
              params, sim_level, "uniform", cfg.seed);
          const noc::SimResults r =
@@ -60,6 +63,20 @@ CosimResult cosimulate(const noc::NetworkParams& params,
   out.exec_noc = perf.exec_time(workload, out.level, out.noc_latency,
                                 out.full_latency);
   return out;
+}
+
+json::Value to_json(const CosimResult& r) {
+  json::Value o = json::Value::object();
+  o.set("level", r.level);
+  o.set("full_latency", r.full_latency);
+  o.set("full_noc_power", r.full_noc_power);
+  o.set("full_saturated", r.full_saturated);
+  o.set("noc_latency", r.noc_latency);
+  o.set("noc_noc_power", r.noc_noc_power);
+  o.set("noc_saturated", r.noc_saturated);
+  o.set("exec_full", r.exec_full);
+  o.set("exec_noc", r.exec_noc);
+  return o;
 }
 
 }  // namespace nocs::sprint

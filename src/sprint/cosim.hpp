@@ -10,6 +10,7 @@
 #pragma once
 
 #include "cmp/perf_model.hpp"
+#include "common/json.hpp"
 #include "noc/params.hpp"
 #include "noc/simulator.hpp"
 #include "power/noc_power.hpp"
@@ -55,5 +56,9 @@ CosimResult cosimulate(const noc::NetworkParams& params,
                        const cmp::WorkloadParams& workload,
                        const cmp::PerfModel& perf,
                        const CosimConfig& cfg = {});
+
+/// Serializes one co-simulation's results as a JSON object (the per-
+/// benchmark payload of the fig09/fig10 `report=` run reports).
+json::Value to_json(const CosimResult& r);
 
 }  // namespace nocs::sprint

@@ -1,6 +1,22 @@
 #include "sprint/online_adapt.hpp"
 
+#include "common/trace.hpp"
+
 namespace nocs::sprint {
+
+namespace {
+
+const char* phase_name(int phase) {
+  switch (phase) {
+    case 0: return "measure-base";
+    case 1: return "probe-up";
+    case 2: return "probe-down";
+    case 3: return "locked";
+    default: return "?";
+  }
+}
+
+}  // namespace
 
 OnlineLevelController::OnlineLevelController(int n_max, int start_level,
                                              int step, int reprobe_period)
@@ -19,6 +35,9 @@ OnlineLevelController::OnlineLevelController(int n_max, int start_level,
 
 void OnlineLevelController::observe(double exec_time) {
   NOCS_EXPECTS(exec_time > 0.0);
+  const Phase phase_before = phase_;
+  const int level_before = current_;
+  ++bursts_observed_;
   switch (phase_) {
     case Phase::kMeasureBase:
       base_time_ = exec_time;
@@ -79,6 +98,19 @@ void OnlineLevelController::observe(double exec_time) {
         locked_bursts_ = 0;
       }
       break;
+  }
+  // Phase transitions land on the controller trace timeline (ts = burst
+  // index) so online-adaptation runs can be inspected alongside the
+  // per-burst network traces.  A pure branch when tracing is off.
+  if (trace::enabled() &&
+      (phase_ != phase_before || current_ != level_before)) {
+    json::Value args = json::Value::object();
+    args.set("from_phase", phase_name(static_cast<int>(phase_before)));
+    args.set("to_phase", phase_name(static_cast<int>(phase_)));
+    args.set("level", current_);
+    args.set("exec_time", exec_time);
+    trace::instant("level_transition", "adapt", trace::kCtrlPid, 0,
+                   static_cast<double>(bursts_observed_), std::move(args));
   }
 }
 

@@ -70,6 +70,7 @@ class OnlineLevelController {
   double base_time_ = 0.0;
   Phase phase_ = Phase::kMeasureBase;
   int locked_bursts_ = 0;
+  int bursts_observed_ = 0;  ///< total observe() calls (trace timestamps)
 };
 
 }  // namespace nocs::sprint

@@ -1,6 +1,7 @@
 #include "sprint/sprint_controller.hpp"
 
 #include "common/assert.hpp"
+#include "common/trace.hpp"
 #include "sprint/topology.hpp"
 
 namespace nocs::sprint {
@@ -88,6 +89,16 @@ SprintPlan SprintController::plan(const cmp::WorkloadParams& workload,
   p.sprint_duration = mode == SprintMode::kNonSprinting
                           ? duration_cap_  // nominal operation is sustainable
                           : pcm_.sprint_duration(p.chip_power, duration_cap_);
+  if (trace::enabled()) {
+    json::Value args = json::Value::object();
+    args.set("workload", p.workload);
+    args.set("mode", to_string(mode));
+    args.set("level", p.level);
+    args.set("chip_power_w", p.chip_power);
+    args.set("sprint_duration_s", p.sprint_duration);
+    trace::instant("sprint_plan", "controller", trace::kCtrlPid, 0, 0.0,
+                   std::move(args));
+  }
   return p;
 }
 

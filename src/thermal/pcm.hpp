@@ -12,6 +12,7 @@
 #pragma once
 
 #include "common/assert.hpp"
+#include "common/metrics.hpp"
 #include "common/types.hpp"
 
 namespace nocs::thermal {
@@ -53,6 +54,15 @@ struct SprintTimeline {
   bool unbounded = false;  ///< power is sustainable: sprint never ends
 
   Seconds total() const { return phase1 + phase2 + phase3; }
+
+  /// Registers the timeline as "thermal.sprint.*" gauges (seconds).
+  void export_metrics(MetricsRegistry& reg) const {
+    reg.gauge("thermal.sprint.phase1_s").set(phase1);
+    reg.gauge("thermal.sprint.phase2_s").set(phase2);
+    reg.gauge("thermal.sprint.phase3_s").set(phase3);
+    reg.gauge("thermal.sprint.total_s").set(total());
+    reg.counter("thermal.sprint.unbounded").set(unbounded ? 1 : 0);
+  }
 };
 
 class PcmModel {

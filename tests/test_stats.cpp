@@ -118,6 +118,75 @@ TEST(RunningStat, NumericallyStableForLargeOffsets) {
   EXPECT_NEAR(s.mean(), 1e9, 1.0);
 }
 
+// Regression: quantile must use ceil(q*total) for the target rank, not
+// truncation.  One sample per bin 0..9: p25 is the 3rd-ranked sample
+// (rank ceil(2.5) = 3), whose interpolated position is the upper edge of
+// bin 2.  The old truncating code answered 2.0 — one full bin low.
+TEST(Histogram, QuantileUsesCeilingRank) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 10; ++i) h.add(i + 0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.25), 3.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+}
+
+// Regression: q=0 must report the lower edge of the first OCCUPIED bin,
+// not bin 0 unconditionally (the old code returned 0 even when every
+// sample sat far above zero).
+TEST(Histogram, QuantileZeroSkipsEmptyLeadingBins) {
+  Histogram h(1.0, 10);
+  for (int i = 0; i < 3; ++i) h.add(5.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 6.0);
+  // rank ceil(0.5*3)=2 of 3 samples in the bin -> 2/3 of the way across.
+  EXPECT_NEAR(h.quantile(0.5), 5.0 + 2.0 / 3.0, 1e-12);
+}
+
+// Regression: quantiles interpolate within the containing bin instead of
+// snapping to a bin edge (sample ranks spread uniformly across the bin).
+TEST(Histogram, QuantileInterpolatesWithinBin) {
+  Histogram h(10.0, 5);
+  for (int i = 0; i < 10; ++i) h.add(1.0);  // all ten samples in bin 0
+  EXPECT_DOUBLE_EQ(h.quantile(0.1), 1.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 10.0);
+}
+
+TEST(Histogram, QuantileEmptyAndSingleSample) {
+  Histogram empty(1.0, 4);
+  EXPECT_EQ(empty.quantile(0.5), 0.0);
+  Histogram h(1.0, 4);
+  h.add(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 1.0);  // upper edge of its bin
+}
+
+// Regression: out-of-range samples were silently clamped with no trace.
+// Fixed histograms now count them; auto-grow ones widen instead.
+TEST(Histogram, OverflowCountedWhenFixed) {
+  Histogram h(1.0, 4);
+  h.add(10.0);
+  EXPECT_EQ(h.overflow(), 1u);
+  EXPECT_EQ(h.bin(3), 1u);
+  EXPECT_TRUE(h.range_extended());
+  EXPECT_DOUBLE_EQ(h.max_value(), 10.0);
+}
+
+TEST(Histogram, AutoGrowCoversLargeSamples) {
+  Histogram h(1.0, 4, /*auto_grow=*/true);
+  for (double x : {0.5, 1.5, 2.5, 3.5}) h.add(x);
+  h.add(10.0);  // forces two pairwise merges: width 1 -> 4, range 16
+  EXPECT_EQ(h.total(), 5u);
+  EXPECT_EQ(h.overflow(), 0u);
+  EXPECT_TRUE(h.range_extended());
+  EXPECT_DOUBLE_EQ(h.bin_width(), 4.0);
+  EXPECT_EQ(h.bin(0), 4u);
+  EXPECT_EQ(h.bin(2), 1u);
+  EXPECT_GE(h.quantile(1.0), 10.0);  // the tail is no longer understated
+  EXPECT_DOUBLE_EQ(h.max_value(), 10.0);
+}
+
 TEST(Histogram, QuantileMonotonicInQ) {
   Histogram h(1.0, 50);
   for (int i = 0; i < 500; ++i) h.add(static_cast<double>(i % 37));
