@@ -26,9 +26,17 @@ int main(int argc, char** argv) {
   const PerfModel pm(net.num_nodes());
   const auto suite = parsec_suite(net.num_nodes());
 
+  // checkpoint= names a manifest file: finished benchmarks are recorded as
+  // they complete, and a killed run re-launched with the same arguments
+  // replays them instead of re-simulating (see docs/SNAPSHOT_FORMAT.md).
+  snapshot::TaskManifest manifest(
+      cfg.get_string("checkpoint", ""),
+      bench::parsec_suite_fingerprint(net, suite, seed));
+
   // One worker per benchmark; rows are folded in suite order afterwards so
   // the table and averages match the serial loop exactly.
-  const auto results = bench::run_parsec_suite(net, suite, pm, seed, threads);
+  const auto results =
+      bench::run_parsec_suite(net, suite, pm, seed, threads, &manifest);
 
   Table t({"benchmark", "inj (flits/cyc)", "level", "full lat (cyc)",
            "noc-sprint lat (cyc)", "reduction"});

@@ -25,7 +25,14 @@ int main(int argc, char** argv) {
   const PerfModel pm(net.num_nodes());
   const auto suite = parsec_suite(net.num_nodes());
 
-  const auto results = bench::run_parsec_suite(net, suite, pm, seed, threads);
+  // checkpoint= names a manifest file for per-benchmark resume (same
+  // semantics as fig09; see docs/SNAPSHOT_FORMAT.md).
+  snapshot::TaskManifest manifest(
+      cfg.get_string("checkpoint", ""),
+      bench::parsec_suite_fingerprint(net, suite, seed));
+
+  const auto results =
+      bench::run_parsec_suite(net, suite, pm, seed, threads, &manifest);
 
   Table t({"benchmark", "level", "full power (mW)", "noc-sprint power (mW)",
            "saving"});

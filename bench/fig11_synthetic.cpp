@@ -13,6 +13,7 @@
 
 #include "bench_util.hpp"
 #include "common/parallel.hpp"
+#include "common/snapshot.hpp"
 #include "common/stats.hpp"
 #include "noc/simulator.hpp"
 #include "parsec_sim.hpp"
@@ -53,6 +54,19 @@ int main(int argc, char** argv) {
   const std::vector<double> rates = {0.02, 0.05, 0.10, 0.15, 0.20, 0.25,
                                      0.30, 0.35, 0.40, 0.50, 0.60, 0.70};
 
+  // checkpoint= names a manifest file recording every finished (level,
+  // rate, mapping) simulation, so an interrupted sweep resumes from the
+  // last completed task (see docs/SNAPSHOT_FORMAT.md).  Task indices are
+  // assigned level-major / rate-major / sample-minor below.
+  snapshot::TaskManifest manifest(
+      cfg.get_string("checkpoint", ""),
+      "fig11:rates=" + std::to_string(rates.size()) +
+          ";samples=" + std::to_string(samples) +
+          ";seed=" + std::to_string(seed) + ";mesh=" +
+          std::to_string(net.width) + "x" + std::to_string(net.height));
+  const std::size_t tasks_per_rate = 1 + static_cast<std::size_t>(samples);
+  const std::size_t tasks_per_level = rates.size() * tasks_per_rate;
+
   const power::RouterPowerParams rp =
       power::RouterPowerParams::from_network(net);
   const power::RouterPowerModel router_model(rp);
@@ -64,12 +78,24 @@ int main(int argc, char** argv) {
   sim.measure = 8000;
   sim.drain_max = 40000;
 
+  // Manifest payload for one task: the three numbers folded into the
+  // tables (doubles round-trip bit-exactly through the JSON layer).
+  const auto sample_to_json = [](double lat, double pow, bool sat) {
+    json::Value o = json::Value::object();
+    o.set("lat", lat);
+    o.set("pow", pow);
+    o.set("sat", sat);
+    return o;
+  };
+
   json::Value levels = json::Value::array();
+  std::size_t level_base = 0;
   for (int level : {4, 8}) {
     // Every (rate, mapping) simulation is independent: one task per
     // NoC-sprinting point plus one per full-sprinting random mapping, all
     // with the same seeds the serial loop used, so the tables below are
-    // identical for any thread count.
+    // identical for any thread count.  Tasks already in the manifest are
+    // replayed from their recorded numbers instead of queued.
     std::vector<Point> points(rates.size());
     std::vector<std::vector<FullSample>> full(
         rates.size(), std::vector<FullSample>(static_cast<std::size_t>(
@@ -80,20 +106,42 @@ int main(int argc, char** argv) {
       point_sim.injection_rate = rates[i];
       points[i].rate = rates[i];
 
-      tasks.push_back([&, i, point_sim, level] {
-        // NoC-sprinting: deterministic convex region.
-        auto b =
-            sprint::make_noc_sprinting_network(net, level, "uniform", seed);
-        const noc::SimResults r = noc::run_simulation(*b.network, point_sim);
-        points[i].noc_lat = r.avg_packet_latency;
-        points[i].noc_sat = r.saturated;
-        points[i].noc_pow = power::estimate_noc_power(*b.network,
-                                                      router_model,
-                                                      link_model, r.cycles)
-                                .total();
-      });
+      const std::size_t noc_task = level_base + i * tasks_per_rate;
+      if (manifest.enabled() && manifest.completed(noc_task)) {
+        const json::Value v = manifest.result(noc_task);
+        points[i].noc_lat = v.at("lat").as_number();
+        points[i].noc_pow = v.at("pow").as_number();
+        points[i].noc_sat = v.at("sat").as_bool();
+      } else {
+        tasks.push_back([&, i, point_sim, level, noc_task] {
+          // NoC-sprinting: deterministic convex region.
+          auto b =
+              sprint::make_noc_sprinting_network(net, level, "uniform", seed);
+          const noc::SimResults r =
+              noc::run_simulation(*b.network, point_sim);
+          points[i].noc_lat = r.avg_packet_latency;
+          points[i].noc_sat = r.saturated;
+          points[i].noc_pow = power::estimate_noc_power(*b.network,
+                                                        router_model,
+                                                        link_model, r.cycles)
+                                  .total();
+          manifest.record(noc_task, sample_to_json(points[i].noc_lat,
+                                                   points[i].noc_pow,
+                                                   points[i].noc_sat));
+        });
+      }
       for (int s = 0; s < samples; ++s) {
-        tasks.push_back([&, i, s, point_sim, level] {
+        const std::size_t full_task =
+            noc_task + 1 + static_cast<std::size_t>(s);
+        if (manifest.enabled() && manifest.completed(full_task)) {
+          const json::Value v = manifest.result(full_task);
+          FullSample& fs = full[i][static_cast<std::size_t>(s)];
+          fs.lat = v.at("lat").as_number();
+          fs.pow = v.at("pow").as_number();
+          fs.sat = v.at("sat").as_bool();
+          continue;
+        }
+        tasks.push_back([&, i, s, point_sim, level, full_task] {
           // Full-sprinting: one random endpoint mapping.
           auto b = sprint::make_full_sprinting_network(
               net, level, "uniform", seed + static_cast<std::uint64_t>(s));
@@ -105,10 +153,12 @@ int main(int argc, char** argv) {
           fs.pow = power::estimate_noc_power(*b.network, router_model,
                                              link_model, r.cycles)
                        .total();
+          manifest.record(full_task, sample_to_json(fs.lat, fs.pow, fs.sat));
         });
       }
     }
     run_tasks(tasks, threads);
+    level_base += tasks_per_level;
 
     for (std::size_t i = 0; i < rates.size(); ++i) {
       RunningStat lat, pow;

@@ -2,10 +2,13 @@
 // and 10) — a thin adapter over the library's sprint::cosimulate().
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "cmp/perf_model.hpp"
+#include "common/json.hpp"
 #include "common/parallel.hpp"
+#include "common/snapshot.hpp"
 #include "sprint/cosim.hpp"
 
 namespace nocs::bench {
@@ -17,6 +20,38 @@ struct ParsecNetResult {
   Watts full_power = 0.0;
   Watts noc_power = 0.0;
 };
+
+/// Manifest payload for one benchmark (bit-exact double round-trip).
+inline json::Value to_json(const ParsecNetResult& r) {
+  json::Value o = json::Value::object();
+  o.set("level", r.level);
+  o.set("full_latency", r.full_latency);
+  o.set("noc_latency", r.noc_latency);
+  o.set("full_power", r.full_power);
+  o.set("noc_power", r.noc_power);
+  return o;
+}
+
+inline ParsecNetResult parsec_net_result_from_json(const json::Value& v) {
+  ParsecNetResult r;
+  r.level = static_cast<int>(v.at("level").as_number());
+  r.full_latency = v.at("full_latency").as_number();
+  r.noc_latency = v.at("noc_latency").as_number();
+  r.full_power = v.at("full_power").as_number();
+  r.noc_power = v.at("noc_power").as_number();
+  return r;
+}
+
+/// Manifest fingerprint for a PARSEC suite run: mesh shape, suite size,
+/// and seed.  A manifest written under different arguments starts fresh.
+inline std::string parsec_suite_fingerprint(
+    const noc::NetworkParams& params,
+    const std::vector<cmp::WorkloadParams>& suite, std::uint64_t seed) {
+  return "parsec-suite:mesh=" + std::to_string(params.width) + "x" +
+         std::to_string(params.height) +
+         ";n=" + std::to_string(suite.size()) +
+         ";seed=" + std::to_string(seed);
+}
 
 inline ParsecNetResult run_parsec_network(const noc::NetworkParams& params,
                                           const cmp::WorkloadParams& w,
@@ -43,13 +78,28 @@ inline ParsecNetResult run_parsec_network(const noc::NetworkParams& params,
 inline std::vector<ParsecNetResult> run_parsec_suite(
     const noc::NetworkParams& params,
     const std::vector<cmp::WorkloadParams>& suite, const cmp::PerfModel& pm,
-    std::uint64_t seed, int num_threads = 0) {
+    std::uint64_t seed, int num_threads = 0,
+    snapshot::TaskManifest* manifest = nullptr) {
   std::vector<ParsecNetResult> results(suite.size());
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < suite.size(); ++i) {
+    if (manifest != nullptr && manifest->enabled() && manifest->completed(i))
+      results[i] = parsec_net_result_from_json(manifest->result(i));
+    else
+      todo.push_back(i);
+  }
+  if (manifest != nullptr && manifest->enabled() && !todo.empty() &&
+      todo.size() < suite.size())
+    std::printf("resuming: %zu/%zu benchmarks already completed\n",
+                suite.size() - todo.size(), suite.size());
   ParallelFor(
-      suite.size(),
-      [&](std::size_t i) {
+      todo.size(),
+      [&](std::size_t k) {
+        const std::size_t i = todo[k];
         results[i] =
             run_parsec_network(params, suite[i], pm, seed, /*num_threads=*/1);
+        if (manifest != nullptr)
+          manifest->record(i, to_json(results[i]));
       },
       num_threads);
   return results;

@@ -11,6 +11,8 @@
 //          and a livelock watchdog (see README "Robustness")
 //   mode=sweep     level=<k> [traffic=...] [rates=start:step:end]
 //       -> latency-throughput curve
+//   mode=thermal   level=<k> [floorplan=identity|thermal]
+//       -> steady-state heat map + peak temperature
 //
 // Observability (simulate and sweep modes, all off by default — see
 // README "Observability"):
@@ -19,8 +21,16 @@
 //                           sampling window in cycles (default 256)
 //   report=path.json        machine-readable JSON run report
 //   metrics=path.json       metrics-registry snapshot (counters/gauges)
-//   mode=thermal   level=<k> [floorplan=identity|thermal]
-//       -> steady-state heat map + peak temperature
+//
+// Checkpoint/restore (see docs/SNAPSHOT_FORMAT.md):
+//   mode=simulate checkpoint=run.nocsnap checkpoint_every=5000
+//       -> periodic autosave of the full simulation state
+//   mode=simulate restore=run.nocsnap
+//       -> resume a checkpointed run (same config required); results are
+//          bit-identical to the uninterrupted run
+//   mode=sweep checkpoint=sweep.manifest.json
+//       -> per-task completion ledger; a killed sweep re-run with the same
+//          arguments skips every already-finished point
 //
 // Examples:
 //   ./nocsprint_cli mode=plan workload=canneal
@@ -141,7 +151,18 @@ int mode_simulate(const Config& cfg) {
         static_cast<Cycle>(cfg.get_int("watchdog", 50000));
   }
 
-  const noc::SimResults r = run_simulation(*b.network, sim);
+  // Checkpoint/restore: the fault injector's RNG streams are part of the
+  // simulation state, so it rides along as an extra snapshot component.
+  noc::CheckpointConfig ckpt;
+  ckpt.save_path = cfg.get_string("checkpoint", "");
+  ckpt.every = static_cast<Cycle>(cfg.get_int("checkpoint_every", 0));
+  ckpt.restore_path = cfg.get_string("restore", "");
+  if (injector != nullptr) ckpt.extras.emplace_back("fault", injector.get());
+
+  if (!ckpt.restore_path.empty())
+    std::printf("restoring from %s\n", ckpt.restore_path.c_str());
+
+  const noc::SimResults r = run_simulation(*b.network, sim, ckpt);
 
   const auto rp = power::RouterPowerParams::from_network(params);
   const power::RouterPowerModel router_model(rp);
@@ -234,11 +255,16 @@ int mode_sweep(const Config& cfg) {
   sim.measure = 6000;
   sim.trace_sample = static_cast<Cycle>(cfg.get_int("trace_sample", 256));
   const TraceSession trace_session(cfg);
+  // checkpoint= names a task manifest: each finished point is recorded
+  // immediately, and a re-run with the same arguments replays completed
+  // points instead of re-simulating them.
+  snapshot::TaskManifest manifest(cfg.get_string("checkpoint", ""),
+                                  noc::sweep_fingerprint(rates, seed));
   // One independent network per point, seeded per task: results are
   // identical for any threads= value (threads=1 is the plain serial loop).
   // Fault injection follows the same rule — one injector per point, so
   // fault schedules never depend on scheduling.
-  const auto points = noc::parallel_sweep_injection(
+  const auto points = noc::resumable_sweep_injection(
       [&](const noc::SweepTask& task) {
         sprint::NetworkBundle b = sprint::make_noc_sprinting_network(
             params, level, traffic, task.seed);
@@ -254,7 +280,7 @@ int mode_sweep(const Config& cfg) {
         point_sim.injection_rate = task.injection_rate;
         return noc::run_simulation(*b.network, point_sim);
       },
-      rates, seed, threads);
+      rates, seed, &manifest, threads);
 
   Table t({"rate", "latency", "p99", "accepted", "saturated"});
   for (const auto& pt : points)

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Fails when a Config key accepted anywhere in the codebase (every
+# get_string/get_int/get_double/get_bool call site in src/, examples/, and
+# bench/) is missing from the reference table in docs/CONFIG.md.  Keeps the
+# documentation complete by construction: adding a key without documenting
+# it breaks CI.
+#
+# Usage: scripts/check_config_docs.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+doc=docs/CONFIG.md
+if [[ ! -f "$doc" ]]; then
+  echo "check_config_docs: $doc missing"
+  exit 1
+fi
+
+keys=$(grep -rhoE 'get_(string|int|double|bool)\("[a-z_0-9]+"' \
+         src examples bench |
+       sed -E 's/.*\("([a-z_0-9]+)"/\1/' | sort -u)
+
+status=0
+for key in $keys; do
+  # Keys are listed in the table as `key=` (backquoted, with the trailing
+  # equals sign users type on the command line).
+  if ! grep -q "\`${key}=\`" "$doc"; then
+    echo "UNDOCUMENTED CONFIG KEY: ${key} (add a \`${key}=\` row to $doc)"
+    status=1
+  fi
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "check_config_docs: every accepted key is documented"
+fi
+exit $status

@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Fails when any relative markdown link in the user-facing docs points at a
+# file that does not exist.  External links (http/https/mailto) and pure
+# in-page anchors (#section) are skipped; a link's own #fragment is
+# stripped before the existence check.
+#
+# Usage: scripts/check_docs_links.sh
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+files=(README.md DESIGN.md EXPERIMENTS.md ROADMAP.md docs/*.md)
+status=0
+
+for f in "${files[@]}"; do
+  [[ -f "$f" ]] || continue
+  dir=$(dirname "$f")
+  # Extract every markdown link target: [text](target)
+  while IFS= read -r target; do
+    case "$target" in
+      http://*|https://*|mailto:*|'#'*) continue ;;
+    esac
+    path="${target%%#*}"
+    [[ -n "$path" ]] || continue
+    if [[ ! -e "$dir/$path" && ! -e "$path" ]]; then
+      echo "BROKEN LINK: $f -> $target"
+      status=1
+    fi
+  done < <(grep -oE '\[[^]]*\]\([^)]+\)' "$f" |
+           sed -E 's/\[[^]]*\]\(([^)]+)\)/\1/' |
+           sed -E 's/[[:space:]]+"[^"]*"$//')
+done
+
+if [[ $status -eq 0 ]]; then
+  echo "check_docs_links: all relative links resolve"
+fi
+exit $status

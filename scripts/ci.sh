@@ -23,7 +23,14 @@ run_config() {
   ctest --test-dir "${dir}" -j "${JOBS}" --output-on-failure
 }
 
+echo "==== docs checks ===="
+scripts/check_docs_links.sh
+scripts/check_config_docs.sh
+
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
 run_config build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNOCS_SANITIZE=address
+
+echo "==== snapshot suite (explicit) ===="
+ctest --test-dir build-ci-release -L snapshot --output-on-failure
 
 echo "==== ci.sh: all configurations passed ===="

@@ -6,6 +6,7 @@
 // the simulator (traffic injection, random mappings) draw from this.
 #pragma once
 
+#include <array>
 #include <cstdint>
 
 #include "common/assert.hpp"
@@ -96,6 +97,15 @@ class Rng {
 
   /// Bernoulli trial with success probability p in [0,1].
   bool bernoulli(double p) { return uniform() < p; }
+
+  /// Raw xoshiro state, for checkpoint/restore: set_state(state()) resumes
+  /// the stream at exactly the next draw.
+  std::array<std::uint64_t, 4> state() const {
+    return {s_[0], s_[1], s_[2], s_[3]};
+  }
+  void set_state(const std::array<std::uint64_t, 4>& s) {
+    for (int i = 0; i < 4; ++i) s_[i] = s[static_cast<std::size_t>(i)];
+  }
 
  private:
   static std::uint64_t rotl(std::uint64_t x, int k) {

@@ -1,0 +1,304 @@
+#include "common/snapshot.hpp"
+
+#include <bit>
+#include <cstdio>
+#include <cstring>
+
+#include "common/assert.hpp"
+#include "common/log.hpp"
+
+namespace nocs::snapshot {
+
+std::uint64_t fnv1a(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+// --- Writer -----------------------------------------------------------------
+
+void Writer::u32(std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) buf_.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+}
+
+void Writer::f64(double v) { u64(std::bit_cast<std::uint64_t>(v)); }
+
+void Writer::str(const std::string& s) {
+  u64(s.size());
+  buf_.insert(buf_.end(), s.begin(), s.end());
+}
+
+void Writer::begin_section(const std::string& name) {
+  str(name);
+  open_.push_back(buf_.size());
+  u64(0);  // length slot, patched by end_section
+}
+
+void Writer::end_section() {
+  NOCS_EXPECTS(!open_.empty());
+  const std::size_t at = open_.back();
+  open_.pop_back();
+  const std::uint64_t len = buf_.size() - (at + 8);
+  for (int i = 0; i < 8; ++i)
+    buf_[at + static_cast<std::size_t>(i)] =
+        static_cast<std::uint8_t>(len >> (8 * i));
+}
+
+// --- Reader -----------------------------------------------------------------
+
+void Reader::need(std::size_t n) const {
+  if (buf_.size() - pos_ < n)
+    throw SnapshotError("snapshot truncated: needed " + std::to_string(n) +
+                        " bytes, " + std::to_string(buf_.size() - pos_) +
+                        " left");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return buf_[pos_++];
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i)
+    v |= static_cast<std::uint64_t>(buf_[pos_++]) << (8 * i);
+  return v;
+}
+
+double Reader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string Reader::str() {
+  const std::uint64_t n = u64();
+  if (n > buf_.size() - pos_)
+    throw SnapshotError("snapshot truncated inside a string");
+  std::string s(reinterpret_cast<const char*>(buf_.data()) +
+                    static_cast<std::ptrdiff_t>(pos_),
+                static_cast<std::size_t>(n));
+  pos_ += static_cast<std::size_t>(n);
+  return s;
+}
+
+void Reader::begin_section(const std::string& name) {
+  const std::string got = str();
+  if (got != name)
+    throw SnapshotError("snapshot section mismatch: expected '" + name +
+                        "', found '" + got + "'");
+  const std::uint64_t len = u64();
+  if (len > buf_.size() - pos_)
+    throw SnapshotError("snapshot section '" + name +
+                        "' longer than remaining payload");
+  ends_.push_back(pos_ + static_cast<std::size_t>(len));
+}
+
+void Reader::end_section() {
+  NOCS_EXPECTS(!ends_.empty());
+  const std::size_t expected = ends_.back();
+  ends_.pop_back();
+  if (pos_ != expected)
+    throw SnapshotError(
+        "snapshot section length mismatch: component read " +
+        std::to_string(pos_) + " bytes, section ends at " +
+        std::to_string(expected));
+}
+
+// --- files ------------------------------------------------------------------
+
+namespace {
+
+/// Header: magic[8] | version u32 | payload length u64 | checksum u64.
+constexpr std::size_t kHeaderSize = 8 + 4 + 8 + 8;
+
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) p[i] = static_cast<std::uint8_t>(v >> (8 * i));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+bool save_file(const std::string& path, const Writer& w) {
+  const auto& payload = w.bytes();
+  std::uint8_t header[kHeaderSize];
+  std::memcpy(header, kMagic, 8);
+  put_u32(header + 8, kFormatVersion);
+  put_u64(header + 12, payload.size());
+  put_u64(header + 20, fnv1a(payload.data(), payload.size()));
+
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    log_message(LogLevel::kError, "snapshot: cannot open %s for writing",
+                tmp.c_str());
+    return false;
+  }
+  bool ok = std::fwrite(header, 1, kHeaderSize, f) == kHeaderSize;
+  if (ok && !payload.empty())
+    ok = std::fwrite(payload.data(), 1, payload.size(), f) == payload.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) {
+    log_message(LogLevel::kError, "snapshot: short write to %s",
+                tmp.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  // Atomic publish: a reader sees either the complete old file or the
+  // complete new one, never a half-written checkpoint.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    log_message(LogLevel::kError, "snapshot: cannot rename %s to %s",
+                tmp.c_str(), path.c_str());
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return true;
+}
+
+Reader load_file(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr)
+    throw SnapshotError("cannot open snapshot file: " + path);
+
+  std::uint8_t header[kHeaderSize];
+  if (std::fread(header, 1, kHeaderSize, f) != kHeaderSize) {
+    std::fclose(f);
+    throw SnapshotError("snapshot file too short for its header: " + path);
+  }
+  if (std::memcmp(header, kMagic, 8) != 0) {
+    std::fclose(f);
+    throw SnapshotError("bad snapshot magic (not a NOCSNAP1 file): " + path);
+  }
+  const std::uint32_t version = get_u32(header + 8);
+  if (version != kFormatVersion) {
+    std::fclose(f);
+    throw SnapshotError("snapshot format version " + std::to_string(version) +
+                        " != supported " + std::to_string(kFormatVersion) +
+                        ": " + path);
+  }
+  const std::uint64_t length = get_u64(header + 12);
+  const std::uint64_t checksum = get_u64(header + 20);
+
+  std::vector<std::uint8_t> payload(static_cast<std::size_t>(length));
+  const std::size_t got =
+      payload.empty() ? 0 : std::fread(payload.data(), 1, payload.size(), f);
+  // Trailing garbage is as suspect as truncation.
+  const bool at_eof = std::fgetc(f) == EOF;
+  std::fclose(f);
+  if (got != payload.size())
+    throw SnapshotError("snapshot payload truncated (" + std::to_string(got) +
+                        " of " + std::to_string(length) + " bytes): " + path);
+  if (!at_eof)
+    throw SnapshotError("snapshot has trailing bytes after payload: " + path);
+  if (fnv1a(payload.data(), payload.size()) != checksum)
+    throw SnapshotError("snapshot checksum mismatch (corrupted file): " +
+                        path);
+  return Reader(std::move(payload));
+}
+
+// --- TaskManifest -----------------------------------------------------------
+
+TaskManifest::TaskManifest(const std::string& path,
+                           const std::string& fingerprint)
+    : path_(path), fingerprint_(fingerprint) {
+  if (path_.empty()) return;
+  std::FILE* f = std::fopen(path_.c_str(), "rb");
+  if (f == nullptr) return;  // no prior run: start fresh
+  std::string text;
+  char chunk[4096];
+  std::size_t n;
+  while ((n = std::fread(chunk, 1, sizeof chunk, f)) > 0) text.append(chunk, n);
+  std::fclose(f);
+  try {
+    const json::Value doc = json::Value::parse(text);
+    if (doc.at("magic").as_string() != "nocs-sweep-manifest" ||
+        doc.at("version").as_number() != 1.0)
+      throw SnapshotError("not a sweep manifest");
+    if (doc.at("fingerprint").as_string() != fingerprint_) {
+      log_message(LogLevel::kWarn,
+                  "sweep manifest %s was written for a different sweep "
+                  "configuration; starting fresh",
+                  path_.c_str());
+      return;
+    }
+    for (const auto& [key, value] : doc.at("completed").members())
+      results_.emplace(static_cast<std::size_t>(std::stoull(key)), value);
+  } catch (const std::exception& e) {
+    log_message(LogLevel::kWarn, "ignoring unreadable sweep manifest %s: %s",
+                path_.c_str(), e.what());
+    results_.clear();
+  }
+}
+
+std::size_t TaskManifest::completed_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return results_.size();
+}
+
+bool TaskManifest::completed(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return results_.count(index) != 0;
+}
+
+json::Value TaskManifest::result(std::size_t index) const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  const auto it = results_.find(index);
+  if (it == results_.end())
+    throw SnapshotError("manifest has no result for task " +
+                        std::to_string(index));
+  return it->second;
+}
+
+void TaskManifest::record(std::size_t index, json::Value result) {
+  if (!enabled()) return;
+  const std::lock_guard<std::mutex> lock(mu_);
+  results_[index] = std::move(result);
+  persist_locked();
+}
+
+void TaskManifest::persist_locked() const {
+  json::Value doc = json::Value::object();
+  doc.set("magic", "nocs-sweep-manifest");
+  doc.set("version", 1);
+  doc.set("fingerprint", fingerprint_);
+  json::Value done = json::Value::object();
+  for (const auto& [index, value] : results_)
+    done.set(std::to_string(index), value);
+  doc.set("completed", std::move(done));
+
+  // Same atomic tmp + rename discipline as binary snapshots: a sweep
+  // killed mid-record leaves the previous complete ledger behind.
+  const std::string tmp = path_ + ".tmp";
+  if (!json::write_file(tmp, doc)) return;
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    log_message(LogLevel::kError, "manifest: cannot rename %s to %s",
+                tmp.c_str(), path_.c_str());
+    std::remove(tmp.c_str());
+  }
+}
+
+}  // namespace nocs::snapshot

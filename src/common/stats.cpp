@@ -2,7 +2,63 @@
 
 #include <cmath>
 
+#include "common/snapshot.hpp"
+
 namespace nocs {
+
+void RunningStat::save_state(snapshot::Writer& w) const {
+  w.begin_section("running_stat");
+  w.u64(count_);
+  w.f64(mean_);
+  w.f64(m2_);
+  w.f64(sum_);
+  w.f64(min_);
+  w.f64(max_);
+  w.end_section();
+}
+
+void RunningStat::load_state(snapshot::Reader& r) {
+  r.begin_section("running_stat");
+  count_ = r.u64();
+  mean_ = r.f64();
+  m2_ = r.f64();
+  sum_ = r.f64();
+  min_ = r.f64();
+  max_ = r.f64();
+  r.end_section();
+}
+
+void Histogram::save_state(snapshot::Writer& w) const {
+  w.begin_section("histogram");
+  w.f64(initial_bin_width_);
+  w.f64(bin_width_);
+  w.b(auto_grow_);
+  w.u64(bins_.size());
+  for (const std::uint64_t b : bins_) w.u64(b);
+  w.u64(total_);
+  w.u64(overflow_);
+  w.f64(max_value_);
+  w.end_section();
+}
+
+void Histogram::load_state(snapshot::Reader& r) {
+  r.begin_section("histogram");
+  const double initial = r.f64();
+  const double width = r.f64();
+  const bool grow = r.b();
+  const std::uint64_t n = r.u64();
+  if (initial != initial_bin_width_ || grow != auto_grow_ ||
+      n != bins_.size())
+    throw snapshot::SnapshotError(
+        "histogram shape mismatch: checkpoint disagrees with the "
+        "destination histogram's construction parameters");
+  bin_width_ = width;
+  for (auto& b : bins_) b = r.u64();
+  total_ = r.u64();
+  overflow_ = r.u64();
+  max_value_ = r.f64();
+  r.end_section();
+}
 
 double geometric_mean(const std::vector<double>& xs) {
   if (xs.empty()) return 0.0;

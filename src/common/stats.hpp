@@ -11,6 +11,11 @@
 
 #include "common/assert.hpp"
 
+namespace nocs::snapshot {
+class Writer;
+class Reader;
+}  // namespace nocs::snapshot
+
 namespace nocs {
 
 /// Streaming mean/variance/min/max accumulator (Welford's algorithm).
@@ -55,6 +60,10 @@ class RunningStat {
   }
   double min() const { return count_ ? min_ : 0.0; }
   double max() const { return count_ ? max_ : 0.0; }
+
+  /// Checkpoint/restore: exact (bit-identical) accumulator state.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   std::uint64_t count_ = 0;
@@ -145,6 +154,12 @@ class Histogram {
     }
     return static_cast<double>(bins_.size()) * bin_width_;
   }
+
+  /// Checkpoint/restore.  load_state requires a histogram constructed with
+  /// the same initial bin width and bin count (it restores the grown bin
+  /// width and counts on top).
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
 
  private:
   /// Merges adjacent bin pairs, doubling the bin width: same samples, half

@@ -144,4 +144,65 @@ bool FaultInjector::router_stuck(NodeId node, Cycle now) {
   return now >= params_.stuck_from && stuck_set_.count(node) != 0;
 }
 
+void FaultInjector::save_state(snapshot::Writer& w) const {
+  w.begin_section("fault_injector");
+  const auto save_rngs = [&w](const std::vector<Rng>& rngs) {
+    w.i64(static_cast<std::int64_t>(rngs.size()));
+    for (const Rng& rng : rngs)
+      for (const std::uint64_t s : rng.state()) w.u64(s);
+  };
+  save_rngs(flip_rngs_);
+  save_rngs(drop_rngs_);
+  save_rngs(wake_rngs_);
+
+  // unordered_map iteration order is not deterministic; serialize sorted
+  // by link key so equal states produce byte-identical snapshots.
+  std::vector<std::uint64_t> keys;
+  keys.reserve(link_schedules_.size());
+  for (const auto& [key, sched] : link_schedules_) keys.push_back(key);
+  std::sort(keys.begin(), keys.end());
+  w.i64(static_cast<std::int64_t>(keys.size()));
+  for (const std::uint64_t key : keys) {
+    const LinkSchedule& s = link_schedules_.at(key);
+    w.u64(key);
+    for (const std::uint64_t st : s.rng.state()) w.u64(st);
+    w.u64(s.down_start);
+    w.u64(s.down_end);
+  }
+  w.end_section();
+}
+
+void FaultInjector::load_state(snapshot::Reader& r) {
+  r.begin_section("fault_injector");
+  const auto load_rngs = [&r](std::vector<Rng>& rngs) {
+    const auto n = r.i64();
+    if (n != static_cast<std::int64_t>(rngs.size()))
+      throw snapshot::SnapshotError(
+          "fault injector RNG pool size in checkpoint disagrees with the "
+          "mesh size");
+    for (Rng& rng : rngs) {
+      std::array<std::uint64_t, 4> st{};
+      for (auto& s : st) s = r.u64();
+      rng.set_state(st);
+    }
+  };
+  load_rngs(flip_rngs_);
+  load_rngs(drop_rngs_);
+  load_rngs(wake_rngs_);
+
+  link_schedules_.clear();
+  const auto num_links = r.i64();
+  for (std::int64_t i = 0; i < num_links; ++i) {
+    const std::uint64_t key = r.u64();
+    LinkSchedule s(0);
+    std::array<std::uint64_t, 4> st{};
+    for (auto& v : st) v = r.u64();
+    s.rng.set_state(st);
+    s.down_start = r.u64();
+    s.down_end = r.u64();
+    link_schedules_.emplace(key, s);
+  }
+  r.end_section();
+}
+
 }  // namespace nocs::fault

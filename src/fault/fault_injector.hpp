@@ -18,6 +18,7 @@
 #include "common/config.hpp"
 #include "common/geometry.hpp"
 #include "common/rng.hpp"
+#include "common/snapshot.hpp"
 #include "noc/fault_hooks.hpp"
 
 namespace nocs::fault {
@@ -61,9 +62,19 @@ struct FaultParams {
 
 /// Concrete deterministic fault oracle.  Attach via
 /// Network::enable_resilience(&injector, &params.protection()).
-class FaultInjector final : public noc::FaultOracle {
+///
+/// Serializable so checkpointed faulty runs resume bit-identically: the
+/// RNG stream positions and lazily-materialized link-outage schedules are
+/// part of the simulation state.
+class FaultInjector final : public noc::FaultOracle,
+                            public snapshot::Serializable {
  public:
   FaultInjector(const MeshShape& mesh, const FaultParams& params);
+
+  // snapshot::Serializable (dynamic state only; params are re-read from
+  // config by the caller before load_state):
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
 
   const FaultParams& params() const { return params_; }
 

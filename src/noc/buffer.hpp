@@ -47,6 +47,28 @@ class VcBuffer {
     return f;
   }
 
+  /// Checkpoint: buffered flits oldest-first.  The ring phase (head index)
+  /// is not part of the observable state, so load_state rebuilds the queue
+  /// from slot 0 — contents and order are what must round-trip.
+  void save_state(snapshot::Writer& w) const {
+    w.begin_section("vc_buffer");
+    w.i64(count_);
+    for (int i = 0; i < count_; ++i) save(w, slots_[wrap(head_ + i)]);
+    w.end_section();
+  }
+
+  void load_state(snapshot::Reader& r) {
+    r.begin_section("vc_buffer");
+    const int n = static_cast<int>(r.i64());
+    if (n < 0 || n > capacity_)
+      throw snapshot::SnapshotError(
+          "vc buffer occupancy in checkpoint exceeds configured capacity");
+    head_ = 0;
+    count_ = n;
+    for (int i = 0; i < n; ++i) load(r, slots_[static_cast<std::size_t>(i)]);
+    r.end_section();
+  }
+
  private:
   std::size_t wrap(int index) const {
     // Capacity is the VC depth (typically 4, not always a power of two),

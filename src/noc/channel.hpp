@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace nocs::noc {
@@ -90,6 +91,47 @@ class Pipe {
   Cycle next_ready_time() const {
     return count_ == 0 ? kNoPendingEvent
                        : slots_[static_cast<std::size_t>(head_)].first;
+  }
+
+  /// Checkpoint: in-flight values oldest-first with their absolute ready
+  /// times.  The element codec is a callback because Pipe is generic over
+  /// the payload (Flit or Credit).
+  template <typename SaveElem>
+  void save_state(snapshot::Writer& w, SaveElem&& save_elem) const {
+    w.begin_section("pipe");
+    w.u64(latency_);
+    w.i64(count_);
+    for (int i = 0; i < count_; ++i) {
+      const auto& slot = slots_[wrap(head_ + i)];
+      w.u64(slot.first);
+      save_elem(w, slot.second);
+    }
+    w.end_section();
+  }
+
+  /// Restores in-flight values without firing the wake sink: the network
+  /// restore path marks every consumer hot instead, which subsumes the
+  /// per-push notifications.  Ready times are absolute cycles and stay
+  /// valid because Network::now() is restored from the same checkpoint.
+  template <typename LoadElem>
+  void load_state(snapshot::Reader& r, LoadElem&& load_elem) {
+    r.begin_section("pipe");
+    const Cycle lat = r.u64();
+    if (lat != latency_)
+      throw snapshot::SnapshotError(
+          "pipe latency in checkpoint disagrees with configured topology");
+    const int n = static_cast<int>(r.i64());
+    if (n < 0) throw snapshot::SnapshotError("negative pipe occupancy");
+    if (n > static_cast<int>(slots_.size()))
+      slots_.resize(static_cast<std::size_t>(n));
+    head_ = 0;
+    count_ = n;
+    for (int i = 0; i < n; ++i) {
+      auto& slot = slots_[static_cast<std::size_t>(i)];
+      slot.first = r.u64();
+      load_elem(r, slot.second);
+    }
+    r.end_section();
   }
 
  private:

@@ -3,6 +3,7 @@
 
 #include <cstdint>
 
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 
 namespace nocs::noc {
@@ -46,5 +47,49 @@ struct Flit {
 struct Credit {
   VcId vc = -1;
 };
+
+/// Checkpoint serialization for the two wire types.  Field-by-field rather
+/// than memcpy so the on-disk format is independent of struct padding.
+inline void save(snapshot::Writer& w, const Flit& f) {
+  w.u64(f.packet);
+  w.i64(f.index);
+  w.b(f.is_head);
+  w.b(f.is_tail);
+  w.i64(f.src);
+  w.i64(f.dst);
+  w.i64(f.vc);
+  w.i64(f.msg_class);
+  w.u64(f.created);
+  w.u64(f.injected);
+  w.i64(f.hops);
+  w.b(f.measured);
+  w.b(f.corrupted);
+  w.u8(static_cast<std::uint8_t>(f.kind));
+  w.u64(f.ack_for);
+}
+
+inline void load(snapshot::Reader& r, Flit& f) {
+  f.packet = r.u64();
+  f.index = static_cast<int>(r.i64());
+  f.is_head = r.b();
+  f.is_tail = r.b();
+  f.src = static_cast<NodeId>(r.i64());
+  f.dst = static_cast<NodeId>(r.i64());
+  f.vc = static_cast<VcId>(r.i64());
+  f.msg_class = static_cast<int>(r.i64());
+  f.created = r.u64();
+  f.injected = r.u64();
+  f.hops = static_cast<int>(r.i64());
+  f.measured = r.b();
+  f.corrupted = r.b();
+  f.kind = static_cast<PacketKind>(r.u8());
+  f.ack_for = r.u64();
+}
+
+inline void save(snapshot::Writer& w, const Credit& c) { w.i64(c.vc); }
+
+inline void load(snapshot::Reader& r, Credit& c) {
+  c.vc = static_cast<VcId>(r.i64());
+}
 
 }  // namespace nocs::noc

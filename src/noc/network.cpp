@@ -327,4 +327,92 @@ void Network::reset_counters() {
   }
 }
 
+void Network::save_state(snapshot::Writer& w) const {
+  w.begin_section("network");
+
+  // Topology/configuration fingerprint: restore verifies the destination
+  // network was built from the same parameters, otherwise the serialized
+  // per-VC and per-pipe state would be reinterpreted against the wrong
+  // structures.
+  w.i64(params_.width);
+  w.i64(params_.height);
+  w.i64(params_.num_vcs);
+  w.i64(params_.vc_depth);
+  w.i64(params_.packet_length);
+  w.i64(params_.link_latency);
+  w.i64(params_.wakeup_latency);
+  w.i64(params_.gate_idle_threshold);
+  w.i64(params_.pipeline_stages);
+  w.i64(params_.num_classes);
+  w.i64(static_cast<std::int64_t>(endpoints_.size()));
+  for (const NodeId e : endpoints_) w.i64(e);
+  w.i64(static_cast<std::int64_t>(flit_pipes_.size()));
+  w.i64(static_cast<std::int64_t>(credit_pipes_.size()));
+
+  w.u64(now_);
+  for (const auto& r : routers_) r->save_state(w);
+  for (const auto& ni : nis_) ni->save_state(w);
+  const auto save_flit = [](snapshot::Writer& sw, const Flit& f) {
+    save(sw, f);
+  };
+  const auto save_credit = [](snapshot::Writer& sw, const Credit& c) {
+    save(sw, c);
+  };
+  for (const auto& p : flit_pipes_) p->save_state(w, save_flit);
+  for (const auto& p : credit_pipes_) p->save_state(w, save_credit);
+  stats_.save_state(w);
+  w.end_section();
+}
+
+void Network::load_state(snapshot::Reader& r) {
+  r.begin_section("network");
+
+  const bool fingerprint_ok =
+      r.i64() == params_.width && r.i64() == params_.height &&
+      r.i64() == params_.num_vcs && r.i64() == params_.vc_depth &&
+      r.i64() == params_.packet_length && r.i64() == params_.link_latency &&
+      r.i64() == params_.wakeup_latency &&
+      r.i64() == params_.gate_idle_threshold &&
+      r.i64() == params_.pipeline_stages && r.i64() == params_.num_classes;
+  if (!fingerprint_ok)
+    throw snapshot::SnapshotError(
+        "checkpoint network parameters disagree with this network's "
+        "configuration");
+  const auto num_endpoints = r.i64();
+  if (num_endpoints != static_cast<std::int64_t>(endpoints_.size()))
+    throw snapshot::SnapshotError(
+        "checkpoint endpoint count disagrees with this network's "
+        "configuration");
+  for (const NodeId e : endpoints_)
+    if (r.i64() != e)
+      throw snapshot::SnapshotError(
+          "checkpoint endpoint set disagrees with this network's "
+          "configuration");
+  if (r.i64() != static_cast<std::int64_t>(flit_pipes_.size()) ||
+      r.i64() != static_cast<std::int64_t>(credit_pipes_.size()))
+    throw snapshot::SnapshotError(
+        "checkpoint channel count disagrees with this network's topology");
+
+  now_ = r.u64();
+  for (auto& rt : routers_) rt->load_state(r);
+  for (auto& ni : nis_) ni->load_state(r);
+  const auto load_flit = [](snapshot::Reader& sr, Flit& f) { load(sr, f); };
+  const auto load_credit = [](snapshot::Reader& sr, Credit& c) {
+    load(sr, c);
+  };
+  for (auto& p : flit_pipes_) p->load_state(r, load_flit);
+  for (auto& p : credit_pipes_) p->load_state(r, load_credit);
+  stats_.load_state(r);
+  r.end_section();
+
+  // Reset the fast-path scheduler conservatively: mark every node hot and
+  // drop all pending wake-ups.  Ticking a quiescent node is a no-op beyond
+  // leakage accounting, which sync_counters() reproduces exactly, so this
+  // is bit-identical to resuming the saved wheel — nodes with no work
+  // simply cool again after one tick.
+  std::fill(router_hot_.begin(), router_hot_.end(), 1);
+  std::fill(ni_hot_.begin(), ni_hot_.end(), 1);
+  for (auto& bucket : wheel_) bucket.clear();
+}
+
 }  // namespace nocs::noc

@@ -138,6 +138,18 @@ class Network {
 
   const std::vector<NodeId>& endpoints() const { return endpoints_; }
 
+  // --- checkpoint/restore ---------------------------------------------------
+  //
+  // save_state captures the complete dynamic state (current cycle, every
+  // router/NI, every in-flight flit and credit, statistics) plus a
+  // topology fingerprint.  load_state requires a network constructed and
+  // configured (endpoints, seed, gating, rates) exactly as the saved one;
+  // it verifies the fingerprint, restores the dynamic state, and resets
+  // the fast-path scheduling so the resumed simulation is bit-identical
+  // to one that never stopped.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   // --- active-node fast path ----------------------------------------------
   //

@@ -313,4 +313,132 @@ void NetworkInterface::inject(Cycle now) {
   }
 }
 
+void NetworkInterface::save_pending(snapshot::Writer& w,
+                                    const PendingPacket& p) {
+  w.u64(p.id);
+  w.i64(p.dst);
+  w.u64(p.created);
+  w.b(p.measured);
+  w.i64(p.msg_class);
+  w.i64(p.length);
+  w.u8(static_cast<std::uint8_t>(p.kind));
+  w.u64(p.ack_for);
+}
+
+NetworkInterface::PendingPacket NetworkInterface::load_pending(
+    snapshot::Reader& r) {
+  PendingPacket p{};
+  p.id = r.u64();
+  p.dst = static_cast<NodeId>(r.i64());
+  p.created = r.u64();
+  p.measured = r.b();
+  p.msg_class = static_cast<int>(r.i64());
+  p.length = static_cast<int>(r.i64());
+  p.kind = static_cast<PacketKind>(r.u8());
+  p.ack_for = r.u64();
+  return p;
+}
+
+void NetworkInterface::save_state(snapshot::Writer& w) const {
+  w.begin_section("ni");
+  for (const std::uint64_t s : rng_.state()) w.u64(s);
+
+  w.i64(static_cast<std::int64_t>(source_queue_.size()));
+  for (const PendingPacket& p : source_queue_) save_pending(w, p);
+
+  w.i64(static_cast<std::int64_t>(credits_.size()));
+  for (const int c : credits_) w.i64(c);
+
+  w.b(sending_);
+  save_pending(w, current_);
+  w.i64(flits_sent_);
+  w.i64(current_vc_);
+  w.u64(head_injected_);
+  w.i64(vc_rr_);
+
+  w.i64(static_cast<std::int64_t>(unacked_.size()));
+  for (const auto& [pid, u] : unacked_) {
+    w.u64(pid);
+    save_pending(w, u.pkt);
+    w.u64(u.deadline);
+    w.i64(u.retries);
+  }
+  w.u64(next_deadline_);
+
+  w.i64(static_cast<std::int64_t>(rx_state_.size()));
+  for (const auto& [pid, rx] : rx_state_) {
+    w.u64(pid);
+    w.b(rx.corrupted);
+    w.i64(rx.measured_flits);
+  }
+
+  // The duplicate filter is an unordered_set; serialize sorted so equal
+  // states produce byte-identical snapshots.
+  std::vector<PacketId> delivered(delivered_.begin(), delivered_.end());
+  std::sort(delivered.begin(), delivered.end());
+  w.i64(static_cast<std::int64_t>(delivered.size()));
+  for (const PacketId pid : delivered) w.u64(pid);
+
+  w.u64(total_generated_);
+  w.u64(total_ejected_flits_);
+  w.u64(next_packet_id_);
+  w.end_section();
+}
+
+void NetworkInterface::load_state(snapshot::Reader& r) {
+  r.begin_section("ni");
+  std::array<std::uint64_t, 4> rng_state{};
+  for (auto& s : rng_state) s = r.u64();
+  rng_.set_state(rng_state);
+
+  source_queue_.clear();
+  const auto queued = r.i64();
+  for (std::int64_t i = 0; i < queued; ++i)
+    source_queue_.push_back(load_pending(r));
+
+  const auto num_credits = r.i64();
+  if (num_credits != static_cast<std::int64_t>(credits_.size()))
+    throw snapshot::SnapshotError(
+        "NI credit vector size in checkpoint disagrees with num_vcs");
+  for (int& c : credits_) c = static_cast<int>(r.i64());
+
+  sending_ = r.b();
+  current_ = load_pending(r);
+  flits_sent_ = static_cast<int>(r.i64());
+  current_vc_ = static_cast<VcId>(r.i64());
+  head_injected_ = r.u64();
+  vc_rr_ = static_cast<int>(r.i64());
+
+  unacked_.clear();
+  const auto num_unacked = r.i64();
+  for (std::int64_t i = 0; i < num_unacked; ++i) {
+    const PacketId pid = r.u64();
+    Unacked u{};
+    u.pkt = load_pending(r);
+    u.deadline = r.u64();
+    u.retries = static_cast<int>(r.i64());
+    unacked_.emplace(pid, u);
+  }
+  next_deadline_ = r.u64();
+
+  rx_state_.clear();
+  const auto num_rx = r.i64();
+  for (std::int64_t i = 0; i < num_rx; ++i) {
+    const PacketId pid = r.u64();
+    RxPacket rx{};
+    rx.corrupted = r.b();
+    rx.measured_flits = static_cast<int>(r.i64());
+    rx_state_.emplace(pid, rx);
+  }
+
+  delivered_.clear();
+  const auto num_delivered = r.i64();
+  for (std::int64_t i = 0; i < num_delivered; ++i) delivered_.insert(r.u64());
+
+  total_generated_ = r.u64();
+  total_ejected_flits_ = r.u64();
+  next_packet_id_ = r.u64();
+  r.end_section();
+}
+
 }  // namespace nocs::noc

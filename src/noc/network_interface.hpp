@@ -118,6 +118,14 @@ class NetworkInterface {
   std::uint64_t total_generated() const { return total_generated_; }
   std::uint64_t total_ejected_flits() const { return total_ejected_flits_; }
 
+  // --- checkpoint/restore ---------------------------------------------------
+  //
+  // Dynamic state only: RNG position, source queue, in-flight injection,
+  // credits, and protection bookkeeping.  Endpoint/traffic/protection
+  // configuration is re-applied by the caller before load_state.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   struct PendingPacket {
     PacketId id;
@@ -142,6 +150,9 @@ class NetworkInterface {
     bool corrupted = false;
     int measured_flits = 0;
   };
+
+  static void save_pending(snapshot::Writer& w, const PendingPacket& p);
+  static PendingPacket load_pending(snapshot::Reader& r);
 
   void eject(Cycle now);
   void eject_protected(Cycle now, const Flit& f);

@@ -45,4 +45,81 @@ std::vector<SimResults> parallel_samples(const SweepRunner& run,
   return results;
 }
 
+std::string sweep_fingerprint(const std::vector<double>& rates,
+                              std::uint64_t base_seed) {
+  std::string fp = "sweep:n=" + std::to_string(rates.size()) +
+                   ";seed=" + std::to_string(base_seed) + ";rates=";
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    if (i != 0) fp += ',';
+    fp += json::format_number(rates[i]);
+  }
+  return fp;
+}
+
+std::vector<SweepPoint> resumable_sweep_injection(
+    const SweepRunner& run, const std::vector<double>& rates,
+    std::uint64_t base_seed, snapshot::TaskManifest* manifest,
+    int num_threads) {
+  if (manifest == nullptr || !manifest->enabled())
+    return parallel_sweep_injection(run, rates, base_seed, num_threads);
+  NOCS_EXPECTS(run != nullptr);
+
+  std::vector<SweepPoint> points(rates.size());
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < rates.size(); ++i) {
+    points[i].injection_rate = rates[i];
+    if (manifest->completed(i))
+      points[i].results = sim_results_from_json(manifest->result(i));
+    else
+      todo.push_back(i);
+  }
+  ParallelFor(
+      todo.size(),
+      [&](std::size_t k) {
+        const std::size_t i = todo[k];
+        const SweepTask task{i, rates[i], task_seed(base_seed, i)};
+        const trace::HostScope span(
+            "sweep[" + std::to_string(i) +
+                "] rate=" + std::to_string(rates[i]),
+            "sweep", static_cast<int>(i));
+        points[i].results = run(task);
+        manifest->record(i, to_json(points[i].results));
+      },
+      num_threads);
+  return points;
+}
+
+std::vector<SimResults> resumable_samples(const SweepRunner& run,
+                                          std::size_t num_samples,
+                                          double injection_rate,
+                                          std::uint64_t base_seed,
+                                          snapshot::TaskManifest* manifest,
+                                          int num_threads) {
+  if (manifest == nullptr || !manifest->enabled())
+    return parallel_samples(run, num_samples, injection_rate, base_seed,
+                            num_threads);
+  NOCS_EXPECTS(run != nullptr);
+
+  std::vector<SimResults> results(num_samples);
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < num_samples; ++i) {
+    if (manifest->completed(i))
+      results[i] = sim_results_from_json(manifest->result(i));
+    else
+      todo.push_back(i);
+  }
+  ParallelFor(
+      todo.size(),
+      [&](std::size_t k) {
+        const std::size_t i = todo[k];
+        const SweepTask task{i, injection_rate, task_seed(base_seed, i)};
+        const trace::HostScope span("sample[" + std::to_string(i) + "]",
+                                    "sweep", static_cast<int>(i));
+        results[i] = run(task);
+        manifest->record(i, to_json(results[i]));
+      },
+      num_threads);
+  return results;
+}
+
 }  // namespace nocs::noc

@@ -13,8 +13,10 @@
 
 #include <cstdint>
 #include <functional>
+#include <string>
 #include <vector>
 
+#include "common/snapshot.hpp"
 #include "noc/simulator.hpp"
 
 namespace nocs::noc {
@@ -45,5 +47,34 @@ std::vector<SimResults> parallel_samples(const SweepRunner& run,
                                          double injection_rate,
                                          std::uint64_t base_seed,
                                          int num_threads = 0);
+
+// --- resumable batches ------------------------------------------------------
+//
+// The resumable variants pair a batch with a snapshot::TaskManifest: tasks
+// already recorded in the manifest are replayed from their stored results
+// (the JSON layer round-trips doubles bit-exactly) instead of re-simulated,
+// and each finished task is recorded immediately, so a killed sweep
+// restarts from the last completed task.  A null or disabled manifest
+// degrades to the plain parallel batch.
+
+/// Canonical manifest fingerprint for an injection sweep: task count, base
+/// seed, and every rate, formatted bit-exactly.  Reusing a manifest whose
+/// fingerprint differs (rates, seed, or count changed) starts fresh.
+std::string sweep_fingerprint(const std::vector<double>& rates,
+                              std::uint64_t base_seed);
+
+/// parallel_sweep_injection with per-task resume through `manifest`.
+std::vector<SweepPoint> resumable_sweep_injection(
+    const SweepRunner& run, const std::vector<double>& rates,
+    std::uint64_t base_seed, snapshot::TaskManifest* manifest,
+    int num_threads = 0);
+
+/// parallel_samples with per-task resume through `manifest`.
+std::vector<SimResults> resumable_samples(const SweepRunner& run,
+                                          std::size_t num_samples,
+                                          double injection_rate,
+                                          std::uint64_t base_seed,
+                                          snapshot::TaskManifest* manifest,
+                                          int num_threads = 0);
 
 }  // namespace nocs::noc

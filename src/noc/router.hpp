@@ -131,6 +131,15 @@ class Router {
   /// ports * vcs * vc_depth again).
   int total_output_credits() const;
 
+  // --- checkpoint/restore ---------------------------------------------------
+  //
+  // Dynamic state only: buffered flits, pipeline stages, VC allocations,
+  // in-flight switch grants, arbitration pointers, power-gating FSM, and
+  // counters.  Configuration (id, params, routing, wiring, gating mode) is
+  // reconstructed by the caller before load_state.
+  void save_state(snapshot::Writer& w) const;
+  void load_state(snapshot::Reader& r);
+
  private:
   struct InputVc {
     explicit InputVc(int depth) : buf(depth) {}

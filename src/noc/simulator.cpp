@@ -43,9 +43,29 @@ void emit_trace_sample(const Network& net) {
 }  // namespace
 
 SimResults run_simulation(Network& net, const SimConfig& cfg) {
+  return run_simulation(net, cfg, CheckpointConfig{});
+}
+
+SimResults run_simulation(Network& net, const SimConfig& cfg,
+                          const CheckpointConfig& ckpt) {
   NOCS_EXPECTS(cfg.measure > 0);
-  net.reset_counters();
-  net.stats().reset();
+
+  // Run progress through the warmup (0) / measure (1) / drain (2) state
+  // machine.  All of it is serialized into checkpoints so a restored run
+  // continues exactly where the saved one stopped.
+  int phase = 0;
+  Cycle done_in_phase = 0;
+  Cycle drained_cycles = 0;
+  bool hung = false;
+  std::string diagnostic;
+  std::uint64_t last_sig = 0;
+  Cycle last_change = net.now();
+
+  const bool restoring = !ckpt.restore_path.empty();
+  if (!restoring) {
+    net.reset_counters();
+    net.stats().reset();
+  }
   net.set_injection_rate(cfg.injection_rate);
 
   // Tracing is observational only: when no session is active every hook
@@ -63,12 +83,8 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
   // Livelock/deadlock watchdog: sample the flit-movement signature every
   // `poll` cycles; if it sits still for watchdog_cycles while flits are
   // still in flight, declare the run hung and capture a diagnostic.  With
-  // watchdog_cycles == 0 and no tracing the phase loops below reduce to
+  // watchdog_cycles == 0 and no tracing the phase chunks below reduce to
   // net.run(n) and the fault-free path is untouched.
-  bool hung = false;
-  std::string diagnostic;
-  std::uint64_t last_sig = 0;
-  Cycle last_change = net.now();
   const Cycle poll =
       cfg.watchdog_cycles > 0
           ? std::max<Cycle>(1, std::min<Cycle>(cfg.watchdog_cycles / 4, 256))
@@ -87,7 +103,78 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
                        static_cast<double>(net.now()));
     }
   };
-  auto run_phase = [&](Cycle n) {
+
+  auto save_checkpoint = [&]() {
+    snapshot::Writer w;
+    // SimConfig echo: restoring under different phase lengths or load
+    // would silently desynchronize the state machine, so restore verifies
+    // this section against its own SimConfig.
+    w.begin_section("config");
+    w.u64(cfg.warmup);
+    w.u64(cfg.measure);
+    w.u64(cfg.drain_max);
+    w.f64(cfg.injection_rate);
+    w.u64(cfg.watchdog_cycles);
+    w.end_section();
+    w.begin_section("progress");
+    w.i64(phase);
+    w.u64(done_in_phase);
+    w.u64(drained_cycles);
+    w.b(hung);
+    w.str(diagnostic);
+    w.u64(last_sig);
+    w.u64(last_change);
+    w.end_section();
+    net.save_state(w);
+    w.i64(static_cast<std::int64_t>(ckpt.extras.size()));
+    for (const auto& [name, comp] : ckpt.extras) {
+      w.str(name);
+      comp->save_state(w);
+    }
+    snapshot::save_file(ckpt.save_path, w);
+  };
+
+  if (restoring) {
+    snapshot::Reader r = snapshot::load_file(ckpt.restore_path);
+    r.begin_section("config");
+    const bool config_ok =
+        r.u64() == cfg.warmup && r.u64() == cfg.measure &&
+        r.u64() == cfg.drain_max && r.f64() == cfg.injection_rate &&
+        r.u64() == cfg.watchdog_cycles;
+    if (!config_ok)
+      throw snapshot::SnapshotError(
+          "checkpoint was taken under a different SimConfig (warmup/"
+          "measure/drain/injection/watchdog); refusing to resume");
+    r.end_section();
+    r.begin_section("progress");
+    phase = static_cast<int>(r.i64());
+    done_in_phase = r.u64();
+    drained_cycles = r.u64();
+    hung = r.b();
+    diagnostic = r.str();
+    last_sig = r.u64();
+    last_change = r.u64();
+    r.end_section();
+    net.load_state(r);
+    if (r.i64() != static_cast<std::int64_t>(ckpt.extras.size()))
+      throw snapshot::SnapshotError(
+          "checkpoint extra-component count disagrees with this run's "
+          "CheckpointConfig");
+    for (const auto& [name, comp] : ckpt.extras) {
+      if (r.str() != name)
+        throw snapshot::SnapshotError(
+            "checkpoint extra-component order/name disagrees with this "
+            "run's CheckpointConfig");
+      comp->load_state(r);
+    }
+    if (r.remaining() != 0)
+      throw snapshot::SnapshotError(
+          "checkpoint has unread payload after all components");
+  } else if (poll != 0) {
+    last_sig = net.progress_signature();
+  }
+
+  auto run_chunk = [&](Cycle n) {
     if (poll == 0 && sample_every == 0) {
       net.run(n);
       return;
@@ -99,41 +186,75 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
         emit_trace_sample(net);
     }
   };
-  auto traced_phase = [&](const char* name, Cycle n) {
-    const Cycle start = net.now();
-    run_phase(n);
-    if (tracing)
-      trace::complete(name, "sim.phase", trace::kSimPid, 0,
-                      static_cast<double>(start),
-                      static_cast<double>(net.now() - start));
+
+  const Cycle ckpt_every =
+      !ckpt.save_path.empty() && ckpt.every > 0 ? ckpt.every : 0;
+  bool interrupted = false;
+
+  // Writes a periodic/stop checkpoint when the current cycle is a
+  // boundary; returns true when the run must stop here.  Called only at
+  // chunk boundaries, *after* phase transitions, so a snapshot taken
+  // exactly at the end of warmup restores into the measure phase with the
+  // measuring flag already on.
+  auto checkpoint_boundary = [&]() {
+    const bool at_stop = ckpt.stop_at != 0 && net.now() >= ckpt.stop_at;
+    const bool at_period =
+        ckpt_every != 0 && net.now() % ckpt_every == 0;
+    if (!ckpt.save_path.empty() && (at_period || at_stop)) save_checkpoint();
+    return at_stop;
   };
-  if (poll != 0) last_sig = net.progress_signature();
 
-  traced_phase("warmup", cfg.warmup);
+  const Cycle phase_lengths[2] = {cfg.warmup, cfg.measure};
+  auto apply_transitions = [&]() {
+    while (phase < 2 && done_in_phase >= phase_lengths[phase]) {
+      const Cycle len = phase_lengths[phase];
+      if (tracing)
+        trace::complete(phase == 0 ? "warmup" : "measure", "sim.phase",
+                        trace::kSimPid, 0,
+                        static_cast<double>(net.now() - len),
+                        static_cast<double>(len));
+      net.stats().set_measuring(phase == 0);
+      done_in_phase -= len;
+      ++phase;
+    }
+  };
 
-  net.stats().set_measuring(true);
-  traced_phase("measure", cfg.measure);
-  net.stats().set_measuring(false);
+  apply_transitions();  // cfg.warmup == 0, or restored at a boundary
+  while (!hung && !interrupted && phase < 2) {
+    Cycle stride = phase_lengths[phase] - done_in_phase;
+    if (ckpt_every != 0)
+      stride = std::min(stride, ckpt_every - net.now() % ckpt_every);
+    if (ckpt.stop_at > net.now())
+      stride = std::min(stride, ckpt.stop_at - net.now());
+    const Cycle before = net.now();
+    run_chunk(stride);
+    done_in_phase += net.now() - before;
+    apply_transitions();
+    if (checkpoint_boundary()) interrupted = true;
+  }
 
   // Drain: keep injecting background (unmeasured) traffic so the network
   // stays under load while the tagged packets finish.
-  const Cycle drain_start = net.now();
-  Cycle drained_cycles = 0;
-  while (!net.stats().all_drained() && drained_cycles < cfg.drain_max &&
-         !hung) {
-    net.tick();
-    ++drained_cycles;
-    if (poll != 0 && net.now() % poll == 0) watchdog_check();
-    if (sample_every != 0 && net.now() % sample_every == 0)
-      emit_trace_sample(net);
+  if (!hung && !interrupted && phase == 2) {
+    const Cycle drain_start = net.now() - drained_cycles;
+    while (!net.stats().all_drained() && drained_cycles < cfg.drain_max &&
+           !hung && !interrupted) {
+      net.tick();
+      ++drained_cycles;
+      if (poll != 0 && net.now() % poll == 0) watchdog_check();
+      if (sample_every != 0 && net.now() % sample_every == 0)
+        emit_trace_sample(net);
+      if (checkpoint_boundary()) interrupted = true;
+    }
+    if (tracing)
+      trace::complete("drain", "sim.phase", trace::kSimPid, 0,
+                      static_cast<double>(drain_start),
+                      static_cast<double>(net.now() - drain_start));
   }
-  if (tracing)
-    trace::complete("drain", "sim.phase", trace::kSimPid, 0,
-                    static_cast<double>(drain_start),
-                    static_cast<double>(net.now() - drain_start));
 
   SimResults r;
   r.hung = hung;
+  r.interrupted = interrupted;
   r.diagnostic = std::move(diagnostic);
   const StatsCollector& s = net.stats();
   r.avg_packet_latency = s.packet_latency().mean();
@@ -156,7 +277,12 @@ SimResults run_simulation(Network& net, const SimConfig& cfg) {
   r.saturated = !s.all_drained();
   r.histogram_saturated = s.histogram_saturated();
   r.max_packet_latency = s.packet_latency().max();
-  r.cycles = cfg.warmup + cfg.measure + drained_cycles;
+  // Cycles actually simulated by this run: full phases behind the current
+  // one plus progress within it (equals warmup + measure + drained_cycles
+  // for any run that reached the drain phase).
+  r.cycles = phase == 0 ? done_in_phase
+             : phase == 1 ? cfg.warmup + done_in_phase
+                          : cfg.warmup + cfg.measure + drained_cycles;
   r.counters = net.total_counters();
   r.resilience = s.resilience();
   return r;
@@ -195,6 +321,7 @@ json::Value to_json(const SimResults& r) {
   o.set("histogram_saturated", r.histogram_saturated);
   o.set("hung", r.hung);
   if (r.hung) o.set("diagnostic", r.diagnostic);
+  o.set("interrupted", r.interrupted);
   o.set("cycles", r.cycles);
 
   json::Value c = json::Value::object();
@@ -224,6 +351,57 @@ json::Value to_json(const SimResults& r) {
   res.set("nacks_sent", r.resilience.nacks_sent);
   o.set("resilience", std::move(res));
   return o;
+}
+
+SimResults sim_results_from_json(const json::Value& v) {
+  SimResults r;
+  r.avg_packet_latency = v.at("avg_packet_latency").as_number();
+  r.avg_network_latency = v.at("avg_network_latency").as_number();
+  r.p50_latency = v.at("p50_latency").as_number();
+  r.p99_latency = v.at("p99_latency").as_number();
+  r.max_packet_latency = v.at("max_packet_latency").as_number();
+  r.avg_hops = v.at("avg_hops").as_number();
+  r.packets_generated =
+      static_cast<std::uint64_t>(v.at("packets_generated").as_number());
+  r.packets_ejected =
+      static_cast<std::uint64_t>(v.at("packets_ejected").as_number());
+  r.accepted_rate = v.at("accepted_rate").as_number();
+  r.saturated = v.at("saturated").as_bool();
+  r.histogram_saturated = v.at("histogram_saturated").as_bool();
+  r.hung = v.at("hung").as_bool();
+  if (const json::Value* d = v.find("diagnostic")) r.diagnostic = d->as_string();
+  if (const json::Value* i = v.find("interrupted"))
+    r.interrupted = i->as_bool();
+  r.cycles = static_cast<Cycle>(v.at("cycles").as_number());
+
+  const json::Value& c = v.at("counters");
+  const auto u64_of = [](const json::Value& field) {
+    return static_cast<std::uint64_t>(field.as_number());
+  };
+  r.counters.buffer_writes = u64_of(c.at("buffer_writes"));
+  r.counters.buffer_reads = u64_of(c.at("buffer_reads"));
+  r.counters.xbar_traversals = u64_of(c.at("xbar_traversals"));
+  r.counters.vc_allocs = u64_of(c.at("vc_allocs"));
+  r.counters.sa_arbitrations = u64_of(c.at("sa_arbitrations"));
+  r.counters.link_flits = u64_of(c.at("link_flits"));
+  r.counters.active_cycles = u64_of(c.at("active_cycles"));
+  r.counters.gated_cycles = u64_of(c.at("gated_cycles"));
+  r.counters.waking_cycles = u64_of(c.at("waking_cycles"));
+  r.counters.wake_events = u64_of(c.at("wake_events"));
+  r.counters.idle_active_cycles = u64_of(c.at("idle_active_cycles"));
+  r.counters.flits_corrupted = u64_of(c.at("flits_corrupted"));
+  r.counters.reroutes = u64_of(c.at("reroutes"));
+  r.counters.wake_failures = u64_of(c.at("wake_failures"));
+
+  const json::Value& res = v.at("resilience");
+  r.resilience.retransmissions = u64_of(res.at("retransmissions"));
+  r.resilience.timeouts = u64_of(res.at("timeouts"));
+  r.resilience.corrupted_packets = u64_of(res.at("corrupted_packets"));
+  r.resilience.dropped_packets = u64_of(res.at("dropped_packets"));
+  r.resilience.duplicates = u64_of(res.at("duplicates"));
+  r.resilience.acks_sent = u64_of(res.at("acks_sent"));
+  r.resilience.nacks_sent = u64_of(res.at("nacks_sent"));
+  return r;
 }
 
 bool write_report(const std::string& path, const json::Value& v) {

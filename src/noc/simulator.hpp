@@ -5,10 +5,12 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/json.hpp"
 #include "common/metrics.hpp"
+#include "common/snapshot.hpp"
 #include "noc/counters.hpp"
 #include "noc/network.hpp"
 
@@ -54,6 +56,9 @@ struct SimResults {
   double max_packet_latency = 0.0;  ///< worst measured packet latency
   bool hung = false;           ///< watchdog fired (livelock/deadlock)
   std::string diagnostic;      ///< per-router snapshot when `hung`
+  /// True when the run stopped at CheckpointConfig::stop_at instead of
+  /// finishing; the statistics cover only the cycles simulated so far.
+  bool interrupted = false;
   Cycle cycles = 0;            ///< total cycles simulated
   RouterCounters counters;     ///< summed router activity (whole run)
   ResilienceCounters resilience;  ///< end-to-end protection activity
@@ -68,15 +73,53 @@ struct SimResults {
 /// run reports.
 json::Value to_json(const SimResults& r);
 
+/// Inverse of to_json: rebuilds a SimResults from its JSON form.  Exact
+/// (bit-identical doubles — the JSON layer round-trips numbers through
+/// shortest-representation formatting); used by resumable sweeps to
+/// replay completed tasks from a manifest.
+SimResults sim_results_from_json(const json::Value& v);
+
 /// Writes `v` to `path` (pretty-printed, trailing newline); false after
 /// logging when the file cannot be opened.  Thin alias of
 /// json::write_file so report call sites read uniformly.
 bool write_report(const std::string& path, const json::Value& v);
 
+/// Checkpoint/restore policy for one run (all off by default, in which
+/// case run_simulation behaves exactly as without it).
+struct CheckpointConfig {
+  /// Snapshot file written by periodic autosave and at stop_at ("" = off).
+  std::string save_path;
+  /// Autosave period: a checkpoint is written whenever the simulation
+  /// cycle is a multiple of `every` (0 = off; requires save_path).
+  Cycle every = 0;
+  /// Snapshot to resume from ("" = off).  The network must be constructed
+  /// and configured (endpoints, seed, gating, faults) exactly as in the
+  /// checkpointed run; the SimConfig must match the one recorded in the
+  /// file.  Throws snapshot::SnapshotError on any mismatch or corruption.
+  std::string restore_path;
+  /// Absolute cycle at which to stop the run (writing save_path first when
+  /// set), marking the results `interrupted`.  0 = run to completion.
+  /// Combined with restore_path this is how bit-identical resume is
+  /// verified: run to cycle N, stop, restore, continue, compare.
+  Cycle stop_at = 0;
+  /// Extra components serialized into/restored from the same snapshot
+  /// under their given names, in order (e.g. {"fault", &injector}).  The
+  /// pointers must outlive the run.
+  std::vector<std::pair<std::string, snapshot::Serializable*>> extras;
+};
+
 /// Runs warmup, a measurement window, and a drain phase on `net`, which
 /// must already be configured (endpoints, traffic, gating).  Counters are
 /// reset at the start so power estimates cover exactly this run.
 SimResults run_simulation(Network& net, const SimConfig& cfg);
+
+/// As above with checkpoint/restore: optionally resumes from a snapshot,
+/// autosaves periodically (atomic tmp + rename), and can stop early at a
+/// fixed cycle.  A restored run continues the warmup/measure/drain state
+/// machine exactly where it stopped and produces results bit-identical to
+/// a run that never stopped.
+SimResults run_simulation(Network& net, const SimConfig& cfg,
+                          const CheckpointConfig& ckpt);
 
 /// One point of a load sweep.
 struct SweepPoint {

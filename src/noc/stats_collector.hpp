@@ -4,6 +4,7 @@
 #include <array>
 
 #include "common/metrics.hpp"
+#include "common/snapshot.hpp"
 #include "common/stats.hpp"
 #include "common/types.hpp"
 
@@ -128,6 +129,50 @@ class StatsCollector {
     reg.gauge("noc.network_latency.mean").set(network_latency_.mean());
     reg.gauge("noc.hops.mean").set(hops_.mean());
     resilience_.export_metrics(reg);
+  }
+
+  /// Checkpoint/restore of the full accumulator state, including the
+  /// measuring flag — restoring mid-measure resumes tagging correctly.
+  void save_state(snapshot::Writer& w) const {
+    w.begin_section("stats");
+    w.b(measuring_);
+    w.u64(generated_);
+    w.u64(ejected_);
+    w.u64(flits_ejected_);
+    packet_latency_.save_state(w);
+    network_latency_.save_state(w);
+    hops_.save_state(w);
+    latency_hist_.save_state(w);
+    for (const RunningStat& s : class_latency_) s.save_state(w);
+    w.u64(resilience_.retransmissions);
+    w.u64(resilience_.timeouts);
+    w.u64(resilience_.corrupted_packets);
+    w.u64(resilience_.dropped_packets);
+    w.u64(resilience_.duplicates);
+    w.u64(resilience_.acks_sent);
+    w.u64(resilience_.nacks_sent);
+    w.end_section();
+  }
+
+  void load_state(snapshot::Reader& r) {
+    r.begin_section("stats");
+    measuring_ = r.b();
+    generated_ = r.u64();
+    ejected_ = r.u64();
+    flits_ejected_ = r.u64();
+    packet_latency_.load_state(r);
+    network_latency_.load_state(r);
+    hops_.load_state(r);
+    latency_hist_.load_state(r);
+    for (RunningStat& s : class_latency_) s.load_state(r);
+    resilience_.retransmissions = r.u64();
+    resilience_.timeouts = r.u64();
+    resilience_.corrupted_packets = r.u64();
+    resilience_.dropped_packets = r.u64();
+    resilience_.duplicates = r.u64();
+    resilience_.acks_sent = r.u64();
+    resilience_.nacks_sent = r.u64();
+    r.end_section();
   }
 
  private:

@@ -15,6 +15,7 @@
 #pragma once
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 
 namespace nocs::sprint {
 
@@ -53,6 +54,33 @@ class OnlineLevelController {
       phase_ = Phase::kMeasureBase;
       locked_bursts_ = 0;
     }
+  }
+
+  /// Checkpoint/restore of the hill-climbing state so long adaptive
+  /// campaigns resume mid-search.  Construction parameters (n_max, step,
+  /// reprobe period) are the caller's responsibility.
+  void save_state(snapshot::Writer& w) const {
+    w.begin_section("online_adapt");
+    w.i64(n_max_);
+    w.i64(current_);
+    w.i64(base_level_);
+    w.f64(base_time_);
+    w.u8(static_cast<std::uint8_t>(phase_));
+    w.i64(locked_bursts_);
+    w.i64(bursts_observed_);
+    w.end_section();
+  }
+
+  void load_state(snapshot::Reader& r) {
+    r.begin_section("online_adapt");
+    n_max_ = static_cast<int>(r.i64());
+    current_ = static_cast<int>(r.i64());
+    base_level_ = static_cast<int>(r.i64());
+    base_time_ = r.f64();
+    phase_ = static_cast<Phase>(r.u8());
+    locked_bursts_ = static_cast<int>(r.i64());
+    bursts_observed_ = static_cast<int>(r.i64());
+    r.end_section();
   }
 
  private:

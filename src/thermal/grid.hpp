@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/assert.hpp"
+#include "common/snapshot.hpp"
 #include "common/types.hpp"
 #include "thermal/floorplan.hpp"
 
@@ -60,6 +61,27 @@ class TemperatureField {
   int total_x() const { return total_x_; }
   int total_y() const { return total_y_; }
   int border() const { return border_; }
+
+  /// Checkpoint/restore of the full (die + border) cell temperatures, so
+  /// long thermal transients resume from the exact field.
+  void save_state(snapshot::Writer& w) const {
+    w.begin_section("temperature_field");
+    w.i64(total_x_);
+    w.i64(total_y_);
+    w.i64(border_);
+    for (const Kelvin t : t_) w.f64(t);
+    w.end_section();
+  }
+
+  void load_state(snapshot::Reader& r) {
+    r.begin_section("temperature_field");
+    if (r.i64() != total_x_ || r.i64() != total_y_ || r.i64() != border_)
+      throw snapshot::SnapshotError(
+          "temperature field dimensions in checkpoint disagree with this "
+          "field's grid");
+    for (Kelvin& t : t_) t = r.f64();
+    r.end_section();
+  }
 
  private:
   int total_x_;

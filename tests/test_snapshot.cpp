@@ -1,0 +1,658 @@
+// Tests for the checkpoint/restore subsystem: Writer/Reader framing,
+// snapshot-file corruption detection, per-component round trips, the
+// bit-identical-resume guarantee of run_simulation (several cut points,
+// faults on and off), and manifest-based sweep resume.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/snapshot.hpp"
+#include "common/stats.hpp"
+#include "fault/fault_injector.hpp"
+#include "noc/parallel_sweep.hpp"
+#include "noc/simulator.hpp"
+#include "sprint/network_builder.hpp"
+#include "sprint/online_adapt.hpp"
+#include "thermal/grid.hpp"
+
+namespace nocs {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+// --- Writer / Reader framing -----------------------------------------------
+
+TEST(SnapshotWriter, PrimitivesRoundTrip) {
+  snapshot::Writer w;
+  w.u8(0xab);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefULL);
+  w.i64(-42);
+  w.b(true);
+  w.b(false);
+  w.f64(3.141592653589793);
+  w.f64(-0.0);
+  w.str("hello snapshot");
+  w.str("");
+
+  snapshot::Reader r(w.bytes());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefULL);
+  EXPECT_EQ(r.i64(), -42);
+  EXPECT_TRUE(r.b());
+  EXPECT_FALSE(r.b());
+  EXPECT_EQ(r.f64(), 3.141592653589793);
+  const double neg_zero = r.f64();
+  EXPECT_EQ(neg_zero, 0.0);
+  EXPECT_TRUE(std::signbit(neg_zero));
+  EXPECT_EQ(r.str(), "hello snapshot");
+  EXPECT_EQ(r.str(), "");
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SnapshotWriter, SectionsFrameTheirContent) {
+  snapshot::Writer w;
+  w.begin_section("outer");
+  w.u64(1);
+  w.begin_section("inner");
+  w.str("x");
+  w.end_section();
+  w.u64(2);
+  w.end_section();
+
+  snapshot::Reader r(w.bytes());
+  r.begin_section("outer");
+  EXPECT_EQ(r.u64(), 1u);
+  r.begin_section("inner");
+  EXPECT_EQ(r.str(), "x");
+  r.end_section();
+  EXPECT_EQ(r.u64(), 2u);
+  r.end_section();
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(SnapshotReader, UnderflowThrows) {
+  snapshot::Writer w;
+  w.u32(7);
+  snapshot::Reader r(w.bytes());
+  EXPECT_EQ(r.u32(), 7u);
+  EXPECT_THROW(r.u8(), snapshot::SnapshotError);
+}
+
+TEST(SnapshotReader, WrongSectionNameThrows) {
+  snapshot::Writer w;
+  w.begin_section("router");
+  w.u64(3);
+  w.end_section();
+  snapshot::Reader r(w.bytes());
+  EXPECT_THROW(r.begin_section("network"), snapshot::SnapshotError);
+}
+
+TEST(SnapshotReader, ShortSectionReadThrows) {
+  snapshot::Writer w;
+  w.begin_section("s");
+  w.u64(1);
+  w.u64(2);
+  w.end_section();
+  snapshot::Reader r(w.bytes());
+  r.begin_section("s");
+  EXPECT_EQ(r.u64(), 1u);
+  EXPECT_THROW(r.end_section(), snapshot::SnapshotError);
+}
+
+// --- snapshot files: atomic write + corruption detection --------------------
+
+snapshot::Writer small_payload() {
+  snapshot::Writer w;
+  w.begin_section("test");
+  w.u64(0x1122334455667788ULL);
+  w.str("payload");
+  w.end_section();
+  return w;
+}
+
+TEST(SnapshotFile, RoundTrips) {
+  const std::string path = tmp_path("snap_roundtrip.nocsnap");
+  ASSERT_TRUE(snapshot::save_file(path, small_payload()));
+  snapshot::Reader r = snapshot::load_file(path);
+  r.begin_section("test");
+  EXPECT_EQ(r.u64(), 0x1122334455667788ULL);
+  EXPECT_EQ(r.str(), "payload");
+  r.end_section();
+  EXPECT_EQ(r.remaining(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, MissingFileThrows) {
+  EXPECT_THROW(snapshot::load_file(tmp_path("snap_does_not_exist.nocsnap")),
+               snapshot::SnapshotError);
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::vector<char> bytes;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) bytes.push_back(static_cast<char>(c));
+  std::fclose(f);
+  return bytes;
+}
+
+void spew(const std::string& path, const std::vector<char>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+}
+
+TEST(SnapshotFile, BadMagicRejected) {
+  const std::string path = tmp_path("snap_badmagic.nocsnap");
+  ASSERT_TRUE(snapshot::save_file(path, small_payload()));
+  std::vector<char> bytes = slurp(path);
+  bytes[0] = 'X';
+  spew(path, bytes);
+  EXPECT_THROW(snapshot::load_file(path), snapshot::SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, PayloadBitFlipRejected) {
+  const std::string path = tmp_path("snap_bitflip.nocsnap");
+  ASSERT_TRUE(snapshot::save_file(path, small_payload()));
+  std::vector<char> bytes = slurp(path);
+  // Header is magic(8) + version(4) + length(8) + checksum(8) = 28 bytes;
+  // flip one bit well inside the payload.
+  ASSERT_GT(bytes.size(), 40u);
+  bytes[36] = static_cast<char>(bytes[36] ^ 0x10);
+  spew(path, bytes);
+  EXPECT_THROW(snapshot::load_file(path), snapshot::SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotFile, TruncationRejected) {
+  const std::string path = tmp_path("snap_truncated.nocsnap");
+  ASSERT_TRUE(snapshot::save_file(path, small_payload()));
+  std::vector<char> bytes = slurp(path);
+  bytes.resize(bytes.size() - 5);
+  spew(path, bytes);
+  EXPECT_THROW(snapshot::load_file(path), snapshot::SnapshotError);
+  std::remove(path.c_str());
+}
+
+// --- component round trips --------------------------------------------------
+
+TEST(SnapshotComponents, RngStateRoundTrips) {
+  Rng a(12345);
+  for (int i = 0; i < 100; ++i) (void)a.next();
+  Rng b(999);
+  b.set_state(a.state());
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SnapshotComponents, RunningStatRoundTrips) {
+  RunningStat s;
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) s.add(rng.uniform() * 100.0);
+
+  snapshot::Writer w;
+  s.save_state(w);
+  RunningStat restored;
+  snapshot::Reader r(w.bytes());
+  restored.load_state(r);
+
+  EXPECT_EQ(restored.count(), s.count());
+  EXPECT_EQ(restored.mean(), s.mean());
+  EXPECT_EQ(restored.variance(), s.variance());
+  EXPECT_EQ(restored.min(), s.min());
+  EXPECT_EQ(restored.max(), s.max());
+
+  // Continuing both must stay bit-identical.
+  s.add(42.5);
+  restored.add(42.5);
+  EXPECT_EQ(restored.mean(), s.mean());
+  EXPECT_EQ(restored.variance(), s.variance());
+}
+
+TEST(SnapshotComponents, HistogramRoundTrips) {
+  Histogram h(1.0, 64);
+  Rng rng(4);
+  for (int i = 0; i < 2000; ++i) h.add(rng.uniform() * 500.0);
+
+  snapshot::Writer w;
+  h.save_state(w);
+  Histogram restored(1.0, 64);
+  snapshot::Reader r(w.bytes());
+  restored.load_state(r);
+
+  EXPECT_EQ(restored.total(), h.total());
+  EXPECT_EQ(restored.quantile(0.5), h.quantile(0.5));
+  EXPECT_EQ(restored.quantile(0.99), h.quantile(0.99));
+  EXPECT_EQ(restored.max_value(), h.max_value());
+}
+
+TEST(SnapshotComponents, HistogramShapeMismatchThrows) {
+  Histogram h(1.0, 64);
+  h.add(3.0);
+  snapshot::Writer w;
+  h.save_state(w);
+  Histogram other(1.0, 32);  // different bin count
+  snapshot::Reader r(w.bytes());
+  EXPECT_THROW(other.load_state(r), snapshot::SnapshotError);
+}
+
+TEST(SnapshotComponents, TemperatureFieldRoundTrips) {
+  thermal::TemperatureField field(8, 6, 1, 318.0);
+  Rng rng(11);
+  for (double& t : field.raw()) t = 300.0 + rng.uniform() * 60.0;
+
+  snapshot::Writer w;
+  field.save_state(w);
+  thermal::TemperatureField restored(8, 6, 1, 0.0);
+  snapshot::Reader r(w.bytes());
+  restored.load_state(r);
+
+  ASSERT_EQ(restored.raw().size(), field.raw().size());
+  for (std::size_t i = 0; i < field.raw().size(); ++i)
+    EXPECT_EQ(restored.raw()[i], field.raw()[i]);
+  EXPECT_EQ(restored.peak(), field.peak());
+  EXPECT_EQ(restored.average(), field.average());
+}
+
+TEST(SnapshotComponents, TemperatureFieldDimensionMismatchThrows) {
+  thermal::TemperatureField field(8, 6, 1, 318.0);
+  snapshot::Writer w;
+  field.save_state(w);
+  thermal::TemperatureField other(6, 8, 1, 318.0);  // transposed grid
+  snapshot::Reader r(w.bytes());
+  EXPECT_THROW(other.load_state(r), snapshot::SnapshotError);
+}
+
+TEST(SnapshotComponents, OnlineControllerRoundTrips) {
+  sprint::OnlineLevelController ctrl(16, /*start_level=*/2);
+  // Drive the hill climber into a mid-search state.
+  ctrl.observe(1.00);  // baseline at level 2
+  ctrl.observe(0.80);  // probe up measured faster
+  ctrl.observe(0.70);  // keep climbing
+
+  snapshot::Writer w;
+  ctrl.save_state(w);
+  sprint::OnlineLevelController restored(16, 1);
+  snapshot::Reader r(w.bytes());
+  restored.load_state(r);
+
+  EXPECT_EQ(restored.next_level(), ctrl.next_level());
+  EXPECT_EQ(restored.converged(), ctrl.converged());
+  EXPECT_EQ(restored.n_max(), ctrl.n_max());
+
+  // Identical observations after restore must keep the two controllers in
+  // lock-step — that is what makes adaptive campaigns resumable.
+  for (double t : {0.65, 0.72, 0.68, 0.71}) {
+    EXPECT_EQ(restored.next_level(), ctrl.next_level());
+    ctrl.observe(t);
+    restored.observe(t);
+  }
+  EXPECT_EQ(restored.next_level(), ctrl.next_level());
+  EXPECT_EQ(restored.converged(), ctrl.converged());
+}
+
+// --- bit-identical resume ----------------------------------------------------
+
+fault::FaultParams storm_params() {
+  fault::FaultParams fp;
+  fp.enabled = true;
+  fp.seed = 42;
+  fp.flip_rate = 0.002;
+  fp.drop_rate = 0.01;
+  fp.link_down_rate = 0.0005;
+  fp.link_down_cycles = 30;
+  fp.ack_timeout = 200;
+  fp.max_backoff = 2000;
+  return fp;
+}
+
+struct Rig {
+  std::unique_ptr<noc::RoutingFunction> routing;
+  std::unique_ptr<noc::Network> net;
+  std::unique_ptr<fault::FaultInjector> injector;
+};
+
+/// A fig09-style configuration: 4-core NoC-sprinting region on the Table 1
+/// mesh, uniform traffic, deterministic seed.
+Rig make_rig(bool faults, std::uint64_t seed = 7) {
+  noc::NetworkParams params;
+  auto bundle =
+      sprint::make_noc_sprinting_network(params, 4, "uniform", seed);
+  Rig rig;
+  rig.routing = std::move(bundle.routing);
+  rig.net = std::move(bundle.network);
+  if (faults) {
+    rig.injector =
+        std::make_unique<fault::FaultInjector>(params.shape(), storm_params());
+    const noc::ProtectionParams prot = storm_params().protection();
+    rig.net->enable_resilience(rig.injector.get(), &prot);
+  }
+  return rig;
+}
+
+noc::SimConfig short_sim(bool faults) {
+  noc::SimConfig sim;
+  sim.warmup = 300;
+  sim.measure = 1200;
+  sim.drain_max = 20000;
+  sim.injection_rate = 0.15;
+  if (faults) sim.watchdog_cycles = 50000;
+  return sim;
+}
+
+noc::CheckpointConfig ckpt_for(Rig& rig, noc::CheckpointConfig c) {
+  if (rig.injector != nullptr)
+    c.extras.emplace_back("fault", rig.injector.get());
+  return c;
+}
+
+void expect_identical(const noc::SimResults& a, const noc::SimResults& b) {
+  EXPECT_EQ(a.avg_packet_latency, b.avg_packet_latency);
+  EXPECT_EQ(a.avg_network_latency, b.avg_network_latency);
+  EXPECT_EQ(a.p50_latency, b.p50_latency);
+  EXPECT_EQ(a.p99_latency, b.p99_latency);
+  EXPECT_EQ(a.avg_hops, b.avg_hops);
+  EXPECT_EQ(a.packets_generated, b.packets_generated);
+  EXPECT_EQ(a.packets_ejected, b.packets_ejected);
+  EXPECT_EQ(a.accepted_rate, b.accepted_rate);
+  EXPECT_EQ(a.saturated, b.saturated);
+  EXPECT_EQ(a.histogram_saturated, b.histogram_saturated);
+  EXPECT_EQ(a.max_packet_latency, b.max_packet_latency);
+  EXPECT_EQ(a.hung, b.hung);
+  EXPECT_EQ(a.interrupted, b.interrupted);
+  EXPECT_EQ(a.cycles, b.cycles);
+  EXPECT_EQ(a.counters.buffer_writes, b.counters.buffer_writes);
+  EXPECT_EQ(a.counters.buffer_reads, b.counters.buffer_reads);
+  EXPECT_EQ(a.counters.xbar_traversals, b.counters.xbar_traversals);
+  EXPECT_EQ(a.counters.vc_allocs, b.counters.vc_allocs);
+  EXPECT_EQ(a.counters.sa_arbitrations, b.counters.sa_arbitrations);
+  EXPECT_EQ(a.counters.link_flits, b.counters.link_flits);
+  EXPECT_EQ(a.counters.active_cycles, b.counters.active_cycles);
+  EXPECT_EQ(a.counters.gated_cycles, b.counters.gated_cycles);
+  EXPECT_EQ(a.counters.waking_cycles, b.counters.waking_cycles);
+  EXPECT_EQ(a.counters.wake_events, b.counters.wake_events);
+  EXPECT_EQ(a.counters.idle_active_cycles, b.counters.idle_active_cycles);
+  EXPECT_EQ(a.counters.flits_corrupted, b.counters.flits_corrupted);
+  EXPECT_EQ(a.counters.reroutes, b.counters.reroutes);
+  EXPECT_EQ(a.counters.wake_failures, b.counters.wake_failures);
+  EXPECT_EQ(a.resilience.retransmissions, b.resilience.retransmissions);
+  EXPECT_EQ(a.resilience.timeouts, b.resilience.timeouts);
+  EXPECT_EQ(a.resilience.corrupted_packets, b.resilience.corrupted_packets);
+  EXPECT_EQ(a.resilience.dropped_packets, b.resilience.dropped_packets);
+  EXPECT_EQ(a.resilience.duplicates, b.resilience.duplicates);
+  EXPECT_EQ(a.resilience.acks_sent, b.resilience.acks_sent);
+  EXPECT_EQ(a.resilience.nacks_sent, b.resilience.nacks_sent);
+}
+
+/// The core guarantee: run to `cut`, checkpoint, restore into a freshly
+/// built network, continue — the final results must be bit-identical to
+/// the run that never stopped.
+void check_resume_at(Cycle cut, bool faults, const std::string& tag) {
+  SCOPED_TRACE(tag);
+  const noc::SimConfig sim = short_sim(faults);
+  const std::string path = tmp_path("resume_" + tag + ".nocsnap");
+
+  Rig uninterrupted = make_rig(faults);
+  const noc::SimResults reference =
+      noc::run_simulation(*uninterrupted.net, sim);
+
+  Rig first = make_rig(faults);
+  noc::CheckpointConfig stop;
+  stop.save_path = path;
+  stop.stop_at = cut;
+  const noc::SimResults partial =
+      noc::run_simulation(*first.net, sim, ckpt_for(first, stop));
+  ASSERT_TRUE(partial.interrupted);
+  EXPECT_EQ(partial.cycles, cut);
+
+  Rig second = make_rig(faults);
+  noc::CheckpointConfig resume;
+  resume.restore_path = path;
+  const noc::SimResults resumed =
+      noc::run_simulation(*second.net, sim, ckpt_for(second, resume));
+  EXPECT_FALSE(resumed.interrupted);
+  expect_identical(resumed, reference);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotResume, BitIdenticalFromWarmupCut) {
+  check_resume_at(150, /*faults=*/false, "warmup");
+}
+
+TEST(SnapshotResume, BitIdenticalFromMidMeasureCut) {
+  check_resume_at(300 + 600, /*faults=*/false, "measure");
+}
+
+TEST(SnapshotResume, BitIdenticalFromDrainCut) {
+  check_resume_at(300 + 1200 + 1, /*faults=*/false, "drain");
+}
+
+TEST(SnapshotResume, BitIdenticalWithFaultsFromWarmupCut) {
+  check_resume_at(150, /*faults=*/true, "faults_warmup");
+}
+
+TEST(SnapshotResume, BitIdenticalWithFaultsFromMidMeasureCut) {
+  check_resume_at(300 + 600, /*faults=*/true, "faults_measure");
+}
+
+TEST(SnapshotResume, BitIdenticalWithFaultsFromDrainCut) {
+  check_resume_at(300 + 1200 + 1, /*faults=*/true, "faults_drain");
+}
+
+TEST(SnapshotResume, EmptyCheckpointConfigMatchesPlainRun) {
+  const noc::SimConfig sim = short_sim(false);
+  Rig a = make_rig(false);
+  Rig b = make_rig(false);
+  expect_identical(noc::run_simulation(*a.net, sim),
+                   noc::run_simulation(*b.net, sim, noc::CheckpointConfig{}));
+}
+
+TEST(SnapshotResume, PeriodicAutosaveRestoresToIdenticalEnd) {
+  // Run to completion with autosave; the surviving file is the last
+  // periodic checkpoint.  Restoring it and finishing must land on the
+  // same results as the uninterrupted run.
+  const noc::SimConfig sim = short_sim(false);
+  const std::string path = tmp_path("autosave.nocsnap");
+
+  Rig a = make_rig(false);
+  noc::CheckpointConfig autosave;
+  autosave.save_path = path;
+  autosave.every = 500;
+  const noc::SimResults reference =
+      noc::run_simulation(*a.net, sim, autosave);
+  EXPECT_FALSE(reference.interrupted);
+
+  Rig b = make_rig(false);
+  noc::CheckpointConfig resume;
+  resume.restore_path = path;
+  const noc::SimResults resumed = noc::run_simulation(*b.net, sim, resume);
+  expect_identical(resumed, reference);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotResume, MismatchedSimConfigRejected) {
+  noc::SimConfig sim = short_sim(false);
+  const std::string path = tmp_path("mismatch.nocsnap");
+
+  Rig a = make_rig(false);
+  noc::CheckpointConfig stop;
+  stop.save_path = path;
+  stop.stop_at = 400;
+  (void)noc::run_simulation(*a.net, sim, stop);
+
+  Rig b = make_rig(false);
+  noc::CheckpointConfig resume;
+  resume.restore_path = path;
+  sim.measure += 1;  // not the config the checkpoint was taken under
+  EXPECT_THROW(noc::run_simulation(*b.net, sim, resume),
+               snapshot::SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotResume, MismatchedNetworkRejected) {
+  const noc::SimConfig sim = short_sim(false);
+  const std::string path = tmp_path("mismatch_net.nocsnap");
+
+  Rig a = make_rig(false);
+  noc::CheckpointConfig stop;
+  stop.save_path = path;
+  stop.stop_at = 400;
+  (void)noc::run_simulation(*a.net, sim, stop);
+
+  // An 8-core region has different endpoints than the checkpointed 4-core
+  // run; the fingerprint check must refuse to load the state on top.
+  noc::NetworkParams params;
+  auto bundle = sprint::make_noc_sprinting_network(params, 8, "uniform", 7);
+  noc::CheckpointConfig resume;
+  resume.restore_path = path;
+  EXPECT_THROW(noc::run_simulation(*bundle.network, sim, resume),
+               snapshot::SnapshotError);
+  std::remove(path.c_str());
+}
+
+TEST(SnapshotResume, MissingExtraComponentRejected) {
+  // A checkpoint taken with a fault injector cannot be restored without
+  // one (the extras section would be left unread).
+  const noc::SimConfig sim = short_sim(true);
+  const std::string path = tmp_path("missing_extra.nocsnap");
+
+  Rig a = make_rig(true);
+  noc::CheckpointConfig stop;
+  stop.save_path = path;
+  stop.stop_at = 400;
+  (void)noc::run_simulation(*a.net, sim, ckpt_for(a, stop));
+
+  Rig b = make_rig(true);
+  noc::CheckpointConfig resume;
+  resume.restore_path = path;  // extras deliberately left empty
+  EXPECT_THROW(noc::run_simulation(*b.net, sim, resume),
+               snapshot::SnapshotError);
+  std::remove(path.c_str());
+}
+
+// --- resumable sweeps --------------------------------------------------------
+
+noc::SweepRunner tiny_runner(int* calls = nullptr) {
+  return [calls](const noc::SweepTask& task) {
+    if (calls != nullptr) ++*calls;
+    auto b = sprint::make_noc_sprinting_network(noc::NetworkParams{}, 4,
+                                                "uniform", task.seed);
+    noc::SimConfig sim;
+    sim.warmup = 100;
+    sim.measure = 400;
+    sim.injection_rate = task.injection_rate;
+    return noc::run_simulation(*b.network, sim);
+  };
+}
+
+TEST(SweepResume, ManifestRecordsAndReplays) {
+  const std::string path = tmp_path("sweep_manifest.json");
+  std::remove(path.c_str());
+  const std::vector<double> rates = {0.05, 0.1, 0.15};
+  const std::uint64_t seed = 21;
+  const std::string fp = noc::sweep_fingerprint(rates, seed);
+
+  const auto plain =
+      noc::parallel_sweep_injection(tiny_runner(), rates, seed, 1);
+
+  {
+    snapshot::TaskManifest manifest(path, fp);
+    int calls = 0;
+    const auto first = noc::resumable_sweep_injection(
+        tiny_runner(&calls), rates, seed, &manifest, 1);
+    EXPECT_EQ(calls, 3);
+    for (std::size_t i = 0; i < rates.size(); ++i)
+      expect_identical(first[i].results, plain[i].results);
+  }
+
+  // A fresh process re-running the same sweep replays every task from the
+  // manifest without calling the runner.
+  {
+    snapshot::TaskManifest manifest(path, fp);
+    EXPECT_EQ(manifest.completed_count(), 3u);
+    int calls = 0;
+    const auto replayed = noc::resumable_sweep_injection(
+        tiny_runner(&calls), rates, seed, &manifest, 1);
+    EXPECT_EQ(calls, 0);
+    for (std::size_t i = 0; i < rates.size(); ++i)
+      expect_identical(replayed[i].results, plain[i].results);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SweepResume, PartialManifestRunsOnlyMissingTasks) {
+  const std::string path = tmp_path("sweep_partial.json");
+  std::remove(path.c_str());
+  const std::vector<double> rates = {0.05, 0.1, 0.15, 0.2};
+  const std::uint64_t seed = 22;
+  const std::string fp = noc::sweep_fingerprint(rates, seed);
+
+  // Simulate an interrupted sweep: only tasks 0 and 2 completed.
+  {
+    snapshot::TaskManifest manifest(path, fp);
+    const noc::SweepRunner run = tiny_runner();
+    manifest.record(0, to_json(run({0, rates[0], task_seed(seed, 0)})));
+    manifest.record(2, to_json(run({2, rates[2], task_seed(seed, 2)})));
+  }
+
+  snapshot::TaskManifest manifest(path, fp);
+  int calls = 0;
+  const auto points = noc::resumable_sweep_injection(
+      tiny_runner(&calls), rates, seed, &manifest, 1);
+  EXPECT_EQ(calls, 2);  // tasks 1 and 3 only
+  EXPECT_EQ(manifest.completed_count(), 4u);
+
+  const auto plain =
+      noc::parallel_sweep_injection(tiny_runner(), rates, seed, 1);
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    expect_identical(points[i].results, plain[i].results);
+  std::remove(path.c_str());
+}
+
+TEST(SweepResume, FingerprintMismatchStartsFresh) {
+  const std::string path = tmp_path("sweep_fingerprint.json");
+  std::remove(path.c_str());
+  {
+    snapshot::TaskManifest manifest(path, "fingerprint-a");
+    manifest.record(0, json::Value::object());
+  }
+  snapshot::TaskManifest manifest(path, "fingerprint-b");
+  EXPECT_EQ(manifest.completed_count(), 0u);
+  EXPECT_FALSE(manifest.completed(0));
+  std::remove(path.c_str());
+}
+
+TEST(SweepResume, DisabledManifestDelegatesToPlainSweep) {
+  const std::vector<double> rates = {0.05, 0.1};
+  const std::uint64_t seed = 23;
+  snapshot::TaskManifest disabled;
+  int calls = 0;
+  const auto points = noc::resumable_sweep_injection(
+      tiny_runner(&calls), rates, seed, &disabled, 1);
+  EXPECT_EQ(calls, 2);
+  const auto plain =
+      noc::parallel_sweep_injection(tiny_runner(), rates, seed, 1);
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    expect_identical(points[i].results, plain[i].results);
+}
+
+TEST(SweepResume, SimResultsJsonRoundTripIsExact) {
+  const auto points = noc::parallel_sweep_injection(
+      tiny_runner(), {0.18}, /*base_seed=*/31, 1);
+  const noc::SimResults& r = points[0].results;
+  expect_identical(noc::sim_results_from_json(noc::to_json(r)), r);
+}
+
+}  // namespace
+}  // namespace nocs
