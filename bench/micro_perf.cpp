@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <deque>
 
 #include "bench_util.hpp"
@@ -51,6 +52,24 @@ static void BM_NetworkTick(benchmark::State& state) {
                           static_cast<std::int64_t>(net->num_nodes()));
 }
 BENCHMARK(BM_NetworkTick)->Arg(4)->Arg(8);
+
+// Sharded barrier-synchronous tick: same network as BM_NetworkTick but
+// with tick() partitioned into row-band shards on sim_threads threads.
+// Results are bit-identical to serial; this measures the wall-clock win.
+static void BM_NetworkTickSharded(benchmark::State& state) {
+  noc::XyRouting xy;
+  auto net = make_tick_network(static_cast<int>(state.range(0)), &xy);
+  net->set_sim_threads(static_cast<int>(state.range(1)));
+  for (auto _ : state) net->tick();
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(net->num_nodes()));
+}
+BENCHMARK(BM_NetworkTickSharded)
+    ->Args({16, 1})
+    ->Args({16, 4})
+    ->Args({32, 1})
+    ->Args({32, 4})
+    ->Args({32, 8});
 
 // Sprint level 4 of 16: a 2x2 active region, 12 routers dark.  The
 // active-router fast path should make the dark region's tick cost ~zero,
@@ -209,14 +228,17 @@ double measure_sweep_seconds(int threads) {
 }
 
 /// Headline metrics for BENCH_noc.json, measured outside google-benchmark
-/// (simple wall-clock timing is enough for the cross-commit diff).
+/// (simple wall-clock timing is enough for the cross-commit diff).  With
+/// NOCS_BENCH_FAST set (the CI bench job), cycle budgets shrink 10x: the
+/// numbers get noisier but the whole emit stays under a minute.
 void emit_bench_json() {
+  const Cycle div = std::getenv("NOCS_BENCH_FAST") != nullptr ? 10 : 1;
   std::vector<std::pair<std::string, double>> metrics;
 
   noc::XyRouting xy;
   auto full = make_tick_network(8, &xy);
   metrics.emplace_back("network_tick_8x8_ticks_per_sec",
-                       measure_ticks_per_sec(*full, 200000));
+                       measure_ticks_per_sec(*full, 200000 / div));
 
   noc::NetworkParams p4;
   p4.width = 4;
@@ -226,7 +248,33 @@ void emit_bench_json() {
   gated.network->set_injection_rate(0.2);
   gated.network->run(1000);
   metrics.emplace_back("network_tick_gated_4of16_ticks_per_sec",
-                       measure_ticks_per_sec(*gated.network, 2000000));
+                       measure_ticks_per_sec(*gated.network, 2000000 / div));
+
+  // Sharded-tick speedup curve: ticks/sec for each mesh size x thread
+  // count, plus the headline 32x32 speedups relative to serial.  Cycle
+  // budgets shrink with mesh size so the whole curve stays a few seconds.
+  {
+    noc::XyRouting curve_xy;
+    const struct { int side; Cycle cycles; } meshes[] = {
+        {8, 100000}, {16, 30000}, {32, 8000}};
+    for (const auto& m : meshes) {
+      double serial_tps = 0.0;
+      for (const int t : {1, 2, 4, 8}) {
+        auto net = make_tick_network(m.side, &curve_xy);
+        net->set_sim_threads(t);
+        const double tps = measure_ticks_per_sec(*net, m.cycles / div);
+        if (t == 1) serial_tps = tps;
+        metrics.emplace_back("tick_" + std::to_string(m.side) + "x" +
+                                 std::to_string(m.side) + "_t" +
+                                 std::to_string(t) + "_ticks_per_sec",
+                             tps);
+        if (m.side == 32 && t > 1)
+          metrics.emplace_back(
+              "tick_32x32_speedup_t" + std::to_string(t),
+              serial_tps > 0 ? tps / serial_tps : 0.0);
+      }
+    }
+  }
 
   const double serial = measure_sweep_seconds(1);
   const double parallel = measure_sweep_seconds(4);
@@ -236,9 +284,16 @@ void emit_bench_json() {
                        parallel > 0 ? serial / parallel : 0.0);
 
   bench::write_bench_json("BENCH_noc.json", metrics);
+  double speedup32_t4 = 0.0, sweep_speedup = 0.0;
+  for (const auto& [name, value] : metrics) {
+    if (name == "tick_32x32_speedup_t4") speedup32_t4 = value;
+    if (name == "sweep_4thread_speedup") sweep_speedup = value;
+  }
   std::printf("wrote BENCH_noc.json (8x8 %.3g ticks/s, gated %.3g ticks/s, "
+              "32x32 sharded-tick speedup %.2fx @4 threads, "
               "4-thread sweep speedup %.2fx)\n",
-              metrics[0].second, metrics[1].second, metrics[4].second);
+              metrics[0].second, metrics[1].second, speedup32_t4,
+              sweep_speedup);
 }
 
 }  // namespace

@@ -132,6 +132,9 @@ int mode_simulate(const Config& cfg) {
            : sprint::make_noc_sprinting_network(params, level, traffic, seed);
   const bool protocol = cfg.get_bool("protocol", false);
   if (params.num_classes >= 2 && protocol) b.network->set_request_reply(1, 5);
+  // Shard tick() across threads; results are bit-identical for any value
+  // (0 defers to NOCS_SIM_THREADS, else serial).
+  b.network->set_sim_threads(static_cast<int>(cfg.get_int("sim_threads", 0)));
 
   noc::SimConfig sim;
   sim.warmup = cfg.get_int("warmup", 2000);
@@ -245,6 +248,7 @@ int mode_sweep(const Config& cfg) {
   const std::string traffic = cfg.get_string("traffic", "uniform");
   const std::uint64_t seed = cfg.get_int("seed", 1);
   const int threads = static_cast<int>(cfg.get_int("threads", 0));
+  const int sim_threads = static_cast<int>(cfg.get_int("sim_threads", 0));
   const fault::FaultParams fparams = fault::FaultParams::from_config(cfg);
   const Cycle watchdog =
       static_cast<Cycle>(cfg.get_int("watchdog", 50000));
@@ -268,6 +272,10 @@ int mode_sweep(const Config& cfg) {
       [&](const noc::SweepTask& task) {
         sprint::NetworkBundle b = sprint::make_noc_sprinting_network(
             params, level, traffic, task.seed);
+        // Orthogonal to threads=: threads= parallelizes across points,
+        // sim_threads= shards each point's tick loop.  Either way the
+        // results stay bit-identical to the all-serial sweep.
+        b.network->set_sim_threads(sim_threads);
         std::unique_ptr<fault::FaultInjector> injector;
         noc::SimConfig point_sim = sim;
         if (fparams.enabled) {

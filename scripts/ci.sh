@@ -2,7 +2,9 @@
 # Full build-and-test matrix: a Release build (what the benches and
 # figures run as) and an AddressSanitizer build (guards the ring-buffer /
 # calendar-wheel index arithmetic and the new fault/retransmission
-# paths), each running the complete ctest suite.
+# paths), each running the complete ctest suite, plus a ThreadSanitizer
+# build running the `parallel` label (the sharded barrier-synchronous
+# tick and the sweep thread pool).
 #
 # Usage: scripts/ci.sh [jobs]        (default: all cores)
 #
@@ -23,12 +25,28 @@ run_config() {
   ctest --test-dir "${dir}" -j "${JOBS}" --output-on-failure
 }
 
+# As run_config but only runs the tests carrying a ctest label (used for
+# the ThreadSanitizer build, where the full suite would be needlessly
+# slow — TSan only adds signal on the multi-threaded surface).
+run_config_label() {
+  local dir="$1" label="$2"
+  shift 2
+  echo "==== configure ${dir} ($*) ===="
+  cmake -B "${dir}" -S . "$@" >/dev/null
+  echo "==== build ${dir} ===="
+  cmake --build "${dir}" -j "${JOBS}"
+  echo "==== test ${dir} (-L ${label}) ===="
+  ctest --test-dir "${dir}" -L "${label}" --output-on-failure
+}
+
 echo "==== docs checks ===="
 scripts/check_docs_links.sh
 scripts/check_config_docs.sh
 
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
 run_config build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNOCS_SANITIZE=address
+run_config_label build-ci-tsan parallel \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNOCS_SANITIZE=thread
 
 echo "==== snapshot suite (explicit) ===="
 ctest --test-dir build-ci-release -L snapshot --output-on-failure

@@ -21,6 +21,48 @@ namespace nocs {
 /// otherwise std::thread::hardware_concurrency().  Always >= 1.
 int default_thread_count();
 
+/// Intra-simulation shard count used when a caller passes sim_threads <= 0:
+/// the NOCS_SIM_THREADS environment variable when set to a positive
+/// integer, otherwise 1 (serial tick).  Deliberately *not* the hardware
+/// concurrency: sweeps already parallelize across tasks, and nesting both
+/// by default would oversubscribe; sharding one simulation is an explicit
+/// opt-in.
+int default_sim_thread_count();
+
+/// Persistent team of workers for barrier-synchronous sharded execution
+/// (the sharded Network::tick).  Each run() call executes body(0) ..
+/// body(num_shards-1) concurrently — shard 0 inline on the calling thread,
+/// the rest on dedicated workers pinned to their shard index so per-shard
+/// caches stay warm — and returns only when every body finished (a full
+/// barrier).  Two run() calls therefore never overlap, which is the
+/// synchronization the two-phase tick relies on.
+///
+/// Workers spin briefly waiting for the next phase (phases are issued
+/// back-to-back while a simulation runs, so the wait is sub-microsecond)
+/// and park on a condition variable when idle longer, so an inactive
+/// network does not burn cores.  The first exception thrown by any body is
+/// rethrown from run() after the barrier.
+class BarrierTeam {
+ public:
+  /// Spawns num_shards - 1 workers; num_shards must be >= 1 (1 = inline).
+  explicit BarrierTeam(int num_shards);
+  ~BarrierTeam();
+
+  BarrierTeam(const BarrierTeam&) = delete;
+  BarrierTeam& operator=(const BarrierTeam&) = delete;
+
+  int size() const { return num_shards_; }
+
+  /// One barrier phase: runs body(s) for every shard s, returns when all
+  /// completed.
+  void run(const std::function<void(int)>& body);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+  int num_shards_;
+};
+
 /// Fixed-size pool of worker threads draining a shared task queue.
 /// Destruction waits for all submitted tasks to finish.
 class ThreadPool {

@@ -86,6 +86,7 @@ FaultInjector::FaultInjector(const MeshShape& mesh, const FaultParams& params)
 FaultInjector::LinkSchedule& FaultInjector::schedule_for(NodeId from,
                                                          NodeId to) {
   const std::uint64_t key = link_key(from, to);
+  const std::lock_guard<std::mutex> lock(schedules_mu_);
   const auto it = link_schedules_.find(key);
   if (it != link_schedules_.end()) return it->second;
   return link_schedules_

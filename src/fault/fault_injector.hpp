@@ -10,6 +10,7 @@
 // schedule.
 #pragma once
 
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <unordered_set>
@@ -113,6 +114,14 @@ class FaultInjector final : public noc::FaultOracle,
   std::vector<Rng> flip_rngs_;  ///< one per source node (covers its out-links)
   std::vector<Rng> drop_rngs_;  ///< one per node
   std::vector<Rng> wake_rngs_;  ///< one per node
+  // Outage schedules materialize lazily on first query.  Every query for
+  // link (from, to) comes from router `from`'s tick, so each entry is
+  // mutated by exactly one shard thread — but first-touch *insertion* can
+  // rehash the map while another shard inserts or looks up a different
+  // link, hence the mutex around schedule_for().  References stay valid
+  // across inserts (unordered_map never invalidates them), so the
+  // per-entry mutation outside the lock is safe.
+  std::mutex schedules_mu_;
   std::unordered_map<std::uint64_t, LinkSchedule> link_schedules_;
   std::unordered_set<NodeId> stuck_set_;
 };

@@ -4,7 +4,11 @@
 // Implemented as a fixed-capacity ring over storage allocated once at
 // construction: pushing and popping flits on the simulator's hottest path
 // never touches the heap (std::deque allocates/frees chunks as flits flow
-// through, which dominated Network::tick profiles).
+// through, which dominated Network::tick profiles).  A buffer can own its
+// storage (standalone/tests) or view a slice of an external arena — the
+// router allocates one contiguous Flit arena for all its VCs, so a
+// router's entire buffered state is one cache-friendly block instead of
+// ports * vcs separate heap allocations.
 #pragma once
 
 #include <vector>
@@ -18,9 +22,35 @@ namespace nocs::noc {
 class VcBuffer {
  public:
   explicit VcBuffer(int capacity)
-      : capacity_(capacity), slots_(static_cast<std::size_t>(capacity)) {
+      : capacity_(capacity), owned_(static_cast<std::size_t>(capacity)),
+        slots_(owned_.data()) {
     NOCS_EXPECTS(capacity >= 1);
   }
+
+  /// Non-owning view over `capacity` slots of an external arena, which
+  /// must outlive the buffer and not be resized while it is alive.
+  VcBuffer(Flit* storage, int capacity) : capacity_(capacity), slots_(storage) {
+    NOCS_EXPECTS(storage != nullptr && capacity >= 1);
+  }
+
+  // Copies deep-copy into owned storage (an arena view degrades to an
+  // owning buffer — aliasing a copy would corrupt the original).  Moves of
+  // owning buffers keep their heap block, so arena pointers stay valid.
+  VcBuffer(const VcBuffer& o)
+      : capacity_(o.capacity_), head_(o.head_), count_(o.count_),
+        owned_(o.slots_, o.slots_ + o.capacity_), slots_(owned_.data()) {}
+  VcBuffer& operator=(const VcBuffer& o) {
+    if (this != &o) {
+      capacity_ = o.capacity_;
+      head_ = o.head_;
+      count_ = o.count_;
+      owned_.assign(o.slots_, o.slots_ + o.capacity_);
+      slots_ = owned_.data();
+    }
+    return *this;
+  }
+  VcBuffer(VcBuffer&&) = default;
+  VcBuffer& operator=(VcBuffer&&) = default;
 
   bool empty() const { return count_ == 0; }
   bool full() const { return count_ >= capacity_; }
@@ -80,7 +110,8 @@ class VcBuffer {
   int capacity_;
   int head_ = 0;   // index of the oldest flit
   int count_ = 0;  // buffered flits
-  std::vector<Flit> slots_;
+  std::vector<Flit> owned_;  // empty when viewing an external arena
+  Flit* slots_;
 };
 
 }  // namespace nocs::noc

@@ -5,8 +5,20 @@
 // t + latency, so the per-cycle evaluation order of routers cannot change
 // simulation results — the property that makes the simulator deterministic
 // and the reason we need no global two-phase update.
+//
+// That same property makes Pipe the only cross-shard channel of the
+// sharded Network::tick, so it is a single-producer/single-consumer
+// lock-free ring: the producer owns `pushed_`, the consumer owns
+// `popped_`, and each release-publishes its counter so the other side
+// observes fully-written slots.  Determinism survives the race window on
+// purpose — a value pushed at cycle t is never receivable before t+1
+// (latency >= 1), so whether the consumer's same-cycle loads observe it or
+// not cannot change what pop/ready return this cycle; by the next phase
+// barrier the write is visible everywhere.
 #pragma once
 
+#include <atomic>
+#include <cstdint>
 #include <utility>
 #include <vector>
 
@@ -34,63 +46,87 @@ class WakeSink {
 
 /// FIFO channel with a fixed propagation latency in cycles.
 ///
-/// Storage is a growable ring allocated once: a pipe holds at most one
-/// value per cycle of latency in steady state (producers push at most once
-/// per cycle), so the initial capacity of latency + 1 almost never grows,
-/// and push/pop on the tick hot path stay heap-free (std::deque churned an
-/// allocation per chunk as values flowed through).
+/// Storage is a power-of-two ring allocated once; `pushed_` and `popped_`
+/// are monotonic totals and the slot index is their value masked by the
+/// capacity.  Under credit flow control a pipe's occupancy is bounded by
+/// the downstream buffering (num_vcs * vc_depth), so the network
+/// pre-reserves that bound at construction and push/pop never reallocate —
+/// required for the lock-free ring (grow() is only legal while no
+/// concurrent consumer exists, i.e. outside the parallel tick phases).
 template <typename T>
 class Pipe {
  public:
-  explicit Pipe(int latency = 1)
-      : latency_(static_cast<Cycle>(latency)),
-        slots_(static_cast<std::size_t>(latency) + 1) {
+  /// `min_capacity` pre-reserves ring slots beyond the latency+1 default
+  /// (rounded up to a power of two); pass the worst-case occupancy when
+  /// the pipe crosses shard boundaries.
+  explicit Pipe(int latency = 1, int min_capacity = 0)
+      : latency_(static_cast<Cycle>(latency)) {
     NOCS_EXPECTS(latency >= 0);
+    slots_.resize(round_up_pow2(
+        static_cast<std::size_t>(latency + 1 > min_capacity ? latency + 1
+                                                            : min_capacity)));
   }
 
   /// Registers the consumer's wake hook (optional; null disables).
   void set_sink(WakeSink* sink) { sink_ = sink; }
 
-  /// Enqueues `value` at cycle `now`; it becomes receivable at
-  /// `now + latency`.
-  void push(Cycle now, T value) {
-    // FIFO ordering requires monotonically non-decreasing ready times.
-    NOCS_ENSURES(count_ == 0 || slots_[last()].first <= now + latency_);
-    if (count_ == 0 && sink_ != nullptr) sink_->on_push(now + latency_);
-    if (count_ == static_cast<int>(slots_.size())) grow();
-    slots_[wrap(head_ + count_)] = {now + latency_, std::move(value)};
-    ++count_;
+  /// Grows the ring to at least `min_capacity` slots.  Serial contexts
+  /// only (construction/wiring time).
+  void reserve(int min_capacity) {
+    NOCS_EXPECTS(min_capacity >= 1);
+    if (static_cast<std::size_t>(min_capacity) > slots_.size())
+      regrow(round_up_pow2(static_cast<std::size_t>(min_capacity)));
   }
 
-  /// True when a value is receivable at cycle `now`.
+  /// Enqueues `value` at cycle `now`; it becomes receivable at
+  /// `now + latency`.  Producer side of the SPSC ring.
+  void push(Cycle now, T value) {
+    const std::uint64_t p = pushed_.load(std::memory_order_relaxed);
+    const std::uint64_t c = popped_.load(std::memory_order_acquire);
+    // FIFO ordering requires monotonically non-decreasing ready times.
+    NOCS_ENSURES(p == c || slots_[index(p - 1)].first <= now + latency_);
+    if (p - c == slots_.size()) grow();
+    if (p == c && sink_ != nullptr) sink_->on_push(now + latency_);
+    slots_[index(p)] = {now + latency_, std::move(value)};
+    pushed_.store(p + 1, std::memory_order_release);
+  }
+
+  /// True when a value is receivable at cycle `now`.  Consumer side.
   bool ready(Cycle now) const {
-    return count_ != 0 && slots_[static_cast<std::size_t>(head_)].first <= now;
+    const std::uint64_t c = popped_.load(std::memory_order_relaxed);
+    const std::uint64_t p = pushed_.load(std::memory_order_acquire);
+    return p != c && slots_[index(c)].first <= now;
   }
 
   /// Peeks the next receivable value; precondition: ready(now).
   const T& front(Cycle now) const {
     NOCS_EXPECTS(ready(now));
-    return slots_[static_cast<std::size_t>(head_)].second;
+    return slots_[index(popped_.load(std::memory_order_relaxed))].second;
   }
 
   /// Removes and returns the next receivable value; precondition: ready(now).
   T pop(Cycle now) {
     NOCS_EXPECTS(ready(now));
-    T v = std::move(slots_[static_cast<std::size_t>(head_)].second);
-    head_ = static_cast<int>(wrap(head_ + 1));
-    --count_;
+    const std::uint64_t c = popped_.load(std::memory_order_relaxed);
+    T v = std::move(slots_[index(c)].second);
+    popped_.store(c + 1, std::memory_order_release);
     return v;
   }
 
-  bool empty() const { return count_ == 0; }
-  std::size_t size() const { return static_cast<std::size_t>(count_); }
+  bool empty() const { return size() == 0; }
+  std::size_t size() const {
+    return static_cast<std::size_t>(pushed_.load(std::memory_order_acquire) -
+                                    popped_.load(std::memory_order_acquire));
+  }
   int latency() const { return static_cast<int>(latency_); }
+  std::size_t capacity() const { return slots_.size(); }
 
   /// Ready time of the oldest pending value, or kNoPendingEvent when empty
   /// (used by idle consumers to re-arm their next wake-up).
   Cycle next_ready_time() const {
-    return count_ == 0 ? kNoPendingEvent
-                       : slots_[static_cast<std::size_t>(head_)].first;
+    const std::uint64_t c = popped_.load(std::memory_order_relaxed);
+    const std::uint64_t p = pushed_.load(std::memory_order_acquire);
+    return p == c ? kNoPendingEvent : slots_[index(c)].first;
   }
 
   /// Checkpoint: in-flight values oldest-first with their absolute ready
@@ -98,11 +134,13 @@ class Pipe {
   /// the payload (Flit or Credit).
   template <typename SaveElem>
   void save_state(snapshot::Writer& w, SaveElem&& save_elem) const {
+    const std::uint64_t c = popped_.load(std::memory_order_relaxed);
+    const std::uint64_t p = pushed_.load(std::memory_order_relaxed);
     w.begin_section("pipe");
     w.u64(latency_);
-    w.i64(count_);
-    for (int i = 0; i < count_; ++i) {
-      const auto& slot = slots_[wrap(head_ + i)];
+    w.i64(static_cast<std::int64_t>(p - c));
+    for (std::uint64_t i = c; i != p; ++i) {
+      const auto& slot = slots_[index(i)];
       w.u64(slot.first);
       save_elem(w, slot.second);
     }
@@ -120,13 +158,13 @@ class Pipe {
     if (lat != latency_)
       throw snapshot::SnapshotError(
           "pipe latency in checkpoint disagrees with configured topology");
-    const int n = static_cast<int>(r.i64());
+    const std::int64_t n = r.i64();
     if (n < 0) throw snapshot::SnapshotError("negative pipe occupancy");
-    if (n > static_cast<int>(slots_.size()))
-      slots_.resize(static_cast<std::size_t>(n));
-    head_ = 0;
-    count_ = n;
-    for (int i = 0; i < n; ++i) {
+    if (static_cast<std::size_t>(n) > slots_.size())
+      regrow(round_up_pow2(static_cast<std::size_t>(n)));
+    popped_.store(0, std::memory_order_relaxed);
+    pushed_.store(static_cast<std::uint64_t>(n), std::memory_order_relaxed);
+    for (std::int64_t i = 0; i < n; ++i) {
       auto& slot = slots_[static_cast<std::size_t>(i)];
       slot.first = r.u64();
       load_elem(r, slot.second);
@@ -135,26 +173,38 @@ class Pipe {
   }
 
  private:
-  std::size_t wrap(int index) const {
-    const int cap = static_cast<int>(slots_.size());
-    return static_cast<std::size_t>(index >= cap ? index - cap : index);
+  static std::size_t round_up_pow2(std::size_t v) {
+    std::size_t cap = 1;
+    while (cap < v) cap <<= 1;
+    return cap;
   }
-  std::size_t last() const { return wrap(head_ + count_ - 1); }
+
+  std::size_t index(std::uint64_t pos) const {
+    return static_cast<std::size_t>(pos) & (slots_.size() - 1);
+  }
 
   /// Doubles capacity, unrolling the ring into fresh storage (rare: only
-  /// when a consumer lags more pushes behind than the pipe's latency).
-  void grow() {
-    std::vector<std::pair<Cycle, T>> bigger(slots_.size() * 2);
-    for (int i = 0; i < count_; ++i)
-      bigger[static_cast<std::size_t>(i)] = std::move(slots_[wrap(head_ + i)]);
+  /// when a consumer lags more pushes behind than the pre-reserved bound;
+  /// never reached on network pipes, which reserve the credit-loop bound).
+  void grow() { regrow(slots_.size() * 2); }
+
+  void regrow(std::size_t new_cap) {
+    const std::uint64_t c = popped_.load(std::memory_order_relaxed);
+    const std::uint64_t p = pushed_.load(std::memory_order_relaxed);
+    std::vector<std::pair<Cycle, T>> bigger(new_cap);
+    for (std::uint64_t i = c; i != p; ++i)
+      bigger[static_cast<std::size_t>(i - c)] = std::move(slots_[index(i)]);
     slots_ = std::move(bigger);
-    head_ = 0;
+    popped_.store(0, std::memory_order_relaxed);
+    pushed_.store(p - c, std::memory_order_relaxed);
   }
 
   Cycle latency_;
   WakeSink* sink_ = nullptr;
-  int head_ = 0;   // index of the oldest value
-  int count_ = 0;  // queued values
+  // Monotonic totals; occupancy = pushed_ - popped_.  Producer-owned and
+  // consumer-owned respectively: each is stored by exactly one side.
+  std::atomic<std::uint64_t> pushed_{0};
+  std::atomic<std::uint64_t> popped_{0};
   std::vector<std::pair<Cycle, T>> slots_;
 };
 

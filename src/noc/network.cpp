@@ -5,6 +5,17 @@
 
 namespace nocs::noc {
 
+namespace {
+
+/// Shard index the current thread is executing a parallel tick phase for,
+/// or -1 outside the phases (serial contexts).  Lets schedule() tell
+/// own-shard wakes (applied directly) from cross-shard wakes (queued in
+/// the producer's outbox).  Thread-local rather than per-network: a thread
+/// only ever executes one network's phase at a time.
+thread_local int t_current_shard = -1;
+
+}  // namespace
+
 Network::Network(const NetworkParams& params, const RoutingFunction* routing,
                  LinkLatencyFn link_latency)
     : params_(params), routing_(routing) {
@@ -30,10 +41,8 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
   }
 
   // Fast-path bookkeeping: everything starts hot and cools after the first
-  // tick in which it reports no work.
+  // tick in which it reports no work (rebuild_shards below sets the flags).
   sinks_.resize(static_cast<std::size_t>(2 * n));
-  router_hot_.assign(static_cast<std::size_t>(n), 1);
-  ni_hot_.assign(static_cast<std::size_t>(n), 1);
   for (NodeId id = 0; id < n; ++id) {
     auto& rs = sinks_[static_cast<std::size_t>(2 * id)];
     rs.net = this;
@@ -42,19 +51,26 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
     ns.net = this;
     ns.enc = (static_cast<std::uint32_t>(id) << 1) | 1u;
     routers_[static_cast<std::size_t>(id)]->set_wake_callback(
-        [this, id] { router_hot_[static_cast<std::size_t>(id)] = 1; });
-    nis_[static_cast<std::size_t>(id)]->set_wake_callback(
-        [this, id] { ni_hot_[static_cast<std::size_t>(id)] = 1; });
+        [this, id] { mark_hot(static_cast<std::uint32_t>(id) << 1); });
+    nis_[static_cast<std::size_t>(id)]->set_wake_callback([this, id] {
+      mark_hot((static_cast<std::uint32_t>(id) << 1) | 1u);
+    });
   }
 
+  // Credit flow control bounds any pipe's occupancy by the downstream
+  // buffering of one port (flits or returning credits for at most
+  // num_vcs * vc_depth slots).  Pre-reserving that bound means push/pop
+  // never reallocate — required for lock-free operation on pipes that
+  // cross shard boundaries.
+  const int pipe_capacity = params_.num_vcs * params_.vc_depth + 1;
   int max_latency = 1;
   auto new_flit_pipe = [&](int latency) {
     max_latency = std::max(max_latency, latency);
-    flit_pipes_.push_back(std::make_unique<Pipe<Flit>>(latency));
+    flit_pipes_.push_back(std::make_unique<Pipe<Flit>>(latency, pipe_capacity));
     return flit_pipes_.back().get();
   };
   auto new_credit_pipe = [&]() {
-    credit_pipes_.push_back(std::make_unique<Pipe<Credit>>(1));
+    credit_pipes_.push_back(std::make_unique<Pipe<Credit>>(1, pipe_capacity));
     return credit_pipes_.back().get();
   };
 
@@ -112,10 +128,52 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
     ni.connect(inj, inj_credit, ej, ej_credit);
   }
 
-  // Calendar wheel sized to cover the farthest-future event a pipe push can
-  // produce (max latency), plus slack so `t % size` never aliases `now`.
-  wheel_.assign(static_cast<std::size_t>(max_latency + 2),
-                std::vector<std::uint32_t>{});
+  // Calendar wheels are sized to cover the farthest-future event a pipe
+  // push can produce (max latency), plus slack so `t % size` never aliases
+  // `now`.  The initial partition honors NOCS_SIM_THREADS (default 1).
+  wheel_slots_ = max_latency + 2;
+  set_sim_threads(0);
+}
+
+void Network::set_sim_threads(int n) {
+  if (n <= 0) n = default_sim_thread_count();
+  // Clamp so every shard owns at least one full mesh row (node ids are
+  // row-major, so row-bands are contiguous id ranges).
+  sim_threads_ = std::max(1, std::min(n, params_.height));
+  rebuild_shards();
+}
+
+void Network::rebuild_shards() {
+  const int S = sim_threads_;
+  const int n = num_nodes();
+  shards_.assign(static_cast<std::size_t>(S), Shard{});
+  shard_of_.assign(static_cast<std::size_t>(n), 0);
+  for (int s = 0; s < S; ++s) {
+    Shard& sh = shards_[static_cast<std::size_t>(s)];
+    sh.begin = params_.height * s / S * params_.width;
+    sh.end = params_.height * (s + 1) / S * params_.width;
+    // Conservative scheduler state: everything hot, wheels empty.  Ticking
+    // a quiescent node is a no-op beyond leakage accounting, which
+    // sync_counters() reproduces exactly, so this is bit-identical to any
+    // previously accumulated wake schedule — nodes with no work simply
+    // cool again after one tick.  That property is what makes re-sharding
+    // legal at any cycle boundary (including after load_state).
+    sh.hot.assign(2 * static_cast<std::size_t>(sh.end - sh.begin), 1);
+    sh.active = sh.hot.size();
+    sh.wheel.assign(static_cast<std::size_t>(wheel_slots_),
+                    std::vector<std::uint32_t>{});
+    sh.stats.defer_to(S > 1 ? &stats_ : nullptr);
+    for (NodeId id = sh.begin; id < sh.end; ++id)
+      shard_of_[static_cast<std::size_t>(id)] = static_cast<std::uint32_t>(s);
+  }
+  for (NodeId id = 0; id < n; ++id)
+    nis_[static_cast<std::size_t>(id)]->set_stats(
+        S > 1 ? &shards_[shard_of_[static_cast<std::size_t>(id)]].stats
+              : &stats_);
+  if (S > 1 && (team_ == nullptr || team_->size() != S))
+    team_ = std::make_unique<BarrierTeam>(S);
+  else if (S == 1)
+    team_.reset();
 }
 
 void Network::NodeSink::on_push(Cycle ready_at) {
@@ -124,12 +182,28 @@ void Network::NodeSink::on_push(Cycle ready_at) {
 
 void Network::schedule(std::uint32_t enc, Cycle ready_at) {
   if (ready_at == kNoPendingEvent) return;
+  const std::uint32_t owner = shard_of_[enc >> 1];
+  const int cur = t_current_shard;
+  if (cur >= 0 && static_cast<std::uint32_t>(cur) != owner) {
+    // Cross-shard wake during a parallel tick phase: only the owner may
+    // touch its wheel/hot flags, so queue in the producer's outbox; the
+    // owner imports it behind the phase barrier.
+    shards_[static_cast<std::size_t>(cur)].outbox.push_back({enc, ready_at});
+    return;
+  }
+  schedule_local(shards_[static_cast<std::size_t>(owner)], enc, ready_at);
+}
+
+void Network::schedule_local(Shard& sh, std::uint32_t enc, Cycle ready_at) {
+  if (ready_at == kNoPendingEvent) return;
   if (ready_at <= now_) {  // already due: activate immediately
     mark_hot(enc);
     return;
   }
-  NOCS_EXPECTS(ready_at - now_ < static_cast<Cycle>(wheel_.size()));
-  wheel_[static_cast<std::size_t>(ready_at % wheel_.size())].push_back(enc);
+  NOCS_EXPECTS(ready_at - now_ < static_cast<Cycle>(sh.wheel.size()));
+  sh.wheel[static_cast<std::size_t>(ready_at % sh.wheel.size())].push_back(
+      enc);
+  ++sh.pending_wakes;
 }
 
 int Network::link_latency(NodeId from, NodeId to) const {
@@ -248,41 +322,94 @@ std::string Network::debug_snapshot() const {
 }
 
 void Network::tick() {
+  const int S = static_cast<int>(shards_.size());
+  if (S == 1) {
+    // Serial operation is the 1-shard case of the same two phases (no
+    // barrier, no outbox traffic, stats recorded directly by the NIs).
+    tick_phase1(0);
+    tick_phase2(0);
+  } else {
+    team_->run([this](int s) {
+      t_current_shard = s;
+      tick_phase1(s);
+      t_current_shard = -1;
+    });
+    team_->run([this](int s) {
+      t_current_shard = s;
+      tick_phase2(s);
+      t_current_shard = -1;
+    });
+    // Ascending shard order = ascending node id order: replaying each
+    // shard's buffered ejection events in this order reproduces the exact
+    // floating-point accumulation sequence of the serial loop.
+    for (Shard& sh : shards_) sh.stats.drain_deferred();
+    for (Shard& sh : shards_) sh.outbox.clear();
+  }
+  ++now_;
+}
+
+void Network::tick_phase1(int s) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+
   // Activate nodes whose wake-up was scheduled for this cycle.  Stale
   // entries (node woke earlier for another reason) are harmless: ticking a
   // quiescent node is a no-op beyond counters sync_counters() reproduces.
-  auto& bucket = wheel_[static_cast<std::size_t>(now_ % wheel_.size())];
+  auto& bucket = sh.wheel[static_cast<std::size_t>(now_ % sh.wheel.size())];
   for (const std::uint32_t enc : bucket) mark_hot(enc);
+  sh.pending_wakes -= bucket.size();
   bucket.clear();
 
   // Ascending-id order over hot nodes matches the tick-everything loop, so
   // stats and counters accumulate in the identical order (bit-identical
-  // floating-point results).
-  const int n = num_nodes();
-  for (NodeId id = 0; id < n; ++id)
-    if (ni_hot_[static_cast<std::size_t>(id)] != 0)
+  // floating-point results).  Pushes this phase have ready times strictly
+  // after now_ (latency >= 1), so they only ever append to wheels/outboxes,
+  // never flip a hot flag — hot flags stay owner-written.
+  const std::size_t base = 2 * static_cast<std::size_t>(sh.begin);
+  for (NodeId id = sh.begin; id < sh.end; ++id)
+    if (sh.hot[2 * static_cast<std::size_t>(id) - base + 1] != 0)
       nis_[static_cast<std::size_t>(id)]->tick(now_);
-  for (NodeId id = 0; id < n; ++id)
-    if (router_hot_[static_cast<std::size_t>(id)] != 0)
+  for (NodeId id = sh.begin; id < sh.end; ++id)
+    if (sh.hot[2 * static_cast<std::size_t>(id) - base] != 0)
       routers_[static_cast<std::size_t>(id)]->tick(now_);
+}
+
+void Network::tick_phase2(int s) {
+  Shard& sh = shards_[static_cast<std::size_t>(s)];
+
+  // Import wake-ups other shards produced for our nodes this cycle.  Fixed
+  // scan order (ascending producer shard) keeps wheel bucket contents
+  // deterministic; bucket order cannot affect results anyway because
+  // mark_hot is idempotent.
+  if (shards_.size() > 1) {
+    for (const Shard& other : shards_) {
+      if (&other == &sh) continue;
+      for (const WakeEvent& e : other.outbox)
+        if (shard_of_[e.enc >> 1] == static_cast<std::uint32_t>(s))
+          schedule_local(sh, e.enc, e.at);
+    }
+  }
 
   // Cool nodes reporting no work; re-arm their wake-up at the earliest
   // pending input event (all pipe latencies are >= 1, so after this cycle's
-  // producers ran every pending event is strictly in the future).
-  for (NodeId id = 0; id < n; ++id) {
-    const auto idx = static_cast<std::size_t>(id);
-    if (ni_hot_[idx] != 0 && !nis_[idx]->busy_next_cycle()) {
-      ni_hot_[idx] = 0;
-      schedule((static_cast<std::uint32_t>(id) << 1) | 1u,
-               nis_[idx]->next_input_event());
+  // producers ran every pending event is strictly in the future; the phase
+  // barrier made all cross-shard pushes visible).
+  const std::size_t base = 2 * static_cast<std::size_t>(sh.begin);
+  for (NodeId id = sh.begin; id < sh.end; ++id) {
+    const std::size_t ridx = 2 * static_cast<std::size_t>(id) - base;
+    const auto i = static_cast<std::size_t>(id);
+    if (sh.hot[ridx + 1] != 0 && !nis_[i]->busy_next_cycle()) {
+      sh.hot[ridx + 1] = 0;
+      --sh.active;
+      schedule_local(sh, (static_cast<std::uint32_t>(id) << 1) | 1u,
+                     nis_[i]->next_input_event());
     }
-    if (router_hot_[idx] != 0 && !routers_[idx]->busy_next_cycle()) {
-      router_hot_[idx] = 0;
-      schedule(static_cast<std::uint32_t>(id) << 1,
-               routers_[idx]->next_input_event());
+    if (sh.hot[ridx] != 0 && !routers_[i]->busy_next_cycle()) {
+      sh.hot[ridx] = 0;
+      --sh.active;
+      schedule_local(sh, static_cast<std::uint32_t>(id) << 1,
+                     routers_[i]->next_input_event());
     }
   }
-  ++now_;
 }
 
 void Network::run(Cycle n) {
@@ -290,6 +417,23 @@ void Network::run(Cycle n) {
 }
 
 bool Network::drained() const {
+  // Short circuit on the live activity counters: no hot entity and no
+  // pending wake means nothing holds or awaits a flit anywhere — a
+  // non-empty pipe implies a hot consumer or a queued wake-up, and a
+  // router holding flits reports busy_next_cycle() and stays hot.  The
+  // converse does not hold (dynamic gating keeps idle routers hot, credit
+  // pipes re-arm wakes after the last flit drains), so a nonzero count
+  // still falls through to the full scan.
+  std::uint64_t live = 0;
+  for (const Shard& sh : shards_) live += sh.active + sh.pending_wakes;
+  if (live == 0) {
+    NOCS_ASSERT(drained_slow());
+    return true;
+  }
+  return drained_slow();
+}
+
+bool Network::drained_slow() const {
   for (const auto& r : routers_)
     if (!r->drained()) return false;
   for (const auto& ni : nis_)
@@ -328,6 +472,12 @@ void Network::reset_counters() {
 }
 
 void Network::save_state(snapshot::Writer& w) const {
+  // Per-shard deferring collectors are drained into the master at every
+  // tick boundary, so between ticks they must be empty — the checkpoint
+  // only serializes the master and stays thread-count independent.
+  for (const Shard& sh : shards_)
+    NOCS_EXPECTS(!sh.stats.deferring() || sh.stats.deferred_empty());
+
   w.begin_section("network");
 
   // Topology/configuration fingerprint: restore verifies the destination
@@ -406,13 +556,13 @@ void Network::load_state(snapshot::Reader& r) {
   r.end_section();
 
   // Reset the fast-path scheduler conservatively: mark every node hot and
-  // drop all pending wake-ups.  Ticking a quiescent node is a no-op beyond
+  // drop all pending wake-ups (rebuild_shards does exactly that, keeping
+  // the current thread count).  Ticking a quiescent node is a no-op beyond
   // leakage accounting, which sync_counters() reproduces exactly, so this
   // is bit-identical to resuming the saved wheel — nodes with no work
-  // simply cool again after one tick.
-  std::fill(router_hot_.begin(), router_hot_.end(), 1);
-  std::fill(ni_hot_.begin(), ni_hot_.end(), 1);
-  for (auto& bucket : wheel_) bucket.clear();
+  // simply cool again after one tick.  It also makes restoring under a
+  // different sim_threads than the checkpoint was written with exact.
+  rebuild_shards();
 }
 
 }  // namespace nocs::noc

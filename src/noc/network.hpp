@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "common/parallel.hpp"
 #include "noc/network_interface.hpp"
 #include "noc/params.hpp"
 #include "noc/router.hpp"
@@ -98,6 +99,23 @@ class Network {
   /// Runs `n` cycles.
   void run(Cycle n);
 
+  // --- intra-simulation parallelism -----------------------------------------
+
+  /// Shards tick() spatially across `n` threads (row-bands of the mesh,
+  /// one barrier-synchronized phase pair per cycle).  n <= 0 selects
+  /// default_sim_thread_count() (the NOCS_SIM_THREADS environment
+  /// variable, else 1 = serial); the value is clamped to the mesh height
+  /// so every shard owns at least one full row.  Results are bit-identical
+  /// for every thread count — see docs/ARCHITECTURE.md for the argument.
+  /// Resets the fast-path scheduler conservatively (all nodes hot), which
+  /// is also bit-identical, so the call is legal at any cycle boundary —
+  /// including right after load_state with a different thread count than
+  /// the checkpoint was written under.
+  void set_sim_threads(int n);
+
+  /// Shard count the tick loop actually uses (>= 1; after clamping).
+  int sim_threads() const { return static_cast<int>(shards_.size()); }
+
   // Router accessors flush the lazily-synced leakage counters first so
   // callers always observe the same counts as if every cycle were ticked.
   Router& router(NodeId id) {
@@ -117,7 +135,8 @@ class Network {
   /// Number of routers ticked last cycle (fast-path instrumentation).
   int hot_routers() const {
     int n = 0;
-    for (const auto h : router_hot_) n += h;
+    for (const Shard& sh : shards_)
+      for (std::size_t i = 0; i < sh.hot.size(); i += 2) n += sh.hot[i];
     return n;
   }
 
@@ -151,7 +170,7 @@ class Network {
   void load_state(snapshot::Reader& r);
 
  private:
-  // --- active-node fast path ----------------------------------------------
+  // --- active-node fast path + spatial sharding ----------------------------
   //
   // tick() only visits routers/NIs whose hot flag is set.  A node stays hot
   // while it self-reports work (busy_next_cycle()); when it goes cold the
@@ -160,6 +179,31 @@ class Network {
   // push into an empty queue schedules the consumer via its NodeSink.  Hot
   // nodes are ticked in ascending node id order, preserving the exact
   // stats/counter accumulation order of the tick-everything loop.
+  //
+  // All of that mutable scheduling state lives per *shard* — a contiguous
+  // row-band of node ids (node ids are row-major, so row-bands are
+  // contiguous id ranges).  Serial operation is simply the 1-shard case of
+  // the same code path.  With S > 1 shards each cycle runs as two
+  // barrier-synchronized phases on a BarrierTeam:
+  //
+  //   phase 1 (tick):       each shard processes its own wheel bucket and
+  //                         ticks its hot NIs then hot routers, ascending
+  //                         id.  Pushes into neighbor-shard pipes notify
+  //                         the consumer via schedule(), which appends the
+  //                         wake to the *producer* shard's outbox instead
+  //                         of touching foreign wheels.
+  //   phase 2 (cool/re-arm): each shard imports wakes addressed to it from
+  //                         every outbox (fixed shard order), then cools
+  //                         its own quiescent nodes and re-arms their
+  //                         wake-ups.  Only owner shards ever write their
+  //                         hot flags and wheels.
+  //
+  // After the second barrier the caller thread drains every shard's
+  // deferred statistics into the master collector in ascending shard
+  // order, which replays ejection events in exactly the serial ascending-
+  // node-id order — bit-identical floating-point accumulation for any
+  // thread count (pipes guarantee a ≥1-cycle latency, so shards never
+  // observe same-cycle neighbor state; see docs/ARCHITECTURE.md).
 
   /// Per-consumer wake hook: routes Pipe push notifications to schedule().
   struct NodeSink final : WakeSink {
@@ -168,12 +212,41 @@ class Network {
     void on_push(Cycle ready_at) override;
   };
 
+  /// A wake request produced for a node owned by another shard.
+  struct WakeEvent {
+    std::uint32_t enc;
+    Cycle at;
+  };
+
+  /// All per-cycle mutable scheduling state of one row-band, cache-line
+  /// aligned so neighbor shards' writes never false-share.
+  struct alignas(64) Shard {
+    NodeId begin = 0;  ///< first owned node id
+    NodeId end = 0;    ///< one past the last owned node id
+    /// Hot flags, enc-relative: [2*(id-begin)] router, [2*(id-begin)+1] NI.
+    std::vector<std::uint8_t> hot;
+    /// Calendar wheel of pending wake-ups, bucket = cycle % size.
+    std::vector<std::vector<std::uint32_t>> wheel;
+    /// Wakes this shard produced for other shards' nodes this cycle.
+    std::vector<WakeEvent> outbox;
+    /// Deferring collector fed by this shard's NIs (S > 1 only).
+    StatsCollector stats;
+    std::uint64_t active = 0;         ///< set hot flags (live entities)
+    std::uint64_t pending_wakes = 0;  ///< queued wheel entries
+  };
+
   void schedule(std::uint32_t enc, Cycle ready_at);
+  void schedule_local(Shard& sh, std::uint32_t enc, Cycle ready_at);
   void mark_hot(std::uint32_t enc) {
-    if ((enc & 1u) != 0)
-      ni_hot_[enc >> 1] = 1;
-    else
-      router_hot_[enc >> 1] = 1;
+    Shard& sh = shards_[shard_of_[enc >> 1]];
+    std::uint8_t& flag =
+        sh.hot[static_cast<std::size_t>(enc) -
+               2 * static_cast<std::size_t>(static_cast<std::uint32_t>(
+                       sh.begin))];
+    if (flag == 0) {
+      flag = 1;
+      ++sh.active;
+    }
   }
   WakeSink* router_sink(NodeId id) {
     return &sinks_[static_cast<std::size_t>(2 * id)];
@@ -181,6 +254,14 @@ class Network {
   WakeSink* ni_sink(NodeId id) {
     return &sinks_[static_cast<std::size_t>(2 * id + 1)];
   }
+
+  /// Rebuilds the shard partition for sim_threads_ shards with the
+  /// conservative scheduler reset (everything hot, wheels empty).
+  void rebuild_shards();
+  void tick_phase1(int s);
+  void tick_phase2(int s);
+  /// Reference O(n) drain scan (the counter short-circuit's slow path).
+  bool drained_slow() const;
 
   NetworkParams params_;
   const RoutingFunction* routing_;
@@ -195,10 +276,12 @@ class Network {
   std::unique_ptr<TrafficPattern> traffic_;
   std::vector<std::vector<int>> link_latencies_;  // [from][to], 0 = no link
 
-  std::vector<NodeSink> sinks_;            // [2*id] router, [2*id+1] NI
-  std::vector<std::uint8_t> router_hot_;   // ticked this cycle when set
-  std::vector<std::uint8_t> ni_hot_;
-  std::vector<std::vector<std::uint32_t>> wheel_;  // wake events, t % size
+  std::vector<NodeSink> sinks_;  // [2*id] router, [2*id+1] NI
+  int sim_threads_ = 1;
+  int wheel_slots_ = 0;  // per-shard wheel size: max link latency + 2
+  std::vector<Shard> shards_;
+  std::vector<std::uint32_t> shard_of_;  // node id -> owning shard
+  std::unique_ptr<BarrierTeam> team_;    // S-1 workers when S > 1
 
   StatsCollector stats_;
 };

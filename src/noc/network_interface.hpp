@@ -26,6 +26,14 @@ class NetworkInterface {
 
   NodeId id() const { return id_; }
 
+  /// Repoints the statistics collector (the sharded tick gives every NI
+  /// its shard's deferring collector; serial mode points back at the
+  /// master).  Safe between ticks only.
+  void set_stats(StatsCollector* stats) {
+    NOCS_EXPECTS(stats != nullptr);
+    stats_ = stats;
+  }
+
   /// Wires the four local channels between this NI and its router.
   void connect(Pipe<Flit>* to_router, Pipe<Credit>* credit_from_router,
                Pipe<Flit>* from_router, Pipe<Credit>* credit_to_router);

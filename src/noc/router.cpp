@@ -16,9 +16,12 @@ Router::Router(NodeId id, const NetworkParams& params,
   NOCS_EXPECTS(routing != nullptr);
   params_.validate();
   const auto n = static_cast<std::size_t>(kNumPorts * params_.num_vcs);
+  flit_arena_.resize(n * static_cast<std::size_t>(params_.vc_depth));
   input_vcs_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    input_vcs_.emplace_back(params_.vc_depth);
+    input_vcs_.emplace_back(
+        flit_arena_.data() + i * static_cast<std::size_t>(params_.vc_depth),
+        params_.vc_depth);
     input_vcs_.back().port = static_cast<int>(i) / params_.num_vcs;
   }
   output_vcs_.resize(n);

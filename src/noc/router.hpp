@@ -143,6 +143,7 @@ class Router {
  private:
   struct InputVc {
     explicit InputVc(int depth) : buf(depth) {}
+    InputVc(Flit* storage, int depth) : buf(storage, depth) {}
     VcBuffer buf;
     enum class Stage { kIdle, kRouting, kVcAlloc, kActive } stage =
         Stage::kIdle;
@@ -202,6 +203,9 @@ class Router {
   std::array<Pipe<Flit>*, kNumPorts> flit_out_{};
   std::array<Pipe<Credit>*, kNumPorts> credit_in_{};
 
+  // One contiguous block backing every input VC's ring (allocated before
+  // input_vcs_ and never resized, so the per-VC views stay valid).
+  std::vector<Flit> flit_arena_;
   std::vector<InputVc> input_vcs_;    // [port][vc] flattened
   std::vector<OutputVc> output_vcs_;  // [port][vc] flattened
 

@@ -2,6 +2,7 @@
 #pragma once
 
 #include <array>
+#include <vector>
 
 #include "common/metrics.hpp"
 #include "common/snapshot.hpp"
@@ -24,6 +25,22 @@ struct ResilienceCounters {
   std::uint64_t duplicates = 0;         ///< re-deliveries the filter removed
   std::uint64_t acks_sent = 0;
   std::uint64_t nacks_sent = 0;
+
+  ResilienceCounters& operator+=(const ResilienceCounters& o) {
+    retransmissions += o.retransmissions;
+    timeouts += o.timeouts;
+    corrupted_packets += o.corrupted_packets;
+    dropped_packets += o.dropped_packets;
+    duplicates += o.duplicates;
+    acks_sent += o.acks_sent;
+    nacks_sent += o.nacks_sent;
+    return *this;
+  }
+
+  std::uint64_t total() const {
+    return retransmissions + timeouts + corrupted_packets + dropped_packets +
+           duplicates + acks_sent + nacks_sent;
+  }
 
   /// Registers every counter under "resilience.<field>".
   void export_metrics(MetricsRegistry& reg) const {
@@ -50,7 +67,48 @@ class StatsCollector {
   void reset() { *this = StatsCollector{}; }
 
   void set_measuring(bool m) { measuring_ = m; }
-  bool measuring() const { return measuring_; }
+  bool measuring() const {
+    return master_ != nullptr ? master_->measuring() : measuring_;
+  }
+
+  // --- sharded-tick support --------------------------------------------------
+  //
+  // Order matters for bit-identical floating-point results: RunningStat's
+  // Welford update is not associative, so per-shard accumulators cannot
+  // simply be merged.  Instead a shard's collector *defers*: ejection
+  // events are buffered verbatim and the commutative integer counters
+  // accumulate locally; after the cycle barrier the network drains every
+  // shard in ascending shard order, replaying the events into the master
+  // in exactly the order the serial ascending-node-id loop would have
+  // produced.  The measuring flag is read through to the master (it is
+  // only toggled between ticks, so the concurrent reads are race-free).
+
+  /// Puts this collector in deferred mode feeding `master` (null returns
+  /// to direct mode).
+  void defer_to(StatsCollector* master) { master_ = master; }
+  bool deferring() const { return master_ != nullptr; }
+
+  /// True when nothing is buffered (between ticks this must hold — the
+  /// network drains every shard at the end of each cycle).
+  bool deferred_empty() const {
+    return generated_ == 0 && flits_ejected_ == 0 && deferred_ejects_.empty() &&
+           resilience_.total() == 0;
+  }
+
+  /// Replays everything buffered since the last drain into the master.
+  void drain_deferred() {
+    StatsCollector& m = *master_;
+    m.generated_ += generated_;
+    generated_ = 0;
+    m.flits_ejected_ += flits_ejected_;
+    flits_ejected_ = 0;
+    for (const DeferredEject& e : deferred_ejects_)
+      m.on_packet_ejected(e.packet_latency, e.network_latency, e.hops,
+                          e.msg_class);
+    deferred_ejects_.clear();
+    m.resilience_ += resilience_;
+    resilience_ = ResilienceCounters{};
+  }
 
   /// Called by the source NI when a measured packet is generated.
   void on_packet_generated() { ++generated_; }
@@ -60,6 +118,11 @@ class StatsCollector {
   /// `network_latency` = tail eject - head injection.
   void on_packet_ejected(double packet_latency, double network_latency,
                          int hops, int msg_class = 0) {
+    if (master_ != nullptr) {
+      deferred_ejects_.push_back(
+          {packet_latency, network_latency, hops, msg_class});
+      return;
+    }
     ++ejected_;
     packet_latency_.add(packet_latency);
     network_latency_.add(network_latency);
@@ -176,7 +239,16 @@ class StatsCollector {
   }
 
  private:
+  struct DeferredEject {
+    double packet_latency;
+    double network_latency;
+    int hops;
+    int msg_class;
+  };
+
   bool measuring_ = false;
+  StatsCollector* master_ = nullptr;  ///< non-null = deferred (shard) mode
+  std::vector<DeferredEject> deferred_ejects_;
   std::uint64_t generated_ = 0;
   std::uint64_t ejected_ = 0;
   std::uint64_t flits_ejected_ = 0;
