@@ -13,6 +13,10 @@
 //       -> latency-throughput curve
 //   mode=thermal   level=<k> [floorplan=identity|thermal]
 //       -> steady-state heat map + peak temperature
+//   mode=serve     [serve_port=0] [serve_dir=serve-state] [serve_workers=2]
+//       -> crash-safe campaign daemon: line-delimited JSON over TCP with a
+//          write-ahead job ledger, admission control, retry/timeout
+//          supervision, and a result cache (protocol: docs/SERVE.md)
 //
 // Observability (simulate and sweep modes, all off by default — see
 // README "Observability"):
@@ -32,11 +36,17 @@
 //       -> per-task completion ledger; a killed sweep re-run with the same
 //          arguments skips every already-finished point
 //
+// Signals: simulate, sweep, and serve install SIGINT/SIGTERM handlers —
+// the first signal checkpoints (simulate: checkpoint= snapshot; sweep: the
+// task manifest; serve: every in-flight job) and exits 130; a second
+// signal kills the process the ordinary way.
+//
 // Examples:
 //   ./nocsprint_cli mode=plan workload=canneal
 //   ./nocsprint_cli mode=simulate level=4 injection=0.2 scheme=full
 //   ./nocsprint_cli mode=sweep level=8 rates=0.05:0.05:0.5
 //   ./nocsprint_cli mode=thermal level=4 floorplan=thermal
+//   ./nocsprint_cli mode=serve serve_port=4517 serve_dir=campaign
 #include <cstdio>
 #include <memory>
 #include <stdexcept>
@@ -44,6 +54,7 @@
 #include "cmp/perf_model.hpp"
 #include "common/config.hpp"
 #include "common/metrics.hpp"
+#include "common/shutdown.hpp"
 #include "common/table.hpp"
 #include "common/trace.hpp"
 #include "fault/fault_injector.hpp"
@@ -51,6 +62,7 @@
 #include "noc/simulator.hpp"
 #include "power/chip_power.hpp"
 #include "power/noc_power.hpp"
+#include "serve/server.hpp"
 #include "sprint/floorplanner.hpp"
 #include "sprint/network_builder.hpp"
 #include "sprint/sprint_controller.hpp"
@@ -121,6 +133,7 @@ int mode_plan(const Config& cfg) {
 }
 
 int mode_simulate(const Config& cfg) {
+  install_shutdown_handlers();
   const noc::NetworkParams params = params_from(cfg);
   const int level = static_cast<int>(cfg.get_int("level", 4));
   const std::string traffic = cfg.get_string("traffic", "uniform");
@@ -160,12 +173,29 @@ int mode_simulate(const Config& cfg) {
   ckpt.save_path = cfg.get_string("checkpoint", "");
   ckpt.every = static_cast<Cycle>(cfg.get_int("checkpoint_every", 0));
   ckpt.restore_path = cfg.get_string("restore", "");
+  // Ctrl-C / SIGTERM: checkpoint (when configured) instead of dying mid-run.
+  ckpt.stop_flag = shutdown_flag();
   if (injector != nullptr) ckpt.extras.emplace_back("fault", injector.get());
 
   if (!ckpt.restore_path.empty())
     std::printf("restoring from %s\n", ckpt.restore_path.c_str());
 
   const noc::SimResults r = run_simulation(*b.network, sim, ckpt);
+  if (r.interrupted && shutdown_requested()) {
+    // Keys normally read further down; touch them so reject_unknown()
+    // in main() doesn't flag a legitimate report=/metrics= after ^C.
+    (void)cfg.get_string("report", "");
+    (void)cfg.get_string("metrics", "");
+    std::printf("interrupted by signal %d at cycle %llu\n",
+                shutdown_signal(),
+                static_cast<unsigned long long>(r.cycles));
+    if (!ckpt.save_path.empty())
+      std::printf("checkpoint flushed to %s; resume with restore=%s\n",
+                  ckpt.save_path.c_str(), ckpt.save_path.c_str());
+    else
+      std::printf("no checkpoint= configured, partial run discarded\n");
+    return 130;
+  }
 
   const auto rp = power::RouterPowerParams::from_network(params);
   const power::RouterPowerModel router_model(rp);
@@ -238,6 +268,7 @@ int mode_simulate(const Config& cfg) {
 }
 
 int mode_sweep(const Config& cfg) {
+  install_shutdown_handlers();
   const noc::NetworkParams params = params_from(cfg);
   const int level = static_cast<int>(cfg.get_int("level", 4));
   const std::string spec = cfg.get_string("rates", "0.05:0.05:0.5");
@@ -286,18 +317,41 @@ int mode_sweep(const Config& cfg) {
           point_sim.watchdog_cycles = watchdog;
         }
         point_sim.injection_rate = task.injection_rate;
-        return noc::run_simulation(*b.network, point_sim);
+        // Wire the signal flag into every point: on SIGINT/SIGTERM the
+        // running points stop cooperatively and stay off the manifest, so
+        // the interrupted sweep resumes exactly where it was killed.
+        noc::CheckpointConfig point_ckpt;
+        point_ckpt.stop_flag = shutdown_flag();
+        return noc::run_simulation(*b.network, point_sim, point_ckpt);
       },
-      rates, seed, &manifest, threads);
+      rates, seed, &manifest, threads, shutdown_flag());
 
   Table t({"rate", "latency", "p99", "accepted", "saturated"});
-  for (const auto& pt : points)
+  std::size_t finished = 0;
+  for (const auto& pt : points) {
+    if (pt.results.interrupted) continue;
+    ++finished;
     t.add_row({Table::fmt(pt.injection_rate, 3),
                Table::fmt(pt.results.avg_packet_latency, 2),
                Table::fmt(pt.results.p99_latency, 1),
                Table::fmt(pt.results.accepted_rate, 4),
                pt.results.saturated ? "yes" : "no"});
+  }
   t.print();
+
+  if (shutdown_requested() && finished < points.size()) {
+    (void)cfg.get_string("report", "");
+    std::printf("interrupted by signal %d after %zu of %zu point(s)\n",
+                shutdown_signal(), finished, points.size());
+    if (manifest.enabled())
+      std::printf("manifest flushed to %s; re-run the same command to "
+                  "resume\n",
+                  cfg.get_string("checkpoint", "").c_str());
+    else
+      std::printf("no checkpoint= manifest configured, finished points "
+                  "were discarded\n");
+    return 130;
+  }
 
   const std::string report = cfg.get_string("report", "");
   if (!report.empty()) {
@@ -316,6 +370,24 @@ int mode_sweep(const Config& cfg) {
     if (noc::write_report(report, doc))
       std::printf("report written to %s\n", report.c_str());
   }
+  return 0;
+}
+
+int mode_serve(const Config& cfg) {
+  // Arm signals before recovery: a SIGTERM during a long ledger replay
+  // already drains cleanly.
+  install_shutdown_handlers();
+  const serve::ServerOptions opts = serve::ServerOptions::from_config(cfg);
+  serve::Server server(opts);
+  std::printf("serving on %s:%d (state %s, %d worker(s))\n",
+              opts.host.c_str(), server.port(), opts.dir.c_str(),
+              opts.limits.workers);
+  if (server.scheduler().recovered_jobs() > 0)
+    std::printf("recovered %zu interrupted job(s) from the ledger\n",
+                server.scheduler().recovered_jobs());
+  std::fflush(stdout);  // scripts wait for this line before connecting
+  server.run();
+  std::printf("drained cleanly\n");
   return 0;
 }
 
@@ -354,9 +426,10 @@ int main(int argc, char** argv) {
     else if (mode == "simulate") rc = mode_simulate(cfg);
     else if (mode == "sweep") rc = mode_sweep(cfg);
     else if (mode == "thermal") rc = mode_thermal(cfg);
+    else if (mode == "serve") rc = mode_serve(cfg);
     else {
       std::fprintf(stderr,
-                   "unknown mode '%s' (plan|simulate|sweep|thermal)\n",
+                   "unknown mode '%s' (plan|simulate|sweep|thermal|serve)\n",
                    mode.c_str());
       return 2;
     }

@@ -1,0 +1,181 @@
+// serve_client — minimal client for the mode=serve daemon.
+//
+// Sends one request line over TCP and prints the reply; with wait=true a
+// successful submit is followed by a `wait` so the command blocks until
+// the job finishes (how scripts run a whole campaign through the daemon).
+//
+// Keys:
+//   host=127.0.0.1       daemon address
+//   port=4517            daemon port (or port_file=path written by the
+//                        daemon's serve_port_file=)
+//   op=status            submit | job | wait | status | metrics | drain |
+//                        ping
+//   kind=sweep           submit only: simulate | sweep | selftest
+//   priority=normal      submit only: high | normal | low
+//   job=job-1            job/wait: the job to query
+//   timeout_ms=60000     wait only
+//   wait=false           submit only: block until the job is terminal
+//   every other key      submit only: forwarded as a job parameter
+//                        (level=8 rates=0.05:0.05:0.5 seed=1 ...)
+//
+// Examples:
+//   ./serve_client port=4517 op=submit kind=sweep level=8 wait=true
+//   ./serve_client port=4517 op=status
+//   ./serve_client port=4517 op=drain
+//
+// Exit status: 0 when every reply has "ok": true, 1 otherwise.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+#include <stdexcept>
+#include <string>
+
+#include "common/config.hpp"
+#include "common/json.hpp"
+
+using namespace nocs;
+
+namespace {
+
+/// Keys the client consumes itself; everything else becomes a job param.
+const std::set<std::string>& reserved_keys() {
+  static const std::set<std::string> keys = {
+      "host", "port", "port_file", "op",      "kind",
+      "job",  "priority", "timeout_ms", "wait"};
+  return keys;
+}
+
+int connect_to(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("cannot create socket");
+  struct sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad host address: " + host);
+  }
+  if (::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                sizeof addr) != 0) {
+    ::close(fd);
+    throw std::runtime_error("cannot connect to " + host + ":" +
+                             std::to_string(port) + ": " +
+                             std::strerror(errno));
+  }
+  return fd;
+}
+
+void send_line(int fd, const std::string& line) {
+  const std::string framed = line + "\n";
+  std::size_t off = 0;
+  while (off < framed.size()) {
+    const ssize_t n = ::write(fd, framed.data() + off, framed.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("write failed");
+    }
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+std::string read_line(int fd) {
+  std::string line;
+  char c;
+  while (true) {
+    const ssize_t n = ::read(fd, &c, 1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw std::runtime_error("read failed");
+    }
+    if (n == 0) throw std::runtime_error("daemon closed the connection");
+    if (c == '\n') return line;
+    line += c;
+  }
+}
+
+/// One round trip; prints the reply and returns it.
+json::Value round_trip(int fd, const json::Value& request) {
+  send_line(fd, request.dump());
+  const std::string reply = read_line(fd);
+  std::printf("%s\n", reply.c_str());
+  return json::Value::parse(reply);
+}
+
+int resolve_port(const Config& cfg) {
+  const std::string port_file = cfg.get_string("port_file", "");
+  if (!port_file.empty()) {
+    std::FILE* f = std::fopen(port_file.c_str(), "r");
+    if (f == nullptr)
+      throw std::runtime_error("cannot read port file " + port_file);
+    int port = 0;
+    const int got = std::fscanf(f, "%d", &port);
+    std::fclose(f);
+    if (got != 1 || port <= 0)
+      throw std::runtime_error(port_file + " does not contain a port");
+    return port;
+  }
+  const int port = static_cast<int>(cfg.get_int("port", 0));
+  if (port <= 0)
+    throw std::runtime_error("pass port= or port_file= (see mode=serve)");
+  return port;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Config cfg = Config::from_args(argc, argv);
+    const std::string host = cfg.get_string("host", "127.0.0.1");
+    const int port = resolve_port(cfg);
+    const std::string op = cfg.get_string("op", "status");
+
+    json::Value request = json::Value::object();
+    request.set("op", op);
+    if (op == "submit") {
+      request.set("kind", cfg.get_string("kind", "sweep"));
+      request.set("priority", cfg.get_string("priority", "normal"));
+      json::Value params = json::Value::object();
+      for (const std::string& key : cfg.keys())
+        if (reserved_keys().count(key) == 0)
+          params.set(key, cfg.get_string(key, ""));
+      request.set("params", std::move(params));
+    } else if (op == "job" || op == "wait") {
+      request.set("job", cfg.get_string("job", ""));
+      const long long t = cfg.get_int("timeout_ms", 0);
+      if (t > 0) request.set("timeout_ms", static_cast<double>(t));
+    }
+
+    const int fd = connect_to(host, port);
+    json::Value reply = round_trip(fd, request);
+    bool ok = reply.at("ok").as_bool();
+
+    // wait=true: follow an accepted submit with a blocking wait on the
+    // same connection, so one command runs a campaign to completion.
+    if (ok && op == "submit" && cfg.get_bool("wait", false)) {
+      const json::Value* cached = reply.find("cached");
+      if (cached == nullptr || !cached->as_bool()) {
+        json::Value wait = json::Value::object();
+        wait.set("op", "wait");
+        wait.set("job", reply.at("job").as_string());
+        const long long t = cfg.get_int("timeout_ms", 0);
+        if (t > 0) wait.set("timeout_ms", static_cast<double>(t));
+        reply = round_trip(fd, wait);
+        ok = reply.at("ok").as_bool();
+        const json::Value* state = reply.find("state");
+        if (state != nullptr && state->is_string() &&
+            state->as_string() != "done")
+          ok = false;
+      }
+    }
+    ::close(fd);
+    return ok ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

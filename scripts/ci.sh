@@ -4,7 +4,8 @@
 # calendar-wheel index arithmetic and the new fault/retransmission
 # paths), each running the complete ctest suite, plus a ThreadSanitizer
 # build running the `parallel` label (the sharded barrier-synchronous
-# tick and the sweep thread pool).
+# tick and the sweep thread pool), and the campaign-daemon crash-recovery
+# smoke test (scripts/serve_smoke.sh: kill -9, restart, bit-compare).
 #
 # Usage: scripts/ci.sh [jobs]        (default: all cores)
 #
@@ -50,5 +51,14 @@ run_config_label build-ci-tsan parallel \
 
 echo "==== snapshot suite (explicit) ===="
 ctest --test-dir build-ci-release -L snapshot --output-on-failure
+
+# The campaign-daemon suite under ASan (sockets, threads, and the ledger
+# replay path are exactly where lifetime bugs would hide), then the
+# end-to-end kill -9 smoke test against the Release build.
+echo "==== serve suite under ASan ===="
+ctest --test-dir build-ci-asan -L serve --output-on-failure
+
+echo "==== serve crash-recovery smoke test ===="
+scripts/serve_smoke.sh build-ci-release
 
 echo "==== ci.sh: all configurations passed ===="

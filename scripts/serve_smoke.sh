@@ -1,0 +1,140 @@
+#!/usr/bin/env bash
+# End-to-end crash-safety smoke test of the campaign daemon (mode=serve):
+#
+#   1. run a sweep campaign directly (mode=sweep report=) as ground truth;
+#   2. run the same campaign through a clean daemon and capture the
+#      cached-resubmission reply (the canonical result bytes);
+#   3. start a fresh daemon, submit the campaign, `kill -9` the daemon
+#      mid-flight, restart it on the same state directory, and wait for
+#      the recovered job to finish;
+#   4. assert the resumed daemon's cached reply is byte-identical to the
+#      clean daemon's, and that the per-point latencies match the direct
+#      run digit for digit.
+#
+# Usage: scripts/serve_smoke.sh [build-dir]     (default: build)
+#
+# Exits non-zero on the first failed step.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD="${1:-build}"
+CLI="${BUILD}/examples/nocsprint_cli"
+CLIENT="${BUILD}/examples/serve_client"
+
+for bin in "$CLI" "$CLIENT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "serve_smoke: missing binary $bin (build the examples first)"
+    exit 1
+  fi
+done
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [[ -n "$daemon_pid" ]] && kill -9 "$daemon_pid" 2>/dev/null || true
+  rm -rf "$work"
+}
+trap cleanup EXIT
+
+# The campaign: 10 sweep points — long enough that kill -9 lands
+# mid-flight, short enough for CI.
+CAMPAIGN=(kind=sweep level=8 rates=0.05:0.05:0.5 seed=7)
+DIRECT=(mode=sweep level=8 rates=0.05:0.05:0.5 seed=7)
+
+start_daemon() {  # start_daemon <state-dir> <log>
+  "$CLI" mode=serve serve_dir="$1" serve_port=0 \
+    serve_port_file="$1/port" serve_workers=2 >"$2" 2>&1 &
+  daemon_pid=$!
+}
+
+wait_port() {  # wait_port <state-dir>
+  for _ in $(seq 1 100); do
+    [[ -s "$1/port" ]] && return 0
+    sleep 0.1
+  done
+  echo "serve_smoke: daemon never wrote $1/port"
+  return 1
+}
+
+latencies() {  # latencies <file> — per-point latency digits, in order
+  grep -oE '"avg_packet_latency": ?[0-9eE+.-]+' "$1" | tr -d ' '
+}
+
+echo "==== direct run (ground truth) ===="
+"$CLI" "${DIRECT[@]}" report="$work/direct.json" >/dev/null
+
+echo "==== clean daemon run ===="
+start_daemon "$work/clean" "$work/clean.log"
+wait_port "$work/clean"
+"$CLIENT" port_file="$work/clean/port" op=submit "${CAMPAIGN[@]}" \
+  wait=true timeout_ms=120000 >"$work/clean_wait.txt"
+grep -q '"state":"done"' "$work/clean_wait.txt" || {
+  echo "serve_smoke: clean campaign did not finish"; cat "$work/clean_wait.txt"
+  exit 1
+}
+# Identical resubmission: served from the cache, zero cycles.
+"$CLIENT" port_file="$work/clean/port" op=submit "${CAMPAIGN[@]}" \
+  >"$work/clean_cached.txt"
+grep -q '"cached":true' "$work/clean_cached.txt" || {
+  echo "serve_smoke: resubmission was not served from the cache"
+  cat "$work/clean_cached.txt"; exit 1
+}
+"$CLIENT" port_file="$work/clean/port" op=drain >/dev/null
+wait "$daemon_pid"
+daemon_pid=""
+
+echo "==== crash run: submit, kill -9 mid-campaign ===="
+start_daemon "$work/crash" "$work/crash1.log"
+wait_port "$work/crash"
+"$CLIENT" port_file="$work/crash/port" op=submit "${CAMPAIGN[@]}" \
+  >"$work/crash_submit.txt"
+grep -q '"job":"job-1"' "$work/crash_submit.txt" || {
+  echo "serve_smoke: submit not accepted"; cat "$work/crash_submit.txt"
+  exit 1
+}
+sleep 0.4
+kill -9 "$daemon_pid"
+wait "$daemon_pid" 2>/dev/null || true
+daemon_pid=""
+
+echo "==== restart on the same ledger, wait for recovery ===="
+rm -f "$work/crash/port"
+start_daemon "$work/crash" "$work/crash2.log"
+wait_port "$work/crash"
+"$CLIENT" port_file="$work/crash/port" op=wait job=job-1 \
+  timeout_ms=120000 >"$work/crash_wait.txt"
+grep -q '"state":"done"' "$work/crash_wait.txt" || {
+  echo "serve_smoke: recovered campaign did not finish"
+  cat "$work/crash_wait.txt" "$work/crash2.log"; exit 1
+}
+"$CLIENT" port_file="$work/crash/port" op=submit "${CAMPAIGN[@]}" \
+  >"$work/crash_cached.txt"
+grep -q '"cached":true' "$work/crash_cached.txt" || {
+  echo "serve_smoke: recovered result did not seed the cache"
+  cat "$work/crash_cached.txt"; exit 1
+}
+"$CLIENT" port_file="$work/crash/port" op=drain >/dev/null
+wait "$daemon_pid"
+daemon_pid=""
+
+echo "==== bit-identity checks ===="
+# The cached replies carry the full campaign result: the kill -9 run must
+# reproduce the uninterrupted run byte for byte.
+if ! cmp -s "$work/clean_cached.txt" "$work/crash_cached.txt"; then
+  echo "serve_smoke: resumed result differs from the clean daemon run"
+  diff "$work/clean_cached.txt" "$work/crash_cached.txt" || true
+  exit 1
+fi
+# And both must match the direct mode=sweep run digit for digit.
+latencies "$work/direct.json" >"$work/direct_lat.txt"
+latencies "$work/crash_cached.txt" >"$work/serve_lat.txt"
+if ! cmp -s "$work/direct_lat.txt" "$work/serve_lat.txt"; then
+  echo "serve_smoke: daemon latencies differ from the direct run"
+  paste "$work/direct_lat.txt" "$work/serve_lat.txt" || true
+  exit 1
+fi
+[[ -s "$work/direct_lat.txt" ]] || {
+  echo "serve_smoke: no latencies extracted"; exit 1
+}
+
+echo "serve_smoke: crash-resumed campaign is bit-identical to the direct run"

@@ -67,4 +67,34 @@ bool MetricsRegistry::write_json(const std::string& path) const {
   return json::write_file(path, to_json());
 }
 
+namespace {
+
+std::string exposition_name(const std::string& name) {
+  std::string out = name;
+  for (char& c : out)
+    if (c == '.' || c == '-') c = '_';
+  return out;
+}
+
+}  // namespace
+
+std::string MetricsRegistry::to_text() const {
+  std::string out;
+  for (const auto& [name, c] : counters_)
+    out += exposition_name(name) + ' ' + std::to_string(c.value()) + '\n';
+  for (const auto& [name, g] : gauges_)
+    out += exposition_name(name) + ' ' + json::format_number(g.value()) + '\n';
+  for (const auto& [name, h] : histograms_) {
+    const std::string base = exposition_name(name);
+    out += base + "_count " + std::to_string(h.total()) + '\n';
+    if (h.total() > 0) {
+      out += base + "_max " + json::format_number(h.max_value()) + '\n';
+      out += base + "_p50 " + json::format_number(h.quantile(0.5)) + '\n';
+      out += base + "_p90 " + json::format_number(h.quantile(0.9)) + '\n';
+      out += base + "_p99 " + json::format_number(h.quantile(0.99)) + '\n';
+    }
+  }
+  return out;
+}
+
 }  // namespace nocs

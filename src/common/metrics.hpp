@@ -64,6 +64,14 @@ class MetricsRegistry {
   /// "histograms": {name: {count, mean-free summary, p50/p90/p99, ...}}}.
   json::Value to_json() const;
 
+  /// Prometheus-style text exposition: one `name value` line per counter
+  /// and gauge, histograms expanded to `name_count` / `name_max` /
+  /// `name_p50` / `name_p90` / `name_p99` lines.  Dots in metric names
+  /// become underscores (dotted names are the registry convention,
+  /// underscores the exposition one).  The serve daemon returns this from
+  /// its `metrics` op so scrapers need no JSON walking.
+  std::string to_text() const;
+
   /// Dumps the snapshot to `path`; false (after logging) on IO failure.
   bool write_json(const std::string& path) const;
 

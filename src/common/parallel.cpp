@@ -168,20 +168,34 @@ struct ThreadPool::Impl {
   std::mutex mu;
   std::condition_variable work_cv;   // signalled when a task is queued
   std::condition_variable idle_cv;   // signalled when a task completes
-  std::deque<std::function<void()>> queue;
+  // One deque per priority lane, drained high-to-low (see TaskPriority).
+  std::deque<std::function<void()>> lanes[3];
   std::vector<std::thread> workers;
   int in_flight = 0;  // queued + currently executing
   bool stopping = false;
+
+  bool any_queued() const {
+    return !lanes[0].empty() || !lanes[1].empty() || !lanes[2].empty();
+  }
+
+  std::function<void()> pop_locked() {
+    for (auto& lane : lanes) {
+      if (lane.empty()) continue;
+      std::function<void()> task = std::move(lane.front());
+      lane.pop_front();
+      return task;
+    }
+    return nullptr;
+  }
 
   void worker_loop() {
     for (;;) {
       std::function<void()> task;
       {
         std::unique_lock<std::mutex> lock(mu);
-        work_cv.wait(lock, [&] { return stopping || !queue.empty(); });
-        if (queue.empty()) return;  // stopping and drained
-        task = std::move(queue.front());
-        queue.pop_front();
+        work_cv.wait(lock, [&] { return stopping || any_queued(); });
+        task = pop_locked();
+        if (task == nullptr) return;  // stopping and drained
       }
       task();
       {
@@ -213,11 +227,17 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::submit(std::function<void()> task) {
+  submit(TaskPriority::kNormal, std::move(task));
+}
+
+void ThreadPool::submit(TaskPriority priority, std::function<void()> task) {
   NOCS_EXPECTS(task != nullptr);
+  const auto lane = static_cast<std::size_t>(priority);
+  NOCS_EXPECTS(lane < 3);
   {
     std::lock_guard<std::mutex> lock(impl_->mu);
     NOCS_EXPECTS(!impl_->stopping);
-    impl_->queue.push_back(std::move(task));
+    impl_->lanes[lane].push_back(std::move(task));
     ++impl_->in_flight;
   }
   impl_->work_cv.notify_one();

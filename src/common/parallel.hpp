@@ -10,11 +10,42 @@
 // passed through explicitly).
 #pragma once
 
+#include <atomic>
 #include <cstddef>
 #include <functional>
+#include <memory>
 #include <vector>
 
 namespace nocs {
+
+/// Cooperative cancellation: one side requests a stop, any number of
+/// workers poll.  Copies share state, so a token handed to a task keeps
+/// working after the issuing scope released its copy.  Requesting is
+/// sticky — there is no reset; create a fresh token per unit of work.
+class CancellationToken {
+ public:
+  CancellationToken() : state_(std::make_shared<std::atomic<bool>>(false)) {}
+
+  void request_stop() { state_->store(true, std::memory_order_release); }
+  bool stop_requested() const {
+    return state_->load(std::memory_order_acquire);
+  }
+
+  /// The underlying flag, for components that poll a raw atomic (e.g.
+  /// noc::CheckpointConfig::stop_flag).  Valid as long as any copy of the
+  /// token is alive.
+  const std::atomic<bool>* flag() const { return state_.get(); }
+
+ private:
+  std::shared_ptr<std::atomic<bool>> state_;
+};
+
+/// Scheduling lane of a ThreadPool task.  Workers always drain kHigh
+/// before kNormal before kLow; within a lane tasks run in submission
+/// order.  Starvation is accepted by design: the serve scheduler maps
+/// client-facing priorities onto these lanes and bounds each lane with
+/// admission control instead.
+enum class TaskPriority : int { kHigh = 0, kNormal = 1, kLow = 2 };
 
 /// Worker-thread count used when a caller passes num_threads <= 0:
 /// the NOCS_THREADS environment variable when set to a positive integer,
@@ -76,8 +107,11 @@ class ThreadPool {
 
   int size() const { return num_workers_; }
 
-  /// Enqueues one task; returns immediately.
+  /// Enqueues one task on the normal lane; returns immediately.
   void submit(std::function<void()> task);
+
+  /// Enqueues one task on an explicit priority lane.
+  void submit(TaskPriority priority, std::function<void()> task);
 
   /// Blocks until the queue is empty and every worker is idle.
   void wait_idle();

@@ -1,0 +1,52 @@
+#include "common/shutdown.hpp"
+
+#include <csignal>
+
+namespace nocs {
+
+namespace {
+
+std::atomic<bool> g_shutdown{false};
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_installed{false};
+
+// Async-signal-safe: touches only lock-free atomics and sigaction.
+void on_signal(int sig) {
+  if (g_shutdown.exchange(true, std::memory_order_acq_rel)) {
+    // Second signal: the process is not draining fast enough for the
+    // operator — restore the default disposition and die for real.
+    std::signal(sig, SIG_DFL);
+    std::raise(sig);
+    return;
+  }
+  g_signal.store(sig, std::memory_order_release);
+}
+
+}  // namespace
+
+void install_shutdown_handlers() {
+  if (g_installed.exchange(true, std::memory_order_acq_rel)) return;
+  struct sigaction sa = {};
+  sa.sa_handler = on_signal;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;  // deliberately no SA_RESTART: unblock accept()/read()
+  sigaction(SIGINT, &sa, nullptr);
+  sigaction(SIGTERM, &sa, nullptr);
+}
+
+bool shutdown_requested() {
+  return g_shutdown.load(std::memory_order_acquire);
+}
+
+const std::atomic<bool>* shutdown_flag() { return &g_shutdown; }
+
+void request_shutdown() { g_shutdown.store(true, std::memory_order_release); }
+
+int shutdown_signal() { return g_signal.load(std::memory_order_acquire); }
+
+void reset_shutdown_for_tests() {
+  g_shutdown.store(false, std::memory_order_release);
+  g_signal.store(0, std::memory_order_release);
+}
+
+}  // namespace nocs

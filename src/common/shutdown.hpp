@@ -1,0 +1,45 @@
+// Process-wide graceful-shutdown flag driven by OS signals.
+//
+// install_shutdown_handlers() arms SIGINT and SIGTERM to set a sticky
+// atomic flag instead of killing the process, so long-running drivers
+// (batch simulations, sweeps, the serve daemon) can notice the request at
+// their next cooperative boundary, flush checkpoints/ledgers, and exit
+// cleanly.  A second signal restores the default disposition and
+// re-raises, so a wedged process still dies on repeated Ctrl-C.
+//
+// The flag is exposed as a raw `const std::atomic<bool>*` so it plugs
+// directly into noc::CheckpointConfig::stop_flag and the sweep drivers'
+// stop parameter without extra adapters.
+#pragma once
+
+#include <atomic>
+
+namespace nocs {
+
+/// Arms SIGINT/SIGTERM to set the shutdown flag (idempotent; the second
+/// and later calls are no-ops).  Handlers are installed without
+/// SA_RESTART so blocking syscalls in the caller return EINTR and loops
+/// re-check the flag promptly.
+void install_shutdown_handlers();
+
+/// True once any armed signal has been delivered (or request_shutdown()
+/// was called).
+bool shutdown_requested();
+
+/// The flag itself, for components that poll a raw atomic.  Never null;
+/// valid for the process lifetime.
+const std::atomic<bool>* shutdown_flag();
+
+/// Sets the flag programmatically — the serve daemon's `drain` op takes
+/// the exact same path as SIGTERM.
+void request_shutdown();
+
+/// The signal number that triggered shutdown (0 when none yet, or when
+/// request_shutdown() was used).
+int shutdown_signal();
+
+/// Clears the flag and recorded signal.  Tests only: production code
+/// treats shutdown as sticky.
+void reset_shutdown_for_tests();
+
+}  // namespace nocs

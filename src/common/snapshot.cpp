@@ -1,6 +1,9 @@
 #include "common/snapshot.hpp"
 
+#include <unistd.h>
+
 #include <bit>
+#include <cctype>
 #include <cstdio>
 #include <cstring>
 
@@ -220,7 +223,164 @@ Reader load_file(const std::string& path) {
   return Reader(std::move(payload));
 }
 
+// --- append-only record log -------------------------------------------------
+
+bool append_record(std::FILE* f, const std::uint8_t* data, std::size_t size) {
+  NOCS_EXPECTS(f != nullptr);
+  std::uint8_t frame[4 + 8 + 8];
+  put_u32(frame, kRecordMagic);
+  put_u64(frame + 4, size);
+  put_u64(frame + 12, fnv1a(data, size));
+  if (std::fwrite(frame, 1, sizeof frame, f) != sizeof frame) return false;
+  if (size != 0 && std::fwrite(data, 1, size, f) != size) return false;
+  if (std::fflush(f) != 0) return false;
+  // Push through to the device: a ledger's whole point is surviving an
+  // unclean death, so buffered-in-page-cache is the floor, not the goal.
+  ::fsync(::fileno(f));
+  return true;
+}
+
+RecordScan scan_records(const std::string& path) {
+  RecordScan scan;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return scan;  // first start: empty, undamaged
+
+  std::fseek(f, 0, SEEK_END);
+  const long file_size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+
+  std::uint8_t frame[4 + 8 + 8];
+  for (;;) {
+    const std::size_t at = scan.valid_bytes;
+    const std::size_t got = std::fread(frame, 1, sizeof frame, f);
+    if (got == 0) break;  // clean EOF
+    if (got < sizeof frame) {
+      scan.damaged = true;
+      scan.damage = "truncated record header at byte " + std::to_string(at);
+      break;
+    }
+    if (get_u32(frame) != kRecordMagic) {
+      scan.damaged = true;
+      scan.damage = "bad record magic at byte " + std::to_string(at);
+      break;
+    }
+    const std::uint64_t len = get_u64(frame + 4);
+    const std::uint64_t checksum = get_u64(frame + 12);
+    if (file_size >= 0 &&
+        len > static_cast<std::uint64_t>(file_size) - at - sizeof frame) {
+      scan.damaged = true;
+      scan.damage = "record at byte " + std::to_string(at) +
+                    " longer than the remaining file";
+      break;
+    }
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(len));
+    if (!payload.empty() &&
+        std::fread(payload.data(), 1, payload.size(), f) != payload.size()) {
+      scan.damaged = true;
+      scan.damage = "truncated record payload at byte " + std::to_string(at);
+      break;
+    }
+    if (fnv1a(payload.data(), payload.size()) != checksum) {
+      scan.damaged = true;
+      scan.damage =
+          "record checksum mismatch at byte " + std::to_string(at);
+      break;
+    }
+    scan.records.push_back(std::move(payload));
+    scan.valid_bytes = at + sizeof frame + static_cast<std::size_t>(len);
+  }
+  std::fclose(f);
+  return scan;
+}
+
 // --- TaskManifest -----------------------------------------------------------
+
+namespace {
+
+std::size_t skip_ws(const std::string& s, std::size_t pos) {
+  while (pos < s.size() &&
+         std::isspace(static_cast<unsigned char>(s[pos])) != 0)
+    ++pos;
+  return pos;
+}
+
+/// Extent of one JSON value starting at `pos`: tracks brace/bracket depth
+/// and string state, so a complete value of any type is spanned exactly.
+/// Returns std::string::npos when the value never closes (truncation).
+std::size_t value_end(const std::string& s, std::size_t pos) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = pos; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\') ++i;  // skip the escaped character
+      else if (c == '"') in_string = false;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (depth == 0) return i;  // primitive ended by the container close
+      if (--depth == 0) return i + 1;
+    } else if (depth == 0 && (c == ',' || c == '\n')) {
+      return i;  // primitive value ends at the separator
+    }
+  }
+  // Ran off the end: even a parseable primitive here may itself be
+  // truncated (a number missing digits still parses), so treat it as
+  // damage rather than risk recovering a wrong value.
+  return std::string::npos;
+}
+
+}  // namespace
+
+std::map<std::size_t, json::Value> recover_manifest_prefix(
+    const std::string& text, const std::string& fingerprint) {
+  std::map<std::size_t, json::Value> recovered;
+  // The header fields precede the completed map in every manifest this
+  // code writes; without a textually intact magic + matching fingerprint
+  // nothing after them can be trusted.
+  if (text.find("\"magic\": \"nocs-sweep-manifest\"") == std::string::npos)
+    return recovered;
+  if (text.find("\"fingerprint\": " + json::escape(fingerprint)) ==
+      std::string::npos)
+    return recovered;
+  std::size_t pos = text.find("\"completed\"");
+  if (pos == std::string::npos) return recovered;
+  pos = text.find('{', pos);
+  if (pos == std::string::npos) return recovered;
+  ++pos;
+
+  for (;;) {
+    pos = skip_ws(text, pos);
+    if (pos >= text.size() || text[pos] == '}') break;
+    if (text[pos] == ',') {
+      ++pos;
+      continue;
+    }
+    // One "index": value entry; keys are plain decimal strings.
+    if (text[pos] != '"') break;
+    const std::size_t key_end = text.find('"', pos + 1);
+    if (key_end == std::string::npos) break;
+    const std::string key = text.substr(pos + 1, key_end - pos - 1);
+    pos = skip_ws(text, key_end + 1);
+    if (pos >= text.size() || text[pos] != ':') break;
+    pos = skip_ws(text, pos + 1);
+    const std::size_t end = value_end(text, pos);
+    if (end == std::string::npos) break;
+    try {
+      json::Value value = json::Value::parse(text.substr(pos, end - pos));
+      recovered[static_cast<std::size_t>(std::stoull(key))] =
+          std::move(value);
+    } catch (const std::exception&) {
+      break;  // first unparseable record ends the valid prefix
+    }
+    pos = end;
+  }
+  return recovered;
+}
 
 TaskManifest::TaskManifest(const std::string& path,
                            const std::string& fingerprint)
@@ -248,9 +408,21 @@ TaskManifest::TaskManifest(const std::string& path,
     for (const auto& [key, value] : doc.at("completed").members())
       results_.emplace(static_cast<std::size_t>(std::stoull(key)), value);
   } catch (const std::exception& e) {
-    log_message(LogLevel::kWarn, "ignoring unreadable sweep manifest %s: %s",
-                path_.c_str(), e.what());
-    results_.clear();
+    // Truncated or half-written (e.g. the process died while a non-atomic
+    // copy was in flight, or the filesystem ate the tail): salvage the
+    // valid prefix of completed-task records rather than redoing the
+    // whole sweep.
+    results_ = recover_manifest_prefix(text, fingerprint_);
+    if (!results_.empty()) {
+      log_message(LogLevel::kWarn,
+                  "sweep manifest %s is damaged (%s); recovered the valid "
+                  "prefix of %zu completed task(s)",
+                  path_.c_str(), e.what(), results_.size());
+    } else {
+      log_message(LogLevel::kWarn,
+                  "ignoring unreadable sweep manifest %s: %s", path_.c_str(),
+                  e.what());
+    }
   }
 }
 

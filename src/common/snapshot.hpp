@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <cstdio>
 #include <map>
 #include <mutex>
 #include <stdexcept>
@@ -118,10 +119,53 @@ class Serializable {
 /// be written.
 bool save_file(const std::string& path, const Writer& w);
 
+// --- append-only record log -------------------------------------------------
+//
+// The framing under write-ahead ledgers (the serve daemon's job ledger):
+// each record is `magic u32 | payload length u64 | FNV-1a-64 checksum u64 |
+// payload bytes`, appended and flushed/fsynced one record at a time.  A
+// process killed mid-append leaves a truncated or garbage tail;
+// scan_records recovers the valid prefix and reports the damage instead
+// of failing the whole log, so replay after `kill -9` loses at most the
+// record that was being written.
+
+/// Magic opening every log record ("NSRL", little-endian).
+inline constexpr std::uint32_t kRecordMagic = 0x4C52534Eu;
+
+/// Appends one framed record to an open (binary, append-mode) stream and
+/// flushes it through to the kernel (fflush + fsync).  Returns false on a
+/// short write.
+bool append_record(std::FILE* f, const std::uint8_t* data, std::size_t size);
+
+/// Result of scanning a record log.
+struct RecordScan {
+  std::vector<std::vector<std::uint8_t>> records;  ///< valid prefix, in order
+  /// Byte length of the valid prefix; truncating the file here makes it
+  /// clean again (appending after garbage would hide it mid-file).
+  std::size_t valid_bytes = 0;
+  bool damaged = false;   ///< a truncated/corrupt tail was dropped
+  std::string damage;     ///< human-readable description when `damaged`
+};
+
+/// Reads every valid record from the head of `path`.  A missing file is
+/// an empty, undamaged scan (first start); truncation, a checksum
+/// mismatch, or foreign bytes end the scan at the last good record.
+RecordScan scan_records(const std::string& path);
+
 /// Reads and validates a snapshot file: magic, version, payload length,
 /// and checksum.  Throws SnapshotError on any mismatch (missing file,
 /// truncation, bit rot, foreign format, version skew).
 Reader load_file(const std::string& path);
+
+/// Best-effort recovery of a sweep-manifest JSON document that no longer
+/// parses (half-written, truncated, or tail-corrupted): verifies the
+/// magic and fingerprint textually, then re-parses completed-task records
+/// one by one and returns every record of the valid prefix.  An
+/// unverifiable fingerprint (or none recovered) yields an empty map.
+/// TaskManifest falls back to this instead of discarding the whole
+/// ledger, so a damaged manifest costs at most the record being written.
+std::map<std::size_t, json::Value> recover_manifest_prefix(
+    const std::string& text, const std::string& fingerprint);
 
 /// Per-task completion ledger for resumable parallel sweeps.
 ///

@@ -56,11 +56,19 @@ std::string sweep_fingerprint(const std::vector<double>& rates,
   return fp;
 }
 
+namespace {
+
+bool stop_set(const std::atomic<bool>* stop) {
+  return stop != nullptr && stop->load(std::memory_order_acquire);
+}
+
+}  // namespace
+
 std::vector<SweepPoint> resumable_sweep_injection(
     const SweepRunner& run, const std::vector<double>& rates,
     std::uint64_t base_seed, snapshot::TaskManifest* manifest,
-    int num_threads) {
-  if (manifest == nullptr || !manifest->enabled())
+    int num_threads, const std::atomic<bool>* stop) {
+  if ((manifest == nullptr || !manifest->enabled()) && stop == nullptr)
     return parallel_sweep_injection(run, rates, base_seed, num_threads);
   NOCS_EXPECTS(run != nullptr);
 
@@ -68,22 +76,29 @@ std::vector<SweepPoint> resumable_sweep_injection(
   std::vector<std::size_t> todo;
   for (std::size_t i = 0; i < rates.size(); ++i) {
     points[i].injection_rate = rates[i];
-    if (manifest->completed(i))
+    if (manifest != nullptr && manifest->completed(i)) {
       points[i].results = sim_results_from_json(manifest->result(i));
-    else
+    } else {
+      points[i].results.interrupted = true;  // cleared when the task runs
       todo.push_back(i);
+    }
   }
   ParallelFor(
       todo.size(),
       [&](std::size_t k) {
         const std::size_t i = todo[k];
+        if (stop_set(stop)) return;  // shutdown: claim no new work
         const SweepTask task{i, rates[i], task_seed(base_seed, i)};
         const trace::HostScope span(
             "sweep[" + std::to_string(i) +
                 "] rate=" + std::to_string(rates[i]),
             "sweep", static_cast<int>(i));
         points[i].results = run(task);
-        manifest->record(i, to_json(points[i].results));
+        // A run the shutdown flag cut short is partial — keep it out of
+        // the manifest so the resumed sweep redoes it from scratch.
+        if (points[i].results.interrupted) return;
+        if (manifest != nullptr)
+          manifest->record(i, to_json(points[i].results));
       },
       num_threads);
   return points;
@@ -94,8 +109,9 @@ std::vector<SimResults> resumable_samples(const SweepRunner& run,
                                           double injection_rate,
                                           std::uint64_t base_seed,
                                           snapshot::TaskManifest* manifest,
-                                          int num_threads) {
-  if (manifest == nullptr || !manifest->enabled())
+                                          int num_threads,
+                                          const std::atomic<bool>* stop) {
+  if ((manifest == nullptr || !manifest->enabled()) && stop == nullptr)
     return parallel_samples(run, num_samples, injection_rate, base_seed,
                             num_threads);
   NOCS_EXPECTS(run != nullptr);
@@ -103,20 +119,24 @@ std::vector<SimResults> resumable_samples(const SweepRunner& run,
   std::vector<SimResults> results(num_samples);
   std::vector<std::size_t> todo;
   for (std::size_t i = 0; i < num_samples; ++i) {
-    if (manifest->completed(i))
+    if (manifest != nullptr && manifest->completed(i)) {
       results[i] = sim_results_from_json(manifest->result(i));
-    else
+    } else {
+      results[i].interrupted = true;  // cleared when the task runs
       todo.push_back(i);
+    }
   }
   ParallelFor(
       todo.size(),
       [&](std::size_t k) {
         const std::size_t i = todo[k];
+        if (stop_set(stop)) return;
         const SweepTask task{i, injection_rate, task_seed(base_seed, i)};
         const trace::HostScope span("sample[" + std::to_string(i) + "]",
                                     "sweep", static_cast<int>(i));
         results[i] = run(task);
-        manifest->record(i, to_json(results[i]));
+        if (results[i].interrupted) return;
+        if (manifest != nullptr) manifest->record(i, to_json(results[i]));
       },
       num_threads);
   return results;

@@ -11,6 +11,7 @@
 // completion order.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <string>
@@ -64,17 +65,28 @@ std::string sweep_fingerprint(const std::vector<double>& rates,
                               std::uint64_t base_seed);
 
 /// parallel_sweep_injection with per-task resume through `manifest`.
+///
+/// `stop` (optional) is a cooperative shutdown flag (common/shutdown's
+/// process flag, or a CancellationToken's): once set, no new task starts,
+/// and a task interrupted mid-run (the runner wired the same flag into
+/// its CheckpointConfig) is *not* recorded — its `results.interrupted`
+/// stays true in the returned vector, and tasks never started keep
+/// default results with `interrupted` set.  The manifest therefore only
+/// ever holds complete, bit-exact task results.
 std::vector<SweepPoint> resumable_sweep_injection(
     const SweepRunner& run, const std::vector<double>& rates,
     std::uint64_t base_seed, snapshot::TaskManifest* manifest,
-    int num_threads = 0);
+    int num_threads = 0, const std::atomic<bool>* stop = nullptr);
 
-/// parallel_samples with per-task resume through `manifest`.
+/// parallel_samples with per-task resume through `manifest` (same `stop`
+/// semantics as resumable_sweep_injection).
 std::vector<SimResults> resumable_samples(const SweepRunner& run,
                                           std::size_t num_samples,
                                           double injection_rate,
                                           std::uint64_t base_seed,
                                           snapshot::TaskManifest* manifest,
-                                          int num_threads = 0);
+                                          int num_threads = 0,
+                                          const std::atomic<bool>* stop =
+                                              nullptr);
 
 }  // namespace nocs::noc

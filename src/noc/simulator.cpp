@@ -197,7 +197,11 @@ SimResults run_simulation(Network& net, const SimConfig& cfg,
   // exactly at the end of warmup restores into the measure phase with the
   // measuring flag already on.
   auto checkpoint_boundary = [&]() {
-    const bool at_stop = ckpt.stop_at != 0 && net.now() >= ckpt.stop_at;
+    const bool stop_requested =
+        ckpt.stop_flag != nullptr &&
+        ckpt.stop_flag->load(std::memory_order_acquire);
+    const bool at_stop =
+        (ckpt.stop_at != 0 && net.now() >= ckpt.stop_at) || stop_requested;
     const bool at_period =
         ckpt_every != 0 && net.now() % ckpt_every == 0;
     if (!ckpt.save_path.empty() && (at_period || at_stop)) save_checkpoint();
@@ -226,6 +230,9 @@ SimResults run_simulation(Network& net, const SimConfig& cfg,
       stride = std::min(stride, ckpt_every - net.now() % ckpt_every);
     if (ckpt.stop_at > net.now())
       stride = std::min(stride, ckpt.stop_at - net.now());
+    // Keep chunks short enough that a stop request is noticed within a
+    // few thousand cycles; re-chunking net.run() never changes results.
+    if (ckpt.stop_flag != nullptr) stride = std::min<Cycle>(stride, 2048);
     const Cycle before = net.now();
     run_chunk(stride);
     done_in_phase += net.now() - before;

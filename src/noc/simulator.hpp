@@ -3,6 +3,7 @@
 // (the experiments behind Figure 11 of the paper).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <utility>
@@ -102,6 +103,14 @@ struct CheckpointConfig {
   /// Combined with restore_path this is how bit-identical resume is
   /// verified: run to cycle N, stop, restore, continue, compare.
   Cycle stop_at = 0;
+  /// Optional cooperative stop flag (the process shutdown flag installed
+  /// by common/shutdown, or a serve-job CancellationToken's flag).
+  /// Polled at chunk boundaries (a few thousand cycles at most); once set
+  /// the run writes save_path (when configured) and returns with
+  /// `interrupted`, exactly like hitting stop_at.  Polling never perturbs
+  /// simulation state, so an uninterrupted run is bit-identical with or
+  /// without the flag wired up.
+  const std::atomic<bool>* stop_flag = nullptr;
   /// Extra components serialized into/restored from the same snapshot
   /// under their given names, in order (e.g. {"fault", &injector}).  The
   /// pointers must outlive the run.

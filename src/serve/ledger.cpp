@@ -1,0 +1,99 @@
+#include "serve/ledger.hpp"
+
+#include <unistd.h>
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/snapshot.hpp"
+
+namespace nocs::serve {
+
+Ledger::Ledger(const std::string& path) : path_(path) {
+  snapshot::RecordScan scan = snapshot::scan_records(path_);
+  if (scan.damaged) {
+    log_message(LogLevel::kWarn,
+                "ledger %s has a damaged tail (%s); replaying the valid "
+                "prefix of %zu record(s) and truncating",
+                path_.c_str(), scan.damage.c_str(), scan.records.size());
+    truncated_on_open_ = true;
+    // Appending after garbage would bury the damage mid-file where the
+    // next replay stops early; cut the file back to its valid prefix.
+    if (::truncate(path_.c_str(),
+                   static_cast<off_t>(scan.valid_bytes)) != 0)
+      log_message(LogLevel::kError, "ledger: cannot truncate %s",
+                  path_.c_str());
+  }
+
+  bool saw_header = false;
+  for (std::size_t i = 0; i < scan.records.size(); ++i) {
+    const auto& bytes = scan.records[i];
+    json::Value record;
+    try {
+      record = json::Value::parse(
+          std::string(reinterpret_cast<const char*>(bytes.data()),
+                      bytes.size()));
+    } catch (const std::exception& e) {
+      // A frame whose checksum held but whose payload is not JSON means a
+      // writer bug, not bit rot; skip it rather than dropping the rest.
+      log_message(LogLevel::kWarn,
+                  "ledger %s record %zu is not JSON (%s); skipping",
+                  path_.c_str(), i, e.what());
+      continue;
+    }
+    if (i == 0) {
+      const json::Value* magic = record.find("magic");
+      if (magic == nullptr || !magic->is_string() ||
+          magic->as_string() != "nocs-serve-ledger")
+        throw std::runtime_error(path_ + " is not a serve ledger");
+      saw_header = true;
+      continue;
+    }
+    replayed_.push_back(std::move(record));
+  }
+
+  file_ = std::fopen(path_.c_str(), "ab");
+  if (file_ == nullptr)
+    throw std::runtime_error("cannot open ledger for append: " + path_);
+
+  if (!saw_header) {
+    json::Value open = json::Value::object();
+    open.set("type", "open");
+    open.set("magic", "nocs-serve-ledger");
+    open.set("version", kLedgerVersion);
+    const std::string text = open.dump();
+    if (!snapshot::append_record(
+            file_, reinterpret_cast<const std::uint8_t*>(text.data()),
+            text.size())) {
+      std::fclose(file_);
+      file_ = nullptr;
+      throw std::runtime_error("cannot write ledger header: " + path_);
+    }
+  }
+}
+
+Ledger::~Ledger() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool Ledger::append(const json::Value& record) {
+  const std::string text = record.dump();
+  const std::lock_guard<std::mutex> lock(mu_);
+  if (file_ == nullptr) return false;
+  if (!snapshot::append_record(
+          file_, reinterpret_cast<const std::uint8_t*>(text.data()),
+          text.size())) {
+    log_message(LogLevel::kError, "ledger: short write to %s",
+                path_.c_str());
+    return false;
+  }
+  ++appended_;
+  return true;
+}
+
+std::size_t Ledger::appended_count() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return appended_;
+}
+
+}  // namespace nocs::serve

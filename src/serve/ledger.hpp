@@ -1,0 +1,74 @@
+// Write-ahead job ledger: the serve daemon's source of truth.
+//
+// Every state transition that must survive a crash is appended as one
+// JSON record inside a checksummed snapshot::append_record frame *before*
+// the transition is acknowledged to a client: `submit` before the accept
+// reply, `task` after each task completes, `done`/`failed` when a job
+// reaches a terminal state.  Startup replays the log: terminal jobs seed
+// the result cache, non-terminal jobs are re-enqueued minus their
+// already-recorded tasks — so a `kill -9` at any byte loses at most the
+// record that was mid-append (the frame checksum catches it, and the
+// damaged tail is truncated away before new appends).
+//
+// Record types (all objects with a "type" field):
+//   {"type":"open","magic":"nocs-serve-ledger","version":1}
+//   {"type":"submit","job":"job-3","spec":{"kind":...,"params":{...},
+//    "priority":"normal"},"fingerprint":"serve:..."}
+//   {"type":"task","job":"job-3","task":2,"result":{...}}
+//   {"type":"done","job":"job-3","result":{...}}
+//   {"type":"failed","job":"job-3","error":"..."}
+#pragma once
+
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+
+namespace nocs::serve {
+
+/// Current ledger format version (the "open" record's `version`).
+inline constexpr int kLedgerVersion = 1;
+
+/// Append-only, checksummed, replayable record log.
+class Ledger {
+ public:
+  /// Opens (creating if absent) the ledger at `path`: scans the existing
+  /// records, truncates any damaged tail so the file is clean again, and
+  /// positions for appending.  Throws std::runtime_error when the file
+  /// cannot be opened for appending or is not a serve ledger.
+  explicit Ledger(const std::string& path);
+  ~Ledger();
+
+  Ledger(const Ledger&) = delete;
+  Ledger& operator=(const Ledger&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Records replayed from disk at open (excluding the "open" header),
+  /// in append order.  Unparseable-JSON records inside valid frames are
+  /// skipped during the scan (logged), not fatal.
+  const std::vector<json::Value>& replayed() const { return replayed_; }
+
+  /// True when the open-time scan found and truncated a damaged tail.
+  bool truncated_on_open() const { return truncated_on_open_; }
+
+  /// Appends one record and flushes it to the device before returning.
+  /// Thread-safe.  Returns false (after logging) on a write failure —
+  /// the caller decides whether to keep serving without durability.
+  bool append(const json::Value& record);
+
+  /// Records appended by this process (not counting replayed ones).
+  std::size_t appended_count() const;
+
+ private:
+  std::string path_;
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::vector<json::Value> replayed_;
+  bool truncated_on_open_ = false;
+  std::size_t appended_ = 0;
+};
+
+}  // namespace nocs::serve

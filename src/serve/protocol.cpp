@@ -1,0 +1,237 @@
+#include "serve/protocol.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+namespace nocs::serve {
+
+namespace {
+
+/// Hard ceiling on how many tasks one job may expand to; a request past
+/// it is a client error, not an admission-control condition.
+constexpr std::size_t kMaxTasksPerJob = 4096;
+
+bool is_scalar(const json::Value& v) {
+  return v.is_string() || v.is_number() || v.is_bool();
+}
+
+std::string dump_scalar(const json::Value& v) {
+  if (v.is_string()) return v.as_string();
+  if (v.is_bool()) return v.as_bool() ? "true" : "false";
+  return json::format_number(v.as_number());
+}
+
+const char* priority_name(TaskPriority p) {
+  switch (p) {
+    case TaskPriority::kHigh: return "high";
+    case TaskPriority::kLow: return "low";
+    default: return "normal";
+  }
+}
+
+}  // namespace
+
+std::string fingerprint(const JobSpec& spec) {
+  // Sorted keys make the fingerprint insensitive to client key order;
+  // values go through the same shortest-round-trip formatter as reports,
+  // so numerically identical numbers fingerprint identically.
+  std::vector<std::pair<std::string, std::string>> kv;
+  for (const auto& [key, value] : spec.params.members())
+    kv.emplace_back(key, dump_scalar(value));
+  std::sort(kv.begin(), kv.end());
+  std::string fp = "serve:kind=" + spec.kind;
+  for (const auto& [key, value] : kv) fp += ';' + key + '=' + value;
+  return fp;
+}
+
+std::vector<double> parse_rates(const std::string& spec) {
+  double start = 0, step = 0, end = 0;
+  if (std::sscanf(spec.c_str(), "%lf:%lf:%lf", &start, &step, &end) != 3)
+    throw std::invalid_argument("rates must be start:step:end");
+  if (!(step > 0) || !(start > 0) || end < start)
+    throw std::invalid_argument(
+        "rates must satisfy start > 0, step > 0, end >= start");
+  std::vector<double> rates;
+  for (double r = start; r <= end + 1e-12; r += step) {
+    rates.push_back(r);
+    if (rates.size() > kMaxTasksPerJob)
+      throw std::invalid_argument("rates expand to too many points");
+  }
+  return rates;
+}
+
+std::size_t task_count(const JobSpec& spec) {
+  if (spec.kind == "sweep") {
+    const json::Value* r = spec.params.find("rates");
+    return parse_rates(r != nullptr ? r->as_string() : "0.05:0.05:0.5")
+        .size();
+  }
+  if (spec.kind == "selftest") {
+    const json::Value* t = spec.params.find("tasks");
+    return t != nullptr ? static_cast<std::size_t>(t->as_number()) : 1;
+  }
+  return 1;
+}
+
+Config params_config(const JobSpec& spec) {
+  Config cfg;
+  for (const auto& [key, value] : spec.params.members())
+    cfg.set(key, dump_scalar(value));
+  return cfg;
+}
+
+namespace {
+
+/// Validates a submit's spec; returns an error string ("" = valid).
+std::string validate_spec(const JobSpec& spec) {
+  if (spec.kind != "simulate" && spec.kind != "sweep" &&
+      spec.kind != "selftest")
+    return "unknown kind '" + spec.kind +
+           "' (simulate | sweep | selftest)";
+  for (const auto& [key, value] : spec.params.members()) {
+    if (key.empty()) return "params keys must be non-empty strings";
+    if (!is_scalar(value))
+      return "params values must be scalars (param '" + key + "' is not)";
+  }
+  try {
+    const std::size_t tasks = task_count(spec);
+    if (tasks == 0 || tasks > kMaxTasksPerJob)
+      return "job expands to " + std::to_string(tasks) +
+             " tasks (limit " + std::to_string(kMaxTasksPerJob) + ")";
+  } catch (const std::exception& e) {
+    return e.what();
+  }
+  return "";
+}
+
+}  // namespace
+
+ParseResult parse_request(const std::string& line) {
+  ParseResult out;
+  json::Value doc;
+  try {
+    doc = json::Value::parse(line);
+  } catch (const std::exception& e) {
+    out.error = std::string("malformed JSON: ") + e.what();
+    return out;
+  }
+  if (!doc.is_object()) {
+    out.error = "request must be a JSON object";
+    return out;
+  }
+
+  const json::Value* op = doc.find("op");
+  if (op == nullptr || !op->is_string()) {
+    out.error = "missing string field 'op'";
+    return out;
+  }
+  Request& req = out.request;
+  req.op = op->as_string();
+
+  if (req.op == "submit") {
+    const json::Value* kind = doc.find("kind");
+    if (kind == nullptr || !kind->is_string()) {
+      out.error = "submit requires a string field 'kind'";
+      return out;
+    }
+    req.spec.kind = kind->as_string();
+    if (const json::Value* params = doc.find("params")) {
+      if (!params->is_object()) {
+        out.error = "'params' must be an object";
+        return out;
+      }
+      req.spec.params = *params;
+    }
+    if (const json::Value* pri = doc.find("priority")) {
+      if (!pri->is_string()) {
+        out.error = "'priority' must be \"high\" | \"normal\" | \"low\"";
+        return out;
+      }
+      const std::string& name = pri->as_string();
+      if (name == "high") req.spec.priority = TaskPriority::kHigh;
+      else if (name == "normal") req.spec.priority = TaskPriority::kNormal;
+      else if (name == "low") req.spec.priority = TaskPriority::kLow;
+      else {
+        out.error = "unknown priority '" + name + "'";
+        return out;
+      }
+    }
+    const std::string spec_error = validate_spec(req.spec);
+    if (!spec_error.empty()) {
+      out.error = spec_error;
+      return out;
+    }
+  } else if (req.op == "job" || req.op == "wait") {
+    const json::Value* job = doc.find("job");
+    if (job == nullptr || !job->is_string() || job->as_string().empty()) {
+      out.error = "'" + req.op + "' requires a string field 'job'";
+      return out;
+    }
+    req.job_id = job->as_string();
+    if (const json::Value* t = doc.find("timeout_ms")) {
+      if (!t->is_number() || t->as_number() < 0) {
+        out.error = "'timeout_ms' must be a non-negative number";
+        return out;
+      }
+      req.timeout_ms = static_cast<std::uint64_t>(t->as_number());
+    }
+  } else if (req.op != "status" && req.op != "metrics" &&
+             req.op != "drain" && req.op != "ping") {
+    out.error = "unknown op '" + req.op +
+                "' (submit | job | wait | status | metrics | drain | ping)";
+    return out;
+  }
+
+  out.ok = true;
+  return out;
+}
+
+json::Value spec_to_json(const JobSpec& spec) {
+  json::Value v = json::Value::object();
+  v.set("kind", spec.kind);
+  v.set("params", spec.params);
+  v.set("priority", priority_name(spec.priority));
+  return v;
+}
+
+JobSpec spec_from_json(const json::Value& v) {
+  if (!v.is_object()) throw std::invalid_argument("spec must be an object");
+  JobSpec spec;
+  spec.kind = v.at("kind").as_string();
+  if (const json::Value* params = v.find("params")) {
+    if (!params->is_object())
+      throw std::invalid_argument("spec params must be an object");
+    spec.params = *params;
+  }
+  if (const json::Value* pri = v.find("priority")) {
+    const std::string& name = pri->as_string();
+    if (name == "high") spec.priority = TaskPriority::kHigh;
+    else if (name == "normal") spec.priority = TaskPriority::kNormal;
+    else if (name == "low") spec.priority = TaskPriority::kLow;
+    else throw std::invalid_argument("unknown priority '" + name + "'");
+  }
+  const std::string error = validate_spec(spec);
+  if (!error.empty()) throw std::invalid_argument(error);
+  return spec;
+}
+
+json::Value ok_response() {
+  json::Value v = json::Value::object();
+  v.set("ok", true);
+  return v;
+}
+
+json::Value error_response(int code, const std::string& message) {
+  json::Value v = json::Value::object();
+  v.set("ok", false);
+  v.set("code", code);
+  v.set("error", message);
+  return v;
+}
+
+// priority_name is also needed by the scheduler's status dumps; expose it
+// through a tiny accessor instead of duplicating the switch there.
+std::string priority_to_string(TaskPriority p) { return priority_name(p); }
+
+}  // namespace nocs::serve

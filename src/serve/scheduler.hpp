@@ -1,0 +1,146 @@
+// Crash-safe job scheduler: the heart of the serve daemon.
+//
+// Jobs expand into tasks that run on a shared common/parallel ThreadPool
+// with per-job priority lanes.  Robustness is the contract:
+//
+//  - admission control: bounded job and task queues; a full queue is an
+//    explicit 429-style reject, never unbounded memory growth;
+//  - write-ahead ledger: submissions are durable before they are
+//    acknowledged, task completions before they are aggregated, so a
+//    `kill -9` at any point resumes with no lost or duplicated tasks;
+//  - supervision: a watchdog thread enforces per-task wall-clock
+//    timeouts via cancellation tokens, retries failures with
+//    capped-exponential backoff, and quarantines a job whose task keeps
+//    failing after max_attempts;
+//  - result cache: completed jobs are cached by spec fingerprint, so an
+//    identical resubmission replays the stored JSON bit-identically for
+//    zero simulation cycles;
+//  - graceful drain: stop admitting, cancel running tasks cooperatively
+//    (simulation runners checkpoint via CheckpointConfig), and leave the
+//    ledger positioned so the next start finishes the campaign.
+//
+// The scheduler is transport- and workload-agnostic: the server wires in
+// the socket front end, serve/runner.hpp the actual simulations, and
+// tests wire in synthetic runners to exercise every failure path.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.hpp"
+#include "common/metrics.hpp"
+#include "common/parallel.hpp"
+#include "serve/ledger.hpp"
+#include "serve/protocol.hpp"
+
+namespace nocs::serve {
+
+/// Scheduler capacity and supervision policy (CLI `serve_*` keys).
+struct ServeLimits {
+  int workers = 2;                    ///< pool worker threads
+  std::size_t max_jobs = 64;          ///< non-terminal jobs admitted at once
+  std::size_t max_pending_tasks = 1024;  ///< queued-but-not-running tasks
+  int max_attempts = 3;               ///< attempts before quarantine
+  std::uint64_t task_timeout_ms = 0;  ///< per-attempt wall clock (0 = off)
+  std::uint64_t backoff_base_ms = 100;   ///< first retry delay
+  std::uint64_t backoff_cap_ms = 5000;   ///< exponential backoff ceiling
+  std::uint64_t supervise_every_ms = 20;  ///< watchdog poll period
+  std::uint64_t wait_default_ms = 60000;  ///< `wait` op default timeout
+
+  /// Reads `serve_workers=`, `serve_max_jobs=`, `serve_max_pending=`,
+  /// `serve_max_attempts=`, `serve_task_timeout_ms=`,
+  /// `serve_backoff_ms=`, `serve_backoff_cap_ms=` (validated: throws
+  /// std::invalid_argument on non-positive workers/attempts).
+  static ServeLimits from_config(const Config& cfg);
+};
+
+/// Result of one task attempt.
+struct TaskOutcome {
+  enum class Status {
+    kOk,         ///< result is valid
+    kCancelled,  ///< stopped at the cancellation token (timeout or drain)
+    kError,      ///< attempt failed; retry or quarantine per policy
+  };
+  Status status = Status::kError;
+  json::Value result;  ///< kOk only
+  std::string error;   ///< kError only
+
+  static TaskOutcome ok(json::Value r);
+  static TaskOutcome cancelled();
+  static TaskOutcome failed(std::string why);
+};
+
+/// Executes one task attempt.  Must poll `cancel` and return kCancelled
+/// promptly once it fires — both the timeout watchdog and graceful drain
+/// ride on that token.
+using TaskRunner = std::function<TaskOutcome(
+    const JobSpec& spec, const std::string& job_id, std::size_t task_index,
+    int attempt, const CancellationToken& cancel)>;
+
+/// Combines a completed job's per-task results into its final result.
+using Aggregator = std::function<json::Value(
+    const JobSpec& spec, const std::vector<json::Value>& task_results)>;
+
+/// submit() outcome, mapped onto wire replies by the server.
+struct SubmitOutcome {
+  enum class Code {
+    kAccepted,  ///< durably ledgered and queued
+    kCached,    ///< identical completed job: result replayed, zero cycles
+    kRejected,  ///< admission control (429)
+    kDraining,  ///< daemon is shutting down (503)
+  };
+  Code code = Code::kRejected;
+  std::string job_id;      ///< kAccepted: the new job; kCached: the donor
+  json::Value cached;      ///< kCached: the stored result
+  std::string error;       ///< kRejected / kDraining
+};
+
+class JobScheduler {
+ public:
+  /// Starts workers and the supervisor.  `ledger` may be null (a purely
+  /// in-memory scheduler, used by some tests); with a ledger, its
+  /// replayed records are recovered first: terminal jobs seed the result
+  /// cache, interrupted jobs re-enqueue their unfinished tasks.
+  JobScheduler(const ServeLimits& limits, TaskRunner runner,
+               Aggregator aggregate, Ledger* ledger);
+  ~JobScheduler();
+
+  JobScheduler(const JobScheduler&) = delete;
+  JobScheduler& operator=(const JobScheduler&) = delete;
+
+  SubmitOutcome submit(const JobSpec& spec);
+
+  /// Status object for one job ({"ok":false,...} 404-style when unknown).
+  json::Value job_status(const std::string& job_id) const;
+
+  /// Blocks until the job is terminal or `timeout_ms` elapsed (0 uses
+  /// ServeLimits::wait_default_ms), then returns its status object.
+  json::Value wait(const std::string& job_id, std::uint64_t timeout_ms);
+
+  /// Daemon-level status: queue depth, running tasks, retry/timeout/
+  /// quarantine/cache counters, draining flag.
+  json::Value status() const;
+
+  /// Registers the same numbers as "serve.*" metrics.
+  void export_metrics(MetricsRegistry& reg) const;
+
+  /// Graceful drain: stop admitting and dequeuing, cancel running tasks
+  /// cooperatively, and return once every worker settled.  Idempotent.
+  /// The scheduler stays queryable (status/job/wait) afterwards.
+  void drain();
+  bool draining() const;
+
+  /// Jobs recovered from the ledger that are being re-run (for startup
+  /// logging; 0 on a fresh ledger).
+  std::size_t recovered_jobs() const { return recovered_jobs_; }
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+  std::size_t recovered_jobs_ = 0;
+};
+
+}  // namespace nocs::serve

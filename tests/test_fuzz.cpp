@@ -8,6 +8,7 @@
 #include "common/rng.hpp"
 #include "fault/fault_injector.hpp"
 #include "noc/simulator.hpp"
+#include "serve/protocol.hpp"
 #include "sprint/network_builder.hpp"
 
 namespace nocs {
@@ -187,6 +188,94 @@ TEST_P(FaultFuzz, NoHangNoLossAndDeterministic) {
 }
 
 INSTANTIATE_TEST_SUITE_P(RandomFaults, FaultFuzz, ::testing::Range(0, 20));
+
+// --- serve wire-protocol fuzzing --------------------------------------------
+//
+// The daemon's parser consumes raw socket lines, so it must never throw or
+// crash on hostile bytes: every input yields either ok=true or an error
+// string.  Three generators: pure random bytes, random JSON-ish token
+// soup, and mutated valid requests (the nastiest inputs are almost-valid).
+
+namespace {
+
+std::string random_bytes(Rng& rng) {
+  const std::size_t len = rng.uniform_int(200);
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i)
+    s += static_cast<char>(rng.uniform_int(256));
+  return s;
+}
+
+std::string random_tokens(Rng& rng) {
+  static const char* tokens[] = {
+      "{",       "}",          "[",        "]",        ":",
+      ",",       "\"op\"",     "\"submit\"", "\"kind\"", "\"sweep\"",
+      "\"params\"", "\"rates\"", "\"0.1:0.1:0.5\"", "\"priority\"",
+      "\"high\"", "\"job\"",   "\"timeout_ms\"", "1e308",  "-0",
+      "null",    "true",       "false",    "1234567890123456789",
+      "\"\\u0000\"", " ",      "\\",       "\"",
+  };
+  const std::size_t len = rng.uniform_int(24);
+  std::string s;
+  for (std::size_t i = 0; i < len; ++i)
+    s += tokens[rng.uniform_int(sizeof tokens / sizeof tokens[0])];
+  return s;
+}
+
+std::string mutated_valid(Rng& rng) {
+  static const char* seeds[] = {
+      "{\"op\":\"submit\",\"kind\":\"sweep\","
+      "\"params\":{\"level\":8,\"rates\":\"0.05:0.05:0.5\"}}",
+      "{\"op\":\"submit\",\"kind\":\"selftest\",\"params\":{\"tasks\":4},"
+      "\"priority\":\"low\"}",
+      "{\"op\":\"wait\",\"job\":\"job-1\",\"timeout_ms\":100}",
+      "{\"op\":\"status\"}",
+  };
+  std::string s = seeds[rng.uniform_int(sizeof seeds / sizeof seeds[0])];
+  const int edits = 1 + static_cast<int>(rng.uniform_int(4));
+  for (int i = 0; i < edits && !s.empty(); ++i) {
+    const std::size_t pos = rng.uniform_int(s.size());
+    switch (rng.uniform_int(3)) {
+      case 0: s[pos] = static_cast<char>(rng.uniform_int(256)); break;
+      case 1: s.erase(pos, 1); break;
+      default: s.insert(pos, 1, static_cast<char>(rng.uniform_int(128)));
+    }
+  }
+  return s;
+}
+
+}  // namespace
+
+class ServeProtocolFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(ServeProtocolFuzz, ParserNeverThrowsAndErrorsAreActionable) {
+  Rng rng(0x5e27eul + static_cast<std::uint64_t>(GetParam()) * 7919);
+  for (int i = 0; i < 400; ++i) {
+    std::string line;
+    switch (i % 3) {
+      case 0: line = random_bytes(rng); break;
+      case 1: line = random_tokens(rng); break;
+      default: line = mutated_valid(rng);
+    }
+    const serve::ParseResult r = serve::parse_request(line);
+    if (r.ok) {
+      // Whatever parsed must be a fully validated request: re-submitting
+      // through the spec round-trip cannot throw either.
+      if (r.request.op == "submit") {
+        EXPECT_NO_THROW({
+          (void)serve::fingerprint(r.request.spec);
+          (void)serve::task_count(r.request.spec);
+          (void)serve::spec_from_json(serve::spec_to_json(r.request.spec));
+        });
+      }
+    } else {
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(HostileLines, ServeProtocolFuzz,
+                         ::testing::Range(0, 10));
 
 }  // namespace
 }  // namespace nocs

@@ -5,8 +5,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <functional>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -73,6 +75,64 @@ TEST(ThreadPool, SubmitAndWaitIdle) {
   for (int i = 0; i < 20; ++i) pool.submit([&] { ++done; });
   pool.wait_idle();
   EXPECT_EQ(done.load(), 20);
+}
+
+TEST(ThreadPool, PriorityLanesDrainHighBeforeNormalBeforeLow) {
+  ThreadPool pool(1);  // one worker serializes execution order
+  std::atomic<bool> release{false};
+  std::mutex mu;
+  std::vector<int> order;
+  // Park the worker so the lanes fill up before anything dequeues.
+  pool.submit([&] {
+    while (!release.load()) std::this_thread::yield();
+  });
+  auto record = [&](int tag) {
+    return [&, tag] {
+      const std::lock_guard<std::mutex> lock(mu);
+      order.push_back(tag);
+    };
+  };
+  // Enqueued worst-first: low, normal (default), high.
+  pool.submit(TaskPriority::kLow, record(3));
+  pool.submit(record(2));
+  pool.submit(TaskPriority::kHigh, record(1));
+  pool.submit(TaskPriority::kLow, record(3));
+  pool.submit(TaskPriority::kHigh, record(1));
+  release.store(true);
+  pool.wait_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 1, 2, 3, 3}));
+}
+
+TEST(CancellationToken, CopiesShareOneStickyFlag) {
+  CancellationToken token;
+  EXPECT_FALSE(token.stop_requested());
+  ASSERT_NE(token.flag(), nullptr);
+  EXPECT_FALSE(token.flag()->load());
+
+  CancellationToken copy = token;
+  copy.request_stop();
+  EXPECT_TRUE(token.stop_requested());
+  EXPECT_TRUE(copy.stop_requested());
+  EXPECT_TRUE(token.flag()->load());
+
+  // A fresh token is independent of the fired one.
+  const CancellationToken fresh;
+  EXPECT_FALSE(fresh.stop_requested());
+}
+
+TEST(CancellationToken, FlagPlugsIntoCheckpointStop) {
+  // The raw pointer form is what CheckpointConfig::stop_flag consumes;
+  // firing the token must be visible through that pointer from another
+  // thread (the supervisor fires, the simulation polls).
+  CancellationToken token;
+  const std::atomic<bool>* flag = token.flag();
+  std::thread firer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    token.request_stop();
+  });
+  while (!flag->load(std::memory_order_acquire)) std::this_thread::yield();
+  firer.join();
+  EXPECT_TRUE(token.stop_requested());
 }
 
 TEST(DefaultThreadCount, HonorsEnvironmentOverride) {

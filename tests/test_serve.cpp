@@ -1,0 +1,594 @@
+// Serve-daemon robustness suite: protocol validation, crash-safe ledger
+// replay, retry/timeout/quarantine supervision, admission control, the
+// fingerprint result cache, and the socket-free server front end.  Every
+// scheduler test uses synthetic runners so failure paths are exercised
+// deterministically in milliseconds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "common/shutdown.hpp"
+#include "common/snapshot.hpp"
+#include "serve/ledger.hpp"
+#include "serve/protocol.hpp"
+#include "serve/scheduler.hpp"
+#include "serve/server.hpp"
+
+namespace nocs::serve {
+namespace {
+
+std::string tmp_path(const std::string& name) {
+  return ::testing::TempDir() + name;
+}
+
+/// Limits tuned so retries/timeouts resolve in milliseconds.
+ServeLimits fast_limits() {
+  ServeLimits l;
+  l.workers = 2;
+  l.max_attempts = 3;
+  l.task_timeout_ms = 0;
+  l.backoff_base_ms = 1;
+  l.backoff_cap_ms = 4;
+  l.supervise_every_ms = 2;
+  l.wait_default_ms = 10000;
+  return l;
+}
+
+JobSpec selftest_spec(int tasks, int sleep_ms = 1) {
+  JobSpec spec;
+  spec.kind = "selftest";
+  spec.params.set("tasks", tasks);
+  spec.params.set("sleep_ms", sleep_ms);
+  return spec;
+}
+
+/// Runner that records which task indices it completed.
+struct CountingRunner {
+  std::mutex mu;
+  std::vector<std::size_t> ran;
+
+  TaskRunner fn() {
+    return [this](const JobSpec&, const std::string&, std::size_t index,
+                  int attempt, const CancellationToken&) {
+      {
+        const std::lock_guard<std::mutex> lock(mu);
+        ran.push_back(index);
+      }
+      json::Value v = json::Value::object();
+      v.set("task", static_cast<double>(index));
+      v.set("attempt", attempt);
+      return TaskOutcome::ok(std::move(v));
+    };
+  }
+
+  std::vector<std::size_t> sorted() {
+    const std::lock_guard<std::mutex> lock(mu);
+    std::vector<std::size_t> v = ran;
+    std::sort(v.begin(), v.end());
+    return v;
+  }
+};
+
+// --- protocol ---------------------------------------------------------------
+
+TEST(Protocol, ParsesEveryOp) {
+  for (const char* op : {"status", "metrics", "drain", "ping"}) {
+    const ParseResult r =
+        parse_request(std::string("{\"op\":\"") + op + "\"}");
+    ASSERT_TRUE(r.ok) << op << ": " << r.error;
+    EXPECT_EQ(r.request.op, op);
+  }
+  const ParseResult submit = parse_request(
+      "{\"op\":\"submit\",\"kind\":\"selftest\",\"params\":{\"tasks\":3},"
+      "\"priority\":\"high\"}");
+  ASSERT_TRUE(submit.ok) << submit.error;
+  EXPECT_EQ(submit.request.spec.kind, "selftest");
+  EXPECT_EQ(submit.request.spec.priority, TaskPriority::kHigh);
+  EXPECT_EQ(task_count(submit.request.spec), 3u);
+
+  const ParseResult wait = parse_request(
+      "{\"op\":\"wait\",\"job\":\"job-1\",\"timeout_ms\":250}");
+  ASSERT_TRUE(wait.ok) << wait.error;
+  EXPECT_EQ(wait.request.job_id, "job-1");
+  EXPECT_EQ(wait.request.timeout_ms, 250u);
+}
+
+TEST(Protocol, RejectsMalformedRequests) {
+  const char* bad[] = {
+      "",                                     // empty
+      "not json",                             // parse error
+      "[1,2,3]",                              // not an object
+      "{\"op\":42}",                          // op wrong type
+      "{\"op\":\"launch\"}",                  // unknown op
+      "{\"op\":\"submit\"}",                  // missing kind
+      "{\"op\":\"submit\",\"kind\":\"x\"}",   // unknown kind
+      "{\"op\":\"submit\",\"kind\":\"sweep\",\"params\":17}",
+      "{\"op\":\"submit\",\"kind\":\"sweep\",\"params\":{\"a\":[1]}}",
+      "{\"op\":\"submit\",\"kind\":\"sweep\","
+      "\"params\":{\"rates\":\"nope\"}}",
+      "{\"op\":\"submit\",\"kind\":\"sweep\","
+      "\"params\":{\"rates\":\"0.5:-0.1:0.1\"}}",
+      "{\"op\":\"submit\",\"kind\":\"selftest\",\"params\":{\"tasks\":0}}",
+      "{\"op\":\"submit\",\"kind\":\"selftest\","
+      "\"params\":{\"tasks\":99999}}",
+      "{\"op\":\"submit\",\"kind\":\"selftest\",\"priority\":\"urgent\"}",
+      "{\"op\":\"wait\"}",                    // missing job
+      "{\"op\":\"wait\",\"job\":\"\"}",       // empty job
+      "{\"op\":\"wait\",\"job\":\"j\",\"timeout_ms\":-5}",
+  };
+  for (const char* line : bad) {
+    const ParseResult r = parse_request(line);
+    EXPECT_FALSE(r.ok) << "accepted: " << line;
+    EXPECT_FALSE(r.error.empty());
+  }
+}
+
+TEST(Protocol, FingerprintIsCanonical) {
+  JobSpec a;
+  a.kind = "sweep";
+  a.params.set("level", 8);
+  a.params.set("rates", "0.05:0.05:0.2");
+  JobSpec b;
+  b.kind = "sweep";
+  b.params.set("rates", "0.05:0.05:0.2");  // different key order
+  b.params.set("level", "8");              // string vs number
+  b.priority = TaskPriority::kHigh;        // priority never changes results
+  EXPECT_EQ(fingerprint(a), fingerprint(b));
+
+  JobSpec c = a;
+  c.params.set("seed", 2);
+  EXPECT_NE(fingerprint(a), fingerprint(c));
+  JobSpec d = a;
+  d.kind = "simulate";
+  EXPECT_NE(fingerprint(a), fingerprint(d));
+}
+
+TEST(Protocol, SpecJsonRoundTrips) {
+  JobSpec spec;
+  spec.kind = "sweep";
+  spec.params.set("level", 8);
+  spec.params.set("rates", "0.05:0.05:0.2");
+  spec.priority = TaskPriority::kLow;
+  const JobSpec back = spec_from_json(spec_to_json(spec));
+  EXPECT_EQ(back.kind, spec.kind);
+  EXPECT_EQ(back.priority, spec.priority);
+  EXPECT_EQ(fingerprint(back), fingerprint(spec));
+  EXPECT_THROW(spec_from_json(json::Value::parse("{\"kind\":\"x\"}")),
+               std::invalid_argument);
+  EXPECT_THROW(spec_from_json(json::Value::parse("[]")),
+               std::invalid_argument);
+}
+
+TEST(Protocol, RatesGrammar) {
+  const std::vector<double> r = parse_rates("0.1:0.1:0.3");
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_DOUBLE_EQ(r.front(), 0.1);
+  EXPECT_THROW(parse_rates("0.1:0:0.3"), std::invalid_argument);
+  EXPECT_THROW(parse_rates("0.3:0.1:0.1"), std::invalid_argument);
+  EXPECT_THROW(parse_rates("xyz"), std::invalid_argument);
+
+  JobSpec sweep;
+  sweep.kind = "sweep";
+  sweep.params.set("rates", "0.05:0.05:0.5");
+  EXPECT_EQ(task_count(sweep), 10u);
+  JobSpec sim;
+  sim.kind = "simulate";
+  EXPECT_EQ(task_count(sim), 1u);
+}
+
+// --- scheduler --------------------------------------------------------------
+
+TEST(Scheduler, RunsJobAndServesCachedResubmission) {
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, nullptr);
+  const JobSpec spec = selftest_spec(4);
+
+  const SubmitOutcome first = sched.submit(spec);
+  ASSERT_EQ(first.code, SubmitOutcome::Code::kAccepted);
+  EXPECT_EQ(first.job_id, "job-1");
+  const json::Value status = sched.wait(first.job_id, 0);
+  ASSERT_EQ(status.at("state").as_string(), "done")
+      << status.dump();
+  EXPECT_EQ(status.at("result").at("tasks").size(), 4u);
+  EXPECT_EQ(counting.sorted(), (std::vector<std::size_t>{0, 1, 2, 3}));
+
+  // Identical spec (even with another priority): replayed from the cache
+  // bit-identically, without touching the runner again.
+  JobSpec again = spec;
+  again.priority = TaskPriority::kHigh;
+  const SubmitOutcome second = sched.submit(again);
+  ASSERT_EQ(second.code, SubmitOutcome::Code::kCached);
+  EXPECT_EQ(second.job_id, first.job_id);
+  EXPECT_EQ(second.cached.dump(), status.at("result").dump());
+  EXPECT_EQ(counting.ran.size(), 4u);
+
+  const json::Value s = sched.status();
+  EXPECT_EQ(s.at("counters").at("cache_hits").as_number(), 1.0);
+}
+
+TEST(Scheduler, UnknownJobIs404) {
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, nullptr);
+  const json::Value v = sched.job_status("job-99");
+  EXPECT_FALSE(v.at("ok").as_bool());
+  EXPECT_EQ(v.at("code").as_number(), kCodeNotFound);
+}
+
+TEST(Scheduler, AdmissionControlRejectsExplicitly) {
+  std::atomic<bool> release{false};
+  auto gate = [&](const JobSpec&, const std::string&, std::size_t, int,
+                  const CancellationToken& cancel) {
+    while (!release.load() && !cancel.stop_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return TaskOutcome::ok(json::Value::object());
+  };
+  ServeLimits limits = fast_limits();
+  limits.max_jobs = 1;
+  limits.max_pending_tasks = 4;
+  JobScheduler sched(limits, gate, nullptr, nullptr);
+
+  ASSERT_EQ(sched.submit(selftest_spec(1)).code,
+            SubmitOutcome::Code::kAccepted);
+  // Job queue full: a *different* spec bounces with a 429-style reject.
+  const SubmitOutcome full = sched.submit(selftest_spec(2));
+  EXPECT_EQ(full.code, SubmitOutcome::Code::kRejected);
+  EXPECT_FALSE(full.error.empty());
+  EXPECT_EQ(sched.status().at("counters").at("rejected").as_number(), 1.0);
+  release.store(true);
+
+  // Task bound: one job whose expansion exceeds the pending budget.
+  ServeLimits tiny = fast_limits();
+  tiny.max_pending_tasks = 2;
+  CountingRunner counting;
+  JobScheduler small(tiny, counting.fn(), nullptr, nullptr);
+  EXPECT_EQ(small.submit(selftest_spec(3)).code,
+            SubmitOutcome::Code::kRejected);
+}
+
+TEST(Scheduler, RetriesWithBackoffThenSucceeds) {
+  std::atomic<int> calls{0};
+  auto flaky = [&](const JobSpec&, const std::string&, std::size_t,
+                   int attempt, const CancellationToken&) {
+    ++calls;
+    if (attempt < 3) return TaskOutcome::failed("induced");
+    json::Value v = json::Value::object();
+    v.set("attempt", attempt);
+    return TaskOutcome::ok(std::move(v));
+  };
+  JobScheduler sched(fast_limits(), flaky, nullptr, nullptr);
+  const SubmitOutcome out = sched.submit(selftest_spec(1));
+  ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+  const json::Value status = sched.wait(out.job_id, 0);
+  ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
+  EXPECT_EQ(status.at("result").at("tasks").at(0).at("attempt").as_number(),
+            3.0);
+  EXPECT_EQ(calls.load(), 3);
+  EXPECT_EQ(sched.status().at("counters").at("retries").as_number(), 2.0);
+}
+
+TEST(Scheduler, QuarantinesAfterMaxAttempts) {
+  std::atomic<int> calls{0};
+  auto broken = [&](const JobSpec&, const std::string&, std::size_t, int,
+                    const CancellationToken&) {
+    ++calls;
+    return TaskOutcome::failed("always broken");
+  };
+  ServeLimits limits = fast_limits();
+  limits.max_attempts = 2;
+  JobScheduler sched(limits, broken, nullptr, nullptr);
+  const SubmitOutcome out = sched.submit(selftest_spec(1));
+  const json::Value status = sched.wait(out.job_id, 0);
+  ASSERT_EQ(status.at("state").as_string(), "quarantined") << status.dump();
+  EXPECT_NE(status.at("error").as_string().find("always broken"),
+            std::string::npos);
+  EXPECT_EQ(calls.load(), 2);
+  EXPECT_EQ(sched.status().at("jobs").at("quarantined").as_number(), 1.0);
+  // A quarantined job never seeds the cache: resubmitting retries fresh.
+  EXPECT_EQ(sched.submit(selftest_spec(1)).code,
+            SubmitOutcome::Code::kAccepted);
+}
+
+TEST(Scheduler, WatchdogTimesOutHungTasksThenQuarantines) {
+  auto hung = [](const JobSpec&, const std::string&, std::size_t, int,
+                 const CancellationToken& cancel) {
+    while (!cancel.stop_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return TaskOutcome::cancelled();
+  };
+  ServeLimits limits = fast_limits();
+  limits.max_attempts = 2;
+  limits.task_timeout_ms = 25;
+  JobScheduler sched(limits, hung, nullptr, nullptr);
+  const SubmitOutcome out = sched.submit(selftest_spec(1));
+  const json::Value status = sched.wait(out.job_id, 0);
+  ASSERT_EQ(status.at("state").as_string(), "quarantined") << status.dump();
+  EXPECT_NE(status.at("error").as_string().find("timed out"),
+            std::string::npos);
+  EXPECT_EQ(sched.status().at("counters").at("timeouts").as_number(), 2.0);
+}
+
+TEST(Scheduler, DrainCancelsPromptlyAndKeepsStateQueryable) {
+  std::atomic<int> started{0};
+  auto slow = [&](const JobSpec&, const std::string&, std::size_t, int,
+                  const CancellationToken& cancel) {
+    ++started;
+    for (int i = 0; i < 2000 && !cancel.stop_requested(); ++i)
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    if (cancel.stop_requested()) return TaskOutcome::cancelled();
+    return TaskOutcome::ok(json::Value::object());
+  };
+  JobScheduler sched(fast_limits(), slow, nullptr, nullptr);
+  const SubmitOutcome out = sched.submit(selftest_spec(4));
+  ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+  while (started.load() == 0)
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  sched.drain();
+  EXPECT_TRUE(sched.draining());
+  // Cancelled-by-drain is not a failure: the job is still recoverable.
+  const json::Value status = sched.job_status(out.job_id);
+  EXPECT_EQ(status.at("state").as_string(), "queued") << status.dump();
+  // Draining admits nothing new, with an explicit 503-style outcome.
+  EXPECT_EQ(sched.submit(selftest_spec(1)).code,
+            SubmitOutcome::Code::kDraining);
+  // wait() unblocks instead of hanging on a job that cannot finish.
+  EXPECT_EQ(sched.wait(out.job_id, 60000).at("state").as_string(),
+            "queued");
+}
+
+// --- ledger -----------------------------------------------------------------
+
+TEST(Ledger, PersistsAcrossReopenAndSeedsTheCache) {
+  const std::string path = tmp_path("ledger_reopen.nsrl");
+  std::remove(path.c_str());
+  const JobSpec spec = selftest_spec(3);
+  std::string result_dump;
+  {
+    Ledger ledger(path);
+    EXPECT_TRUE(ledger.replayed().empty());
+    CountingRunner counting;
+    JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+    const SubmitOutcome out = sched.submit(spec);
+    ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+    const json::Value status = sched.wait(out.job_id, 0);
+    ASSERT_EQ(status.at("state").as_string(), "done");
+    result_dump = status.at("result").dump();
+  }
+  Ledger reopened(path);
+  EXPECT_FALSE(reopened.truncated_on_open());
+  // submit + 3 tasks + done
+  ASSERT_EQ(reopened.replayed().size(), 5u);
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, &reopened);
+  EXPECT_EQ(sched.recovered_jobs(), 0u);
+  // The completed campaign replays from the cache: zero work re-done,
+  // byte-identical result.
+  const SubmitOutcome cached = sched.submit(spec);
+  ASSERT_EQ(cached.code, SubmitOutcome::Code::kCached);
+  EXPECT_EQ(cached.cached.dump(), result_dump);
+  EXPECT_TRUE(counting.ran.empty());
+}
+
+TEST(Ledger, ReplayAfterCrashRunsOnlyMissingTasks) {
+  const std::string path = tmp_path("ledger_crash.nsrl");
+  std::remove(path.c_str());
+  const JobSpec spec = selftest_spec(4);
+  {
+    // Simulated kill -9: submit + two task records are durable, then the
+    // process vanished — no done record, no clean shutdown.
+    Ledger ledger(path);
+    json::Value submit = json::Value::object();
+    submit.set("type", "submit");
+    submit.set("job", "job-1");
+    submit.set("spec", spec_to_json(spec));
+    submit.set("fingerprint", fingerprint(spec));
+    ASSERT_TRUE(ledger.append(submit));
+    for (const int index : {0, 2}) {
+      json::Value task = json::Value::object();
+      task.set("type", "task");
+      task.set("job", "job-1");
+      task.set("task", index);
+      json::Value result = json::Value::object();
+      result.set("task", index);
+      result.set("attempt", 1);
+      task.set("result", std::move(result));
+      ASSERT_TRUE(ledger.append(task));
+    }
+  }
+
+  Ledger ledger(path);
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+  EXPECT_EQ(sched.recovered_jobs(), 1u);
+  const json::Value status = sched.wait("job-1", 0);
+  ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
+  EXPECT_TRUE(status.at("recovered").as_bool());
+  EXPECT_EQ(status.at("result").at("tasks").size(), 4u);
+  // No lost tasks, no duplicated tasks: exactly the two missing ones ran.
+  EXPECT_EQ(counting.sorted(), (std::vector<std::size_t>{1, 3}));
+  // Job numbering continues after the recovered job instead of colliding.
+  EXPECT_EQ(sched.submit(selftest_spec(1)).job_id, "job-2");
+}
+
+TEST(Ledger, RecoveryAggregatesWhenOnlyDoneRecordIsMissing) {
+  const std::string path = tmp_path("ledger_nodone.nsrl");
+  std::remove(path.c_str());
+  const JobSpec spec = selftest_spec(2);
+  {
+    Ledger ledger(path);
+    json::Value submit = json::Value::object();
+    submit.set("type", "submit");
+    submit.set("job", "job-1");
+    submit.set("spec", spec_to_json(spec));
+    submit.set("fingerprint", fingerprint(spec));
+    ledger.append(submit);
+    for (const int index : {0, 1}) {
+      json::Value task = json::Value::object();
+      task.set("type", "task");
+      task.set("job", "job-1");
+      task.set("task", index);
+      task.set("result", json::Value::object());
+      ledger.append(task);
+    }
+  }
+  Ledger ledger(path);
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+  // Every task result was durable; recovery only owes the aggregation.
+  const json::Value status = sched.wait("job-1", 0);
+  EXPECT_EQ(status.at("state").as_string(), "done") << status.dump();
+  EXPECT_TRUE(counting.ran.empty());
+  EXPECT_EQ(sched.submit(spec).code, SubmitOutcome::Code::kCached);
+}
+
+TEST(Ledger, DamagedTailIsTruncatedAndPrefixReplayed) {
+  const std::string path = tmp_path("ledger_damaged.nsrl");
+  std::remove(path.c_str());
+  {
+    Ledger ledger(path);
+    json::Value rec = json::Value::object();
+    rec.set("type", "task");
+    rec.set("job", "job-1");
+    rec.set("task", 0);
+    rec.set("result", json::Value::object());
+    ASSERT_TRUE(ledger.append(rec));
+  }
+  {
+    // A record half-written at kill -9 time: frame header present,
+    // payload cut short.
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t magic = snapshot::kRecordMagic;
+    const std::uint64_t len = 1000;
+    std::fwrite(&magic, sizeof magic, 1, f);
+    std::fwrite(&len, sizeof len, 1, f);
+    std::fwrite("partial", 1, 7, f);
+    std::fclose(f);
+  }
+  Ledger reopened(path);
+  EXPECT_TRUE(reopened.truncated_on_open());
+  ASSERT_EQ(reopened.replayed().size(), 1u);
+  EXPECT_EQ(reopened.replayed().front().at("type").as_string(), "task");
+  // After truncation the file appends cleanly again.
+  json::Value rec = json::Value::object();
+  rec.set("type", "task");
+  rec.set("job", "job-1");
+  rec.set("task", 1);
+  rec.set("result", json::Value::object());
+  EXPECT_TRUE(reopened.append(rec));
+  Ledger again(path);
+  EXPECT_FALSE(again.truncated_on_open());
+  EXPECT_EQ(again.replayed().size(), 2u);
+}
+
+TEST(Ledger, RejectsForeignFiles) {
+  const std::string path = tmp_path("ledger_foreign.nsrl");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    const std::string payload = "{\"type\":\"open\",\"magic\":\"other\"}";
+    snapshot::append_record(
+        f, reinterpret_cast<const std::uint8_t*>(payload.data()),
+        payload.size());
+    std::fclose(f);
+  }
+  EXPECT_THROW(Ledger ledger(path), std::runtime_error);
+}
+
+// --- server front end -------------------------------------------------------
+
+ServerOptions test_server_options(const std::string& dir) {
+  ServerOptions opts;
+  opts.port = 0;  // ephemeral
+  opts.dir = dir;
+  opts.limits = fast_limits();
+  return opts;
+}
+
+/// TempDir() persists across test runs; start every server test from an
+/// empty ledger so replay counts are deterministic.
+void wipe_state_dir(const std::string& dir) {
+  std::remove((dir + "/ledger.nsrl").c_str());
+}
+
+TEST(Server, HandlesProtocolLinesEndToEnd) {
+  const std::string dir = tmp_path("serve_e2e");
+  wipe_state_dir(dir);
+  Server server(test_server_options(dir));
+  EXPECT_GT(server.port(), 0);
+
+  EXPECT_TRUE(server.handle_line("{\"op\":\"ping\"}").at("pong").as_bool());
+  EXPECT_EQ(server.handle_line("garbage").at("code").as_number(),
+            kCodeBadRequest);
+  EXPECT_EQ(server.handle_line("{\"op\":\"job\",\"job\":\"job-9\"}")
+                .at("code")
+                .as_number(),
+            kCodeNotFound);
+
+  const json::Value submitted = server.handle_line(
+      "{\"op\":\"submit\",\"kind\":\"selftest\","
+      "\"params\":{\"tasks\":2,\"sleep_ms\":1}}");
+  ASSERT_TRUE(submitted.at("ok").as_bool()) << submitted.dump();
+  const std::string job = submitted.at("job").as_string();
+
+  const json::Value done = server.handle_line(
+      "{\"op\":\"wait\",\"job\":\"" + job + "\",\"timeout_ms\":10000}");
+  ASSERT_EQ(done.at("state").as_string(), "done") << done.dump();
+
+  const json::Value status = server.handle_line("{\"op\":\"status\"}");
+  EXPECT_EQ(status.at("jobs").at("done").as_number(), 1.0);
+  EXPECT_EQ(status.at("server").at("port").as_number(),
+            static_cast<double>(server.port()));
+
+  const json::Value metrics = server.handle_line("{\"op\":\"metrics\"}");
+  EXPECT_TRUE(metrics.at("ok").as_bool());
+  EXPECT_NE(metrics.at("text").as_string().find("serve_jobs_done 1"),
+            std::string::npos)
+      << metrics.at("text").as_string();
+
+  // Identical submission: served from the cache with the result inline.
+  const json::Value cached = server.handle_line(
+      "{\"op\":\"submit\",\"kind\":\"selftest\","
+      "\"params\":{\"sleep_ms\":1,\"tasks\":2}}");
+  ASSERT_TRUE(cached.at("ok").as_bool());
+  EXPECT_TRUE(cached.at("cached").as_bool());
+  EXPECT_EQ(cached.at("result").dump(), done.at("result").dump());
+}
+
+TEST(Server, InterruptedCampaignResumesAcrossRestart) {
+  const std::string dir = tmp_path("serve_restart");
+  wipe_state_dir(dir);
+  std::string job;
+  {
+    Server server(test_server_options(dir));
+    const json::Value submitted = server.handle_line(
+        "{\"op\":\"submit\",\"kind\":\"selftest\","
+        "\"params\":{\"tasks\":8,\"sleep_ms\":100}}");
+    ASSERT_TRUE(submitted.at("ok").as_bool()) << submitted.dump();
+    job = submitted.at("job").as_string();
+    // Drain immediately: most of the 8 tasks are still pending, running
+    // ones cancel at the next poll.  The dtor tears the daemon down.
+    server.scheduler().drain();
+    const json::Value status = server.handle_line(
+        "{\"op\":\"job\",\"job\":\"" + job + "\"}");
+    EXPECT_NE(status.at("state").as_string(), "done");
+  }
+  {
+    Server server(test_server_options(dir));
+    EXPECT_GE(server.scheduler().recovered_jobs(), 1u);
+    const json::Value done = server.handle_line(
+        "{\"op\":\"wait\",\"job\":\"" + job + "\",\"timeout_ms\":20000}");
+    ASSERT_EQ(done.at("state").as_string(), "done") << done.dump();
+    EXPECT_EQ(done.at("result").at("tasks").size(), 8u);
+  }
+}
+
+}  // namespace
+}  // namespace nocs::serve

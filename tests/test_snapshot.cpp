@@ -6,6 +6,7 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -652,6 +653,184 @@ TEST(SweepResume, SimResultsJsonRoundTripIsExact) {
       tiny_runner(), {0.18}, /*base_seed=*/31, 1);
   const noc::SimResults& r = points[0].results;
   expect_identical(noc::sim_results_from_json(noc::to_json(r)), r);
+}
+
+// --- append-only record log (the serve ledger's framing) --------------------
+
+std::vector<std::string> record_strings(const snapshot::RecordScan& scan) {
+  std::vector<std::string> out;
+  for (const auto& bytes : scan.records)
+    out.emplace_back(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+  return out;
+}
+
+TEST(RecordLog, AppendsAndScansBack) {
+  const std::string path = tmp_path("records_roundtrip.nsrl");
+  std::remove(path.c_str());
+  // Missing file: an empty, undamaged log (first daemon start).
+  const snapshot::RecordScan empty = snapshot::scan_records(path);
+  EXPECT_FALSE(empty.damaged);
+  EXPECT_TRUE(empty.records.empty());
+  EXPECT_EQ(empty.valid_bytes, 0u);
+
+  const std::vector<std::string> payloads = {"{\"a\":1}", "", "x",
+                                             std::string(5000, 'z')};
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  for (const std::string& p : payloads)
+    ASSERT_TRUE(snapshot::append_record(
+        f, reinterpret_cast<const std::uint8_t*>(p.data()), p.size()));
+  std::fclose(f);
+
+  const snapshot::RecordScan scan = snapshot::scan_records(path);
+  EXPECT_FALSE(scan.damaged) << scan.damage;
+  EXPECT_EQ(record_strings(scan), payloads);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, TruncatedTailYieldsValidPrefix) {
+  const std::string path = tmp_path("records_truncated.nsrl");
+  std::remove(path.c_str());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  const std::string keep = "{\"keep\":true}";
+  ASSERT_TRUE(snapshot::append_record(
+      f, reinterpret_cast<const std::uint8_t*>(keep.data()), keep.size()));
+  std::fclose(f);
+  const std::size_t clean_size = snapshot::scan_records(path).valid_bytes;
+
+  // kill -9 mid-append: header promises more payload than the file holds.
+  f = std::fopen(path.c_str(), "ab");
+  ASSERT_NE(f, nullptr);
+  const std::uint32_t magic = snapshot::kRecordMagic;
+  const std::uint64_t len = 400;
+  std::fwrite(&magic, sizeof magic, 1, f);
+  std::fwrite(&len, sizeof len, 1, f);
+  std::fwrite("short", 1, 5, f);
+  std::fclose(f);
+
+  const snapshot::RecordScan scan = snapshot::scan_records(path);
+  EXPECT_TRUE(scan.damaged);
+  EXPECT_FALSE(scan.damage.empty());
+  ASSERT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(record_strings(scan).front(), keep);
+  // valid_bytes is the truncation point that makes the file clean again.
+  EXPECT_EQ(scan.valid_bytes, clean_size);
+  std::remove(path.c_str());
+}
+
+TEST(RecordLog, CorruptPayloadByteStopsTheScanThere) {
+  const std::string path = tmp_path("records_bitflip.nsrl");
+  std::remove(path.c_str());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  for (const char* p : {"first", "second", "third"})
+    ASSERT_TRUE(snapshot::append_record(
+        f, reinterpret_cast<const std::uint8_t*>(p), std::strlen(p)));
+  std::fclose(f);
+
+  // Flip one byte inside the *last* record's payload.
+  f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, -2, SEEK_END);
+  std::fputc('X', f);
+  std::fclose(f);
+
+  const snapshot::RecordScan scan = snapshot::scan_records(path);
+  EXPECT_TRUE(scan.damaged);
+  EXPECT_EQ(record_strings(scan),
+            (std::vector<std::string>{"first", "second"}));
+  std::remove(path.c_str());
+}
+
+// --- lenient manifest loading -----------------------------------------------
+
+TEST(ManifestRecovery, TruncatedManifestRecoversCompletePrefix) {
+  const std::string path = tmp_path("manifest_truncated.json");
+  std::remove(path.c_str());
+  const std::vector<double> rates = {0.05, 0.1, 0.15};
+  const std::uint64_t seed = 33;
+  const std::string fp = noc::sweep_fingerprint(rates, seed);
+  {
+    snapshot::TaskManifest manifest(path, fp);
+    noc::resumable_sweep_injection(tiny_runner(), rates, seed, &manifest, 1);
+  }
+  // Chop the file mid-way through the last completed entry — a half-
+  // written copy left behind by a dying process.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  const std::size_t cut = text.find("\"2\"");
+  ASSERT_NE(cut, std::string::npos);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(text.data(), 1, cut + 2, f);
+  std::fclose(f);
+
+  // Loading must not abort: entries 0 and 1 are salvaged, only the torn
+  // entry 2 is re-run.
+  snapshot::TaskManifest manifest(path, fp);
+  EXPECT_EQ(manifest.completed_count(), 2u);
+  EXPECT_TRUE(manifest.completed(0));
+  EXPECT_TRUE(manifest.completed(1));
+  EXPECT_FALSE(manifest.completed(2));
+  int calls = 0;
+  const auto points = noc::resumable_sweep_injection(
+      tiny_runner(&calls), rates, seed, &manifest, 1);
+  EXPECT_EQ(calls, 1);
+  const auto plain =
+      noc::parallel_sweep_injection(tiny_runner(), rates, seed, 1);
+  for (std::size_t i = 0; i < rates.size(); ++i)
+    expect_identical(points[i].results, plain[i].results);
+  std::remove(path.c_str());
+}
+
+TEST(ManifestRecovery, GarbageManifestStartsFreshInsteadOfAborting) {
+  const std::string path = tmp_path("manifest_garbage.json");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("{\"magic\": \"nocs-sweep-manifest\", \"ver", f);
+  std::fclose(f);
+  const std::vector<double> rates = {0.05, 0.1};
+  snapshot::TaskManifest manifest(path, noc::sweep_fingerprint(rates, 34));
+  EXPECT_EQ(manifest.completed_count(), 0u);
+  int calls = 0;
+  noc::resumable_sweep_injection(tiny_runner(&calls), rates, 34, &manifest,
+                                 1);
+  EXPECT_EQ(calls, 2);
+  std::remove(path.c_str());
+}
+
+TEST(ManifestRecovery, PrefixOfOtherFingerprintIsNotSalvaged) {
+  const std::string path = tmp_path("manifest_wrong_fp.json");
+  std::remove(path.c_str());
+  const std::vector<double> rates = {0.05, 0.1};
+  {
+    snapshot::TaskManifest manifest(path,
+                                    noc::sweep_fingerprint(rates, 35));
+    noc::resumable_sweep_injection(tiny_runner(), rates, 35, &manifest, 1);
+  }
+  // Truncate so the strict parse fails, then load under a *different*
+  // fingerprint: recovery must refuse foreign task results.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string text;
+  char buf[4096];
+  std::size_t n;
+  while ((n = std::fread(buf, 1, sizeof buf, f)) > 0) text.append(buf, n);
+  std::fclose(f);
+  f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(text.data(), 1, text.size() - 4, f);
+  std::fclose(f);
+  snapshot::TaskManifest manifest(path, noc::sweep_fingerprint(rates, 36));
+  EXPECT_EQ(manifest.completed_count(), 0u);
+  std::remove(path.c_str());
 }
 
 }  // namespace
