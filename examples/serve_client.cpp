@@ -3,23 +3,31 @@
 // Sends one request line over TCP and prints the reply; with wait=true a
 // successful submit is followed by a `wait` so the command blocks until
 // the job finishes (how scripts run a whole campaign through the daemon).
+// op=watch (or watch=true after a submit) streams progress frames — one
+// JSON line each — until the final status line arrives.
 //
 // Keys:
 //   host=127.0.0.1       daemon address
 //   port=4517            daemon port (or port_file=path written by the
 //                        daemon's serve_port_file=)
-//   op=status            submit | job | wait | status | metrics | drain |
-//                        ping
+//   op=status            submit | job | wait | watch | status | metrics |
+//                        drain | ping
 //   kind=sweep           submit only: simulate | sweep | selftest
 //   priority=normal      submit only: high | normal | low
-//   job=job-1            job/wait: the job to query
+//   job=job-1            job/wait/watch: the job to query
 //   timeout_ms=60000     wait only
+//   nowait=false         wait only: non-blocking poll (timeout_ms=0)
+//   every_ms=0           watch only: progress cadence (server enforces
+//                        its serve_progress_every_ms floor)
 //   wait=false           submit only: block until the job is terminal
+//   watch=false          submit only: stream progress until terminal
 //   every other key      submit only: forwarded as a job parameter
 //                        (level=8 rates=0.05:0.05:0.5 seed=1 ...)
 //
 // Examples:
 //   ./serve_client port=4517 op=submit kind=sweep level=8 wait=true
+//   ./serve_client port=4517 op=submit kind=sweep level=8 watch=true
+//   ./serve_client port=4517 op=watch job=job-1 every_ms=250
 //   ./serve_client port=4517 op=status
 //   ./serve_client port=4517 op=drain
 //
@@ -45,8 +53,8 @@ namespace {
 /// Keys the client consumes itself; everything else becomes a job param.
 const std::set<std::string>& reserved_keys() {
   static const std::set<std::string> keys = {
-      "host", "port", "port_file", "op",      "kind",
-      "job",  "priority", "timeout_ms", "wait"};
+      "host", "port",     "port_file",  "op",   "kind",  "job",
+      "priority", "timeout_ms", "nowait", "wait", "watch", "every_ms"};
   return keys;
 }
 
@@ -106,6 +114,19 @@ json::Value round_trip(int fd, const json::Value& request) {
   return json::Value::parse(reply);
 }
 
+/// A watch round trip: prints every streamed progress frame (lines with
+/// an "event" field) and returns the final status line.
+json::Value watch_stream(int fd, const json::Value& request) {
+  send_line(fd, request.dump());
+  while (true) {
+    const std::string reply = read_line(fd);
+    std::printf("%s\n", reply.c_str());
+    std::fflush(stdout);  // frames should appear live, not at exit
+    json::Value doc = json::Value::parse(reply);
+    if (doc.find("event") == nullptr) return doc;
+  }
+}
+
 int resolve_port(const Config& cfg) {
   const std::string port_file = cfg.get_string("port_file", "");
   if (!port_file.empty()) {
@@ -144,27 +165,38 @@ int main(int argc, char** argv) {
         if (reserved_keys().count(key) == 0)
           params.set(key, cfg.get_string(key, ""));
       request.set("params", std::move(params));
-    } else if (op == "job" || op == "wait") {
+    } else if (op == "job" || op == "wait" || op == "watch") {
       request.set("job", cfg.get_string("job", ""));
       const long long t = cfg.get_int("timeout_ms", 0);
       if (t > 0) request.set("timeout_ms", static_cast<double>(t));
+      if (cfg.get_bool("nowait", false)) request.set("nowait", true);
+      const long long every = cfg.get_int("every_ms", 0);
+      if (every > 0) request.set("every_ms", static_cast<double>(every));
     }
 
     const int fd = connect_to(host, port);
-    json::Value reply = round_trip(fd, request);
+    json::Value reply = op == "watch" ? watch_stream(fd, request)
+                                      : round_trip(fd, request);
     bool ok = reply.at("ok").as_bool();
 
-    // wait=true: follow an accepted submit with a blocking wait on the
-    // same connection, so one command runs a campaign to completion.
-    if (ok && op == "submit" && cfg.get_bool("wait", false)) {
+    // wait=true / watch=true: follow an accepted submit with a blocking
+    // wait (or a progress stream) on the same connection, so one command
+    // runs a campaign to completion.
+    const bool follow_watch = cfg.get_bool("watch", false);
+    if (ok && op == "submit" && (follow_watch || cfg.get_bool("wait", false))) {
       const json::Value* cached = reply.find("cached");
       if (cached == nullptr || !cached->as_bool()) {
-        json::Value wait = json::Value::object();
-        wait.set("op", "wait");
-        wait.set("job", reply.at("job").as_string());
+        json::Value follow = json::Value::object();
+        follow.set("op", follow_watch ? "watch" : "wait");
+        follow.set("job", reply.at("job").as_string());
         const long long t = cfg.get_int("timeout_ms", 0);
-        if (t > 0) wait.set("timeout_ms", static_cast<double>(t));
-        reply = round_trip(fd, wait);
+        if (!follow_watch && t > 0)
+          follow.set("timeout_ms", static_cast<double>(t));
+        const long long every = cfg.get_int("every_ms", 0);
+        if (follow_watch && every > 0)
+          follow.set("every_ms", static_cast<double>(every));
+        reply = follow_watch ? watch_stream(fd, follow)
+                             : round_trip(fd, follow);
         ok = reply.at("ok").as_bool();
         const json::Value* state = reply.find("state");
         if (state != nullptr && state->is_string() &&

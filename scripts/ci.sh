@@ -46,7 +46,9 @@ scripts/check_config_docs.sh
 
 run_config build-ci-release -DCMAKE_BUILD_TYPE=Release
 run_config build-ci-asan -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNOCS_SANITIZE=address
-run_config_label build-ci-tsan parallel \
+# serve rides along under TSan: the scheduler's preemption, watch
+# streaming, and progress atomics are thread-heavy by construction.
+run_config_label build-ci-tsan 'parallel|serve' \
   -DCMAKE_BUILD_TYPE=RelWithDebInfo -DNOCS_SANITIZE=thread
 
 echo "==== snapshot suite (explicit) ===="

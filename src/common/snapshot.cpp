@@ -225,7 +225,7 @@ Reader load_file(const std::string& path) {
 
 // --- append-only record log -------------------------------------------------
 
-bool append_record(std::FILE* f, const std::uint8_t* data, std::size_t size) {
+bool write_record(std::FILE* f, const std::uint8_t* data, std::size_t size) {
   NOCS_EXPECTS(f != nullptr);
   std::uint8_t frame[4 + 8 + 8];
   put_u32(frame, kRecordMagic);
@@ -233,6 +233,11 @@ bool append_record(std::FILE* f, const std::uint8_t* data, std::size_t size) {
   put_u64(frame + 12, fnv1a(data, size));
   if (std::fwrite(frame, 1, sizeof frame, f) != sizeof frame) return false;
   if (size != 0 && std::fwrite(data, 1, size, f) != size) return false;
+  return true;
+}
+
+bool append_record(std::FILE* f, const std::uint8_t* data, std::size_t size) {
+  if (!write_record(f, data, size)) return false;
   if (std::fflush(f) != 0) return false;
   // Push through to the device: a ledger's whole point is surviving an
   // unclean death, so buffered-in-page-cache is the floor, not the goal.

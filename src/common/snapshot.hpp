@@ -132,6 +132,11 @@ bool save_file(const std::string& path, const Writer& w);
 /// Magic opening every log record ("NSRL", little-endian).
 inline constexpr std::uint32_t kRecordMagic = 0x4C52534Eu;
 
+/// Writes one framed record to an open binary stream without flushing.
+/// The bulk-rewrite path (ledger compaction) frames many records and
+/// syncs once at the end; durable appends go through append_record.
+bool write_record(std::FILE* f, const std::uint8_t* data, std::size_t size);
+
 /// Appends one framed record to an open (binary, append-mode) stream and
 /// flushes it through to the kernel (fflush + fsync).  Returns false on a
 /// short write.

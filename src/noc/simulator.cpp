@@ -197,6 +197,7 @@ SimResults run_simulation(Network& net, const SimConfig& cfg,
   // exactly at the end of warmup restores into the measure phase with the
   // measuring flag already on.
   auto checkpoint_boundary = [&]() {
+    if (ckpt.on_progress) ckpt.on_progress(net.now());
     const bool stop_requested =
         ckpt.stop_flag != nullptr &&
         ckpt.stop_flag->load(std::memory_order_acquire);

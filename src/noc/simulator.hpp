@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -111,6 +112,13 @@ struct CheckpointConfig {
   /// simulation state, so an uninterrupted run is bit-identical with or
   /// without the flag wired up.
   const std::atomic<bool>* stop_flag = nullptr;
+  /// Optional progress observer, invoked with the current cycle at the
+  /// same chunk boundaries that poll `stop_flag`.  Purely observational:
+  /// it sees the simulation, it never steers it, so results are
+  /// bit-identical with or without a hook installed.  Called from the
+  /// simulating thread — keep it cheap (the serve daemon stores into an
+  /// atomic and returns).
+  std::function<void(Cycle)> on_progress;
   /// Extra components serialized into/restored from the same snapshot
   /// under their given names, in order (e.g. {"fault", &injector}).  The
   /// pointers must outlive the run.

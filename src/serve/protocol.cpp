@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <stdexcept>
 
 namespace nocs::serve {
@@ -69,7 +70,19 @@ std::size_t task_count(const JobSpec& spec) {
   }
   if (spec.kind == "selftest") {
     const json::Value* t = spec.params.find("tasks");
-    return t != nullptr ? static_cast<std::size_t>(t->as_number()) : 1;
+    if (t == nullptr) return 1;
+    // Params arrive as JSON numbers or as numeric strings (the client
+    // forwards command-line values verbatim); both are documented as
+    // equivalent, so both must expand.
+    if (t->is_number()) return static_cast<std::size_t>(t->as_number());
+    if (t->is_string()) {
+      const std::string& s = t->as_string();
+      char* end = nullptr;
+      const long long v = std::strtoll(s.c_str(), &end, 10);
+      if (!s.empty() && end == s.c_str() + s.size() && v >= 0)
+        return static_cast<std::size_t>(v);
+    }
+    throw std::invalid_argument("selftest 'tasks' must be a number");
   }
   return 1;
 }
@@ -162,7 +175,7 @@ ParseResult parse_request(const std::string& line) {
       out.error = spec_error;
       return out;
     }
-  } else if (req.op == "job" || req.op == "wait") {
+  } else if (req.op == "job" || req.op == "wait" || req.op == "watch") {
     const json::Value* job = doc.find("job");
     if (job == nullptr || !job->is_string() || job->as_string().empty()) {
       out.error = "'" + req.op + "' requires a string field 'job'";
@@ -175,11 +188,31 @@ ParseResult parse_request(const std::string& line) {
         return out;
       }
       req.timeout_ms = static_cast<std::uint64_t>(t->as_number());
+      req.has_timeout = true;
+    }
+    if (const json::Value* nw = doc.find("nowait")) {
+      if (!nw->is_bool()) {
+        out.error = "'nowait' must be a boolean";
+        return out;
+      }
+      if (nw->as_bool()) {
+        // Sugar for timeout_ms:0 — a true non-blocking poll.
+        req.timeout_ms = 0;
+        req.has_timeout = true;
+      }
+    }
+    if (const json::Value* e = doc.find("every_ms")) {
+      if (!e->is_number() || e->as_number() < 0) {
+        out.error = "'every_ms' must be a non-negative number";
+        return out;
+      }
+      req.every_ms = static_cast<std::uint64_t>(e->as_number());
     }
   } else if (req.op != "status" && req.op != "metrics" &&
              req.op != "drain" && req.op != "ping") {
-    out.error = "unknown op '" + req.op +
-                "' (submit | job | wait | status | metrics | drain | ping)";
+    out.error =
+        "unknown op '" + req.op +
+        "' (submit | job | wait | watch | status | metrics | drain | ping)";
     return out;
   }
 

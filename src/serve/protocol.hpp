@@ -62,11 +62,19 @@ std::vector<double> parse_rates(const std::string& spec);
 
 /// One parsed client request.
 struct Request {
-  /// `submit` | `job` | `wait` | `status` | `metrics` | `drain` | `ping`.
+  /// `submit` | `job` | `wait` | `watch` | `status` | `metrics` |
+  /// `drain` | `ping`.
   std::string op;
   JobSpec spec;              ///< submit only
-  std::string job_id;        ///< job/wait
-  std::uint64_t timeout_ms = 0;  ///< wait only (0 = server default)
+  std::string job_id;        ///< job/wait/watch
+  /// wait only.  Meaningful when has_timeout: 0 is an immediate
+  /// non-blocking poll, N > 0 blocks up to N ms.  Without has_timeout
+  /// the server default applies.
+  std::uint64_t timeout_ms = 0;
+  bool has_timeout = false;  ///< wait: `timeout_ms` was present on the wire
+  /// watch only: requested progress-frame interval (0 = server default;
+  /// the server clamps it up to `serve_progress_every_ms`).
+  std::uint64_t every_ms = 0;
 };
 
 /// parse_request outcome: either a request or a client-facing error.

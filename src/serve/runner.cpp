@@ -60,7 +60,7 @@ TaskOutcome with_snapshot_recovery(const std::string& snap, Fn attempt_run) {
 /// kind=simulate: one cycle-accurate run, result shaped like the CLI's
 /// `mode=simulate report=` document (minus the "mode" key).
 TaskOutcome run_simulate(const JobSpec& spec, const std::string& snap,
-                         const CancellationToken& cancel) {
+                         const TaskContext& ctx) {
   const Config cfg = params_config(spec);
   const noc::NetworkParams params = params_from(cfg);
   const int level = static_cast<int>(cfg.get_int("level", 4));
@@ -95,7 +95,8 @@ TaskOutcome run_simulate(const JobSpec& spec, const std::string& snap,
       point_sim.watchdog_cycles = watchdog;
     }
     noc::CheckpointConfig ckpt;
-    ckpt.stop_flag = cancel.flag();
+    ckpt.stop_flag = ctx.cancel.flag();
+    ckpt.on_progress = ctx.report_progress;
     if (!snap.empty()) {
       ckpt.save_path = snap;
       if (allow_restore && file_exists(snap)) ckpt.restore_path = snap;
@@ -133,7 +134,7 @@ TaskOutcome run_simulate(const JobSpec& spec, const std::string& snap,
 /// the aggregated points match a direct sweep report bit for bit.
 TaskOutcome run_sweep_point(const JobSpec& spec, std::size_t index,
                             const std::string& snap,
-                            const CancellationToken& cancel) {
+                            const TaskContext& ctx) {
   const Config cfg = params_config(spec);
   const noc::NetworkParams params = params_from(cfg);
   const int level = static_cast<int>(cfg.get_int("level", 4));
@@ -155,7 +156,8 @@ TaskOutcome run_sweep_point(const JobSpec& spec, std::size_t index,
     sim.measure = 6000;
     sim.injection_rate = rate;
     noc::CheckpointConfig ckpt;
-    ckpt.stop_flag = cancel.flag();
+    ckpt.stop_flag = ctx.cancel.flag();
+    ckpt.on_progress = ctx.report_progress;
     if (!snap.empty()) {
       ckpt.save_path = snap;
       if (allow_restore && file_exists(snap)) ckpt.restore_path = snap;
@@ -172,8 +174,7 @@ TaskOutcome run_sweep_point(const JobSpec& spec, std::size_t index,
 /// kind=selftest: no simulator, just deterministic sleep/fail/hang knobs
 /// so tests and smoke checks can exercise retry, timeout, and drain paths
 /// in milliseconds.
-TaskOutcome run_selftest(const JobSpec& spec, std::size_t index, int attempt,
-                         const CancellationToken& cancel) {
+TaskOutcome run_selftest(const JobSpec& spec, const TaskContext& ctx) {
   const Config cfg = params_config(spec);
   (void)cfg.get_int("tasks", 1);  // consumed by task_count
   const long long sleep_ms = cfg.get_int("sleep_ms", 5);
@@ -181,38 +182,39 @@ TaskOutcome run_selftest(const JobSpec& spec, std::size_t index, int attempt,
   const bool hang = cfg.get_bool("hang", false);
   cfg.reject_unknown();
 
-  if (attempt <= fail_attempts)
+  if (ctx.attempt <= fail_attempts)
     return TaskOutcome::failed("selftest: induced failure on attempt " +
-                               std::to_string(attempt));
+                               std::to_string(ctx.attempt));
   const auto slice = std::chrono::milliseconds(1);
   if (hang) {
-    while (!cancel.stop_requested()) std::this_thread::sleep_for(slice);
+    while (!ctx.cancel.stop_requested()) std::this_thread::sleep_for(slice);
     return TaskOutcome::cancelled();
   }
   for (long long slept = 0; slept < sleep_ms; ++slept) {
-    if (cancel.stop_requested()) return TaskOutcome::cancelled();
+    if (ctx.cancel.stop_requested()) return TaskOutcome::cancelled();
     std::this_thread::sleep_for(slice);
+    // Progress in "cycles" of one ms each: gives watch streams something
+    // real to report without touching the simulator.
+    if (ctx.report_progress)
+      ctx.report_progress(static_cast<std::uint64_t>(slept + 1));
   }
   json::Value doc = json::Value::object();
-  doc.set("task", static_cast<double>(index));
-  doc.set("attempt", attempt);
+  doc.set("task", static_cast<double>(ctx.task_index));
+  doc.set("attempt", ctx.attempt);
   return TaskOutcome::ok(std::move(doc));
 }
 
 }  // namespace
 
 TaskRunner make_sim_runner(std::string state_dir) {
-  return [dir = std::move(state_dir)](
-             const JobSpec& spec, const std::string& job_id,
-             std::size_t index, int attempt,
-             const CancellationToken& cancel) -> TaskOutcome {
-    if (spec.kind == "selftest")
-      return run_selftest(spec, index, attempt, cancel);
+  return [dir = std::move(state_dir)](const JobSpec& spec,
+                                      const TaskContext& ctx) -> TaskOutcome {
+    if (spec.kind == "selftest") return run_selftest(spec, ctx);
     const std::string snap =
-        dir.empty() ? "" : snapshot_path(dir, job_id, index);
+        dir.empty() ? "" : snapshot_path(dir, ctx.job_id, ctx.task_index);
     if (spec.kind == "sweep")
-      return run_sweep_point(spec, index, snap, cancel);
-    return run_simulate(spec, snap, cancel);
+      return run_sweep_point(spec, ctx.task_index, snap, ctx);
+    return run_simulate(spec, snap, ctx);
   };
 }
 

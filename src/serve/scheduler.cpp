@@ -1,6 +1,7 @@
 #include "serve/scheduler.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <map>
@@ -54,7 +55,20 @@ ServeLimits ServeLimits::from_config(const Config& cfg) {
   l.backoff_base_ms = positive_u64(cfg, "serve_backoff_ms", l.backoff_base_ms);
   l.backoff_cap_ms =
       positive_u64(cfg, "serve_backoff_cap_ms", l.backoff_cap_ms);
+  l.progress_every_ms =
+      positive_u64(cfg, "serve_progress_every_ms", l.progress_every_ms);
   return l;
+}
+
+std::uint64_t backoff_delay_ms(std::uint64_t base_ms, std::uint64_t cap_ms,
+                               int attempt) {
+  if (base_ms == 0) return 0;
+  const int exp = std::max(attempt - 1, 0);
+  // `base << exp` would wrap for exp >= 64 (and is UB-adjacent even
+  // before that once the product leaves the type); any shift that cannot
+  // fit under the cap is by definition >= the cap, so saturate instead.
+  if (exp >= 64 || base_ms > (cap_ms >> exp)) return cap_ms;
+  return base_ms << exp;
 }
 
 TaskOutcome TaskOutcome::ok(json::Value r) {
@@ -88,9 +102,16 @@ struct TaskState {
   bool running = false;
   bool waiting_retry = false;
   bool timed_out = false;  ///< current attempt was killed by the watchdog
+  bool preempted = false;  ///< current attempt was evicted for a kHigh job
   Clock::time_point deadline{};  ///< valid while running with a timeout
   Clock::time_point retry_at{};  ///< valid while waiting_retry
   CancellationToken token;
+  /// Latest cycle the runner reported.  Written by the worker thread via
+  /// TaskContext::report_progress (relaxed store, no scheduler lock —
+  /// the drain phase reports every cycle) and read under `mu` by watch
+  /// frames; shared_ptr so the closure outlives any attempt.
+  std::shared_ptr<std::atomic<std::uint64_t>> cycles =
+      std::make_shared<std::atomic<std::uint64_t>>(0);
 };
 
 struct JobState {
@@ -137,6 +158,11 @@ struct JobScheduler::Impl {
   // so JobState* stays valid for the scheduler's lifetime and closures
   // may capture it raw.
   std::map<std::string, std::unique_ptr<JobState>> jobs;
+  /// Jobs in submission order (map iteration orders "job-10" before
+  /// "job-2"): queue positions count along it, preemption walks it
+  /// backwards so the most recently admitted lower-priority work yields
+  /// first.
+  std::vector<JobState*> order;
   std::uint64_t next_id = 1;
   /// fingerprint -> (job id, final result) of every completed job.
   std::map<std::string, std::pair<std::string, json::Value>> cache;
@@ -154,6 +180,7 @@ struct JobScheduler::Impl {
   std::uint64_t rejected = 0;
   std::uint64_t retries = 0;
   std::uint64_t timeouts = 0;
+  std::uint64_t preemptions = 0;
   std::uint64_t tasks_completed = 0;
   std::uint64_t tasks_recovered = 0;
 
@@ -228,9 +255,7 @@ struct JobScheduler::Impl {
 
   void run_task(JobState* job, std::size_t index) {
     JobSpec spec;
-    std::string job_id;
-    int attempt = 0;
-    CancellationToken token;
+    TaskContext ctx;
     {
       std::lock_guard<std::mutex> lock(mu);
       TaskState& t = job->tasks[index];
@@ -248,14 +273,18 @@ struct JobScheduler::Impl {
         t.deadline = Clock::now() + ms(limits.task_timeout_ms);
       ++running_tasks;
       spec = job->spec;
-      job_id = job->id;
-      attempt = t.attempts;
-      token = t.token;
+      ctx.job_id = job->id;
+      ctx.task_index = index;
+      ctx.attempt = t.attempts;
+      ctx.cancel = t.token;
+      ctx.report_progress = [cycles = t.cycles](std::uint64_t c) {
+        cycles->store(c, std::memory_order_relaxed);
+      };
     }
 
     TaskOutcome out;
     try {
-      out = runner(spec, job_id, index, attempt, token);
+      out = runner(spec, ctx);
     } catch (const std::exception& e) {
       out = TaskOutcome::failed(std::string("runner threw: ") + e.what());
     }
@@ -265,6 +294,8 @@ struct JobScheduler::Impl {
     t.running = false;
     NOCS_EXPECTS(running_tasks > 0);
     --running_tasks;
+    const bool was_preempted = t.preempted;
+    t.preempted = false;
     if (job->state != JobState::State::kActive)
       return;  // a sibling already quarantined the job
     switch (out.status) {
@@ -280,6 +311,16 @@ struct JobScheduler::Impl {
       case TaskOutcome::Status::kCancelled: {
         if (is_draining || stopping)
           return;  // not a failure: the ledger resumes it next start
+        if (was_preempted && !t.timed_out) {
+          // Evicted for a high-priority job, not failed: the runner just
+          // checkpointed, so re-queue in the task's own priority lane and
+          // resume bit-identically from the snapshot.  The attempt was
+          // not consumed — a preempted first attempt resumes as attempt 1.
+          --t.attempts;
+          ++pending_tasks;
+          enqueue_locked(job, index);
+          return;
+        }
         handle_failure_locked(*job, index,
                               t.timed_out ? "task timed out" : "cancelled");
         break;
@@ -287,6 +328,41 @@ struct JobScheduler::Impl {
       case TaskOutcome::Status::kError:
         handle_failure_locked(*job, index, out.error);
         break;
+    }
+  }
+
+  /// Called on a kHigh submission whose `incoming` tasks would otherwise
+  /// sit behind lower-priority work occupying every worker.  Cancels just
+  /// enough running kLow/kNormal tasks — newest jobs first, kLow before
+  /// kNormal — to free workers for the high lane; victims checkpoint and
+  /// re-queue (see run_task).  Caller holds `mu`.
+  void preempt_for_high_locked(std::size_t incoming) {
+    const std::size_t workers = static_cast<std::size_t>(limits.workers);
+    const std::size_t idle =
+        workers > running_tasks ? workers - running_tasks : 0;
+    const std::size_t want = std::min(incoming, workers);
+    if (want <= idle) return;
+    std::size_t need = want - idle;
+    for (const TaskPriority lane : {TaskPriority::kLow, TaskPriority::kNormal}) {
+      for (auto it = order.rbegin(); it != order.rend() && need > 0; ++it) {
+        JobState* job = *it;
+        if (job->state != JobState::State::kActive ||
+            job->spec.priority != lane)
+          continue;
+        for (TaskState& t : job->tasks) {
+          if (need == 0) break;
+          if (!t.running || t.preempted || t.timed_out) continue;
+          t.preempted = true;
+          ++preemptions;
+          t.token.request_stop();
+          --need;
+          log_message(LogLevel::kInfo,
+                      "serve: preempting a %s-priority task of %s for a "
+                      "high-priority submission",
+                      priority_to_string(job->spec.priority).c_str(),
+                      job->id.c_str());
+        }
+      }
     }
   }
 
@@ -313,9 +389,8 @@ struct JobScheduler::Impl {
     ++retries;
     t.waiting_retry = true;
     ++pending_tasks;
-    const int exp = std::min(t.attempts - 1, 20);
-    const std::uint64_t delay = std::min(
-        limits.backoff_cap_ms, limits.backoff_base_ms << exp);
+    const std::uint64_t delay = backoff_delay_ms(
+        limits.backoff_base_ms, limits.backoff_cap_ms, t.attempts);
     t.retry_at = Clock::now() + ms(delay);
     log_message(LogLevel::kInfo,
                 "serve: job %s task %zu attempt %d failed (%s); retry in "
@@ -451,6 +526,10 @@ struct JobScheduler::Impl {
   void replay_submit_locked(const json::Value& rec) {
     auto job = std::make_unique<JobState>();
     job->id = rec.at("job").as_string();
+    if (jobs.count(job->id) != 0)
+      // A duplicate submit record (only a hand-damaged log can contain
+      // one) must not replace the JobState `order` already points at.
+      throw std::invalid_argument("duplicate submit for " + job->id);
     job->spec = spec_from_json(rec.at("spec"));
     const json::Value* fp = rec.find("fingerprint");
     job->fp = fp != nullptr && fp->is_string() ? fp->as_string()
@@ -468,6 +547,7 @@ struct JobScheduler::Impl {
       } catch (const std::exception&) {
       }
     }
+    order.push_back(job.get());
     jobs[job->id] = std::move(job);
   }
 
@@ -496,9 +576,49 @@ struct JobScheduler::Impl {
     v.set("tasks", static_cast<double>(job.tasks.size()));
     v.set("completed_tasks", static_cast<double>(job.done_tasks));
     if (job.recovered) v.set("recovered", true);
+    if (job.state == JobState::State::kActive)
+      // Live progress for pollers; terminal statuses stay byte-stable
+      // across runs (cycle snapshots are incidental, results are not).
+      v.set("cycles", static_cast<double>(summed_cycles(job)));
     if (job.state == JobState::State::kDone) v.set("result", job.result);
     if (job.state == JobState::State::kQuarantined)
       v.set("error", job.error);
+    return v;
+  }
+
+  static std::uint64_t summed_cycles(const JobState& job) {
+    std::uint64_t total = 0;
+    for (const TaskState& t : job.tasks)
+      total += t.cycles->load(std::memory_order_relaxed);
+    return total;
+  }
+
+  /// One `watch` streaming frame.  Distinguished from a final status by
+  /// its "event" field; clients read lines until one without it.
+  json::Value progress_frame_locked(const JobState& job) const {
+    json::Value v = json::Value::object();
+    v.set("ok", true);
+    v.set("event", "progress");
+    v.set("job", job.id);
+    v.set("state", job.state_name());
+    v.set("tasks", static_cast<double>(job.tasks.size()));
+    v.set("completed_tasks", static_cast<double>(job.done_tasks));
+    std::size_t running = 0;
+    int attempt = 0;
+    for (const TaskState& t : job.tasks) {
+      if (t.running) ++running;
+      attempt = std::max(attempt, t.attempts);
+    }
+    v.set("running_tasks", static_cast<double>(running));
+    v.set("attempt", static_cast<double>(attempt));
+    v.set("cycles", static_cast<double>(summed_cycles(job)));
+    // Still-active jobs admitted before this one; 0 = front of the line.
+    std::size_t position = 0;
+    for (const JobState* other : order) {
+      if (other == &job) break;
+      if (other->state == JobState::State::kActive) ++position;
+    }
+    v.set("queue_position", static_cast<double>(position));
     return v;
   }
 
@@ -524,7 +644,15 @@ struct JobScheduler::Impl {
     c.set("rejected", static_cast<double>(rejected));
     c.set("retries", static_cast<double>(retries));
     c.set("timeouts", static_cast<double>(timeouts));
+    c.set("preemptions", static_cast<double>(preemptions));
     v.set("counters", std::move(c));
+    if (ledger != nullptr) {
+      json::Value l = json::Value::object();
+      l.set("healthy", ledger->healthy());
+      l.set("bytes", static_cast<double>(ledger->size_bytes()));
+      l.set("compactions", static_cast<double>(ledger->compactions()));
+      v.set("ledger", std::move(l));
+    }
     return v;
   }
 };
@@ -557,6 +685,15 @@ SubmitOutcome JobScheduler::submit(const JobSpec& spec) {
   if (impl_->is_draining || impl_->stopping) {
     out.code = SubmitOutcome::Code::kDraining;
     out.error = "daemon is draining";
+    return out;
+  }
+  if (impl_->ledger != nullptr && !impl_->ledger->healthy()) {
+    // The ledger failed closed (unrepairable tail or a short write):
+    // accepting work we cannot make durable would silently break crash
+    // recovery, so refuse with a 503-shaped reply.
+    ++impl_->rejected;
+    out.code = SubmitOutcome::Code::kDraining;
+    out.error = "job ledger is not writable; refusing new work";
     return out;
   }
   const std::string fp = fingerprint(spec);
@@ -592,6 +729,7 @@ SubmitOutcome JobScheduler::submit(const JobSpec& spec) {
   job->tasks.resize(tasks);
   job->results.resize(tasks);
   JobState* raw = job.get();
+  impl_->order.push_back(raw);
   impl_->jobs[job->id] = std::move(job);
   ++impl_->active_jobs;
   ++impl_->submitted;
@@ -602,6 +740,11 @@ SubmitOutcome JobScheduler::submit(const JobSpec& spec) {
     ++impl_->pending_tasks;
     impl_->enqueue_locked(raw, i);
   }
+  // A saturated pool must not make a high-priority job wait out a
+  // low-priority sweep: evict just enough running lower-priority tasks
+  // (they checkpoint and resume bit-identically later).
+  if (spec.priority == TaskPriority::kHigh)
+    impl_->preempt_for_high_locked(tasks);
   out.code = SubmitOutcome::Code::kAccepted;
   out.job_id = raw->id;
   return out;
@@ -616,21 +759,58 @@ json::Value JobScheduler::job_status(const std::string& job_id) const {
 }
 
 json::Value JobScheduler::wait(const std::string& job_id,
-                               std::uint64_t timeout_ms) {
+                               std::optional<std::uint64_t> timeout_ms) {
   std::unique_lock<std::mutex> lock(impl_->mu);
   const auto it = impl_->jobs.find(job_id);
   if (it == impl_->jobs.end())
     return error_response(kCodeNotFound, "unknown job '" + job_id + "'");
-  const auto deadline =
-      Clock::now() +
-      ms(timeout_ms != 0 ? timeout_ms : impl_->limits.wait_default_ms);
   JobState* job = it->second.get();
-  impl_->job_cv.wait_until(lock, deadline, [&] {
-    // During a drain active jobs will not finish; unblock the client
-    // with the job's current (non-terminal) status instead of hanging.
+  // nullopt = server default; an explicit 0 is a non-blocking poll.
+  const std::uint64_t budget =
+      timeout_ms.has_value() ? *timeout_ms : impl_->limits.wait_default_ms;
+  if (budget > 0) {
+    const auto deadline = Clock::now() + ms(budget);
+    impl_->job_cv.wait_until(lock, deadline, [&] {
+      // During a drain active jobs will not finish; unblock the client
+      // with the job's current (non-terminal) status instead of hanging.
+      return job->state != JobState::State::kActive || impl_->is_draining ||
+             impl_->stopping;
+    });
+  }
+  return impl_->job_status_locked(*job);
+}
+
+json::Value JobScheduler::watch(
+    const std::string& job_id, std::uint64_t every_ms,
+    const std::function<bool(const json::Value&)>& emit) {
+  std::unique_lock<std::mutex> lock(impl_->mu);
+  const auto it = impl_->jobs.find(job_id);
+  if (it == impl_->jobs.end())
+    return error_response(kCodeNotFound, "unknown job '" + job_id + "'");
+  JobState* job = it->second.get();
+  // The client may slow the stream down, never speed it past the
+  // server's floor — progress frames are a courtesy, not a load source.
+  const std::uint64_t interval = std::max<std::uint64_t>(
+      std::max(every_ms, impl_->limits.progress_every_ms), 1);
+  const auto settled = [&] {
     return job->state != JobState::State::kActive || impl_->is_draining ||
            impl_->stopping;
-  });
+  };
+  std::string last_frame;
+  while (!settled()) {
+    json::Value frame = impl_->progress_frame_locked(*job);
+    std::string dump = frame.dump();
+    if (dump != last_frame) {  // only push frames that carry news
+      last_frame = std::move(dump);
+      lock.unlock();
+      // Emit outside the lock: a slow client socket must not stall
+      // workers or other watchers.
+      const bool keep_streaming = !emit || emit(frame);
+      lock.lock();
+      if (!keep_streaming) break;  // client hung up
+    }
+    impl_->job_cv.wait_for(lock, ms(interval), settled);
+  }
   return impl_->job_status_locked(*job);
 }
 
@@ -650,6 +830,7 @@ void JobScheduler::export_metrics(MetricsRegistry& reg) const {
   reg.counter("serve.tasks.recovered").set(impl_->tasks_recovered);
   reg.counter("serve.tasks.retries").set(impl_->retries);
   reg.counter("serve.tasks.timeouts").set(impl_->timeouts);
+  reg.counter("serve.tasks.preemptions").set(impl_->preemptions);
   reg.gauge("serve.jobs.active")
       .set(static_cast<double>(impl_->active_jobs));
   reg.gauge("serve.tasks.pending")

@@ -15,6 +15,14 @@
 //  - result cache: completed jobs are cached by spec fingerprint, so an
 //    identical resubmission replays the stored JSON bit-identically for
 //    zero simulation cycles;
+//  - preemption: a high-priority submission that finds every worker busy
+//    with lower-priority tasks cancels enough of them through their
+//    tokens; the victims checkpoint, re-queue in their own lanes without
+//    consuming an attempt, and later resume bit-identically from their
+//    per-task snapshots;
+//  - streaming progress: watch() pushes rate-limited per-job progress
+//    frames (cycle counts reported by runners, queue position, attempt)
+//    to a client callback until the job settles;
 //  - graceful drain: stop admitting, cancel running tasks cooperatively
 //    (simulation runners checkpoint via CheckpointConfig), and leave the
 //    ledger positioned so the next start finishes the campaign.
@@ -27,6 +35,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -49,13 +58,25 @@ struct ServeLimits {
   std::uint64_t backoff_cap_ms = 5000;   ///< exponential backoff ceiling
   std::uint64_t supervise_every_ms = 20;  ///< watchdog poll period
   std::uint64_t wait_default_ms = 60000;  ///< `wait` op default timeout
+  /// Floor on the interval between `watch` progress frames: a client may
+  /// ask for a coarser cadence but never a finer one (rate limiting is
+  /// the server's call, not the client's).
+  std::uint64_t progress_every_ms = 100;
 
   /// Reads `serve_workers=`, `serve_max_jobs=`, `serve_max_pending=`,
   /// `serve_max_attempts=`, `serve_task_timeout_ms=`,
-  /// `serve_backoff_ms=`, `serve_backoff_cap_ms=` (validated: throws
+  /// `serve_backoff_ms=`, `serve_backoff_cap_ms=`,
+  /// `serve_progress_every_ms=` (validated: throws
   /// std::invalid_argument on non-positive workers/attempts).
   static ServeLimits from_config(const Config& cfg);
 };
+
+/// Retry delay before attempt `attempt + 1`, i.e. after `attempt` failed
+/// attempts: min(cap_ms, base_ms << (attempt - 1)), computed without the
+/// uint64 shift overflow a naive `base << exp` hits for large attempt
+/// counts — any product past the cap saturates at the cap.
+std::uint64_t backoff_delay_ms(std::uint64_t base_ms, std::uint64_t cap_ms,
+                               int attempt);
 
 /// Result of one task attempt.
 struct TaskOutcome {
@@ -73,12 +94,26 @@ struct TaskOutcome {
   static TaskOutcome failed(std::string why);
 };
 
-/// Executes one task attempt.  Must poll `cancel` and return kCancelled
-/// promptly once it fires — both the timeout watchdog and graceful drain
-/// ride on that token.
-using TaskRunner = std::function<TaskOutcome(
-    const JobSpec& spec, const std::string& job_id, std::size_t task_index,
-    int attempt, const CancellationToken& cancel)>;
+/// Everything one task attempt needs from the scheduler.
+struct TaskContext {
+  std::string job_id;
+  std::size_t task_index = 0;
+  int attempt = 1;
+  /// Must be polled; the runner returns kCancelled promptly once it
+  /// fires — the timeout watchdog, graceful drain, and high-priority
+  /// preemption all ride on this token.
+  CancellationToken cancel;
+  /// Optional progress sink: the runner reports its current simulated
+  /// cycle (or any monotonic work counter) and `watch` streams it to
+  /// clients.  Thread-safe and cheap (an atomic store); may be empty.
+  std::function<void(std::uint64_t)> report_progress;
+};
+
+/// Executes one task attempt.  Must poll `ctx.cancel` and return
+/// kCancelled promptly once it fires — the timeout watchdog, graceful
+/// drain, and preemption all ride on that token.
+using TaskRunner =
+    std::function<TaskOutcome(const JobSpec& spec, const TaskContext& ctx)>;
 
 /// Combines a completed job's per-task results into its final result.
 using Aggregator = std::function<json::Value(
@@ -116,9 +151,24 @@ class JobScheduler {
   /// Status object for one job ({"ok":false,...} 404-style when unknown).
   json::Value job_status(const std::string& job_id) const;
 
-  /// Blocks until the job is terminal or `timeout_ms` elapsed (0 uses
-  /// ServeLimits::wait_default_ms), then returns its status object.
-  json::Value wait(const std::string& job_id, std::uint64_t timeout_ms);
+  /// Blocks until the job is terminal or the timeout elapsed, then
+  /// returns its status object.  nullopt uses
+  /// ServeLimits::wait_default_ms; an explicit 0 is a true non-blocking
+  /// poll (returns the current status immediately).
+  json::Value wait(const std::string& job_id,
+                   std::optional<std::uint64_t> timeout_ms = std::nullopt);
+
+  /// Emits a progress frame through `emit` whenever the job's progress
+  /// changes — at most once per max(every_ms, progress_every_ms) — until
+  /// the job is terminal, the daemon drains, or `emit` returns false
+  /// (client hung up).  Frames are `{"ok":true,"event":"progress",...}`
+  /// with cycle counts, completed/running task counts, queue position,
+  /// and the highest attempt number; the returned value is the job's
+  /// final status object (no "event" field), which the server sends as
+  /// the stream's last line.  `emit` is invoked without internal locks
+  /// held, so it may block on a slow socket without stalling workers.
+  json::Value watch(const std::string& job_id, std::uint64_t every_ms,
+                    const std::function<bool(const json::Value&)>& emit);
 
   /// Daemon-level status: queue depth, running tasks, retry/timeout/
   /// quarantine/cache counters, draining flag.

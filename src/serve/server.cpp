@@ -12,7 +12,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <thread>
 #include <vector>
@@ -71,6 +73,12 @@ ServerOptions ServerOptions::from_config(const Config& cfg) {
       cfg.get_int("serve_max_connections", o.max_connections));
   if (o.max_connections < 1)
     throw std::invalid_argument("serve_max_connections must be >= 1");
+  const long long compact = cfg.get_int(
+      "serve_ledger_compact_bytes",
+      static_cast<long long>(o.ledger_compact_bytes));
+  if (compact < 0)
+    throw std::invalid_argument("serve_ledger_compact_bytes must be >= 0");
+  o.ledger_compact_bytes = static_cast<std::uint64_t>(compact);
   o.limits = ServeLimits::from_config(cfg);
   return o;
 }
@@ -85,7 +93,10 @@ struct Server::Impl {
   std::mutex threads_mu;
   std::vector<std::thread> threads;
 
-  json::Value dispatch(const Request& req) {
+  /// Sends one reply line; false when the peer is gone.
+  using Emit = std::function<bool(const json::Value&)>;
+
+  json::Value dispatch(const Request& req, const Emit& emit = nullptr) {
     if (req.op == "ping") {
       json::Value v = ok_response();
       v.set("pong", true);
@@ -115,7 +126,13 @@ struct Server::Impl {
       return error_response(kCodeBadRequest, "unreachable");
     }
     if (req.op == "job") return sched->job_status(req.job_id);
-    if (req.op == "wait") return sched->wait(req.job_id, req.timeout_ms);
+    if (req.op == "wait")
+      return sched->wait(req.job_id,
+                         req.has_timeout
+                             ? std::optional<std::uint64_t>(req.timeout_ms)
+                             : std::nullopt);
+    if (req.op == "watch")
+      return sched->watch(req.job_id, req.every_ms, emit);
     if (req.op == "status") {
       json::Value v = sched->status();
       json::Value s = json::Value::object();
@@ -174,7 +191,13 @@ struct Server::Impl {
         buffer.erase(0, nl + 1);
         if (!line.empty() && line.back() == '\r') line.pop_back();
         if (line.empty()) continue;
-        const std::string reply = handle_line_impl(line).dump() + "\n";
+        // `watch` streams progress frames over this connection before its
+        // final reply; every other op is one line in, one line out.
+        const Emit emit = [fd](const json::Value& frame) {
+          const std::string text = frame.dump() + "\n";
+          return write_all(fd, text.data(), text.size());
+        };
+        const std::string reply = handle_line_impl(line, emit).dump() + "\n";
         if (!write_all(fd, reply.data(), reply.size())) {
           dead = true;
           break;
@@ -195,10 +218,11 @@ struct Server::Impl {
     --active_connections;
   }
 
-  json::Value handle_line_impl(const std::string& line) {
+  json::Value handle_line_impl(const std::string& line,
+                               const Emit& emit = nullptr) {
     const ParseResult parsed = parse_request(line);
     if (!parsed.ok) return error_response(kCodeBadRequest, parsed.error);
-    return dispatch(parsed.request);
+    return dispatch(parsed.request, emit);
   }
 };
 
@@ -206,7 +230,8 @@ Server::Server(const ServerOptions& opts)
     : impl_(std::make_unique<Impl>()) {
   impl_->opts = opts;
   ensure_dir(opts.dir);
-  impl_->ledger = std::make_unique<Ledger>(opts.dir + "/ledger.nsrl");
+  impl_->ledger = std::make_unique<Ledger>(opts.dir + "/ledger.nsrl",
+                                           opts.ledger_compact_bytes);
   impl_->sched = std::make_unique<JobScheduler>(
       opts.limits, make_sim_runner(opts.dir), make_sim_aggregator(),
       impl_->ledger.get());

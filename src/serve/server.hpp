@@ -6,6 +6,7 @@
 // the next start resumes the campaign.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 
@@ -25,10 +26,15 @@ struct ServerOptions {
   /// how scripts find an ephemeral port.
   std::string port_file;
   int max_connections = 32;  ///< concurrent clients; excess get a 429
+  /// Ledger auto-compaction threshold in bytes: once the write-ahead log
+  /// grows past it (and has at least doubled since the last rewrite), it
+  /// is rewritten as snapshot + tail.  0 disables auto-compaction.
+  std::uint64_t ledger_compact_bytes = 4u << 20;
   ServeLimits limits;
 
   /// Reads `serve_host=`, `serve_port=`, `serve_dir=`, `serve_port_file=`,
-  /// `serve_max_connections=` plus every ServeLimits key.
+  /// `serve_max_connections=`, `serve_ledger_compact_bytes=` plus every
+  /// ServeLimits key.
   static ServerOptions from_config(const Config& cfg);
 };
 
@@ -52,7 +58,10 @@ class Server {
 
   /// One protocol line to one reply — the transport-free core of the
   /// connection loop, exposed so tests can drive the full daemon without
-  /// sockets.  Thread-safe.
+  /// sockets.  Thread-safe.  A `watch` request blocks like it does on a
+  /// socket but only the final status is returned (no transport to
+  /// stream the intermediate frames over); pass an emit callback via
+  /// handle_line's streaming sibling in Impl for those.
   json::Value handle_line(const std::string& line);
 
  private:

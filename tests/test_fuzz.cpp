@@ -229,7 +229,21 @@ std::string mutated_valid(Rng& rng) {
       "{\"op\":\"submit\",\"kind\":\"selftest\",\"params\":{\"tasks\":4},"
       "\"priority\":\"low\"}",
       "{\"op\":\"wait\",\"job\":\"job-1\",\"timeout_ms\":100}",
+      "{\"op\":\"wait\",\"job\":\"job-1\",\"nowait\":true}",
+      "{\"op\":\"wait\",\"job\":\"job-1\",\"timeout_ms\":0}",
+      "{\"op\":\"watch\",\"job\":\"job-2\",\"every_ms\":50}",
+      "{\"op\":\"watch\",\"job\":\"job-2\"}",
       "{\"op\":\"status\"}",
+      // Streamed `watch` progress frames as the server emits them: a
+      // confused client (or a proxy echoing replies back) may feed these
+      // to the request parser verbatim or torn mid-line; it must reject
+      // them as errors, never throw.
+      "{\"ok\":true,\"event\":\"progress\",\"job\":\"job-1\","
+      "\"state\":\"running\",\"cycles\":12345,\"completed_tasks\":1,"
+      "\"running_tasks\":2,\"attempt\":1,\"queue_position\":0}",
+      "{\"ok\":true,\"event\":\"progress\",\"job\":\"job-9\","
+      "\"state\":\"queued\",\"cycles\":0,\"completed_tasks\":0,"
+      "\"running_tasks\":0,\"attempt\":1,\"queue_position\":3}",
   };
   std::string s = seeds[rng.uniform_int(sizeof seeds / sizeof seeds[0])];
   const int edits = 1 + static_cast<int>(rng.uniform_int(4));
@@ -276,6 +290,29 @@ TEST_P(ServeProtocolFuzz, ParserNeverThrowsAndErrorsAreActionable) {
 
 INSTANTIATE_TEST_SUITE_P(HostileLines, ServeProtocolFuzz,
                          ::testing::Range(0, 10));
+
+// A `watch` stream interleaves progress frames with the final status on
+// one connection.  Model a client that loses line framing: every torn
+// prefix/suffix and every splice of two frames must come back as a
+// parse error, never an exception or a bogus accepted request.
+TEST(ServeWatchStreamFuzz, TornAndInterleavedProgressFramesNeverThrow) {
+  const std::string frame =
+      "{\"ok\":true,\"event\":\"progress\",\"job\":\"job-1\","
+      "\"state\":\"running\",\"cycles\":777,\"completed_tasks\":0,"
+      "\"running_tasks\":1,\"attempt\":2,\"queue_position\":1}";
+  const std::string final_status =
+      "{\"ok\":true,\"job\":\"job-1\",\"state\":\"done\",\"result\":{}}";
+  for (std::size_t cut = 0; cut <= frame.size(); ++cut) {
+    for (const std::string& line :
+         {frame.substr(0, cut), frame.substr(cut),
+          frame.substr(0, cut) + final_status,
+          final_status + frame.substr(cut)}) {
+      const serve::ParseResult r = serve::parse_request(line);
+      EXPECT_FALSE(r.ok) << "accepted reply bytes as a request: " << line;
+      EXPECT_FALSE(r.error.empty());
+    }
+  }
+}
 
 }  // namespace
 }  // namespace nocs

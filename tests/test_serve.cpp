@@ -5,6 +5,9 @@
 // deterministically in milliseconds.
 #include <gtest/gtest.h>
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -18,6 +21,7 @@
 #include "common/snapshot.hpp"
 #include "serve/ledger.hpp"
 #include "serve/protocol.hpp"
+#include "serve/runner.hpp"
 #include "serve/scheduler.hpp"
 #include "serve/server.hpp"
 
@@ -55,15 +59,14 @@ struct CountingRunner {
   std::vector<std::size_t> ran;
 
   TaskRunner fn() {
-    return [this](const JobSpec&, const std::string&, std::size_t index,
-                  int attempt, const CancellationToken&) {
+    return [this](const JobSpec&, const TaskContext& ctx) {
       {
         const std::lock_guard<std::mutex> lock(mu);
-        ran.push_back(index);
+        ran.push_back(ctx.task_index);
       }
       json::Value v = json::Value::object();
-      v.set("task", static_cast<double>(index));
-      v.set("attempt", attempt);
+      v.set("task", static_cast<double>(ctx.task_index));
+      v.set("attempt", ctx.attempt);
       return TaskOutcome::ok(std::move(v));
     };
   }
@@ -93,11 +96,54 @@ TEST(Protocol, ParsesEveryOp) {
   EXPECT_EQ(submit.request.spec.priority, TaskPriority::kHigh);
   EXPECT_EQ(task_count(submit.request.spec), 3u);
 
+  // The client forwards params as strings; numeric strings must expand
+  // exactly like numbers (they already fingerprint identically).
+  const ParseResult str_tasks = parse_request(
+      "{\"op\":\"submit\",\"kind\":\"selftest\",\"params\":{\"tasks\":\"3\"}}");
+  ASSERT_TRUE(str_tasks.ok) << str_tasks.error;
+  EXPECT_EQ(task_count(str_tasks.request.spec), 3u);
+
   const ParseResult wait = parse_request(
       "{\"op\":\"wait\",\"job\":\"job-1\",\"timeout_ms\":250}");
   ASSERT_TRUE(wait.ok) << wait.error;
   EXPECT_EQ(wait.request.job_id, "job-1");
   EXPECT_EQ(wait.request.timeout_ms, 250u);
+  EXPECT_TRUE(wait.request.has_timeout);
+
+  const ParseResult watch = parse_request(
+      "{\"op\":\"watch\",\"job\":\"job-2\",\"every_ms\":50}");
+  ASSERT_TRUE(watch.ok) << watch.error;
+  EXPECT_EQ(watch.request.op, "watch");
+  EXPECT_EQ(watch.request.job_id, "job-2");
+  EXPECT_EQ(watch.request.every_ms, 50u);
+}
+
+TEST(Protocol, WaitTimeoutAbsentZeroAndNowaitAreDistinct) {
+  // No timeout on the wire: the server default applies.
+  const ParseResult plain =
+      parse_request("{\"op\":\"wait\",\"job\":\"j\"}");
+  ASSERT_TRUE(plain.ok) << plain.error;
+  EXPECT_FALSE(plain.request.has_timeout);
+
+  // An explicit 0 is a real value — a non-blocking poll, not "default".
+  const ParseResult zero =
+      parse_request("{\"op\":\"wait\",\"job\":\"j\",\"timeout_ms\":0}");
+  ASSERT_TRUE(zero.ok) << zero.error;
+  EXPECT_TRUE(zero.request.has_timeout);
+  EXPECT_EQ(zero.request.timeout_ms, 0u);
+
+  // nowait:true is sugar for timeout_ms:0.
+  const ParseResult nowait =
+      parse_request("{\"op\":\"wait\",\"job\":\"j\",\"nowait\":true}");
+  ASSERT_TRUE(nowait.ok) << nowait.error;
+  EXPECT_TRUE(nowait.request.has_timeout);
+  EXPECT_EQ(nowait.request.timeout_ms, 0u);
+
+  // nowait:false asserts nothing.
+  const ParseResult off =
+      parse_request("{\"op\":\"wait\",\"job\":\"j\",\"nowait\":false}");
+  ASSERT_TRUE(off.ok) << off.error;
+  EXPECT_FALSE(off.request.has_timeout);
 }
 
 TEST(Protocol, RejectsMalformedRequests) {
@@ -117,11 +163,19 @@ TEST(Protocol, RejectsMalformedRequests) {
       "\"params\":{\"rates\":\"0.5:-0.1:0.1\"}}",
       "{\"op\":\"submit\",\"kind\":\"selftest\",\"params\":{\"tasks\":0}}",
       "{\"op\":\"submit\",\"kind\":\"selftest\","
+      "\"params\":{\"tasks\":\"lots\"}}",
+      "{\"op\":\"submit\",\"kind\":\"selftest\","
+      "\"params\":{\"tasks\":\"-2\"}}",
+      "{\"op\":\"submit\",\"kind\":\"selftest\","
       "\"params\":{\"tasks\":99999}}",
       "{\"op\":\"submit\",\"kind\":\"selftest\",\"priority\":\"urgent\"}",
       "{\"op\":\"wait\"}",                    // missing job
       "{\"op\":\"wait\",\"job\":\"\"}",       // empty job
       "{\"op\":\"wait\",\"job\":\"j\",\"timeout_ms\":-5}",
+      "{\"op\":\"watch\"}",                   // missing job
+      "{\"op\":\"watch\",\"job\":\"j\",\"every_ms\":-1}",
+      "{\"op\":\"watch\",\"job\":\"j\",\"every_ms\":\"fast\"}",
+      "{\"op\":\"wait\",\"job\":\"j\",\"nowait\":7}",
   };
   for (const char* line : bad) {
     const ParseResult r = parse_request(line);
@@ -185,6 +239,29 @@ TEST(Protocol, RatesGrammar) {
 
 // --- scheduler --------------------------------------------------------------
 
+TEST(Scheduler, BackoffDelaySaturatesInsteadOfOverflowing) {
+  // Normal capped-exponential progression.
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 1), 100u);
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 2), 200u);
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 3), 400u);
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 6), 3200u);
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 7), 5000u);
+
+  // Regression: `base << (attempt - 1)` used to be computed before the
+  // cap, so a large attempt count shifted past 64 bits and wrapped to a
+  // tiny (or zero) delay.  The exponent must be clamped first.
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 64), 5000u);
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 65), 5000u);
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 100), 5000u);
+  EXPECT_EQ(backoff_delay_ms(1, 5000, 1000000), 5000u);
+  EXPECT_EQ(backoff_delay_ms(~0ull, 5000, 2), 5000u);
+
+  // Degenerate corners.
+  EXPECT_EQ(backoff_delay_ms(0, 5000, 50), 0u);    // backoff disabled
+  EXPECT_EQ(backoff_delay_ms(9000, 5000, 1), 5000u);  // base above cap
+  EXPECT_EQ(backoff_delay_ms(100, 5000, 0), 100u);    // clamped exponent
+}
+
 TEST(Scheduler, RunsJobAndServesCachedResubmission) {
   CountingRunner counting;
   JobScheduler sched(fast_limits(), counting.fn(), nullptr, nullptr);
@@ -193,7 +270,7 @@ TEST(Scheduler, RunsJobAndServesCachedResubmission) {
   const SubmitOutcome first = sched.submit(spec);
   ASSERT_EQ(first.code, SubmitOutcome::Code::kAccepted);
   EXPECT_EQ(first.job_id, "job-1");
-  const json::Value status = sched.wait(first.job_id, 0);
+  const json::Value status = sched.wait(first.job_id);
   ASSERT_EQ(status.at("state").as_string(), "done")
       << status.dump();
   EXPECT_EQ(status.at("result").at("tasks").size(), 4u);
@@ -223,9 +300,8 @@ TEST(Scheduler, UnknownJobIs404) {
 
 TEST(Scheduler, AdmissionControlRejectsExplicitly) {
   std::atomic<bool> release{false};
-  auto gate = [&](const JobSpec&, const std::string&, std::size_t, int,
-                  const CancellationToken& cancel) {
-    while (!release.load() && !cancel.stop_requested())
+  auto gate = [&](const JobSpec&, const TaskContext& ctx) {
+    while (!release.load() && !ctx.cancel.stop_requested())
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     return TaskOutcome::ok(json::Value::object());
   };
@@ -254,18 +330,17 @@ TEST(Scheduler, AdmissionControlRejectsExplicitly) {
 
 TEST(Scheduler, RetriesWithBackoffThenSucceeds) {
   std::atomic<int> calls{0};
-  auto flaky = [&](const JobSpec&, const std::string&, std::size_t,
-                   int attempt, const CancellationToken&) {
+  auto flaky = [&](const JobSpec&, const TaskContext& ctx) {
     ++calls;
-    if (attempt < 3) return TaskOutcome::failed("induced");
+    if (ctx.attempt < 3) return TaskOutcome::failed("induced");
     json::Value v = json::Value::object();
-    v.set("attempt", attempt);
+    v.set("attempt", ctx.attempt);
     return TaskOutcome::ok(std::move(v));
   };
   JobScheduler sched(fast_limits(), flaky, nullptr, nullptr);
   const SubmitOutcome out = sched.submit(selftest_spec(1));
   ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
-  const json::Value status = sched.wait(out.job_id, 0);
+  const json::Value status = sched.wait(out.job_id);
   ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
   EXPECT_EQ(status.at("result").at("tasks").at(0).at("attempt").as_number(),
             3.0);
@@ -275,8 +350,7 @@ TEST(Scheduler, RetriesWithBackoffThenSucceeds) {
 
 TEST(Scheduler, QuarantinesAfterMaxAttempts) {
   std::atomic<int> calls{0};
-  auto broken = [&](const JobSpec&, const std::string&, std::size_t, int,
-                    const CancellationToken&) {
+  auto broken = [&](const JobSpec&, const TaskContext&) {
     ++calls;
     return TaskOutcome::failed("always broken");
   };
@@ -284,7 +358,7 @@ TEST(Scheduler, QuarantinesAfterMaxAttempts) {
   limits.max_attempts = 2;
   JobScheduler sched(limits, broken, nullptr, nullptr);
   const SubmitOutcome out = sched.submit(selftest_spec(1));
-  const json::Value status = sched.wait(out.job_id, 0);
+  const json::Value status = sched.wait(out.job_id);
   ASSERT_EQ(status.at("state").as_string(), "quarantined") << status.dump();
   EXPECT_NE(status.at("error").as_string().find("always broken"),
             std::string::npos);
@@ -296,9 +370,8 @@ TEST(Scheduler, QuarantinesAfterMaxAttempts) {
 }
 
 TEST(Scheduler, WatchdogTimesOutHungTasksThenQuarantines) {
-  auto hung = [](const JobSpec&, const std::string&, std::size_t, int,
-                 const CancellationToken& cancel) {
-    while (!cancel.stop_requested())
+  auto hung = [](const JobSpec&, const TaskContext& ctx) {
+    while (!ctx.cancel.stop_requested())
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
     return TaskOutcome::cancelled();
   };
@@ -307,7 +380,7 @@ TEST(Scheduler, WatchdogTimesOutHungTasksThenQuarantines) {
   limits.task_timeout_ms = 25;
   JobScheduler sched(limits, hung, nullptr, nullptr);
   const SubmitOutcome out = sched.submit(selftest_spec(1));
-  const json::Value status = sched.wait(out.job_id, 0);
+  const json::Value status = sched.wait(out.job_id);
   ASSERT_EQ(status.at("state").as_string(), "quarantined") << status.dump();
   EXPECT_NE(status.at("error").as_string().find("timed out"),
             std::string::npos);
@@ -316,12 +389,11 @@ TEST(Scheduler, WatchdogTimesOutHungTasksThenQuarantines) {
 
 TEST(Scheduler, DrainCancelsPromptlyAndKeepsStateQueryable) {
   std::atomic<int> started{0};
-  auto slow = [&](const JobSpec&, const std::string&, std::size_t, int,
-                  const CancellationToken& cancel) {
+  auto slow = [&](const JobSpec&, const TaskContext& ctx) {
     ++started;
-    for (int i = 0; i < 2000 && !cancel.stop_requested(); ++i)
+    for (int i = 0; i < 2000 && !ctx.cancel.stop_requested(); ++i)
       std::this_thread::sleep_for(std::chrono::milliseconds(1));
-    if (cancel.stop_requested()) return TaskOutcome::cancelled();
+    if (ctx.cancel.stop_requested()) return TaskOutcome::cancelled();
     return TaskOutcome::ok(json::Value::object());
   };
   JobScheduler sched(fast_limits(), slow, nullptr, nullptr);
@@ -343,6 +415,233 @@ TEST(Scheduler, DrainCancelsPromptlyAndKeepsStateQueryable) {
             "queued");
 }
 
+TEST(Scheduler, WaitZeroTimeoutIsImmediatePoll) {
+  std::atomic<bool> release{false};
+  auto gate = [&](const JobSpec&, const TaskContext& ctx) {
+    while (!release.load() && !ctx.cancel.stop_requested())
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    return TaskOutcome::ok(json::Value::object());
+  };
+  JobScheduler sched(fast_limits(), gate, nullptr, nullptr);
+  const SubmitOutcome out = sched.submit(selftest_spec(1));
+  ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+
+  // Regression: timeout 0 used to mean "server default" (10 s here), so
+  // polling a running job blocked.  It must return the current state
+  // immediately.
+  const auto t0 = std::chrono::steady_clock::now();
+  const json::Value polled = sched.wait(out.job_id, 0);
+  const auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_LT(elapsed.count(), 5000);
+  EXPECT_NE(polled.at("state").as_string(), "done") << polled.dump();
+
+  release.store(true);
+  EXPECT_EQ(sched.wait(out.job_id).at("state").as_string(), "done");
+}
+
+// --- preemption -------------------------------------------------------------
+
+TEST(Scheduler, HighPrioritySubmissionPreemptsLowerPriorityTask) {
+  std::atomic<bool> low_started{false};
+  std::atomic<int> low_runs{0};
+  std::mutex order_mu;
+  std::vector<std::string> finish_order;
+  auto runner = [&](const JobSpec& spec, const TaskContext& ctx) {
+    if (spec.priority == TaskPriority::kLow) {
+      if (++low_runs == 1) {
+        // First execution: occupy the only worker until preempted.
+        low_started.store(true);
+        while (!ctx.cancel.stop_requested())
+          std::this_thread::sleep_for(std::chrono::milliseconds(1));
+        return TaskOutcome::cancelled();
+      }
+      const std::lock_guard<std::mutex> lock(order_mu);
+      finish_order.push_back("low");
+    } else {
+      const std::lock_guard<std::mutex> lock(order_mu);
+      finish_order.push_back("high");
+    }
+    json::Value v = json::Value::object();
+    v.set("attempt", ctx.attempt);
+    return TaskOutcome::ok(std::move(v));
+  };
+  ServeLimits limits = fast_limits();
+  limits.workers = 1;
+  JobScheduler sched(limits, runner, nullptr, nullptr);
+
+  JobSpec low = selftest_spec(1);
+  low.priority = TaskPriority::kLow;
+  const SubmitOutcome low_out = sched.submit(low);
+  ASSERT_EQ(low_out.code, SubmitOutcome::Code::kAccepted);
+  while (!low_started.load())
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+
+  JobSpec high = selftest_spec(2);  // distinct spec: no fingerprint clash
+  high.priority = TaskPriority::kHigh;
+  const SubmitOutcome high_out = sched.submit(high);
+  ASSERT_EQ(high_out.code, SubmitOutcome::Code::kAccepted);
+
+  const json::Value high_done = sched.wait(high_out.job_id);
+  ASSERT_EQ(high_done.at("state").as_string(), "done") << high_done.dump();
+  const json::Value low_done = sched.wait(low_out.job_id);
+  ASSERT_EQ(low_done.at("state").as_string(), "done") << low_done.dump();
+
+  // The high job ran first even though the low job held the only worker.
+  {
+    const std::lock_guard<std::mutex> lock(order_mu);
+    ASSERT_EQ(finish_order.size(), 3u);
+    EXPECT_EQ(finish_order.front(), "high");
+  }
+  // Preemption is not a failure: the victim's attempt was not consumed.
+  EXPECT_EQ(
+      low_done.at("result").at("tasks").at(0).at("attempt").as_number(),
+      1.0);
+  const json::Value s = sched.status();
+  EXPECT_EQ(s.at("counters").at("preemptions").as_number(), 1.0);
+  EXPECT_EQ(s.at("counters").at("retries").as_number(), 0.0);
+}
+
+/// The real thing end to end: a cycle-accurate simulation (sharded across
+/// sim_threads=2) is preempted mid-run by a high-priority job, checkpoints,
+/// resumes, and its final report is byte-identical to an uninterrupted run.
+TEST(Scheduler, PreemptedSimulationResumesBitIdentically) {
+  JobSpec sim;
+  sim.kind = "simulate";
+  sim.params.set("level", 4);
+  sim.params.set("warmup", 500);
+  sim.params.set("measure", 20000);
+  sim.params.set("injection", 0.05);
+  sim.params.set("sim_threads", 2);
+  sim.params.set("seed", 7);
+
+  ServeLimits limits = fast_limits();
+  limits.workers = 1;
+  limits.wait_default_ms = 300000;
+
+  std::string preempted_dump;
+  {
+    const std::string dir = tmp_path("serve_preempt_state");
+    ::mkdir(dir.c_str(), 0755);
+    std::remove((dir + "/job-1.task0.nocsnap").c_str());
+    JobScheduler sched(limits, make_sim_runner(dir), make_sim_aggregator(),
+                       nullptr);
+    JobSpec low = sim;
+    low.priority = TaskPriority::kLow;
+    const SubmitOutcome out = sched.submit(low);
+    ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+
+    // Let the simulation make real progress (the runner reports cycles
+    // through the progress hook) before preempting it.
+    bool progressed = false;
+    for (int i = 0; i < 60000 && !progressed; ++i) {
+      const json::Value st = sched.job_status(out.job_id);
+      const json::Value* cycles = st.find("cycles");
+      if (cycles != nullptr && cycles->as_number() > 0) progressed = true;
+      else std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_TRUE(progressed) << sched.job_status(out.job_id).dump();
+
+    JobSpec high = selftest_spec(1, 1);
+    high.priority = TaskPriority::kHigh;
+    ASSERT_EQ(sched.submit(high).code, SubmitOutcome::Code::kAccepted);
+
+    const json::Value done = sched.wait(out.job_id);
+    ASSERT_EQ(done.at("state").as_string(), "done") << done.dump();
+    preempted_dump = done.at("result").dump();
+    EXPECT_GE(
+        sched.status().at("counters").at("preemptions").as_number(), 1.0);
+  }
+
+  // Clean control run of the identical spec, never preempted.
+  {
+    const std::string dir = tmp_path("serve_preempt_clean");
+    ::mkdir(dir.c_str(), 0755);
+    std::remove((dir + "/job-1.task0.nocsnap").c_str());
+    JobScheduler sched(limits, make_sim_runner(dir), make_sim_aggregator(),
+                       nullptr);
+    const SubmitOutcome out = sched.submit(sim);
+    ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+    const json::Value done = sched.wait(out.job_id);
+    ASSERT_EQ(done.at("state").as_string(), "done") << done.dump();
+    EXPECT_EQ(done.at("result").dump(), preempted_dump);
+  }
+}
+
+// --- streaming progress -----------------------------------------------------
+
+TEST(Scheduler, WatchStreamsProgressFramesThenFinalStatus) {
+  auto ticking = [](const JobSpec&, const TaskContext& ctx) {
+    for (int i = 0; i < 40; ++i) {
+      if (ctx.cancel.stop_requested()) return TaskOutcome::cancelled();
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      if (ctx.report_progress)
+        ctx.report_progress(static_cast<std::uint64_t>(i + 1));
+    }
+    return TaskOutcome::ok(json::Value::object());
+  };
+  ServeLimits limits = fast_limits();
+  limits.progress_every_ms = 1;
+  JobScheduler sched(limits, ticking, nullptr, nullptr);
+  const SubmitOutcome out = sched.submit(selftest_spec(1));
+  ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+
+  std::vector<json::Value> frames;
+  const json::Value final_status =
+      sched.watch(out.job_id, 1, [&](const json::Value& frame) {
+        frames.push_back(frame);
+        return true;
+      });
+
+  // The stream ends in the job's terminal status — not an event frame.
+  ASSERT_EQ(final_status.at("state").as_string(), "done")
+      << final_status.dump();
+  EXPECT_EQ(final_status.find("event"), nullptr);
+
+  // At least one progress frame arrived, cycles never went backwards.
+  ASSERT_FALSE(frames.empty());
+  double last_cycles = 0;
+  for (const json::Value& f : frames) {
+    ASSERT_TRUE(f.at("ok").as_bool()) << f.dump();
+    EXPECT_EQ(f.at("event").as_string(), "progress");
+    EXPECT_EQ(f.at("job").as_string(), out.job_id);
+    const double cycles = f.at("cycles").as_number();
+    EXPECT_GE(cycles, last_cycles) << f.dump();
+    last_cycles = cycles;
+    EXPECT_GE(f.at("queue_position").as_number(), 0.0);
+  }
+  EXPECT_GT(last_cycles, 0.0);
+}
+
+TEST(Scheduler, WatchUnknownJobIs404AndHangupStopsTheStream) {
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, nullptr);
+  const json::Value missing =
+      sched.watch("job-42", 0, [](const json::Value&) { return true; });
+  EXPECT_FALSE(missing.at("ok").as_bool());
+  EXPECT_EQ(missing.at("code").as_number(), kCodeNotFound);
+
+  // A client that hangs up (emit returns false) ends the stream with the
+  // job's current status instead of blocking until completion.
+  std::atomic<bool> release{false};
+  auto gate = [&](const JobSpec&, const TaskContext& ctx) {
+    while (!release.load() && !ctx.cancel.stop_requested()) {
+      if (ctx.report_progress) ctx.report_progress(1);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return TaskOutcome::ok(json::Value::object());
+  };
+  ServeLimits limits = fast_limits();
+  limits.progress_every_ms = 1;
+  JobScheduler gated(limits, gate, nullptr, nullptr);
+  const SubmitOutcome out = gated.submit(selftest_spec(1));
+  const json::Value last =
+      gated.watch(out.job_id, 1, [](const json::Value&) { return false; });
+  EXPECT_NE(last.at("state").as_string(), "done");
+  release.store(true);
+  EXPECT_EQ(gated.wait(out.job_id).at("state").as_string(), "done");
+}
+
 // --- ledger -----------------------------------------------------------------
 
 TEST(Ledger, PersistsAcrossReopenAndSeedsTheCache) {
@@ -357,7 +656,7 @@ TEST(Ledger, PersistsAcrossReopenAndSeedsTheCache) {
     JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
     const SubmitOutcome out = sched.submit(spec);
     ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
-    const json::Value status = sched.wait(out.job_id, 0);
+    const json::Value status = sched.wait(out.job_id);
     ASSERT_EQ(status.at("state").as_string(), "done");
     result_dump = status.at("result").dump();
   }
@@ -407,7 +706,7 @@ TEST(Ledger, ReplayAfterCrashRunsOnlyMissingTasks) {
   CountingRunner counting;
   JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
   EXPECT_EQ(sched.recovered_jobs(), 1u);
-  const json::Value status = sched.wait("job-1", 0);
+  const json::Value status = sched.wait("job-1");
   ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
   EXPECT_TRUE(status.at("recovered").as_bool());
   EXPECT_EQ(status.at("result").at("tasks").size(), 4u);
@@ -442,7 +741,7 @@ TEST(Ledger, RecoveryAggregatesWhenOnlyDoneRecordIsMissing) {
   CountingRunner counting;
   JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
   // Every task result was durable; recovery only owes the aggregation.
-  const json::Value status = sched.wait("job-1", 0);
+  const json::Value status = sched.wait("job-1");
   EXPECT_EQ(status.at("state").as_string(), "done") << status.dump();
   EXPECT_TRUE(counting.ran.empty());
   EXPECT_EQ(sched.submit(spec).code, SubmitOutcome::Code::kCached);
@@ -502,6 +801,232 @@ TEST(Ledger, RejectsForeignFiles) {
   EXPECT_THROW(Ledger ledger(path), std::runtime_error);
 }
 
+// --- ledger compaction ------------------------------------------------------
+
+/// Appends a synthetic interrupted job (submit + one of two task results)
+/// through the public API, as a crash would leave it.
+void append_interrupted_job(Ledger& ledger, const std::string& job_id,
+                            const JobSpec& spec) {
+  json::Value submit = json::Value::object();
+  submit.set("type", "submit");
+  submit.set("job", job_id);
+  submit.set("spec", spec_to_json(spec));
+  submit.set("fingerprint", fingerprint(spec));
+  ASSERT_TRUE(ledger.append(submit));
+  json::Value task = json::Value::object();
+  task.set("type", "task");
+  task.set("job", job_id);
+  task.set("task", 0);
+  json::Value result = json::Value::object();
+  result.set("task", 0);
+  result.set("attempt", 1);
+  task.set("result", std::move(result));
+  ASSERT_TRUE(ledger.append(task));
+}
+
+TEST(Ledger, CompactionKeepsTerminalResultsAndLiveTasks) {
+  const std::string path = tmp_path("ledger_compact.nsrl");
+  std::remove(path.c_str());
+  const JobSpec finished = selftest_spec(4);
+  const JobSpec interrupted = selftest_spec(2, 3);
+
+  std::string result_dump;
+  {
+    // One campaign runs to completion: submit + 4 tasks + done on disk.
+    Ledger ledger(path);
+    CountingRunner counting;
+    JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+    const SubmitOutcome out = sched.submit(finished);
+    ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+    const json::Value status = sched.wait(out.job_id);
+    ASSERT_EQ(status.at("state").as_string(), "done");
+    result_dump = status.at("result").dump();
+
+    // The scheduler surfaces ledger health in its status document.
+    const json::Value s = sched.status();
+    EXPECT_TRUE(s.at("ledger").at("healthy").as_bool());
+    EXPECT_GT(s.at("ledger").at("bytes").as_number(), 0.0);
+  }
+  {
+    // A second campaign dies mid-flight, then the log is compacted: the
+    // finished job collapses to submit + done (its per-task records are
+    // dead weight), the live job keeps its partial task records.
+    Ledger ledger(path);
+    append_interrupted_job(ledger, "job-2", interrupted);
+    const std::uint64_t before = ledger.size_bytes();
+    ASSERT_TRUE(ledger.compact());
+    EXPECT_LT(ledger.size_bytes(), before);
+    EXPECT_EQ(ledger.compactions(), 1u);
+    EXPECT_TRUE(ledger.healthy());
+  }
+
+  // Replay after compaction: the cached result is byte-identical and the
+  // interrupted job still owes exactly its missing task.
+  Ledger ledger(path);
+  EXPECT_FALSE(ledger.truncated_on_open());
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+  EXPECT_EQ(sched.recovered_jobs(), 1u);
+  const json::Value done = sched.wait("job-2");
+  ASSERT_EQ(done.at("state").as_string(), "done") << done.dump();
+  EXPECT_EQ(counting.sorted(), (std::vector<std::size_t>{1}));
+  const SubmitOutcome cached = sched.submit(finished);
+  ASSERT_EQ(cached.code, SubmitOutcome::Code::kCached);
+  EXPECT_EQ(cached.cached.dump(), result_dump);
+}
+
+TEST(Ledger, AutoCompactionTriggersPastThreshold) {
+  const std::string path = tmp_path("ledger_autocompact.nsrl");
+  std::remove(path.c_str());
+  std::vector<JobSpec> specs;
+  std::string first_dump;
+  {
+    Ledger ledger(path, 2048);
+    CountingRunner counting;
+    JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+    for (int i = 0; i < 12; ++i) {
+      JobSpec spec = selftest_spec(4, i + 1);  // distinct fingerprints
+      specs.push_back(spec);
+      const SubmitOutcome out = sched.submit(spec);
+      ASSERT_EQ(out.code, SubmitOutcome::Code::kAccepted);
+      const json::Value status = sched.wait(out.job_id);
+      ASSERT_EQ(status.at("state").as_string(), "done") << status.dump();
+      if (i == 0) first_dump = status.at("result").dump();
+    }
+    // Crossing the threshold (with the regrowth guard) compacted at
+    // least once, and the snapshot stays well under the raw append size.
+    EXPECT_GE(ledger.compactions(), 1u);
+  }
+  Ledger reopened(path, 2048);
+  EXPECT_FALSE(reopened.truncated_on_open());
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, &reopened);
+  EXPECT_EQ(sched.recovered_jobs(), 0u);
+  // Every finished campaign survived every compaction, byte-identically.
+  for (const JobSpec& spec : specs) {
+    const SubmitOutcome cached = sched.submit(spec);
+    ASSERT_EQ(cached.code, SubmitOutcome::Code::kCached);
+  }
+  EXPECT_EQ(sched.submit(specs.front()).cached.dump(), first_dump);
+}
+
+TEST(Ledger, KillDuringCompactionRecoversFromEveryState) {
+  const std::string path = tmp_path("ledger_killcompact.nsrl");
+  const std::string tmp = path + ".compact.tmp";
+  std::remove(path.c_str());
+  const JobSpec spec = selftest_spec(3);
+  std::string result_dump;
+  {
+    Ledger ledger(path);
+    CountingRunner counting;
+    JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+    const SubmitOutcome out = sched.submit(spec);
+    result_dump = sched.wait(out.job_id).at("result").dump();
+  }
+
+  // State 1 — killed before the rename, garbage already in the temp
+  // file: the old log is intact and wins; the temp file is swept away.
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite("garbage mid-compaction", 1, 22, f);
+    std::fclose(f);
+    Ledger ledger(path);
+    EXPECT_FALSE(ledger.truncated_on_open());
+    EXPECT_EQ(ledger.replayed().size(), 5u);  // submit + 3 tasks + done
+    struct stat st{};
+    EXPECT_NE(::stat(tmp.c_str(), &st), 0) << "stale temp file not removed";
+  }
+
+  // State 2 — killed mid-write with a *valid-looking* prefix in the temp
+  // file (half the real log): still ignored, the old log still wins.
+  {
+    std::FILE* in = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(in, nullptr);
+    std::fseek(in, 0, SEEK_END);
+    const long size = std::ftell(in);
+    std::fseek(in, 0, SEEK_SET);
+    std::vector<char> half(static_cast<std::size_t>(size) / 2);
+    ASSERT_EQ(std::fread(half.data(), 1, half.size(), in), half.size());
+    std::fclose(in);
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(half.data(), 1, half.size(), f);
+    std::fclose(f);
+
+    Ledger ledger(path);
+    EXPECT_FALSE(ledger.truncated_on_open());
+    EXPECT_EQ(ledger.replayed().size(), 5u);
+  }
+
+  // State 3 — killed right after the rename: the compacted file *is* the
+  // log now, and it replays to the same job state (cache included).
+  {
+    Ledger ledger(path);
+    ASSERT_TRUE(ledger.compact());
+  }
+  Ledger ledger(path);
+  EXPECT_FALSE(ledger.truncated_on_open());
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+  const SubmitOutcome cached = sched.submit(spec);
+  ASSERT_EQ(cached.code, SubmitOutcome::Code::kCached);
+  EXPECT_EQ(cached.cached.dump(), result_dump);
+}
+
+TEST(Ledger, FailsClosedWhenDamagedTailCannotBeRepaired) {
+  if (::geteuid() == 0)
+    GTEST_SKIP() << "root bypasses file permission checks, so a read-only "
+                    "file cannot force truncate() to fail";
+  const std::string path = tmp_path("ledger_failclosed.nsrl");
+  std::remove(path.c_str());
+  {
+    Ledger ledger(path);
+    json::Value rec = json::Value::object();
+    rec.set("type", "task");
+    rec.set("job", "job-1");
+    rec.set("task", 0);
+    rec.set("result", json::Value::object());
+    ASSERT_TRUE(ledger.append(rec));
+  }
+  {
+    // Torn frame at the tail, then the file becomes read-only: the
+    // repair truncate() must fail.
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::uint32_t magic = snapshot::kRecordMagic;
+    const std::uint64_t len = 1000;
+    std::fwrite(&magic, sizeof magic, 1, f);
+    std::fwrite(&len, sizeof len, 1, f);
+    std::fwrite("partial", 1, 7, f);
+    std::fclose(f);
+  }
+  ASSERT_EQ(::chmod(path.c_str(), 0444), 0);
+
+  Ledger ledger(path);
+  // The valid prefix still replays — recovery is not lost — but the
+  // ledger refuses to bury new records after corrupt bytes.
+  EXPECT_FALSE(ledger.healthy());
+  EXPECT_EQ(ledger.replayed().size(), 1u);
+  json::Value rec = json::Value::object();
+  rec.set("type", "task");
+  rec.set("job", "job-1");
+  rec.set("task", 1);
+  rec.set("result", json::Value::object());
+  EXPECT_FALSE(ledger.append(rec));
+
+  // The daemon surfaces the failure as a 503 on submit instead of
+  // acknowledging work it cannot make durable.
+  CountingRunner counting;
+  JobScheduler sched(fast_limits(), counting.fn(), nullptr, &ledger);
+  const SubmitOutcome out = sched.submit(selftest_spec(1));
+  EXPECT_EQ(out.code, SubmitOutcome::Code::kDraining);
+  EXPECT_FALSE(out.error.empty());
+  EXPECT_FALSE(sched.status().at("ledger").at("healthy").as_bool());
+
+  ::chmod(path.c_str(), 0644);  // let TempDir cleanup reclaim it
+}
+
 // --- server front end -------------------------------------------------------
 
 ServerOptions test_server_options(const std::string& dir) {
@@ -538,9 +1063,23 @@ TEST(Server, HandlesProtocolLinesEndToEnd) {
   ASSERT_TRUE(submitted.at("ok").as_bool()) << submitted.dump();
   const std::string job = submitted.at("job").as_string();
 
+  // A non-blocking poll replies instantly with whatever state the job is
+  // in; it never inherits the server's default wait timeout.
+  const json::Value polled = server.handle_line(
+      "{\"op\":\"wait\",\"job\":\"" + job + "\",\"nowait\":true}");
+  ASSERT_TRUE(polled.at("ok").as_bool()) << polled.dump();
+  EXPECT_TRUE(polled.find("state") != nullptr);
+
   const json::Value done = server.handle_line(
       "{\"op\":\"wait\",\"job\":\"" + job + "\",\"timeout_ms\":10000}");
   ASSERT_EQ(done.at("state").as_string(), "done") << done.dump();
+
+  // watch over handle_line (no transport to stream over) still blocks
+  // until the job settles and returns the final status, sans "event".
+  const json::Value watched = server.handle_line(
+      "{\"op\":\"watch\",\"job\":\"" + job + "\",\"every_ms\":5}");
+  ASSERT_EQ(watched.at("state").as_string(), "done") << watched.dump();
+  EXPECT_EQ(watched.find("event"), nullptr);
 
   const json::Value status = server.handle_line("{\"op\":\"status\"}");
   EXPECT_EQ(status.at("jobs").at("done").as_number(), 1.0);
