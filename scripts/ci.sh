@@ -60,6 +60,11 @@ ctest --test-dir build-ci-release -L snapshot --output-on-failure
 echo "==== serve suite under ASan ===="
 ctest --test-dir build-ci-asan -L serve --output-on-failure
 
+# The memory-traffic suite under ASan: controller queues, multicast-tree
+# relaying, and the snapshot round trip are fresh pointer-heavy surface.
+echo "==== mem suite under ASan ===="
+ctest --test-dir build-ci-asan -L mem --output-on-failure
+
 echo "==== serve crash-recovery smoke test ===="
 scripts/serve_smoke.sh build-ci-release
 

@@ -1,0 +1,86 @@
+#include "mem/mem_subsystem.hpp"
+
+#include <limits>
+#include <string>
+
+namespace nocs::mem {
+
+MemSubsystem::MemSubsystem(noc::Network& net, const MemParams& params)
+    : net_(&net), params_(params) {
+  params_.validate();
+  NOCS_EXPECTS(params_.ctrls >= 1);
+  NOCS_EXPECTS(net.params().num_classes >= 2);
+  sites_ = controller_sites(net.params().shape(), params_.ctrls,
+                            params_.placement);
+  ctrls_.reserve(sites_.size());
+  for (NodeId site : sites_) {
+    ctrls_.push_back(
+        std::make_unique<MemController>(site, params_, &net.ni(site)));
+    net.ni(site).set_agent(ctrls_.back().get());
+  }
+}
+
+MemSubsystem::~MemSubsystem() {
+  for (NodeId site : sites_) net_->ni(site).set_agent(nullptr);
+}
+
+NodeId MemSubsystem::controller_for(NodeId tile, std::uint64_t seq) const {
+  if (params_.placement == MemPlacement::kNearest) {
+    const MeshShape shape = net_->params().shape();
+    const Coord from = shape.coord_of(tile);
+    NodeId best = sites_.front();
+    int best_d = std::numeric_limits<int>::max();
+    for (NodeId site : sites_) {
+      const int d = manhattan(from, shape.coord_of(site));
+      if (d < best_d) {
+        best_d = d;
+        best = site;
+      }
+    }
+    return best;
+  }
+  return sites_[static_cast<std::size_t>(seq % sites_.size())];
+}
+
+MemController* MemSubsystem::controller_at(NodeId node) {
+  for (auto& c : ctrls_)
+    if (c->node() == node) return c.get();
+  return nullptr;
+}
+
+bool MemSubsystem::idle() const {
+  for (const auto& c : ctrls_)
+    if (!c->idle()) return false;
+  return true;
+}
+
+MemCounters MemSubsystem::total_counters() const {
+  MemCounters total;
+  for (const auto& c : ctrls_) total += c->counters();
+  return total;
+}
+
+void MemSubsystem::export_metrics(MetricsRegistry& reg) const {
+  for (std::size_t i = 0; i < ctrls_.size(); ++i)
+    ctrls_[i]->counters().export_metrics(reg,
+                                         "mem.ctrl" + std::to_string(i));
+  total_counters().export_metrics(reg, "mem.total");
+}
+
+void MemSubsystem::save_state(snapshot::Writer& w) const {
+  w.begin_section("mem");
+  w.u64(ctrls_.size());
+  for (const auto& c : ctrls_) c->save_state(w);
+  w.end_section();
+}
+
+void MemSubsystem::load_state(snapshot::Reader& r) {
+  r.begin_section("mem");
+  const std::uint64_t n = r.u64();
+  if (n != ctrls_.size())
+    throw snapshot::SnapshotError("mem: controller count mismatch");
+  for (auto& c : ctrls_) c->load_state(r);
+  r.end_section();
+}
+
+}  // namespace nocs::mem

@@ -1,0 +1,66 @@
+// Owns the edge DRAM controllers of one network: places them on the mesh
+// boundary per MemParams, attaches each as the LocalAgent of its node's
+// network interface, and maps tile requests to controllers under the
+// configured placement policy.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/snapshot.hpp"
+#include "mem/mem_controller.hpp"
+#include "mem/mem_params.hpp"
+#include "noc/network.hpp"
+
+namespace nocs::mem {
+
+class MemSubsystem final : public snapshot::Serializable {
+ public:
+  /// Requires params.ctrls >= 1 and net.params().num_classes >= 2 (replies
+  /// travel a separate virtual network from requests, the standard
+  /// protocol-deadlock guard).  Attaches one controller per site; the
+  /// destructor detaches them.
+  MemSubsystem(noc::Network& net, const MemParams& params);
+  ~MemSubsystem();
+
+  MemSubsystem(const MemSubsystem&) = delete;
+  MemSubsystem& operator=(const MemSubsystem&) = delete;
+
+  const MemParams& params() const { return params_; }
+  int num_controllers() const { return static_cast<int>(ctrls_.size()); }
+  const std::vector<NodeId>& sites() const { return sites_; }
+  MemController& controller(int i) { return *ctrls_[static_cast<std::size_t>(i)]; }
+  const MemController& controller(int i) const {
+    return *ctrls_[static_cast<std::size_t>(i)];
+  }
+
+  /// The controller node serving request number `seq` issued by `tile`:
+  /// under kNearest the minimum-hop site (ties to the lowest site index),
+  /// otherwise sites in round-robin (address interleaving).
+  NodeId controller_for(NodeId tile, std::uint64_t seq) const;
+
+  /// The controller hosted at `node`, or nullptr.
+  MemController* controller_at(NodeId node);
+
+  /// True when every controller has drained its queue and channel.
+  bool idle() const;
+
+  MemCounters total_counters() const;
+
+  /// Registers "mem.ctrl<i>.*" per controller plus the "mem.total.*"
+  /// aggregate.
+  void export_metrics(MetricsRegistry& reg) const;
+
+  // Serializes every controller's dynamic state, in site order.
+  void save_state(snapshot::Writer& w) const override;
+  void load_state(snapshot::Reader& r) override;
+
+ private:
+  noc::Network* net_;
+  MemParams params_;
+  std::vector<NodeId> sites_;
+  std::vector<std::unique_ptr<MemController>> ctrls_;
+};
+
+}  // namespace nocs::mem

@@ -1,0 +1,124 @@
+#include "mem/tile_schedule.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/assert.hpp"
+
+namespace nocs::mem {
+
+namespace {
+
+// One "<tag><count>" field, e.g. "w64".  Whitespace around fields is
+// tolerated so hand-written schedules can breathe.
+void apply_field(TileLayer& layer, const std::string& field) {
+  std::size_t i = 0;
+  while (i < field.size() && std::isspace(static_cast<unsigned char>(field[i])))
+    ++i;
+  std::size_t end = field.size();
+  while (end > i && std::isspace(static_cast<unsigned char>(field[end - 1])))
+    --end;
+  if (i >= end) return;  // empty field (trailing comma) is harmless
+  const char tag = field[i++];
+  if (i >= end)
+    throw std::invalid_argument("tile schedule: field '" + field +
+                                "' has no count");
+  long long count = 0;
+  for (; i < end; ++i) {
+    const char c = field[i];
+    if (c < '0' || c > '9')
+      throw std::invalid_argument("tile schedule: bad count in '" + field +
+                                  "'");
+    count = count * 10 + (c - '0');
+    if (count > 1'000'000'000)
+      throw std::invalid_argument("tile schedule: count overflow in '" +
+                                  field + "'");
+  }
+  switch (tag) {
+    case 'f': layer.fetch_flits = static_cast<int>(count); break;
+    case 'w': layer.weight_flits = static_cast<int>(count); break;
+    case 'c': layer.compute_cycles = static_cast<int>(count); break;
+    case 'a': layer.act_flits = static_cast<int>(count); break;
+    case 'b': layer.writeback_flits = static_cast<int>(count); break;
+    default:
+      throw std::invalid_argument(std::string("tile schedule: unknown tag '") +
+                                  tag + "'");
+  }
+}
+
+}  // namespace
+
+TileSchedule TileSchedule::parse(const std::string& spec) {
+  TileSchedule sched;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t slash = spec.find('/', start);
+    const std::string layer_spec =
+        spec.substr(start, slash == std::string::npos ? std::string::npos
+                                                      : slash - start);
+    TileLayer layer;
+    std::size_t fstart = 0;
+    while (fstart <= layer_spec.size()) {
+      const std::size_t comma = layer_spec.find(',', fstart);
+      apply_field(layer, layer_spec.substr(
+                             fstart, comma == std::string::npos
+                                         ? std::string::npos
+                                         : comma - fstart));
+      if (comma == std::string::npos) break;
+      fstart = comma + 1;
+    }
+    sched.layers.push_back(layer);
+    if (slash == std::string::npos) break;
+    start = slash + 1;
+  }
+  sched.validate();
+  return sched;
+}
+
+TileSchedule TileSchedule::example() {
+  // Fetch-heavy first layer, balanced middle, writeback-heavy last —
+  // enough total volume to expose DRAM queueing without multi-second
+  // runs (volumes are layer totals shared by all groups).
+  return parse(
+      "f2048,w1024,c24000,a512/f1024,w1024,c24000,a512/"
+      "f1024,w512,c16000,a256,b2048");
+}
+
+std::string TileSchedule::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < layers.size(); ++i) {
+    const TileLayer& l = layers[i];
+    if (i > 0) out += '/';
+    out += "f" + std::to_string(l.fetch_flits);
+    out += ",w" + std::to_string(l.weight_flits);
+    out += ",c" + std::to_string(l.compute_cycles);
+    out += ",a" + std::to_string(l.act_flits);
+    out += ",b" + std::to_string(l.writeback_flits);
+  }
+  return out;
+}
+
+long long TileSchedule::total_flits() const {
+  long long total = 0;
+  for (const TileLayer& l : layers)
+    total += l.fetch_flits + l.weight_flits + l.act_flits + l.writeback_flits;
+  return total;
+}
+
+void TileSchedule::validate() const {
+  if (layers.empty())
+    throw std::invalid_argument("tile schedule: no layers");
+  bool any = false;
+  for (const TileLayer& l : layers) {
+    NOCS_EXPECTS(l.fetch_flits >= 0 && l.weight_flits >= 0 &&
+                 l.compute_cycles >= 0 && l.act_flits >= 0 &&
+                 l.writeback_flits >= 0);
+    if (l.fetch_flits + l.weight_flits + l.compute_cycles + l.act_flits +
+            l.writeback_flits > 0)
+      any = true;
+  }
+  if (!any)
+    throw std::invalid_argument("tile schedule: all layers empty");
+}
+
+}  // namespace nocs::mem

@@ -1,0 +1,56 @@
+// Declarative per-layer transfer schedule for the tile-transfer workload
+// (the SET-style inference loop: fetch weights from DRAM, broadcast them
+// to the tiles of a group, stream activations to the next group, write
+// results back).
+//
+// Textual form, config-friendly (no '=' so it survives key=value
+// parsing): layers separated by '/', fields inside a layer separated by
+// ',', each field a letter tag followed by a flit count:
+//
+//   "w64,a32,f128,b64/w64,a32,f128,b0"
+//
+//   f  fetch_flits      total DRAM read volume of the layer
+//   w  weight_flits     total broadcast volume (leaders -> their groups)
+//   c  compute_cycles   total compute volume (tile-cycles) of the layer
+//   a  act_flits        total activation volume (tiles -> next group)
+//   b  writeback_flits  total DRAM write volume of the layer
+//
+// Volumes are layer totals: the driver splits fetch/weight/writeback
+// evenly across the tile groups and activations across all tiles, so the
+// work is fixed and the sprint level decides how many workers share it.
+// Omitted fields are zero; a phase with zero volume is skipped.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace nocs::mem {
+
+struct TileLayer {
+  int fetch_flits = 0;
+  int weight_flits = 0;
+  int compute_cycles = 0;
+  int act_flits = 0;
+  int writeback_flits = 0;
+};
+
+struct TileSchedule {
+  std::vector<TileLayer> layers;
+
+  /// Parses the textual form above; throws std::invalid_argument on an
+  /// unknown tag, a malformed count, or an empty schedule.
+  static TileSchedule parse(const std::string& spec);
+
+  /// A small 3-layer default used when no `schedule=` is given.
+  static TileSchedule example();
+
+  /// Round-trips through parse().
+  std::string to_string() const;
+
+  /// Total flits a single group moves per category, summed over layers.
+  long long total_flits() const;
+
+  void validate() const;
+};
+
+}  // namespace nocs::mem

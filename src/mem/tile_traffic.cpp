@@ -1,0 +1,52 @@
+#include "mem/tile_traffic.hpp"
+
+namespace nocs::mem {
+
+TileTraffic::TileTraffic(int num_endpoints, int num_groups,
+                         double leader_fraction)
+    : TrafficPattern(num_endpoints),
+      groups_(num_groups),
+      leader_fraction_(leader_fraction) {
+  NOCS_EXPECTS(num_groups >= 1 && num_groups <= num_endpoints);
+  NOCS_EXPECTS(leader_fraction >= 0.0 && leader_fraction <= 1.0);
+}
+
+int TileTraffic::group_size(int group) const {
+  // Blocks of floor(k/G); the first k % G blocks carry one extra member.
+  return k_ / groups_ + (group < k_ % groups_ ? 1 : 0);
+}
+
+int TileTraffic::leader_of(int group) const {
+  NOCS_EXPECTS(group >= 0 && group < groups_);
+  const int base = k_ / groups_;
+  const int extra = k_ % groups_;
+  return group * base + (group < extra ? group : extra);
+}
+
+int TileTraffic::group_of(int endpoint) const {
+  NOCS_EXPECTS(endpoint >= 0 && endpoint < k_);
+  const int base = k_ / groups_;
+  const int extra = k_ % groups_;
+  // The first `extra` groups span (base + 1) endpoints each.
+  const int wide_span = extra * (base + 1);
+  if (endpoint < wide_span) return endpoint / (base + 1);
+  return extra + (endpoint - wide_span) / base;
+}
+
+int TileTraffic::pick(int src, Rng& rng) const {
+  const int g = group_of(src);
+  if (leader_fraction_ > 0.0 && rng.bernoulli(leader_fraction_)) {
+    const int leader = leader_of(g);
+    if (leader != src) return leader;
+    // The leader itself falls through to its activation peer.
+  }
+  const int next = (g + 1) % groups_;
+  const int pos = src - leader_of(g);
+  const int dst = leader_of(next) + pos % group_size(next);
+  // With a single group (or heavy overlap on tiny meshes) the peer can be
+  // the source; the ring successor keeps the draw total and self-free.
+  if (dst == src) return (src + 1) % k_;
+  return dst;
+}
+
+}  // namespace nocs::mem

@@ -1,0 +1,43 @@
+// Open-loop traffic pattern with the *shape* of the tile-transfer
+// workload, for rate sweeps and fuzzing: logical endpoints are split into
+// `num_groups` contiguous groups; each source sends to the same-position
+// endpoint of the next group (the activation stream), and an optional
+// fraction of packets targets the source's own group leader (modelling
+// the leader's fetch/weight pressure).
+//
+// The closed-loop phase machine lives in TileTransferDriver; this pattern
+// is the stationary approximation usable anywhere a TrafficPattern is.
+#pragma once
+
+#include "noc/traffic.hpp"
+
+namespace nocs::mem {
+
+class TileTraffic final : public noc::TrafficPattern {
+ public:
+  /// Endpoints [0, k) are split into `num_groups` contiguous blocks of
+  /// near-equal size (the first k % num_groups blocks get the extra
+  /// member).  `leader_fraction` of draws go to the source's group
+  /// leader instead of the next-group peer.  Requires k >= 2 and
+  /// 1 <= num_groups <= k.
+  TileTraffic(int num_endpoints, int num_groups,
+              double leader_fraction = 0.0);
+
+  const char* name() const override { return "tile"; }
+
+  int num_groups() const { return groups_; }
+  int group_of(int endpoint) const;
+  /// First endpoint of group g (its leader).
+  int leader_of(int group) const;
+
+ protected:
+  int pick(int src, Rng& rng) const override;
+
+ private:
+  int group_size(int group) const;
+
+  int groups_;
+  double leader_fraction_;
+};
+
+}  // namespace nocs::mem

@@ -30,6 +30,14 @@ struct RouterCounters {
   std::uint64_t reroutes = 0;         ///< packets detoured off a faulty link
   std::uint64_t wake_failures = 0;    ///< failed power-gate wake attempts
 
+  // Multicast replication activity at this node's NI (zero unless tree
+  // multicast is in use).  A relay that forwards a multicast segment to
+  // its subranges re-injects copies through this router, so the copies'
+  // buffer/crossbar/link traffic is already in the counters above; these
+  // two attribute that replicated share explicitly.
+  std::uint64_t mc_replications = 0;  ///< packets re-injected by the relay
+  std::uint64_t mc_flits = 0;         ///< flits of those replicated packets
+
   RouterCounters& operator+=(const RouterCounters& o) {
     buffer_writes += o.buffer_writes;
     buffer_reads += o.buffer_reads;
@@ -45,6 +53,8 @@ struct RouterCounters {
     flits_corrupted += o.flits_corrupted;
     reroutes += o.reroutes;
     wake_failures += o.wake_failures;
+    mc_replications += o.mc_replications;
+    mc_flits += o.mc_flits;
     return *this;
   }
 
@@ -65,6 +75,8 @@ struct RouterCounters {
     reg.counter(prefix + ".flits_corrupted").set(flits_corrupted);
     reg.counter(prefix + ".reroutes").set(reroutes);
     reg.counter(prefix + ".wake_failures").set(wake_failures);
+    reg.counter(prefix + ".mc_replications").set(mc_replications);
+    reg.counter(prefix + ".mc_flits").set(mc_flits);
   }
 };
 

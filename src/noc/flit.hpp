@@ -14,8 +14,16 @@ using PacketId = std::uint64_t;
 /// Packet role under end-to-end protection.  Data packets are checked and
 /// acknowledged; ACK/NACK are single-flit control packets carrying the
 /// acknowledged packet id in `ack_for`.  Without a fault oracle every
-/// packet is kData and the control fields stay inert.
-enum class PacketKind : std::uint8_t { kData = 0, kAck = 1, kNack = 2 };
+/// packet is kData and the control fields stay inert.  kMcast marks one
+/// segment of a source-rooted multicast tree: `ack_for` carries the packed
+/// (group, lo, hi) descriptor of the member subrange the receiver must
+/// forward to (see NetworkInterface::send_multicast).
+enum class PacketKind : std::uint8_t {
+  kData = 0,
+  kAck = 1,
+  kNack = 2,
+  kMcast = 3,
+};
 
 /// One flow-control unit.  Packets are wormhole-switched: the head flit
 /// carries routing state, body/tail flits follow the head's path on the

@@ -112,6 +112,11 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
   for (NodeId id = 0; id < n; ++id) {
     Router& r = *routers_[static_cast<std::size_t>(id)];
     NetworkInterface& ni = *nis_[static_cast<std::size_t>(id)];
+    // Multicast wiring: every NI can resolve group member lists (the
+    // table object outlives the NIs) and charges replication work to its
+    // own router's counters (same node, same shard — race-free).
+    ni.set_multicast_table(&mcast_groups_);
+    ni.set_mc_counters(&r.raw_counters());
 
     Pipe<Flit>* inj = new_flit_pipe(1);
     Pipe<Credit>* inj_credit = new_credit_pipe();
@@ -273,6 +278,19 @@ void Network::set_seed(std::uint64_t seed) {
   for (auto& ni : nis_) ni->set_seed(sm.next());
 }
 
+int Network::add_multicast_group(std::vector<NodeId> members) {
+  NOCS_EXPECTS(!members.empty());
+  for (const NodeId m : members) NOCS_EXPECTS(params_.shape().valid(m));
+  std::sort(members.begin(), members.end());
+  members.erase(std::unique(members.begin(), members.end()), members.end());
+  mcast_groups_.push_back(std::move(members));
+  return static_cast<int>(mcast_groups_.size()) - 1;
+}
+
+void Network::set_multicast(bool enabled) {
+  for (auto& ni : nis_) ni->set_multicast_enabled(enabled);
+}
+
 void Network::enable_resilience(FaultOracle* oracle,
                                 const ProtectionParams* prot) {
   for (auto& r : routers_) r->set_fault_oracle(oracle);
@@ -322,6 +340,9 @@ std::string Network::debug_snapshot() const {
 }
 
 void Network::tick() {
+  // Serial pre-phase: workload drivers inject here, before any shard
+  // thread starts, so driver behavior is identical for any sim_threads.
+  if (pre_tick_) pre_tick_(now_);
   const int S = static_cast<int>(shards_.size());
   if (S == 1) {
     // Serial operation is the 1-shard case of the same two phases (no

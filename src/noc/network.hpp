@@ -72,6 +72,41 @@ class Network {
   /// Reseeds all NI RNGs deterministically from one master seed.
   void set_seed(std::uint64_t seed);
 
+  // --- multicast ------------------------------------------------------------
+
+  /// Registers a multicast destination set and returns its group id for
+  /// NetworkInterface::send_multicast.  Members are sorted and
+  /// deduplicated; the sorted order defines the deterministic tree shape.
+  /// Groups are configuration (like endpoints), not dynamic state: a
+  /// restored network must re-register the same groups before load_state.
+  int add_multicast_group(std::vector<NodeId> members);
+
+  /// Number of registered groups.
+  int num_multicast_groups() const {
+    return static_cast<int>(mcast_groups_.size());
+  }
+
+  /// Sorted members of group `g`.
+  const std::vector<NodeId>& multicast_group(int g) const {
+    return mcast_groups_.at(static_cast<std::size_t>(g));
+  }
+
+  /// Switches every NI between tree multicast (true) and the
+  /// serial-unicast fallback (false, the default — `multicast=off` keeps
+  /// runs without multicast senders bit-identical to older builds).
+  void set_multicast(bool enabled);
+
+  // --- per-cycle hook -------------------------------------------------------
+
+  /// Installs a hook run serially at the top of every tick(), before the
+  /// (possibly parallel) simulation phases — the injection point for
+  /// closed-loop workload drivers (mem::TileTransferDriver).  Runs on the
+  /// calling thread regardless of sim_threads, so anything it does is
+  /// bit-identical for any thread count.  Pass nullptr to remove.
+  void set_pre_tick_hook(std::function<void(Cycle)> hook) {
+    pre_tick_ = std::move(hook);
+  }
+
   // --- fault resilience -----------------------------------------------------
 
   /// Attaches `oracle` to every router and NI and, when `prot` is non-null,
@@ -275,6 +310,8 @@ class Network {
   std::vector<NodeId> endpoints_;
   std::unique_ptr<TrafficPattern> traffic_;
   std::vector<std::vector<int>> link_latencies_;  // [from][to], 0 = no link
+  std::vector<std::vector<NodeId>> mcast_groups_;
+  std::function<void(Cycle)> pre_tick_;
 
   std::vector<NodeSink> sinks_;  // [2*id] router, [2*id+1] NI
   int sim_threads_ = 1;

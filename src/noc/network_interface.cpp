@@ -83,6 +83,133 @@ PacketId NetworkInterface::send_packet(Cycle now, NodeId dst, int msg_class,
   return pid;
 }
 
+PacketId NetworkInterface::pack_mcast(int group, int lo, int hi) {
+  NOCS_EXPECTS(group >= 0 && group < (1 << 24));
+  NOCS_EXPECTS(lo >= 0 && lo < (1 << 20) && hi >= 0 && hi < (1 << 20));
+  return (static_cast<PacketId>(group) << 40) |
+         (static_cast<PacketId>(lo) << 20) | static_cast<PacketId>(hi);
+}
+
+void NetworkInterface::unpack_mcast(PacketId d, int* group, int* lo,
+                                    int* hi) {
+  *group = static_cast<int>(d >> 40);
+  *lo = static_cast<int>((d >> 20) & 0xFFFFF);
+  *hi = static_cast<int>(d & 0xFFFFF);
+}
+
+PacketId NetworkInterface::send_multicast(Cycle now, int group, int msg_class,
+                                          int length) {
+  NOCS_EXPECTS(mcast_groups_ != nullptr);
+  NOCS_EXPECTS(group >= 0 &&
+               group < static_cast<int>(mcast_groups_->size()));
+  NOCS_EXPECTS(msg_class >= 0 && msg_class < params_.num_classes);
+  // Tree relays re-inject copies outside the sender's retransmission
+  // bookkeeping, so the two features do not compose.
+  NOCS_EXPECTS(!protection_);
+  if (length <= 0) length = params_.packet_length;
+
+  const std::vector<NodeId>& members =
+      (*mcast_groups_)[static_cast<std::size_t>(group)];
+  const PacketId first = (static_cast<PacketId>(id_) << 48) | next_packet_id_;
+  if (!multicast_) {
+    // Serial-unicast fallback: same delivery set, ascending member order.
+    bool sent = false;
+    for (const NodeId m : members) {
+      if (m == id_) continue;
+      send_packet(now, m, msg_class, length);
+      sent = true;
+    }
+    return sent ? first : 0;
+  }
+  // A member-source must not receive its own broadcast (the fallback skips
+  // it too).  Members are sorted, so splitting the range around the
+  // source's index keeps every transmitted subrange source-free — no relay
+  // can route a copy back.
+  const int n = static_cast<int>(members.size());
+  const auto self = std::lower_bound(members.begin(), members.end(), id_);
+  if (self != members.end() && *self == id_) {
+    const int s = static_cast<int>(self - members.begin());
+    send_mcast_range(now, group, 0, s - 1, now, stats_->measuring(), msg_class,
+                     length, /*relay=*/false);
+    send_mcast_range(now, group, s + 1, n - 1, now, stats_->measuring(),
+                     msg_class, length, /*relay=*/false);
+  } else {
+    send_mcast_range(now, group, 0, n - 1, now, stats_->measuring(), msg_class,
+                     length, /*relay=*/false);
+  }
+  return next_packet_id_ > (first & 0xFFFFFFFFFFFFull) ? first : 0;
+}
+
+void NetworkInterface::send_mcast_range(Cycle now, int group, int lo, int hi,
+                                        Cycle created, bool measured,
+                                        int msg_class, int length,
+                                        bool relay) {
+  if (lo > hi) return;
+  const std::vector<NodeId>& members =
+      (*mcast_groups_)[static_cast<std::size_t>(group)];
+  const int mid = lo + (hi - lo) / 2;
+  const NodeId dst = members[static_cast<std::size_t>(mid)];
+  if (dst == id_) {
+    // This node is the subrange median (the origin sending into its own
+    // group): nothing to deliver to itself, recurse into both halves.
+    send_mcast_range(now, group, lo, mid - 1, created, measured, msg_class,
+                     length, relay);
+    send_mcast_range(now, group, mid + 1, hi, created, measured, msg_class,
+                     length, relay);
+    return;
+  }
+  PendingPacket pkt;
+  pkt.id = (static_cast<PacketId>(id_) << 48) | next_packet_id_++;
+  pkt.dst = dst;
+  pkt.created = created;
+  pkt.measured = measured;
+  pkt.msg_class = msg_class;
+  pkt.length = length;
+  pkt.kind = PacketKind::kMcast;
+  pkt.ack_for = pack_mcast(group, lo, hi);
+  source_queue_.push_back(pkt);
+  ++total_generated_;
+  if (relay) {
+    // Replicated copy: attribute it on the co-located router so power
+    // models can report the multicast-replication share explicitly.
+    if (mc_counters_ != nullptr) {
+      ++mc_counters_->mc_replications;
+      mc_counters_->mc_flits += static_cast<std::uint64_t>(length);
+    }
+  } else if (measured) {
+    stats_->on_packet_generated();
+  }
+  if (wake_cb_) wake_cb_();
+}
+
+void NetworkInterface::handle_mcast(Cycle now, const Flit& f) {
+  // Delivery statistics mirror the plain data path; `created` is
+  // propagated through the tree, so packet latency measures source ->
+  // member end to end (hops are per-segment).
+  if (f.measured) {
+    stats_->on_flit_ejected();
+    if (f.is_tail)
+      stats_->on_packet_ejected(static_cast<double>(now - f.created),
+                                static_cast<double>(now - f.injected), f.hops,
+                                f.msg_class);
+  }
+  if (!f.is_tail) return;
+  int group = 0, lo = 0, hi = 0;
+  unpack_mcast(f.ack_for, &group, &lo, &hi);
+  NOCS_EXPECTS(mcast_groups_ != nullptr &&
+               group < static_cast<int>(mcast_groups_->size()));
+  const std::vector<NodeId>& members =
+      (*mcast_groups_)[static_cast<std::size_t>(group)];
+  const int mid = lo + (hi - lo) / 2;
+  NOCS_EXPECTS(members[static_cast<std::size_t>(mid)] == id_);
+  const int length = f.index + 1;
+  send_mcast_range(now, group, lo, mid - 1, f.created, f.measured,
+                   f.msg_class, length, /*relay=*/true);
+  send_mcast_range(now, group, mid + 1, hi, f.created, f.measured,
+                   f.msg_class, length, /*relay=*/true);
+  if (agent_ != nullptr) agent_->on_packet(now, f);
+}
+
 Cycle NetworkInterface::backoff(int retries) const {
   const int shift = std::min(retries, 16);
   const long long b = static_cast<long long>(prot_.ack_timeout) << shift;
@@ -152,6 +279,10 @@ void NetworkInterface::tick(Cycle now) {
   }
   eject(now);
   if (protection_) check_timeouts(now);
+  // The agent runs after ejection (a request delivered this cycle can
+  // start service immediately) and before injection (a reply it enqueues
+  // can enter the network this cycle).
+  if (agent_ != nullptr) agent_->tick(now);
   generate(now);
   inject(now);
 }
@@ -164,6 +295,11 @@ void NetworkInterface::eject(Cycle now) {
     // The ejection buffer drains instantly; return the credit right away.
     credit_to_router_->push(now, Credit{f.vc});
     ++total_ejected_flits_;
+    if (f.kind == PacketKind::kMcast) {
+      // Tree segment: record, forward the remaining subranges, deliver.
+      handle_mcast(now, f);
+      continue;
+    }
     if (protection_) {
       eject_protected(now, f);
       continue;
@@ -176,6 +312,9 @@ void NetworkInterface::eject(Cycle now) {
             static_cast<double>(now - f.injected), f.hops, f.msg_class);
       }
     }
+    // Node-local agent delivery (memory controllers consume class-0
+    // requests here and enqueue replies from their tick).
+    if (agent_ != nullptr && f.is_tail) agent_->on_packet(now, f);
     // Protocol mode: a completed request triggers a data reply on the
     // response class — the dependence that makes class partitioning
     // necessary for protocol-deadlock freedom.

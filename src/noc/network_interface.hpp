@@ -11,8 +11,10 @@
 #include "common/rng.hpp"
 #include "common/types.hpp"
 #include "noc/channel.hpp"
+#include "noc/counters.hpp"
 #include "noc/fault_hooks.hpp"
 #include "noc/flit.hpp"
+#include "noc/local_agent.hpp"
 #include "noc/params.hpp"
 #include "noc/stats_collector.hpp"
 #include "noc/traffic.hpp"
@@ -72,6 +74,52 @@ class NetworkInterface {
   /// Oracle consulted for injection-time packet drops (may be null).
   void set_fault_oracle(FaultOracle* oracle) { oracle_ = oracle; }
 
+  // --- node-local agent (memory controllers etc.) ---------------------------
+
+  /// Attaches a node-local agent: every ejected data/multicast tail is
+  /// delivered through agent->on_packet(), the agent is ticked between
+  /// ejection and injection each cycle, and its pending work keeps this
+  /// NI hot and un-drained.  Pass nullptr to detach.  Incompatible with
+  /// end-to-end protection mode (the agent would observe retransmitted
+  /// duplicates).
+  void set_agent(LocalAgent* agent) {
+    NOCS_EXPECTS(agent == nullptr || !protection_);
+    agent_ = agent;
+    if (agent != nullptr && wake_cb_) wake_cb_();
+  }
+  LocalAgent* agent() const { return agent_; }
+
+  // --- multicast ------------------------------------------------------------
+
+  /// Points this NI at the network's shared multicast group table
+  /// (required before send_multicast; relays also resolve member
+  /// subranges through it).
+  void set_multicast_table(const std::vector<std::vector<NodeId>>* groups) {
+    mcast_groups_ = groups;
+  }
+
+  /// Selects tree multicast (true) or the serial-unicast fallback (false,
+  /// the `multicast=off` bit-identity reference).
+  void set_multicast_enabled(bool enabled) { multicast_ = enabled; }
+
+  /// Router counters charged for multicast replications at this node
+  /// (wired by Network to the co-located router).
+  void set_mc_counters(RouterCounters* counters) { mc_counters_ = counters; }
+
+  /// Sends one `length`-flit payload to every member of multicast group
+  /// `group` except this node.  With multicast enabled the packet travels
+  /// a deterministic source-rooted tree: the source addresses the median
+  /// member of the sorted member list, and each receiver re-injects
+  /// copies toward the medians of the two remaining subranges (descriptor
+  /// packed into Flit::ack_for), so every member receives exactly one
+  /// copy and replication work is spread over the tree instead of the
+  /// source link.  With multicast disabled the same delivery set is
+  /// produced by serial unicasts in ascending member order.  Returns the
+  /// id of the first packet enqueued (0 when the group contains no other
+  /// members).  Incompatible with protection mode.
+  PacketId send_multicast(Cycle now, int group, int msg_class = 0,
+                          int length = 0);
+
   /// Data packets sent but not yet acknowledged (protection mode only).
   std::size_t unacked_count() const { return unacked_.size(); }
 
@@ -87,9 +135,11 @@ class NetworkInterface {
   /// Number of packets waiting in the source queue (saturation signal).
   std::size_t source_queue_depth() const { return source_queue_.size(); }
 
-  /// True when nothing is queued, mid-injection, or awaiting an ACK.
+  /// True when nothing is queued, mid-injection, awaiting an ACK, or
+  /// pending inside the attached agent.
   bool idle() const {
-    return source_queue_.empty() && !sending_ && unacked_.empty();
+    return source_queue_.empty() && !sending_ && unacked_.empty() &&
+           (agent_ == nullptr || agent_->idle());
   }
 
   // --- active-node fast path (see Router's invariant) ----------------------
@@ -100,6 +150,9 @@ class NetworkInterface {
   /// need no lazy accounting.
   bool busy_next_cycle() const {
     if (traffic_ != nullptr && injection_rate_ > 0.0) return true;
+    // An agent mid-service must keep ticking even while the NI itself has
+    // nothing queued (its completion will enqueue a reply later).
+    if (agent_ != nullptr && agent_->busy_next_cycle()) return true;
     // Unacked packets keep the NI ticking so retransmission timers fire.
     return !idle();
   }
@@ -122,6 +175,14 @@ class NetworkInterface {
   /// Callback invoked when new work appears outside tick() (direct
   /// send_packet, endpoint/rate configuration).
   void set_wake_callback(std::function<void()> cb) { wake_cb_ = std::move(cb); }
+
+  /// Re-arms the active-node fast path after work appeared out of band —
+  /// required whenever the attached agent receives work not routed through
+  /// this NI (a local DRAM access, a restored in-service request), since a
+  /// cold node with a busy agent would otherwise never tick again.
+  void wake() {
+    if (wake_cb_) wake_cb_();
+  }
 
   std::uint64_t total_generated() const { return total_generated_; }
   std::uint64_t total_ejected_flits() const { return total_ejected_flits_; }
@@ -162,6 +223,18 @@ class NetworkInterface {
   static void save_pending(snapshot::Writer& w, const PendingPacket& p);
   static PendingPacket load_pending(snapshot::Reader& r);
 
+  /// Packs/unpacks the multicast tree descriptor carried in Flit::ack_for:
+  /// group id (24 bits) | subrange lo (20 bits) | subrange hi (20 bits).
+  static PacketId pack_mcast(int group, int lo, int hi);
+  static void unpack_mcast(PacketId d, int* group, int* lo, int* hi);
+
+  /// Enqueues the tree segments covering members[lo..hi] of `group`
+  /// (inclusive), skipping this node itself.  `relay` marks re-injected
+  /// copies (charged to mc_counters_).
+  void send_mcast_range(Cycle now, int group, int lo, int hi, Cycle created,
+                        bool measured, int msg_class, int length, bool relay);
+  void handle_mcast(Cycle now, const Flit& f);
+
   void eject(Cycle now);
   void eject_protected(Cycle now, const Flit& f);
   void generate(Cycle now);
@@ -200,6 +273,11 @@ class NetworkInterface {
   bool request_reply_ = false;
   int request_length_ = 1;
   int reply_length_ = 5;
+
+  LocalAgent* agent_ = nullptr;
+  const std::vector<std::vector<NodeId>>* mcast_groups_ = nullptr;
+  bool multicast_ = false;
+  RouterCounters* mc_counters_ = nullptr;
 
   // End-to-end protection state (all empty/inert unless enabled).
   // std::map keeps timeout-scan iteration order deterministic.

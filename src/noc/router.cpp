@@ -485,6 +485,8 @@ void save_counters(snapshot::Writer& w, const RouterCounters& c) {
   w.u64(c.flits_corrupted);
   w.u64(c.reroutes);
   w.u64(c.wake_failures);
+  w.u64(c.mc_replications);
+  w.u64(c.mc_flits);
 }
 
 void load_counters(snapshot::Reader& r, RouterCounters& c) {
@@ -502,6 +504,8 @@ void load_counters(snapshot::Reader& r, RouterCounters& c) {
   c.flits_corrupted = r.u64();
   c.reroutes = r.u64();
   c.wake_failures = r.u64();
+  c.mc_replications = r.u64();
+  c.mc_flits = r.u64();
 }
 
 }  // namespace

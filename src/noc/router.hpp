@@ -123,6 +123,12 @@ class Router {
   const RouterCounters& counters() const { return counters_; }
   void reset_counters() { counters_ = RouterCounters{}; }
 
+  /// Mutable counters for the co-located NI's multicast replication
+  /// attribution (mc_replications/mc_flits).  NI and router of one node
+  /// always live on the same shard, so these writes never race the
+  /// router's own counter updates.
+  RouterCounters& raw_counters() { return counters_; }
+
   /// Total flits currently buffered (used by drain checks and tests).
   int buffered_flits() const;
 

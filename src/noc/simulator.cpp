@@ -347,6 +347,8 @@ json::Value to_json(const SimResults& r) {
   c.set("flits_corrupted", r.counters.flits_corrupted);
   c.set("reroutes", r.counters.reroutes);
   c.set("wake_failures", r.counters.wake_failures);
+  c.set("mc_replications", r.counters.mc_replications);
+  c.set("mc_flits", r.counters.mc_flits);
   o.set("counters", std::move(c));
 
   json::Value res = json::Value::object();
@@ -400,6 +402,8 @@ SimResults sim_results_from_json(const json::Value& v) {
   r.counters.flits_corrupted = u64_of(c.at("flits_corrupted"));
   r.counters.reroutes = u64_of(c.at("reroutes"));
   r.counters.wake_failures = u64_of(c.at("wake_failures"));
+  r.counters.mc_replications = u64_of(c.at("mc_replications"));
+  r.counters.mc_flits = u64_of(c.at("mc_flits"));
 
   const json::Value& res = v.at("resilience");
   r.resilience.retransmissions = u64_of(res.at("retransmissions"));

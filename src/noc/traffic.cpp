@@ -4,8 +4,10 @@
 
 namespace nocs::noc {
 
-int UniformTraffic::dest(int src, Rng& rng) const {
-  // Draw from the k-1 endpoints other than src.
+int UniformTraffic::pick(int src, Rng& rng) const {
+  // Draw from the k-1 endpoints other than src.  uniform_int(b) returns
+  // [0, b), so d is in [0, k-1) and the shift maps it onto
+  // [0, k) \ {src} without ever producing src.
   const int d = static_cast<int>(rng.uniform_int(
       static_cast<std::uint64_t>(k_ - 1)));
   return d >= src ? d + 1 : d;
@@ -20,7 +22,7 @@ PermutationTraffic::PermutationTraffic(int num_endpoints,
   for (int d : perm_) NOCS_EXPECTS(d >= 0 && d < k_);
 }
 
-int PermutationTraffic::dest(int src, Rng&) const {
+int PermutationTraffic::pick(int src, Rng&) const {
   const int d = perm_[static_cast<std::size_t>(src)];
   return d == src ? (src + 1) % k_ : d;
 }
@@ -31,7 +33,10 @@ HotspotTraffic::HotspotTraffic(int num_endpoints, int hot, double hot_fraction)
   NOCS_EXPECTS(hot_fraction >= 0.0 && hot_fraction <= 1.0);
 }
 
-int HotspotTraffic::dest(int src, Rng& rng) const {
+int HotspotTraffic::pick(int src, Rng& rng) const {
+  // The hot endpoint itself never draws the bernoulli (it cannot target
+  // itself); its packets use the uniform remainder, which excludes the
+  // source by the same shifted-draw construction as UniformTraffic.
   if (src != hot_ && rng.bernoulli(hot_fraction_)) return hot_;
   const int d = static_cast<int>(rng.uniform_int(
       static_cast<std::uint64_t>(k_ - 1)));
@@ -52,8 +57,19 @@ std::unique_ptr<TrafficPattern> make_permutation(const std::string& kind,
                                                  int num_endpoints) {
   const int k = num_endpoints;
   const int b = bits_for(k);
-  std::vector<int> perm(static_cast<std::size_t>(k));
-  for (int s = 0; s < k; ++s) {
+  // The classic BookSim permutations are bijections on b-bit ids, i.e. on
+  // [0, 2^b).  For non-power-of-two endpoint counts (sprint levels like 6
+  // or 12) some images land in [k, 2^b); folding them back with modulo —
+  // the obvious fix — silently destroys bijectivity and concentrates
+  // traffic on a few destinations on exactly the small meshes where every
+  // endpoint matters.  Cycle-walking keeps the map a true permutation of
+  // [0, k): apply the b-bit bijection repeatedly until the image falls
+  // inside [0, k).  The walk terminates because the orbit of s under a
+  // bijection returns to s (< k) eventually, and injectivity on [0, k) is
+  // inherited from the underlying bijection.  Power-of-two k never walks
+  // (every image is already in range), so the established patterns are
+  // unchanged.
+  const auto apply = [&](int s) {
     int d = 0;
     if (kind == "transpose") {
       // Swap the high and low halves of the id bits.
@@ -71,7 +87,13 @@ std::unique_ptr<TrafficPattern> make_permutation(const std::string& kind,
     } else {
       throw std::invalid_argument("unknown permutation: " + kind);
     }
-    perm[static_cast<std::size_t>(s)] = d % k;
+    return d;
+  };
+  std::vector<int> perm(static_cast<std::size_t>(k));
+  for (int s = 0; s < k; ++s) {
+    int d = apply(s);
+    while (d >= k) d = apply(d);
+    perm[static_cast<std::size_t>(s)] = d;
   }
   return std::make_unique<PermutationTraffic>(k, std::move(perm), kind);
 }

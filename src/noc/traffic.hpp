@@ -19,20 +19,43 @@
 namespace nocs::noc {
 
 /// Destination selector over logical endpoint ids [0, k).
+///
+/// Self-send policy (explicit, enforced): dest() never returns `src`.  A
+/// node has no network path to itself — NetworkInterface::send_packet
+/// asserts dst != self — so every pattern must resolve self-mappings
+/// internally (uniform draws exclude the source, permutations redirect a
+/// fixed point to the next endpoint, ring successors rely on k >= 2).
+/// The public dest() is a non-virtual wrapper that checks the contract on
+/// every draw; implementations override pick().  The checks cost nothing
+/// measurable next to the simulation and turn a subtle small-mesh traffic
+/// bug (self-addressed packets aborting deep inside the NI) into an
+/// immediate contract failure at the pattern that produced it.
 class TrafficPattern {
  public:
   virtual ~TrafficPattern() = default;
 
   /// Returns the logical destination for a packet injected by logical
-  /// source `src`; must not return `src` itself.
-  virtual int dest(int src, Rng& rng) const = 0;
+  /// source `src` in [0, k); the result is in [0, k) and never `src`.
+  int dest(int src, Rng& rng) const {
+    NOCS_EXPECTS(src >= 0 && src < k_);
+    const int d = pick(src, rng);
+    NOCS_ENSURES(d >= 0 && d < k_);
+    NOCS_ENSURES(d != src);
+    return d;
+  }
 
   virtual const char* name() const = 0;
+
+  int num_endpoints() const { return k_; }
 
  protected:
   explicit TrafficPattern(int num_endpoints) : k_(num_endpoints) {
     NOCS_EXPECTS(num_endpoints >= 2);
   }
+
+  /// Implementation hook behind the dest() contract checks.
+  virtual int pick(int src, Rng& rng) const = 0;
+
   int k_;
 };
 
@@ -41,8 +64,10 @@ class TrafficPattern {
 class UniformTraffic final : public TrafficPattern {
  public:
   explicit UniformTraffic(int num_endpoints) : TrafficPattern(num_endpoints) {}
-  int dest(int src, Rng& rng) const override;
   const char* name() const override { return "uniform"; }
+
+ protected:
+  int pick(int src, Rng& rng) const override;
 };
 
 /// Permutation traffic: dst = perm[src]; self-mappings redirected to the
@@ -52,8 +77,10 @@ class PermutationTraffic : public TrafficPattern {
  public:
   PermutationTraffic(int num_endpoints, std::vector<int> perm,
                      std::string name);
-  int dest(int src, Rng& rng) const override;
   const char* name() const override { return name_.c_str(); }
+
+ protected:
+  int pick(int src, Rng& rng) const override;
 
  private:
   std::vector<int> perm_;
@@ -66,8 +93,10 @@ class PermutationTraffic : public TrafficPattern {
 class HotspotTraffic final : public TrafficPattern {
  public:
   HotspotTraffic(int num_endpoints, int hot, double hot_fraction);
-  int dest(int src, Rng& rng) const override;
   const char* name() const override { return "hotspot"; }
+
+ protected:
+  int pick(int src, Rng& rng) const override;
 
  private:
   int hot_;
@@ -79,13 +108,17 @@ class NeighborTraffic final : public TrafficPattern {
  public:
   explicit NeighborTraffic(int num_endpoints)
       : TrafficPattern(num_endpoints) {}
-  int dest(int src, Rng&) const override { return (src + 1) % k_; }
   const char* name() const override { return "neighbor"; }
+
+ protected:
+  int pick(int src, Rng&) const override { return (src + 1) % k_; }
 };
 
-/// Builds the classic BookSim permutations on ceil(log2 k)-bit ids, with
-/// out-of-range results folded back with modulo.  `kind` is one of
-/// "transpose", "bitcomp", "bitrev", "shuffle".
+/// Builds the classic BookSim permutations on ceil(log2 k)-bit ids; for
+/// non-power-of-two k, out-of-range images are folded back by cycle
+/// walking (re-applying the bijection), which preserves the permutation
+/// property.  `kind` is one of "transpose", "bitcomp", "bitrev",
+/// "shuffle".
 std::unique_ptr<TrafficPattern> make_permutation(const std::string& kind,
                                                  int num_endpoints);
 

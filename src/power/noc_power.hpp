@@ -14,6 +14,14 @@ struct NocPowerEstimate {
   RouterPowerBreakdown routers;  ///< summed over all routers
   Watts link_dynamic = 0.0;
   Watts link_leakage = 0.0;
+  /// Dynamic power attributable to multicast tree replication: the
+  /// buffer/crossbar work of every relay-re-injected copy (from the
+  /// mc_flits counters) plus its first link traversal.  Replicated
+  /// copies flow through the ordinary router counters, so this share is
+  /// ALREADY included in the terms above — it is an attribution, not an
+  /// additional term, and total() deliberately excludes it.  Zero on any
+  /// run without tree multicast.
+  Watts mcast_replication = 0.0;
 
   Watts total() const {
     return routers.total() + link_dynamic + link_leakage;
@@ -26,6 +34,7 @@ struct NocPowerEstimate {
     reg.gauge("power.noc.router_leakage_w").set(routers.leakage);
     reg.gauge("power.noc.link_dynamic_w").set(link_dynamic);
     reg.gauge("power.noc.link_leakage_w").set(link_leakage);
+    reg.gauge("power.noc.mcast_replication_w").set(mcast_replication);
   }
 };
 

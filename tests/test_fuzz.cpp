@@ -5,8 +5,15 @@
 // (contract checks) or fails the conservation equations here.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+#include <vector>
+
 #include "common/rng.hpp"
 #include "fault/fault_injector.hpp"
+#include "mem/mem_subsystem.hpp"
+#include "mem/tile_driver.hpp"
+#include "noc/routing.hpp"
 #include "noc/simulator.hpp"
 #include "serve/protocol.hpp"
 #include "sprint/network_builder.hpp"
@@ -114,6 +121,100 @@ TEST_P(Fuzz, ConservationAndDrainHold) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Random, Fuzz, ::testing::Range(0, 40));
+
+// Memory-traffic fuzzing: random tile schedules replayed through random
+// controller placements with multicast on or off must always run to
+// completion (no protocol deadlock between request and reply classes, no
+// stuck phase barrier) and leave the network and every DRAM queue empty.
+class MemTrafficFuzz : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemTrafficFuzz, AlwaysCompletesAndDrainsClean) {
+  Rng rng(0x3e3d0000u + static_cast<std::uint64_t>(GetParam()));
+
+  noc::NetworkParams p;
+  p.width = rng.uniform_range(2, 5);
+  p.height = rng.uniform_range(2, 5);
+  p.num_classes = 2;
+  p.num_vcs = 2 * rng.uniform_range(1, 3);
+  p.vc_depth = rng.uniform_range(1, 5);
+  p.packet_length = rng.uniform_range(2, 8);
+
+  mem::MemParams mp;
+  mp.ctrls = rng.uniform_range(1, 5);
+  const mem::MemPlacement placements[] = {mem::MemPlacement::kInterleave,
+                                          mem::MemPlacement::kNearest,
+                                          mem::MemPlacement::kEdges};
+  mp.placement = placements[rng.uniform_int(3)];
+  mp.bandwidth = rng.uniform_range(1, 5);
+  mp.access_latency = rng.uniform_range(1, 81);
+  mp.reply_length = rng.uniform_range(1, 9);
+  // Unbounded queue: every request must be served, none rejected.
+  mp.queue_capacity = 0;
+
+  // Random schedule: 1-3 layers, each phase 0-200 flits/cycles.
+  std::string spec;
+  const int layers = rng.uniform_range(1, 4);
+  for (int l = 0; l < layers; ++l) {
+    if (l > 0) spec += '/';
+    spec += "f" + std::to_string(rng.uniform_int(200));
+    spec += ",w" + std::to_string(rng.uniform_int(200));
+    spec += ",c" + std::to_string(rng.uniform_int(200));
+    spec += ",a" + std::to_string(rng.uniform_int(200));
+    spec += ",b" + std::to_string(rng.uniform_int(200));
+  }
+  mem::TileSchedule sched;
+  try {
+    sched = mem::TileSchedule::parse(spec);
+  } catch (const std::invalid_argument&) {
+    GTEST_SKIP() << "all-zero schedule " << spec;  // rare and uninteresting
+  }
+
+  // Random contiguous group partition over all nodes.
+  const int num_nodes = p.num_nodes();
+  const int num_groups = rng.uniform_range(1, std::min(num_nodes, 4) + 1);
+  std::vector<std::vector<NodeId>> groups(
+      static_cast<std::size_t>(num_groups));
+  for (NodeId id = 0; id < num_nodes; ++id)
+    groups[static_cast<std::size_t>(id % num_groups)].push_back(id);
+
+  const bool multicast = rng.bernoulli(0.5);
+  const int threads = rng.bernoulli(0.3) ? 4 : 1;
+
+  SCOPED_TRACE(::testing::Message()
+               << p.width << "x" << p.height << " ctrls=" << mp.ctrls
+               << " placement=" << mem::to_string(mp.placement)
+               << " bw=" << mp.bandwidth << " lat=" << mp.access_latency
+               << " reply=" << mp.reply_length << " groups=" << num_groups
+               << " mcast=" << multicast << " threads=" << threads
+               << " sched=" << spec);
+
+  noc::XyRouting xy;
+  noc::Network net(p, &xy);
+  if (threads > 1) net.set_sim_threads(threads);
+  mem::MemSubsystem mem_sys(net, mp);
+  mem::TileTransferDriver driver(net, mem_sys, sched, groups,
+                                 {.multicast = multicast,
+                                  .chunk_flits = rng.uniform_int(2) == 0
+                                                     ? 0
+                                                     : rng.uniform_range(2, 9)});
+  driver.install();
+  const Cycle limit = 2'000'000;
+  while (!driver.done() && net.now() < limit) net.tick();
+  ASSERT_TRUE(driver.done()) << "deadlock/livelock: stuck at layer "
+                             << driver.current_layer();
+  EXPECT_TRUE(net.drained());
+  EXPECT_TRUE(mem_sys.idle());
+
+  const mem::MemCounters mc = mem_sys.total_counters();
+  EXPECT_EQ(mc.rejected, 0u);
+  EXPECT_EQ(mc.reads, driver.counters().dram_reads);
+  EXPECT_EQ(mc.writes, driver.counters().dram_writes);
+  EXPECT_EQ(mc.replies, mc.reads + mc.writes);
+  EXPECT_EQ(driver.counters().layers_done,
+            static_cast<std::uint64_t>(sched.layers.size()));
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomMem, MemTrafficFuzz, ::testing::Range(0, 30));
 
 // Fault fuzzing: random configurations crossed with random (moderate)
 // fault schedules.  Whatever the combination, the run must terminate (no

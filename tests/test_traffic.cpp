@@ -109,6 +109,43 @@ TEST(Permutations, BitcompOn16) {
   EXPECT_EQ(t->dest(5, rng), 10);
 }
 
+// The dest() contract — in range and never the source — must hold for
+// every kind and every endpoint count, including non-powers-of-two where
+// the bit permutations fold wrapped indices back into range.
+TEST(MakeTraffic, NoKindEverSelfSendsAtAnySize) {
+  for (const char* name : {"uniform", "neighbor", "hotspot", "cache",
+                           "transpose", "bitcomp", "bitrev", "shuffle"}) {
+    for (int k : {2, 3, 4, 5, 7, 8, 9, 16}) {
+      auto t = make_traffic(name, k);
+      Rng rng(12);
+      for (int src = 0; src < k; ++src)
+        for (int i = 0; i < 200; ++i) {
+          const int d = t->dest(src, rng);
+          ASSERT_GE(d, 0) << name << " k=" << k;
+          ASSERT_LT(d, k) << name << " k=" << k;
+          ASSERT_NE(d, src) << name << " k=" << k << " src=" << src;
+        }
+    }
+  }
+}
+
+// Folding wrapped permutation outputs with a modulo would let two sources
+// collapse onto one destination and starve another.  The cycle-walking
+// fold keeps the map injective: every endpoint receives from at most one
+// source via the permutation itself (self-redirects add at most one more).
+TEST(Permutations, FoldPreservesBoundedInDegree) {
+  for (const char* name : {"transpose", "bitcomp", "bitrev", "shuffle"}) {
+    for (int k : {3, 5, 6, 7, 9, 12, 15}) {
+      auto t = make_permutation(name, k);
+      Rng rng(13);
+      std::map<int, int> in_degree;
+      for (int src = 0; src < k; ++src) ++in_degree[t->dest(src, rng)];
+      for (const auto& [dst, deg] : in_degree)
+        EXPECT_LE(deg, 2) << name << " k=" << k << " dst=" << dst;
+    }
+  }
+}
+
 TEST(MakeTraffic, FactoryCoversAllNames) {
   for (const char* name : {"uniform", "neighbor", "hotspot", "transpose",
                            "bitcomp", "bitrev", "shuffle"}) {
