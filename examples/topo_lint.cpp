@@ -1,0 +1,59 @@
+// topo_lint — parse and certify topology files without simulating.
+//
+// Usage: topo_lint <file.topo> [<file.topo> ...]
+//
+// For each file: parses the documented text format (docs/TOPOLOGY.md),
+// validates the graph (reverse-link pairing, port uniqueness,
+// connectivity), derives the generalized Algorithm 1 sprint order, and
+// runs the channel-dependency-graph deadlock check for up*/down* routing
+// at every sprint level.  Exit 0 when every file passes; the CI lint
+// `scripts/check_topo_examples.sh` runs it over every example shipped in
+// docs/.
+#include <cstdio>
+#include <exception>
+
+#include "noc/table_routing.hpp"
+#include "noc/topology.hpp"
+#include "sprint/topology.hpp"
+
+using namespace nocs;
+
+namespace {
+
+bool lint(const char* path) {
+  try {
+    const noc::Topology topo = noc::Topology::from_file(path);
+    for (int level = 2; level <= topo.num_nodes(); ++level) {
+      const std::vector<NodeId> active = sprint::active_set(topo, level, 0);
+      const noc::TableRouting routing =
+          noc::TableRouting::up_down(topo, active, 0);
+      const noc::DeadlockCheckResult res =
+          noc::check_deadlock_free(topo, routing, active);
+      if (!res.ok) {
+        std::fprintf(stderr, "%s: level %d deadlock check failed: %s\n",
+                     path, level, res.detail.c_str());
+        return false;
+      }
+    }
+    std::printf("%s: ok (%s, %d nodes, %zu directed links, levels 2..%d "
+                "deadlock-free)\n",
+                path, topo.kind().c_str(), topo.num_nodes(),
+                topo.links().size(), topo.num_nodes());
+    return true;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "%s: %s\n", path, e.what());
+    return false;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: topo_lint <file.topo> [...]\n");
+    return 2;
+  }
+  bool ok = true;
+  for (int i = 1; i < argc; ++i) ok = lint(argv[i]) && ok;
+  return ok ? 0 : 1;
+}

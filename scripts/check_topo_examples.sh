@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Lints every topology example file shipped in docs/: each must parse
+# under the documented text format (docs/TOPOLOGY.md), validate as a
+# connected graph, and pass the up*/down* channel-dependency deadlock
+# check at every sprint level.  Uses the topo_lint binary; pass the build
+# directory as $1 (default: build).
+#
+# Usage: scripts/check_topo_examples.sh [build-dir]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+build_dir="${1:-build}"
+lint="$build_dir/examples/topo_lint"
+
+if [[ ! -x "$lint" ]]; then
+  echo "check_topo_examples: $lint not built (cmake --build $build_dir --target topo_lint)"
+  exit 1
+fi
+
+shopt -s nullglob
+files=(docs/examples/*.topo)
+if [[ ${#files[@]} -eq 0 ]]; then
+  echo "check_topo_examples: no docs/examples/*.topo files found"
+  exit 1
+fi
+
+"$lint" "${files[@]}"
+echo "check_topo_examples: ${#files[@]} example file(s) parse and are deadlock-free"

@@ -65,6 +65,17 @@ ctest --test-dir build-ci-asan -L serve --output-on-failure
 echo "==== mem suite under ASan ===="
 ctest --test-dir build-ci-asan -L mem --output-on-failure
 
+# The topology suite under ASan: graph construction, the file parser,
+# up*/down* table building, and the channel-dependency deadlock walk
+# are index-arithmetic-heavy fresh surface.
+echo "==== topology suite under ASan ===="
+ctest --test-dir build-ci-asan -L topology --output-on-failure
+
+# The shipped topology example files must parse and be deadlock-free at
+# every sprint level (docs/TOPOLOGY.md stays executable documentation).
+echo "==== topology example lint ===="
+scripts/check_topo_examples.sh build-ci-release
+
 echo "==== serve crash-recovery smoke test ===="
 scripts/serve_smoke.sh build-ci-release
 

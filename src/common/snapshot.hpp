@@ -33,7 +33,7 @@ namespace nocs::snapshot {
 /// change; load_file rejects files whose version differs (the compat
 /// policy, per docs/SNAPSHOT_FORMAT.md, is exact-match — checkpoints are
 /// short-lived artifacts of one experiment campaign, not archives).
-inline constexpr std::uint32_t kFormatVersion = 2;
+inline constexpr std::uint32_t kFormatVersion = 3;
 
 /// Magic bytes opening every snapshot file.
 inline constexpr char kMagic[8] = {'N', 'O', 'C', 'S', 'N', 'A', 'P', '1'};

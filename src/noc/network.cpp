@@ -18,11 +18,27 @@ thread_local int t_current_shard = -1;
 
 Network::Network(const NetworkParams& params, const RoutingFunction* routing,
                  LinkLatencyFn link_latency)
-    : params_(params), routing_(routing) {
-  params_.validate();
+    : params_(params),
+      topo_(Topology::mesh(params.width, params.height)) {
   NOCS_EXPECTS(routing != nullptr);
-  const MeshShape shape = params_.shape();
-  const int n = shape.size();
+  params_.validate();
+  owned_policy_ =
+      std::make_unique<MeshRoutingPolicy>(routing, params_.shape());
+  policy_ = owned_policy_.get();
+  construct(std::move(link_latency));
+}
+
+Network::Network(const NetworkParams& params, const Topology& topo,
+                 const RoutingPolicy* policy, LinkLatencyFn link_latency)
+    : params_(params), topo_(topo), policy_(policy) {
+  NOCS_EXPECTS(policy != nullptr);
+  params_.validate();
+  NOCS_EXPECTS(topo_.num_nodes() == params_.num_nodes());
+  construct(std::move(link_latency));
+}
+
+void Network::construct(LinkLatencyFn link_latency) {
+  const int n = topo_.num_nodes();
 
   auto latency_of = [&](NodeId from, NodeId to) {
     if (!link_latency) return params_.link_latency;
@@ -36,7 +52,8 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
   routers_.reserve(static_cast<std::size_t>(n));
   nis_.reserve(static_cast<std::size_t>(n));
   for (NodeId id = 0; id < n; ++id) {
-    routers_.push_back(std::make_unique<Router>(id, params_, routing_));
+    routers_.push_back(
+        std::make_unique<Router>(id, params_, topo_, policy_));
     nis_.push_back(std::make_unique<NetworkInterface>(id, params_, &stats_));
   }
 
@@ -74,38 +91,25 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
     return credit_pipes_.back().get();
   };
 
-  // Inter-router links: for each node and each east/south neighbor, create
-  // both directions of flit + credit channels.
-  for (NodeId id = 0; id < n; ++id) {
-    const Coord c = shape.coord_of(id);
-    for (Port p : {Port::kEast, Port::kSouth}) {
-      const Coord nc = step(c, p);
-      if (!shape.contains(nc)) continue;
-      const NodeId nid = shape.id_of(nc);
-      Router& a = *routers_[static_cast<std::size_t>(id)];
-      Router& b = *routers_[static_cast<std::size_t>(nid)];
+  // Inter-router links: one flit + credit channel per directed topology
+  // link, instantiated in links() order.  The mesh generator emits links
+  // in the historic mesh wiring order (per node ascending, east pair then
+  // south pair, forward then reverse), so mesh networks allocate and wire
+  // byte-identical pipe sequences to the pre-topology constructor.
+  for (const TopoLink& l : topo_.links()) {
+    Router& a = *routers_[static_cast<std::size_t>(l.src)];
+    Router& b = *routers_[static_cast<std::size_t>(l.dst)];
 
-      const int ab_lat = latency_of(id, nid);
-      const int ba_lat = latency_of(nid, id);
-      link_latencies_[static_cast<std::size_t>(id)]
-                     [static_cast<std::size_t>(nid)] = ab_lat;
-      link_latencies_[static_cast<std::size_t>(nid)]
-                     [static_cast<std::size_t>(id)] = ba_lat;
+    const int lat = l.latency > 0 ? l.latency : latency_of(l.src, l.dst);
+    link_latencies_[static_cast<std::size_t>(l.src)]
+                   [static_cast<std::size_t>(l.dst)] = lat;
 
-      Pipe<Flit>* ab = new_flit_pipe(ab_lat);
-      Pipe<Credit>* ab_credit = new_credit_pipe();
-      ab->set_sink(router_sink(nid));       // b consumes a's flits
-      ab_credit->set_sink(router_sink(id)); // a consumes b's credits
-      a.connect_output(p, ab, ab_credit);
-      b.connect_input(opposite(p), ab, ab_credit);
-
-      Pipe<Flit>* ba = new_flit_pipe(ba_lat);
-      Pipe<Credit>* ba_credit = new_credit_pipe();
-      ba->set_sink(router_sink(id));
-      ba_credit->set_sink(router_sink(nid));
-      b.connect_output(opposite(p), ba, ba_credit);
-      a.connect_input(p, ba, ba_credit);
-    }
+    Pipe<Flit>* ab = new_flit_pipe(lat);
+    Pipe<Credit>* ab_credit = new_credit_pipe();
+    ab->set_sink(router_sink(l.dst));         // dst consumes src's flits
+    ab_credit->set_sink(router_sink(l.src));  // src consumes dst's credits
+    a.connect_output(l.src_port, ab, ab_credit);
+    b.connect_input(l.dst_port, ab, ab_credit);
   }
 
   // Local NI <-> router channels.
@@ -142,9 +146,13 @@ Network::Network(const NetworkParams& params, const RoutingFunction* routing,
 
 void Network::set_sim_threads(int n) {
   if (n <= 0) n = default_sim_thread_count();
-  // Clamp so every shard owns at least one full mesh row (node ids are
-  // row-major, so row-bands are contiguous id ranges).
-  sim_threads_ = std::max(1, std::min(n, params_.height));
+  // Mesh: clamp so every shard owns at least one full mesh row (node ids
+  // are row-major, so row-bands are contiguous id ranges).  General
+  // topologies shard by contiguous id ranges, so any count up to the node
+  // count works; either way results are thread-count independent (pipes
+  // guarantee >= 1 cycle of latency between any producer and consumer).
+  const int cap = topo_.is_mesh() ? params_.height : topo_.num_nodes();
+  sim_threads_ = std::max(1, std::min(n, cap));
   rebuild_shards();
 }
 
@@ -155,8 +163,13 @@ void Network::rebuild_shards() {
   shard_of_.assign(static_cast<std::size_t>(n), 0);
   for (int s = 0; s < S; ++s) {
     Shard& sh = shards_[static_cast<std::size_t>(s)];
-    sh.begin = params_.height * s / S * params_.width;
-    sh.end = params_.height * (s + 1) / S * params_.width;
+    if (topo_.is_mesh()) {
+      sh.begin = params_.height * s / S * params_.width;
+      sh.end = params_.height * (s + 1) / S * params_.width;
+    } else {
+      sh.begin = n * s / S;
+      sh.end = n * (s + 1) / S;
+    }
     // Conservative scheduler state: everything hot, wheels empty.  Ticking
     // a quiescent node is a no-op beyond leakage accounting, which
     // sync_counters() reproduces exactly, so this is bit-identical to any
@@ -212,7 +225,7 @@ void Network::schedule_local(Shard& sh, std::uint32_t enc, Cycle ready_at) {
 }
 
 int Network::link_latency(NodeId from, NodeId to) const {
-  NOCS_EXPECTS(params_.shape().valid(from) && params_.shape().valid(to));
+  NOCS_EXPECTS(topo_.valid(from) && topo_.valid(to));
   const int lat = link_latencies_[static_cast<std::size_t>(from)]
                                  [static_cast<std::size_t>(to)];
   NOCS_EXPECTS(lat > 0);  // adjacent nodes only
@@ -223,7 +236,7 @@ void Network::set_endpoints(std::vector<NodeId> endpoints,
                             std::unique_ptr<TrafficPattern> traffic) {
   NOCS_EXPECTS(endpoints.size() >= 2);
   NOCS_EXPECTS(traffic != nullptr);
-  for (NodeId e : endpoints) NOCS_EXPECTS(params_.shape().valid(e));
+  for (NodeId e : endpoints) NOCS_EXPECTS(topo_.valid(e));
   for (auto& ni : nis_) ni->clear_endpoint();
   endpoints_ = std::move(endpoints);
   traffic_ = std::move(traffic);
@@ -238,7 +251,7 @@ void Network::set_endpoints(std::vector<NodeId> endpoints,
 void Network::gate_dark_region(const std::vector<NodeId>& active) {
   std::vector<bool> is_active(static_cast<std::size_t>(num_nodes()), false);
   for (NodeId id : active) {
-    NOCS_EXPECTS(params_.shape().valid(id));
+    NOCS_EXPECTS(topo_.valid(id));
     is_active[static_cast<std::size_t>(id)] = true;
   }
   for (NodeId id = 0; id < num_nodes(); ++id) {
@@ -280,7 +293,7 @@ void Network::set_seed(std::uint64_t seed) {
 
 int Network::add_multicast_group(std::vector<NodeId> members) {
   NOCS_EXPECTS(!members.empty());
-  for (const NodeId m : members) NOCS_EXPECTS(params_.shape().valid(m));
+  for (const NodeId m : members) NOCS_EXPECTS(topo_.valid(m));
   std::sort(members.begin(), members.end());
   members.erase(std::unique(members.begin(), members.end()), members.end());
   mcast_groups_.push_back(std::move(members));
@@ -329,7 +342,7 @@ std::string Network::debug_snapshot() const {
     const bool quiet = buffered == 0 && queued == 0 && unacked == 0 &&
                        r.power_state() == PowerState::kActive;
     if (quiet) continue;
-    const Coord c = params_.shape().coord_of(id);
+    const Coord c = topo_.coord(id);
     os << "  node " << id << " (" << c.x << "," << c.y << ")"
        << " state=" << state_names[static_cast<int>(r.power_state())]
        << " buffered_flits=" << buffered
@@ -515,6 +528,10 @@ void Network::save_state(snapshot::Writer& w) const {
   w.i64(params_.gate_idle_threshold);
   w.i64(params_.pipeline_stages);
   w.i64(params_.num_classes);
+  // Graph fingerprint (format v3): a snapshot can only be restored into a
+  // network wired from the identical topology — same nodes, coordinates,
+  // ports, and link table in the same order.
+  w.u64(topo_.fingerprint());
   w.i64(static_cast<std::int64_t>(endpoints_.size()));
   for (const NodeId e : endpoints_) w.i64(e);
   w.i64(static_cast<std::int64_t>(flit_pipes_.size()));
@@ -549,6 +566,10 @@ void Network::load_state(snapshot::Reader& r) {
     throw snapshot::SnapshotError(
         "checkpoint network parameters disagree with this network's "
         "configuration");
+  if (r.u64() != topo_.fingerprint())
+    throw snapshot::SnapshotError(
+        "checkpoint topology fingerprint disagrees with this network's "
+        "graph");
   const auto num_endpoints = r.i64();
   if (num_endpoints != static_cast<std::int64_t>(endpoints_.size()))
     throw snapshot::SnapshotError(

@@ -14,7 +14,9 @@
 #include "noc/params.hpp"
 #include "noc/router.hpp"
 #include "noc/routing.hpp"
+#include "noc/routing_policy.hpp"
 #include "noc/stats_collector.hpp"
+#include "noc/topology.hpp"
 #include "noc/traffic.hpp"
 
 namespace nocs::noc {
@@ -28,9 +30,19 @@ class Network {
  public:
   /// Builds a width x height mesh.  `routing` must outlive the network.
   /// `link_latency` overrides params.link_latency per directed link when
-  /// provided (must return >= 1).
+  /// provided (must return >= 1).  Equivalent to the topology constructor
+  /// over Topology::mesh(width, height) with a MeshRoutingPolicy — and
+  /// bit-identical to it.
   Network(const NetworkParams& params, const RoutingFunction* routing,
           LinkLatencyFn link_latency = nullptr);
+
+  /// Builds the network over an arbitrary topology graph (the topology is
+  /// copied; params.num_nodes() must equal topo.num_nodes()).  `policy`
+  /// must outlive the network.  Channel pipes are instantiated in
+  /// topo.links() order; per-link latencies > 0 override
+  /// params.link_latency (and `link_latency`, which fills the rest).
+  Network(const NetworkParams& params, const Topology& topo,
+          const RoutingPolicy* policy, LinkLatencyFn link_latency = nullptr);
 
   // Channel sinks and wake callbacks capture `this`.
   Network(const Network&) = delete;
@@ -38,6 +50,12 @@ class Network {
 
   /// Latency of the directed link between adjacent nodes (cycles).
   int link_latency(NodeId from, NodeId to) const;
+
+  /// The interconnect graph this network was wired from.
+  const Topology& topology() const { return topo_; }
+
+  /// The routing policy every router consults.
+  const RoutingPolicy& routing_policy() const { return *policy_; }
 
   const NetworkParams& params() const { return params_; }
   Cycle now() const { return now_; }
@@ -297,9 +315,14 @@ class Network {
   void tick_phase2(int s);
   /// Reference O(n) drain scan (the counter short-circuit's slow path).
   bool drained_slow() const;
+  /// Shared tail of both constructors: wires routers, NIs, and channels
+  /// from topo_ (policy_ must already be set).
+  void construct(LinkLatencyFn link_latency);
 
   NetworkParams params_;
-  const RoutingFunction* routing_;
+  Topology topo_;
+  const RoutingPolicy* policy_ = nullptr;
+  std::unique_ptr<RoutingPolicy> owned_policy_;  ///< mesh-ctor adapter
   Cycle now_ = 0;
 
   std::vector<std::unique_ptr<Router>> routers_;

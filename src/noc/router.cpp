@@ -11,11 +11,47 @@ Router::Router(NodeId id, const NetworkParams& params,
     : id_(id),
       coord_(params.shape().coord_of(id)),
       params_(params),
-      shape_(params.shape()),
-      routing_(routing) {
+      policy_(nullptr),
+      nports_(kNumPorts) {
   NOCS_EXPECTS(routing != nullptr);
   params_.validate();
-  const auto n = static_cast<std::size_t>(kNumPorts * params_.num_vcs);
+  const MeshShape shape = params_.shape();
+  owned_policy_ = std::make_unique<MeshRoutingPolicy>(routing, shape);
+  policy_ = owned_policy_.get();
+  out_neighbor_.assign(static_cast<std::size_t>(nports_), kInvalidNode);
+  for (int p = 1; p < nports_; ++p) {
+    const Coord nc = step(coord_, static_cast<Port>(p));
+    if (shape.contains(nc))
+      out_neighbor_[static_cast<std::size_t>(p)] = shape.id_of(nc);
+  }
+  init_structures();
+}
+
+Router::Router(NodeId id, const NetworkParams& params, const Topology& topo,
+               const RoutingPolicy* policy)
+    : id_(id),
+      coord_(topo.coord(id)),
+      params_(params),
+      policy_(policy),
+      nports_(topo.num_ports(id)) {
+  NOCS_EXPECTS(policy != nullptr);
+  params_.validate();
+  out_neighbor_.assign(static_cast<std::size_t>(nports_), kInvalidNode);
+  for (int p = 1; p < nports_; ++p)
+    out_neighbor_[static_cast<std::size_t>(p)] = topo.neighbor(id, p);
+  init_structures();
+}
+
+void Router::init_structures() {
+  flit_in_.assign(static_cast<std::size_t>(nports_), nullptr);
+  credit_out_.assign(static_cast<std::size_t>(nports_), nullptr);
+  flit_out_.assign(static_cast<std::size_t>(nports_), nullptr);
+  credit_in_.assign(static_cast<std::size_t>(nports_), nullptr);
+  sa_input_rr_.assign(static_cast<std::size_t>(nports_), 0);
+  sa_output_rr_.assign(static_cast<std::size_t>(nports_), 0);
+  va_rr_.assign(static_cast<std::size_t>(nports_), 0);
+  active_by_port_.assign(static_cast<std::size_t>(nports_), 0);
+  const auto n = static_cast<std::size_t>(nports_ * params_.num_vcs);
   flit_arena_.resize(n * static_cast<std::size_t>(params_.vc_depth));
   input_vcs_.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
@@ -28,16 +64,16 @@ Router::Router(NodeId id, const NetworkParams& params,
   for (auto& ovc : output_vcs_) ovc.credits = params_.vc_depth;
 }
 
-void Router::connect_input(Port p, Pipe<Flit>* flit_in,
+void Router::connect_input(int port, Pipe<Flit>* flit_in,
                            Pipe<Credit>* credit_out) {
-  flit_in_[static_cast<std::size_t>(p)] = flit_in;
-  credit_out_[static_cast<std::size_t>(p)] = credit_out;
+  flit_in_[static_cast<std::size_t>(port)] = flit_in;
+  credit_out_[static_cast<std::size_t>(port)] = credit_out;
 }
 
-void Router::connect_output(Port p, Pipe<Flit>* flit_out,
+void Router::connect_output(int port, Pipe<Flit>* flit_out,
                             Pipe<Credit>* credit_in) {
-  flit_out_[static_cast<std::size_t>(p)] = flit_out;
-  credit_in_[static_cast<std::size_t>(p)] = credit_in;
+  flit_out_[static_cast<std::size_t>(port)] = flit_out;
+  credit_in_[static_cast<std::size_t>(port)] = credit_in;
 }
 
 void Router::set_gated(bool gated) {
@@ -67,7 +103,7 @@ void Router::sync_counters(Cycle now) const {
 
 Cycle Router::next_input_event() const {
   Cycle earliest = kNoPendingEvent;
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < nports_; ++p) {
     if (const auto* pipe = flit_in_[static_cast<std::size_t>(p)]) {
       const Cycle t = pipe->next_ready_time();
       if (t < earliest) earliest = t;
@@ -122,7 +158,7 @@ int Router::total_output_credits() const {
 }
 
 bool Router::any_input_pending(Cycle now) const {
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < nports_; ++p) {
     const auto* pipe = flit_in_[static_cast<std::size_t>(p)];
     if (pipe != nullptr && pipe->ready(now)) return true;
   }
@@ -229,7 +265,7 @@ void Router::update_dynamic_gating(Cycle now) {
 }
 
 void Router::receive_credits(Cycle now) {
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < nports_; ++p) {
     auto* pipe = credit_in_[static_cast<std::size_t>(p)];
     if (pipe == nullptr) continue;
     while (pipe->ready(now)) {
@@ -243,7 +279,7 @@ void Router::receive_credits(Cycle now) {
 }
 
 void Router::receive_flits(Cycle now) {
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < nports_; ++p) {
     auto* pipe = flit_in_[static_cast<std::size_t>(p)];
     if (pipe == nullptr) continue;
     while (pipe->ready(now)) {
@@ -268,22 +304,22 @@ void Router::begin_packet(InputVc& ivc, const Flit& head, Cycle now) {
   ivc.msg_class = head.msg_class;
   if (params_.pipeline_stages == 3) {
     // Lookahead: route compute folded into buffer write.
-    const Coord dst = shape_.coord_of(head.dst);
-    ivc.out_port = fault_aware_port(routing_->route(coord_, dst), dst, now);
+    ivc.out_port =
+        fault_aware_port(policy_->route_port(id_, head.dst), head.dst, now);
     set_stage(ivc, InputVc::Stage::kVcAlloc);
   } else {
     set_stage(ivc, InputVc::Stage::kRouting);
   }
 }
 
-Port Router::fault_aware_port(Port preferred, Coord dst, Cycle now) {
-  if (oracle_ == nullptr || preferred == Port::kLocal) return preferred;
-  // Routing never points off-mesh, so the step lands on a valid neighbor.
-  const NodeId nbr = shape_.id_of(step(coord_, preferred));
+int Router::fault_aware_port(int preferred, NodeId dst, Cycle now) {
+  if (oracle_ == nullptr || preferred == 0) return preferred;
+  // Routing never points off a disconnected port, so the neighbor exists.
+  const NodeId nbr = out_neighbor_[static_cast<std::size_t>(preferred)];
   if (!oracle_->link_down(id_, nbr, now)) return preferred;
-  const Port alt = routing_->reroute(coord_, dst, preferred);
+  const int alt = policy_->reroute_port(id_, dst, preferred);
   if (alt == preferred) return preferred;  // no safe detour: ride it out
-  const NodeId alt_nbr = shape_.id_of(step(coord_, alt));
+  const NodeId alt_nbr = out_neighbor_[static_cast<std::size_t>(alt)];
   if (oracle_->link_down(id_, alt_nbr, now)) return preferred;
   ++counters_.reroutes;
   return alt;
@@ -291,17 +327,19 @@ Port Router::fault_aware_port(Port preferred, Coord dst, Cycle now) {
 
 void Router::stage_route_compute(Cycle now) {
   if (routing_pending_ == 0) return;
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < nports_; ++p) {
     for (int v = 0; v < params_.num_vcs; ++v) {
       auto& ivc = in_vc(p, v);
       if (ivc.stage != InputVc::Stage::kRouting) continue;
       NOCS_EXPECTS(!ivc.buf.empty() && ivc.buf.front().is_head);
-      const Coord dst = shape_.coord_of(ivc.buf.front().dst);
-      ivc.out_port = routing_->route(coord_, dst);
-      // A flit that arrived here with cur == dst must leave via the local
-      // port; the routing function returns kLocal in that case.
-      NOCS_ENSURES(ivc.out_port != static_cast<Port>(p) ||
-                   ivc.out_port == Port::kLocal);
+      const NodeId dst = ivc.buf.front().dst;
+      ivc.out_port = policy_->route_port(id_, dst);
+      // The routing policy may only select the local port or a connected
+      // output (cur == dst must map to port 0).
+      NOCS_ENSURES(ivc.out_port >= 0 && ivc.out_port < nports_);
+      NOCS_ENSURES(ivc.out_port == 0 ||
+                   out_neighbor_[static_cast<std::size_t>(ivc.out_port)] !=
+                       kInvalidNode);
       ivc.out_port = fault_aware_port(ivc.out_port, dst, now);
       set_stage(ivc, InputVc::Stage::kVcAlloc);
     }
@@ -315,16 +353,17 @@ void Router::stage_vc_allocation(Cycle) {
   // conflict resolution is needed.
   if (vca_pending_ == 0) return;
   const int nv = params_.num_vcs;
-  const int slots = kNumPorts * nv;
+  const int slots = nports_ * nv;
   // One pass over the slots finds every requested output port (the per-port
   // "any requester?" scans this replaces were the stage's main cost).
+  // kMaxPorts <= 32 keeps the mask in one word.
   unsigned req_mask = 0;
   for (int s = 0; s < slots; ++s) {
     const auto& ivc = input_vcs_[static_cast<std::size_t>(s)];
     if (ivc.stage == InputVc::Stage::kVcAlloc)
-      req_mask |= 1u << static_cast<int>(ivc.out_port);
+      req_mask |= 1u << ivc.out_port;
   }
-  for (int op = 0; op < kNumPorts; ++op) {
+  for (int op = 0; op < nports_; ++op) {
     if ((req_mask & (1u << op)) == 0) continue;
 
     for (int ov = 0; ov < nv; ++ov) {
@@ -339,8 +378,7 @@ void Router::stage_vc_allocation(Cycle) {
       for (int k = 1; k <= slots; ++k) {
         const int s = (rr + k) % slots;
         auto& ivc = input_vcs_[static_cast<std::size_t>(s)];
-        if (ivc.stage == InputVc::Stage::kVcAlloc &&
-            static_cast<int>(ivc.out_port) == op &&
+        if (ivc.stage == InputVc::Stage::kVcAlloc && ivc.out_port == op &&
             ivc.msg_class == ov_class) {
           granted_slot = s;
           break;
@@ -367,10 +405,9 @@ void Router::stage_switch_allocation(Cycle) {
   // that has a buffered flit and a downstream credit.  Ports with no
   // active VC are skipped outright — the round-robin pointer only moves on
   // a nomination, so skipping them cannot change any arbitration outcome.
-  std::array<int, kNumPorts> nominee{};
-  nominee.fill(-1);
+  std::vector<int> nominee(static_cast<std::size_t>(nports_), -1);
   unsigned out_mask = 0;  // output ports some nominee targets
-  for (int p = 0; p < kNumPorts; ++p) {
+  for (int p = 0; p < nports_; ++p) {
     if (active_by_port_[static_cast<std::size_t>(p)] == 0) continue;
     int& rr = sa_input_rr_[static_cast<std::size_t>(p)];
     int v = rr;
@@ -378,11 +415,10 @@ void Router::stage_switch_allocation(Cycle) {
       if (++v >= nv) v = 0;
       const auto& ivc = in_vc(p, v);
       if (ivc.stage != InputVc::Stage::kActive || ivc.buf.empty()) continue;
-      const auto& ovc =
-          out_vc(static_cast<int>(ivc.out_port), ivc.out_vc);
+      const auto& ovc = out_vc(ivc.out_port, ivc.out_vc);
       if (ovc.credits <= 0) continue;
       nominee[static_cast<std::size_t>(p)] = v;
-      out_mask |= 1u << static_cast<int>(ivc.out_port);
+      out_mask |= 1u << ivc.out_port;
       rr = v;
       break;
     }
@@ -391,19 +427,19 @@ void Router::stage_switch_allocation(Cycle) {
 
   // Stage 2 (output arbitration): each targeted output port grants one
   // nominee (un-targeted ports would scan and grant nothing).
-  std::array<bool, kNumPorts> output_claimed{};
-  std::array<bool, kNumPorts> input_granted{};
-  for (int op = 0; op < kNumPorts; ++op) {
+  std::vector<bool> output_claimed(static_cast<std::size_t>(nports_), false);
+  std::vector<bool> input_granted(static_cast<std::size_t>(nports_), false);
+  for (int op = 0; op < nports_; ++op) {
     if ((out_mask & (1u << op)) == 0) continue;
     int& rr = sa_output_rr_[static_cast<std::size_t>(op)];
     int p = rr;
-    for (int k = 1; k <= kNumPorts; ++k) {
-      if (++p >= kNumPorts) p = 0;
+    for (int k = 1; k <= nports_; ++k) {
+      if (++p >= nports_) p = 0;
       if (input_granted[static_cast<std::size_t>(p)]) continue;
       const int v = nominee[static_cast<std::size_t>(p)];
       if (v < 0) continue;
       const auto& ivc = in_vc(p, v);
-      if (static_cast<int>(ivc.out_port) != op) continue;
+      if (ivc.out_port != op) continue;
       if (output_claimed[static_cast<std::size_t>(op)]) break;
       output_claimed[static_cast<std::size_t>(op)] = true;
       input_granted[static_cast<std::size_t>(p)] = true;
@@ -423,7 +459,7 @@ void Router::stage_switch_traversal(Cycle now) {
     ++counters_.buffer_reads;
     ++counters_.xbar_traversals;
 
-    const int op = static_cast<int>(ivc.out_port);
+    const int op = ivc.out_port;
     auto& ovc = out_vc(op, ivc.out_vc);
     NOCS_EXPECTS(ovc.allocated && ovc.owner_port == g.in_port &&
                  ovc.owner_vc == g.in_vc);
@@ -436,11 +472,11 @@ void Router::stage_switch_traversal(Cycle now) {
       credit_pipe->push(now, Credit{static_cast<VcId>(g.in_vc)});
 
     f.vc = ivc.out_vc;
-    if (ivc.out_port != Port::kLocal) {
+    if (op != 0) {
       ++f.hops;
       ++counters_.link_flits;
       if (oracle_ != nullptr) {
-        const NodeId nbr = shape_.id_of(step(coord_, ivc.out_port));
+        const NodeId nbr = out_neighbor_[static_cast<std::size_t>(op)];
         if (oracle_->corrupt_link_flit(id_, nbr, now)) {
           f.corrupted = true;
           ++counters_.flits_corrupted;
@@ -537,7 +573,7 @@ void Router::save_state(snapshot::Writer& w) const {
     w.i64(g.in_vc);
   }
 
-  for (int i = 0; i < kNumPorts; ++i) {
+  for (int i = 0; i < nports_; ++i) {
     w.i64(sa_input_rr_[static_cast<std::size_t>(i)]);
     w.i64(sa_output_rr_[static_cast<std::size_t>(i)]);
     w.i64(va_rr_[static_cast<std::size_t>(i)]);
@@ -558,7 +594,7 @@ void Router::load_state(snapshot::Reader& r) {
   for (InputVc& ivc : input_vcs_) {
     ivc.buf.load_state(r);
     ivc.stage = static_cast<InputVc::Stage>(r.u8());
-    ivc.out_port = static_cast<Port>(r.u8());
+    ivc.out_port = static_cast<int>(r.u8());
     ivc.out_vc = static_cast<VcId>(r.i64());
     ivc.msg_class = static_cast<int>(r.i64());
   }
@@ -578,7 +614,7 @@ void Router::load_state(snapshot::Reader& r) {
     st_grants_.push_back(g);
   }
 
-  for (int i = 0; i < kNumPorts; ++i) {
+  for (int i = 0; i < nports_; ++i) {
     sa_input_rr_[static_cast<std::size_t>(i)] = static_cast<int>(r.i64());
     sa_output_rr_[static_cast<std::size_t>(i)] = static_cast<int>(r.i64());
     va_rr_[static_cast<std::size_t>(i)] = static_cast<int>(r.i64());
@@ -594,7 +630,7 @@ void Router::load_state(snapshot::Reader& r) {
   active_packets_ = 0;
   routing_pending_ = 0;
   vca_pending_ = 0;
-  active_by_port_.fill(0);
+  std::fill(active_by_port_.begin(), active_by_port_.end(), 0);
   for (const InputVc& ivc : input_vcs_) {
     switch (ivc.stage) {
       case InputVc::Stage::kIdle: break;

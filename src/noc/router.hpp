@@ -15,8 +15,8 @@
 // power-gating schemes the paper compares against.
 #pragma once
 
-#include <array>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "common/geometry.hpp"
@@ -27,6 +27,8 @@
 #include "noc/flit.hpp"
 #include "noc/params.hpp"
 #include "noc/routing.hpp"
+#include "noc/routing_policy.hpp"
+#include "noc/topology.hpp"
 
 namespace nocs::noc {
 
@@ -35,20 +37,35 @@ enum class PowerState { kActive, kGated, kWaking };
 
 class Router {
  public:
+  /// Mesh router: 5 directional port slots, routed by a coordinate-based
+  /// RoutingFunction (wrapped in an internally owned MeshRoutingPolicy).
   Router(NodeId id, const NetworkParams& params,
          const RoutingFunction* routing);
 
+  /// General router: one port slot per topology port of node `id`, routed
+  /// by `policy` (must outlive the router).  A mesh topology with a
+  /// MeshRoutingPolicy reproduces the mesh constructor bit for bit.
+  Router(NodeId id, const NetworkParams& params, const Topology& topo,
+         const RoutingPolicy* policy);
+
   NodeId id() const { return id_; }
   Coord coord() const { return coord_; }
+  int num_ports() const { return nports_; }
 
   /// Wires one input direction: flits arrive on `flit_in`, credits are
   /// returned upstream on `credit_out`.  Null pointers mark a disconnected
   /// port (mesh edge).
-  void connect_input(Port p, Pipe<Flit>* flit_in, Pipe<Credit>* credit_out);
+  void connect_input(int port, Pipe<Flit>* flit_in, Pipe<Credit>* credit_out);
+  void connect_input(Port p, Pipe<Flit>* flit_in, Pipe<Credit>* credit_out) {
+    connect_input(static_cast<int>(p), flit_in, credit_out);
+  }
 
   /// Wires one output direction: flits leave on `flit_out`, credits come
   /// back on `credit_in`.
-  void connect_output(Port p, Pipe<Flit>* flit_out, Pipe<Credit>* credit_in);
+  void connect_output(int port, Pipe<Flit>* flit_out, Pipe<Credit>* credit_in);
+  void connect_output(Port p, Pipe<Flit>* flit_out, Pipe<Credit>* credit_in) {
+    connect_output(static_cast<int>(p), flit_out, credit_in);
+  }
 
   /// Advances the router by one cycle.
   void tick(Cycle now);
@@ -154,7 +171,7 @@ class Router {
     enum class Stage { kIdle, kRouting, kVcAlloc, kActive } stage =
         Stage::kIdle;
     int port = 0;       ///< owning input port (fixed at construction)
-    Port out_port = Port::kLocal;
+    int out_port = 0;   ///< output port index (0 = local)
     VcId out_vc = -1;
     int msg_class = 0;  ///< class of the packet currently in flight
   };
@@ -175,8 +192,8 @@ class Router {
   void receive_flits(Cycle now);
   void begin_packet(InputVc& ivc, const Flit& head, Cycle now);
   /// Applies the link-fault detour: when the preferred output's link is
-  /// down, asks the routing function for a safe alternative.
-  Port fault_aware_port(Port preferred, Coord dst, Cycle now);
+  /// down, asks the routing policy for a safe alternative.
+  int fault_aware_port(int preferred, NodeId dst, Cycle now);
   void set_stage(InputVc& ivc, InputVc::Stage next);
   void stage_switch_traversal(Cycle now);
   void stage_switch_allocation(Cycle now);
@@ -198,16 +215,24 @@ class Router {
     return output_vcs_[static_cast<std::size_t>(port * params_.num_vcs + vc)];
   }
 
+  /// Shared tail of both constructors (nports_, coord_, out_neighbor_ are
+  /// already set when it runs).
+  void init_structures();
+
   NodeId id_;
   Coord coord_;
   NetworkParams params_;
-  MeshShape shape_;
-  const RoutingFunction* routing_;
+  const RoutingPolicy* policy_;
+  std::unique_ptr<RoutingPolicy> owned_policy_;  ///< mesh-ctor adapter
+  int nports_ = kNumPorts;
+  /// Neighbor node behind each output port (kInvalidNode when the slot is
+  /// disconnected or local) — all the router needs to know of the graph.
+  std::vector<NodeId> out_neighbor_;
 
-  std::array<Pipe<Flit>*, kNumPorts> flit_in_{};
-  std::array<Pipe<Credit>*, kNumPorts> credit_out_{};
-  std::array<Pipe<Flit>*, kNumPorts> flit_out_{};
-  std::array<Pipe<Credit>*, kNumPorts> credit_in_{};
+  std::vector<Pipe<Flit>*> flit_in_;
+  std::vector<Pipe<Credit>*> credit_out_;
+  std::vector<Pipe<Flit>*> flit_out_;
+  std::vector<Pipe<Credit>*> credit_in_;
 
   // One contiguous block backing every input VC's ring (allocated before
   // input_vcs_ and never resized, so the per-VC views stay valid).
@@ -218,9 +243,9 @@ class Router {
   std::vector<Grant> st_grants_;      // SA winners, executed next cycle
 
   // Round-robin fairness pointers.
-  std::array<int, kNumPorts> sa_input_rr_{};   // per input port, over VCs
-  std::array<int, kNumPorts> sa_output_rr_{};  // per output port, over inputs
-  std::array<int, kNumPorts> va_rr_{};         // per output port, over reqs
+  std::vector<int> sa_input_rr_;   // per input port, over VCs
+  std::vector<int> sa_output_rr_;  // per output port, over inputs
+  std::vector<int> va_rr_;         // per output port, over reqs
 
   PowerState state_ = PowerState::kActive;
   bool dynamic_gating_ = false;
@@ -235,7 +260,7 @@ class Router {
   int active_packets_ = 0;   // input VCs with stage != kIdle
   int routing_pending_ = 0;  // input VCs in kRouting
   int vca_pending_ = 0;      // input VCs in kVcAlloc
-  std::array<int, kNumPorts> active_by_port_{};  // kActive VCs per in-port
+  std::vector<int> active_by_port_;  // kActive VCs per in-port
   std::function<void()> wake_cb_;
 
   // Lazily synced so skipped cycles can be credited on demand from const

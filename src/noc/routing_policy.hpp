@@ -1,0 +1,83 @@
+// Topology-agnostic routing interface.
+//
+// RoutingFunction (routing.hpp) speaks mesh coordinates and directional
+// ports — the vocabulary of the paper's CDOR.  Arbitrary graphs have
+// neither, so the router core routes through this node-id/port-index
+// interface instead; MeshRoutingPolicy adapts any RoutingFunction onto it
+// (the mesh specialization, returning bit-identical decisions), and
+// TableRouting (table_routing.hpp) implements it for arbitrary topologies
+// with precomputed up*/down* next-hop tables.
+#pragma once
+
+#include <memory>
+
+#include "common/geometry.hpp"
+#include "noc/routing.hpp"
+
+namespace nocs::noc {
+
+/// Computes the output port index a head flit takes at router `cur`
+/// towards `dst`.  Deterministic single-path routing: one port per
+/// (cur,dst) pair.  Port 0 is always the local (NI) port.
+class RoutingPolicy {
+ public:
+  virtual ~RoutingPolicy() = default;
+
+  /// Returns the output port index; 0 (local) when cur == dst.
+  /// Precondition: `dst` must be reachable from `cur` under this policy.
+  virtual int route_port(NodeId cur, NodeId dst) const = 0;
+
+  /// Fault fallback mirroring RoutingFunction::reroute: the link behind
+  /// `blocked` is down — return an alternative output port, or `blocked`
+  /// itself when no safe detour exists.
+  virtual int reroute_port(NodeId cur, NodeId dst, int blocked) const {
+    (void)cur;
+    (void)dst;
+    return blocked;
+  }
+
+  /// Human-readable name for logs/tables.
+  virtual const char* name() const = 0;
+};
+
+/// Adapts a coordinate-based RoutingFunction (XY/YX DOR, CDOR) to the
+/// node-id interface on a mesh.  Directional Port indices already are the
+/// mesh's port indices, so the adapter is a pure coordinate translation
+/// and mesh networks routed through it stay bit-identical to networks
+/// routed through the RoutingFunction directly.
+class MeshRoutingPolicy final : public RoutingPolicy {
+ public:
+  /// Borrows `fn` (must outlive the policy).
+  MeshRoutingPolicy(const RoutingFunction* fn, MeshShape shape)
+      : fn_(fn), shape_(shape) {
+    NOCS_EXPECTS(fn != nullptr);
+  }
+
+  /// Owns `fn`.
+  MeshRoutingPolicy(std::unique_ptr<RoutingFunction> fn, MeshShape shape)
+      : owned_(std::move(fn)), fn_(owned_.get()), shape_(shape) {
+    NOCS_EXPECTS(fn_ != nullptr);
+  }
+
+  int route_port(NodeId cur, NodeId dst) const override {
+    return static_cast<int>(
+        fn_->route(shape_.coord_of(cur), shape_.coord_of(dst)));
+  }
+
+  int reroute_port(NodeId cur, NodeId dst, int blocked) const override {
+    return static_cast<int>(fn_->reroute(shape_.coord_of(cur),
+                                         shape_.coord_of(dst),
+                                         static_cast<Port>(blocked)));
+  }
+
+  const char* name() const override { return fn_->name(); }
+
+  const RoutingFunction& mesh_function() const { return *fn_; }
+
+ private:
+  std::unique_ptr<RoutingFunction> owned_;
+  const RoutingFunction* fn_;
+  MeshShape shape_;
+};
+
+}  // namespace nocs::noc

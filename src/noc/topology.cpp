@@ -1,0 +1,515 @@
+#include "noc/topology.hpp"
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace nocs::noc {
+namespace {
+
+[[noreturn]] void fail(const std::string& msg) {
+  throw std::invalid_argument("topology: " + msg);
+}
+
+}  // namespace
+
+// --- mutation helpers -------------------------------------------------------
+
+void Topology::add_link(NodeId src, NodeId dst, int src_port, int dst_port,
+                        int latency, int width) {
+  if (!valid(src) || !valid(dst)) fail("link endpoint out of range");
+  auto& sp = num_ports_[static_cast<std::size_t>(src)];
+  auto& dp = num_ports_[static_cast<std::size_t>(dst)];
+  auto next_free = [this](NodeId node, bool out) {
+    // Smallest port >= 1 not already used in the given direction.
+    std::unordered_set<int> used;
+    for (const TopoLink& l : links_) {
+      if (out && l.src == node) used.insert(l.src_port);
+      if (!out && l.dst == node) used.insert(l.dst_port);
+    }
+    int p = 1;
+    while (used.count(p)) ++p;
+    return p;
+  };
+  if (src_port < 0) src_port = next_free(src, /*out=*/true);
+  if (dst_port < 0) dst_port = next_free(dst, /*out=*/false);
+  sp = std::max(sp, src_port + 1);
+  dp = std::max(dp, dst_port + 1);
+  links_.push_back(TopoLink{src, dst, src_port, dst_port, latency, width});
+}
+
+void Topology::add_pair(NodeId a, NodeId b, int latency, int width) {
+  add_link(a, b, /*src_port=*/-1, /*dst_port=*/-1, latency, width);
+  add_link(b, a, /*src_port=*/-1, /*dst_port=*/-1, latency, width);
+}
+
+void Topology::rebuild_index() {
+  const auto n = coords_.size();
+  out_index_.assign(n, {});
+  in_index_.assign(n, {});
+  for (std::size_t i = 0; i < n; ++i) {
+    out_index_[i].assign(static_cast<std::size_t>(num_ports_[i]), -1);
+    in_index_[i].assign(static_cast<std::size_t>(num_ports_[i]), -1);
+  }
+  for (std::size_t l = 0; l < links_.size(); ++l) {
+    const TopoLink& lk = links_[l];
+    out_index_[static_cast<std::size_t>(lk.src)]
+              [static_cast<std::size_t>(lk.src_port)] = static_cast<int>(l);
+    in_index_[static_cast<std::size_t>(lk.dst)]
+             [static_cast<std::size_t>(lk.dst_port)] = static_cast<int>(l);
+  }
+}
+
+// --- generators -------------------------------------------------------------
+
+Topology Topology::mesh(int width, int height) {
+  if (width < 1 || height < 1) fail("mesh dimensions must be >= 1");
+  Topology t;
+  t.kind_ = "mesh";
+  t.mesh_w_ = width;
+  t.mesh_h_ = height;
+  const MeshShape shape{width, height};
+  const int n = shape.size();
+  t.coords_.reserve(static_cast<std::size_t>(n));
+  for (NodeId id = 0; id < n; ++id) t.coords_.push_back(shape.coord_of(id));
+  // Every mesh node gets the full 5 directional port slots even at edges:
+  // the router's arbitration loops iterate over all slots, so the slot
+  // count (not the degree) is what mesh bit-identity depends on.
+  t.num_ports_.assign(static_cast<std::size_t>(n), kNumPorts);
+  // Exact legacy construction order: ascending node id, east pair then
+  // south pair, forward link then reverse link.
+  for (NodeId a = 0; a < n; ++a) {
+    const Coord ca = shape.coord_of(a);
+    for (Port p : {Port::kEast, Port::kSouth}) {
+      const Coord cb = step(ca, p);
+      if (!shape.contains(cb)) continue;
+      const NodeId b = shape.id_of(cb);
+      t.add_link(a, b, static_cast<int>(p), static_cast<int>(opposite(p)), 0,
+                 1);
+      t.add_link(b, a, static_cast<int>(opposite(p)), static_cast<int>(p), 0,
+                 1);
+    }
+  }
+  t.rebuild_index();
+  t.validate();
+  return t;
+}
+
+Topology Topology::torus(int width, int height) {
+  if (width < 3 || height < 1) fail("torus needs width >= 3");
+  if (height != 1 && height < 3) fail("torus needs height 1 or >= 3");
+  Topology t;
+  t.kind_ = "torus";
+  const MeshShape shape{width, height};
+  const int n = shape.size();
+  for (NodeId id = 0; id < n; ++id) t.coords_.push_back(shape.coord_of(id));
+  t.num_ports_.assign(static_cast<std::size_t>(n), kNumPorts);
+  // Mesh links in the legacy order, then the wrap-around links (west edge
+  // to east edge per row, north edge to south edge per column) reusing the
+  // directional port slots that are free at the edges.
+  for (NodeId a = 0; a < n; ++a) {
+    const Coord ca = shape.coord_of(a);
+    for (Port p : {Port::kEast, Port::kSouth}) {
+      const Coord cb = step(ca, p);
+      if (!shape.contains(cb)) continue;
+      const NodeId b = shape.id_of(cb);
+      t.add_link(a, b, static_cast<int>(p), static_cast<int>(opposite(p)), 0,
+                 1);
+      t.add_link(b, a, static_cast<int>(opposite(p)), static_cast<int>(p), 0,
+                 1);
+    }
+  }
+  for (int y = 0; y < height; ++y) {
+    const NodeId west = shape.id_of({0, y});
+    const NodeId east = shape.id_of({width - 1, y});
+    t.add_link(east, west, static_cast<int>(Port::kEast),
+               static_cast<int>(Port::kWest), 0, 1);
+    t.add_link(west, east, static_cast<int>(Port::kWest),
+               static_cast<int>(Port::kEast), 0, 1);
+  }
+  if (height >= 3) {
+    for (int x = 0; x < width; ++x) {
+      const NodeId north = shape.id_of({x, 0});
+      const NodeId south = shape.id_of({x, height - 1});
+      t.add_link(south, north, static_cast<int>(Port::kSouth),
+                 static_cast<int>(Port::kNorth), 0, 1);
+      t.add_link(north, south, static_cast<int>(Port::kNorth),
+                 static_cast<int>(Port::kSouth), 0, 1);
+    }
+  }
+  t.rebuild_index();
+  t.validate();
+  return t;
+}
+
+Topology Topology::ring_circulant(int n, int skip) {
+  if (n < 4) fail("ring_circulant needs >= 4 nodes");
+  if (skip < 2 || 2 * skip > n)
+    fail("ring_circulant skip must be in [2, n/2]");
+  Topology t;
+  t.kind_ = "ring_circulant";
+  // Perimeter layout: walk clockwise around the boundary of the smallest
+  // square that fits n nodes, so Euclidean floorplan distance tracks ring
+  // position and Algorithm 1 grows contiguous arcs.
+  int side = 2;
+  while (4 * (side - 1) < n) ++side;
+  std::vector<Coord> perimeter;
+  for (int x = 0; x < side; ++x) perimeter.push_back({x, 0});
+  for (int y = 1; y < side; ++y) perimeter.push_back({side - 1, y});
+  for (int x = side - 2; x >= 0; --x) perimeter.push_back({x, side - 1});
+  for (int y = side - 2; y >= 1; --y) perimeter.push_back({0, y});
+  for (NodeId id = 0; id < n; ++id)
+    t.coords_.push_back(perimeter[static_cast<std::size_t>(id)]);
+  t.num_ports_.assign(static_cast<std::size_t>(n), 1);
+  // Ring links first (ascending id), then chords; ports auto-assigned.
+  for (NodeId a = 0; a < n; ++a) t.add_pair(a, (a + 1) % n);
+  const bool diameter_chord = (2 * skip == n);
+  for (NodeId a = 0; a < n; ++a) {
+    const NodeId b = (a + skip) % n;
+    if (diameter_chord && b < a) continue;  // each diameter chord once
+    t.add_pair(a, b);
+  }
+  t.rebuild_index();
+  t.validate();
+  return t;
+}
+
+Topology Topology::hamming(int rows, int cols) {
+  if (rows < 2 || cols < 2) fail("hamming needs rows, cols >= 2");
+  if (rows + cols - 2 + 1 > kMaxPorts)
+    fail("hamming degree exceeds the per-node port limit");
+  Topology t;
+  t.kind_ = "hamming";
+  const MeshShape shape{cols, rows};
+  const int n = shape.size();
+  for (NodeId id = 0; id < n; ++id) t.coords_.push_back(shape.coord_of(id));
+  t.num_ports_.assign(static_cast<std::size_t>(n), 1);
+  // Row cliques then column cliques, each pair once, ascending ids.
+  for (NodeId a = 0; a < n; ++a) {
+    const Coord ca = shape.coord_of(a);
+    for (NodeId b = a + 1; b < n; ++b) {
+      const Coord cb = shape.coord_of(b);
+      if (ca.y == cb.y || ca.x == cb.x) t.add_pair(a, b);
+    }
+  }
+  t.rebuild_index();
+  t.validate();
+  return t;
+}
+
+Topology Topology::make(const std::string& kind, int width, int height,
+                        int skip) {
+  if (kind == "mesh") return mesh(width, height);
+  if (kind == "torus") return torus(width, height);
+  if (kind == "ring_circulant") {
+    const int n = width * height;
+    return ring_circulant(n, skip > 0 ? skip : std::max(2, n / 4));
+  }
+  if (kind == "hamming") return hamming(height, width);
+  fail("unknown topology kind '" + kind +
+       "' (expected mesh|torus|ring_circulant|hamming|file)");
+}
+
+// --- text format ------------------------------------------------------------
+//
+// Documented in docs/TOPOLOGY.md.  Line-oriented; '#' starts a comment.
+//   topology <name>
+//   nodes <count>
+//   node <id> <x> <y> [ports <count>]
+//   link <src> <dst> [latency <cycles>] [width <w>]       (bidirectional)
+//   link <src> <dst> oneway [latency <cycles>] [width <w>]
+
+Topology Topology::parse(const std::string& text) {
+  Topology t;
+  t.kind_ = "file";
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  bool saw_nodes = false;
+  std::vector<bool> node_defined;
+  auto err = [&](const std::string& msg) {
+    fail("line " + std::to_string(lineno) + ": " + msg);
+  };
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    std::istringstream ls(line);
+    std::string word;
+    if (!(ls >> word)) continue;  // blank / comment-only line
+    if (word == "topology") {
+      std::string name;
+      if (!(ls >> name)) err("'topology' needs a name");
+      t.kind_ = "file:" + name;
+    } else if (word == "nodes") {
+      int count = 0;
+      if (!(ls >> count) || count < 1) err("'nodes' needs a count >= 1");
+      if (saw_nodes) err("duplicate 'nodes' directive");
+      saw_nodes = true;
+      t.coords_.assign(static_cast<std::size_t>(count), Coord{0, 0});
+      t.num_ports_.assign(static_cast<std::size_t>(count), 1);
+      node_defined.assign(static_cast<std::size_t>(count), false);
+    } else if (word == "node") {
+      if (!saw_nodes) err("'node' before 'nodes'");
+      int id = 0, x = 0, y = 0;
+      if (!(ls >> id >> x >> y)) err("'node' needs: id x y");
+      if (!t.valid(id)) err("node id out of range");
+      if (node_defined[static_cast<std::size_t>(id)])
+        err("duplicate node " + std::to_string(id));
+      node_defined[static_cast<std::size_t>(id)] = true;
+      t.coords_[static_cast<std::size_t>(id)] = Coord{x, y};
+      std::string opt;
+      while (ls >> opt) {
+        if (opt == "ports") {
+          int ports = 0;
+          if (!(ls >> ports) || ports < 1 || ports > kMaxPorts)
+            err("'ports' needs a count in [1, " + std::to_string(kMaxPorts) +
+                "]");
+          t.num_ports_[static_cast<std::size_t>(id)] = ports;
+        } else {
+          err("unknown node option '" + opt + "'");
+        }
+      }
+    } else if (word == "link") {
+      if (!saw_nodes) err("'link' before 'nodes'");
+      int src = 0, dst = 0;
+      if (!(ls >> src >> dst)) err("'link' needs: src dst");
+      if (!t.valid(src) || !t.valid(dst)) err("link endpoint out of range");
+      if (src == dst) err("self link");
+      bool oneway = false;
+      int latency = 0, width = 1;
+      std::string opt;
+      while (ls >> opt) {
+        if (opt == "oneway") {
+          oneway = true;
+        } else if (opt == "latency") {
+          if (!(ls >> latency) || latency < 1)
+            err("'latency' needs a cycle count >= 1");
+        } else if (opt == "width") {
+          if (!(ls >> width) || width < 1) err("'width' needs a value >= 1");
+        } else {
+          err("unknown link option '" + opt + "'");
+        }
+      }
+      if (oneway) {
+        t.add_link(src, dst, -1, -1, latency, width);
+      } else {
+        t.add_link(src, dst, -1, -1, latency, width);
+        t.add_link(dst, src, -1, -1, latency, width);
+      }
+    } else {
+      err("unknown directive '" + word + "'");
+    }
+  }
+  if (!saw_nodes) fail("missing 'nodes' directive");
+  for (std::size_t i = 0; i < node_defined.size(); ++i) {
+    if (!node_defined[i]) fail("node " + std::to_string(i) + " never defined");
+  }
+  t.rebuild_index();
+  t.validate();
+  return t;
+}
+
+Topology Topology::from_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("topology: cannot read '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return parse(buf.str());
+}
+
+std::string Topology::to_text() const {
+  std::ostringstream out;
+  std::string name = kind_;
+  if (name.rfind("file:", 0) == 0) name = name.substr(5);
+  if (name != "file" && !name.empty()) out << "topology " << name << "\n";
+  out << "nodes " << num_nodes() << "\n";
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Coord c = coord(id);
+    out << "node " << id << " " << c.x << " " << c.y;
+    out << " ports " << num_ports(id);
+    out << "\n";
+  }
+  // Emit forward+reverse pairs as a single bidirectional line when they
+  // are adjacent in the table and symmetric; otherwise emit oneway lines.
+  std::vector<bool> emitted(links_.size(), false);
+  for (std::size_t i = 0; i < links_.size(); ++i) {
+    if (emitted[i]) continue;
+    const TopoLink& l = links_[i];
+    const std::size_t j = i + 1;
+    const bool paired = j < links_.size() && !emitted[j] &&
+                        links_[j].src == l.dst && links_[j].dst == l.src &&
+                        links_[j].latency == l.latency &&
+                        links_[j].width == l.width;
+    out << "link " << l.src << " " << l.dst;
+    if (!paired) out << " oneway";
+    if (l.latency > 0) out << " latency " << l.latency;
+    if (l.width != 1) out << " width " << l.width;
+    out << "\n";
+    emitted[i] = true;
+    if (paired) emitted[j] = true;
+  }
+  return out.str();
+}
+
+// --- queries ----------------------------------------------------------------
+
+int Topology::max_ports() const {
+  int m = 0;
+  for (int p : num_ports_) m = std::max(m, p);
+  return m;
+}
+
+int Topology::link_out(NodeId node, int port) const {
+  NOCS_EXPECTS(valid(node));
+  const auto& row = out_index_[static_cast<std::size_t>(node)];
+  if (port < 0 || port >= static_cast<int>(row.size())) return -1;
+  return row[static_cast<std::size_t>(port)];
+}
+
+int Topology::link_in(NodeId node, int port) const {
+  NOCS_EXPECTS(valid(node));
+  const auto& row = in_index_[static_cast<std::size_t>(node)];
+  if (port < 0 || port >= static_cast<int>(row.size())) return -1;
+  return row[static_cast<std::size_t>(port)];
+}
+
+int Topology::port_to(NodeId src, NodeId dst) const {
+  NOCS_EXPECTS(valid(src));
+  for (int l : out_index_[static_cast<std::size_t>(src)]) {
+    if (l >= 0 && links_[static_cast<std::size_t>(l)].dst == dst)
+      return links_[static_cast<std::size_t>(l)].src_port;
+  }
+  return -1;
+}
+
+std::vector<int> Topology::connected_ports(NodeId node) const {
+  std::vector<int> ports;
+  for (int p = 1; p < num_ports(node); ++p) {
+    if (link_out(node, p) >= 0) ports.push_back(p);
+  }
+  return ports;
+}
+
+int Topology::out_degree(NodeId node) const {
+  int d = 0;
+  for (int p = 1; p < num_ports(node); ++p) {
+    if (link_out(node, p) >= 0) ++d;
+  }
+  return d;
+}
+
+bool Topology::connected() const {
+  if (num_nodes() == 0) return false;
+  std::vector<NodeId> all(static_cast<std::size_t>(num_nodes()));
+  for (NodeId id = 0; id < num_nodes(); ++id)
+    all[static_cast<std::size_t>(id)] = id;
+  return connected_subgraph(all);
+}
+
+bool Topology::connected_subgraph(const std::vector<NodeId>& nodes) const {
+  if (nodes.empty()) return false;
+  std::vector<bool> in_set(static_cast<std::size_t>(num_nodes()), false);
+  for (NodeId id : nodes) {
+    NOCS_EXPECTS(valid(id));
+    in_set[static_cast<std::size_t>(id)] = true;
+  }
+  std::vector<bool> seen(static_cast<std::size_t>(num_nodes()), false);
+  std::deque<NodeId> frontier{nodes.front()};
+  seen[static_cast<std::size_t>(nodes.front())] = true;
+  std::size_t reached = 1;
+  while (!frontier.empty()) {
+    const NodeId cur = frontier.front();
+    frontier.pop_front();
+    for (int p = 1; p < num_ports(cur); ++p) {
+      const NodeId nb = neighbor(cur, p);
+      if (nb == kInvalidNode) continue;
+      const auto idx = static_cast<std::size_t>(nb);
+      if (!in_set[idx] || seen[idx]) continue;
+      seen[idx] = true;
+      ++reached;
+      frontier.push_back(nb);
+    }
+  }
+  return reached == nodes.size();
+}
+
+std::uint64_t Topology::fingerprint() const {
+  std::uint64_t h = 14695981039346656037ull;
+  auto mix = [&h](std::uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xffu;
+      h *= 1099511628211ull;
+    }
+  };
+  for (char c : kind_) mix(static_cast<std::uint64_t>(static_cast<unsigned char>(c)));
+  mix(static_cast<std::uint64_t>(num_nodes()));
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const Coord c = coord(id);
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(c.x)));
+    mix(static_cast<std::uint64_t>(static_cast<std::int64_t>(c.y)));
+    mix(static_cast<std::uint64_t>(num_ports(id)));
+  }
+  for (const TopoLink& l : links_) {
+    mix(static_cast<std::uint64_t>(l.src));
+    mix(static_cast<std::uint64_t>(l.dst));
+    mix(static_cast<std::uint64_t>(l.src_port));
+    mix(static_cast<std::uint64_t>(l.dst_port));
+    mix(static_cast<std::uint64_t>(l.latency));
+    mix(static_cast<std::uint64_t>(l.width));
+  }
+  return h;
+}
+
+void Topology::validate() const {
+  if (num_nodes() < 1) fail("no nodes");
+  if (coords_.size() != num_ports_.size()) fail("node table size mismatch");
+  for (NodeId id = 0; id < num_nodes(); ++id) {
+    const int np = num_ports(id);
+    if (np < 1 || np > kMaxPorts)
+      fail("node " + std::to_string(id) + " has invalid port count " +
+           std::to_string(np));
+  }
+  std::unordered_set<std::uint64_t> seen_pairs;
+  std::unordered_set<std::uint64_t> seen_out, seen_in;
+  for (const TopoLink& l : links_) {
+    if (!valid(l.src) || !valid(l.dst)) fail("link endpoint out of range");
+    if (l.src == l.dst) fail("self link at node " + std::to_string(l.src));
+    if (l.src_port < 1 || l.src_port >= num_ports(l.src))
+      fail("link src port out of range at node " + std::to_string(l.src));
+    if (l.dst_port < 1 || l.dst_port >= num_ports(l.dst))
+      fail("link dst port out of range at node " + std::to_string(l.dst));
+    if (l.latency < 0) fail("negative link latency");
+    if (l.width < 1) fail("link width must be >= 1");
+    const auto pair_key = (static_cast<std::uint64_t>(l.src) << 32) |
+                          static_cast<std::uint32_t>(l.dst);
+    if (!seen_pairs.insert(pair_key).second)
+      fail("duplicate link " + std::to_string(l.src) + " -> " +
+           std::to_string(l.dst));
+    const auto out_key = (static_cast<std::uint64_t>(l.src) << 32) |
+                         static_cast<std::uint32_t>(l.src_port);
+    if (!seen_out.insert(out_key).second)
+      fail("node " + std::to_string(l.src) + " output port " +
+           std::to_string(l.src_port) + " used twice");
+    const auto in_key = (static_cast<std::uint64_t>(l.dst) << 32) |
+                        static_cast<std::uint32_t>(l.dst_port);
+    if (!seen_in.insert(in_key).second)
+      fail("node " + std::to_string(l.dst) + " input port " +
+           std::to_string(l.dst_port) + " used twice");
+  }
+  // Channels are paired wires: every directed link must have a reverse.
+  for (const TopoLink& l : links_) {
+    const auto rev_key = (static_cast<std::uint64_t>(l.dst) << 32) |
+                         static_cast<std::uint32_t>(l.src);
+    if (!seen_pairs.count(rev_key))
+      fail("link " + std::to_string(l.src) + " -> " + std::to_string(l.dst) +
+           " has no reverse link");
+  }
+  if (num_nodes() > 1 && !connected()) fail("graph is not connected");
+}
+
+}  // namespace nocs::noc

@@ -1,0 +1,212 @@
+// General interconnect topology: nodes with floorplan coordinates, ports,
+// and a directed link table with per-link latency and width.
+//
+// The paper evaluates fine-grained sprinting on a 2-D mesh only; ROADMAP
+// item 5 asks the broader question — *which* interconnect should a
+// sprinting chip have.  This class is the pivot: network construction,
+// routing, sprint-set selection, and the power/thermal floorplan all read
+// the graph from here, so a mesh, a torus, a ring-circulant, a Hamming
+// graph, or a hand-written topology file flow through the identical
+// simulation machinery.
+//
+// Conventions:
+//  * Port 0 of every node is the local (NI) port; ports 1..num_ports-1
+//    attach directed links.  A node may have at most kMaxPorts ports (the
+//    router's arbitration masks are 32-bit).
+//  * Every directed link has a reverse link (channels are paired wires);
+//    generators and the file parser create both directions together, and
+//    validate() enforces the pairing.
+//  * Link order IS construction order: the network instantiates channel
+//    pipes by walking links() front to back, so two Topology objects with
+//    the same link sequence wire byte-identical networks.  The mesh
+//    generator reproduces the legacy mesh construction order exactly
+//    (ascending node id, east pair then south pair, forward then reverse),
+//    which is what keeps mesh simulations bit-identical to the
+//    pre-topology code.
+//  * Each node carries an integer floorplan coordinate.  Sprint-set
+//    selection orders nodes by squared Euclidean floorplan distance
+//    (Algorithm 1 generalized), and the thermal layer rasterizes node
+//    power at these coordinates.
+//  * Link `latency` 0 means "use NetworkParams::link_latency"; an explicit
+//    value >= 1 overrides it per link (physical floorplans, repeated
+//    wires).  `width` is the link's flit-parallel wire width multiplier
+//    (reserved for the power model; 1 = the baseline flit width).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/geometry.hpp"
+#include "common/types.hpp"
+
+namespace nocs::noc {
+
+/// Hard cap on ports per node (router arbitration masks are 32-bit; port 0
+/// is local).
+inline constexpr int kMaxPorts = 32;
+
+/// One directed link of the topology graph.
+struct TopoLink {
+  NodeId src = kInvalidNode;
+  NodeId dst = kInvalidNode;
+  int src_port = 0;  ///< output port index at src (>= 1)
+  int dst_port = 0;  ///< input port index at dst (>= 1)
+  int latency = 0;   ///< cycles; 0 = NetworkParams::link_latency
+  int width = 1;     ///< flit-parallel width multiplier (power model)
+
+  friend bool operator==(const TopoLink&, const TopoLink&) = default;
+};
+
+/// An interconnect graph.  Build through the static generators or the
+/// file-format parser; after construction the object is immutable in
+/// practice (the network, routing tables, and snapshots all borrow it).
+class Topology {
+ public:
+  /// The legacy 2-D mesh.  Ports use the fixed directional indices of the
+  /// Port enum (local=0, north=1, east=2, south=3, west=4) and every node
+  /// has 5 port slots (edge nodes simply leave some disconnected), so a
+  /// mesh Topology wires a network byte-identical to the pre-topology
+  /// mesh constructor.
+  static Topology mesh(int width, int height);
+
+  /// 2-D torus: the mesh plus wrap-around links in both dimensions (every
+  /// node has degree 4).  Same directional port indices as the mesh.
+  static Topology torus(int width, int height);
+
+  /// Ring-circulant C_n(1, skip): node i links to i+-1 (ring) and i+-skip
+  /// (chords).  Nodes are laid out clockwise around the perimeter of the
+  /// smallest square that fits them, so floorplan distance reflects the
+  /// physical ring.  skip in [2, n/2]; when 2*skip == n the two chord
+  /// directions coincide and the node degree drops to 3.
+  static Topology ring_circulant(int n, int skip);
+
+  /// Hamming graph H(2; rows, cols) (the rook's graph): nodes on a rows x
+  /// cols grid, each linked to every other node in its row and in its
+  /// column.  The dense end of the Sparse-Hamming design space (arxiv
+  /// 2211.13980): diameter 2 at the cost of degree rows+cols-2.
+  static Topology hamming(int rows, int cols);
+
+  /// Parses the text format documented in docs/TOPOLOGY.md.  Throws
+  /// std::invalid_argument with a line-numbered message on malformed
+  /// input; the returned topology has passed validate().
+  static Topology parse(const std::string& text);
+
+  /// Reads and parses a topology file.  Throws std::invalid_argument on
+  /// parse errors and std::runtime_error when the file cannot be read.
+  static Topology from_file(const std::string& path);
+
+  /// Canonical text form (parse(to_text()) reconstructs an identical
+  /// topology, including link order).
+  std::string to_text() const;
+
+  /// Builds a topology by name: "mesh", "torus" (width x height),
+  /// "ring_circulant" (n = width*height nodes, chord `skip`), "hamming"
+  /// (height rows x width cols).  Unknown names throw
+  /// std::invalid_argument.
+  static Topology make(const std::string& kind, int width, int height,
+                       int skip = 0);
+
+  // --- shape ----------------------------------------------------------------
+
+  const std::string& kind() const { return kind_; }
+  int num_nodes() const { return static_cast<int>(coords_.size()); }
+  bool valid(NodeId id) const { return id >= 0 && id < num_nodes(); }
+
+  /// Floorplan coordinate of a node.
+  Coord coord(NodeId id) const {
+    NOCS_EXPECTS(valid(id));
+    return coords_[static_cast<std::size_t>(id)];
+  }
+
+  /// Port slots of a node, local port included.  Some slots of a
+  /// generated topology may be disconnected (mesh edges).
+  int num_ports(NodeId id) const {
+    NOCS_EXPECTS(valid(id));
+    return num_ports_[static_cast<std::size_t>(id)];
+  }
+
+  /// Largest num_ports() over all nodes.
+  int max_ports() const;
+
+  /// Directed links in construction order.
+  const std::vector<TopoLink>& links() const { return links_; }
+
+  /// Index into links() of the link leaving `node` through `port`, or -1
+  /// when the port slot is disconnected (or the local port).
+  int link_out(NodeId node, int port) const;
+
+  /// Index into links() of the link arriving at `node` through `port`, or
+  /// -1 when disconnected.
+  int link_in(NodeId node, int port) const;
+
+  /// The neighbor reached from `node` through output `port`
+  /// (kInvalidNode when the slot is disconnected).
+  NodeId neighbor(NodeId node, int port) const {
+    const int l = link_out(node, port);
+    return l < 0 ? kInvalidNode : links_[static_cast<std::size_t>(l)].dst;
+  }
+
+  /// Output port at `src` of the direct link src -> dst, or -1 when the
+  /// nodes are not adjacent.
+  int port_to(NodeId src, NodeId dst) const;
+
+  /// Output ports of `node` that have a connected link, ascending.
+  std::vector<int> connected_ports(NodeId node) const;
+
+  /// Out-degree of a node (connected output ports).
+  int out_degree(NodeId node) const;
+
+  /// True when this topology is a generated mesh (the sprint layer uses
+  /// the paper's exact Algorithm 1 + CDOR specializations on meshes).
+  bool is_mesh() const { return kind_ == "mesh"; }
+
+  /// Mesh dimensions; only meaningful when is_mesh().
+  MeshShape mesh_shape() const {
+    NOCS_EXPECTS(is_mesh());
+    return MeshShape{mesh_w_, mesh_h_};
+  }
+
+  /// True when every node can reach every other over directed links.
+  bool connected() const;
+
+  /// True when the induced subgraph over `nodes` is connected.
+  bool connected_subgraph(const std::vector<NodeId>& nodes) const;
+
+  /// FNV-1a over kind, coordinates, port counts, and the full link table.
+  /// Checkpoints embed this so a snapshot can never be restored into a
+  /// network wired from a different graph.
+  std::uint64_t fingerprint() const;
+
+  /// Checks every structural invariant (port ranges, reverse-link pairing,
+  /// no self links, no duplicate (src,dst) pairs, connectivity) and throws
+  /// std::invalid_argument naming the first violation.  Generators and
+  /// parse() call this; hand-assembled topologies should too.
+  void validate() const;
+
+  friend bool operator==(const Topology&, const Topology&) = default;
+
+ private:
+  Topology() = default;
+
+  /// Appends a directed link, growing the node's port count as needed.
+  /// Port index chosen automatically (next free slot) when `src_port` is
+  /// -1.
+  void add_link(NodeId src, NodeId dst, int src_port, int dst_port,
+                int latency, int width);
+  /// Appends the directed pair src->dst, dst->src on auto-assigned ports.
+  void add_pair(NodeId a, NodeId b, int latency = 0, int width = 1);
+  void rebuild_index();
+
+  std::string kind_;
+  std::vector<Coord> coords_;
+  std::vector<int> num_ports_;
+  std::vector<TopoLink> links_;
+  /// [node] -> port -> link index (out/in), -1 = disconnected.
+  std::vector<std::vector<int>> out_index_;
+  std::vector<std::vector<int>> in_index_;
+  int mesh_w_ = 0;
+  int mesh_h_ = 0;
+};
+
+}  // namespace nocs::noc

@@ -9,7 +9,6 @@ NocPowerEstimate estimate_noc_power(const noc::Network& net,
   NOCS_EXPECTS(window_cycles > 0);
   NocPowerEstimate est;
 
-  const MeshShape shape = net.params().shape();
   const double window_s = static_cast<double>(window_cycles) /
                           router_model.params().op.frequency;
 
@@ -22,11 +21,9 @@ NocPowerEstimate estimate_noc_power(const noc::Network& net,
     total_mc_flits += r.counters().mc_flits;
 
     // Link leakage: each powered-on cycle of the driving router leaks its
-    // outgoing mesh links (degree of the node).
-    int degree = 0;
-    const Coord c = shape.coord_of(id);
-    for (Port p : {Port::kNorth, Port::kEast, Port::kSouth, Port::kWest})
-      if (shape.contains(step(c, p))) ++degree;
+    // outgoing links (out-degree of the node in the topology graph — on a
+    // mesh, exactly the old N/E/S/W neighbor count).
+    const int degree = net.topology().out_degree(id);
     const double on_fraction =
         static_cast<double>(r.counters().active_cycles +
                             r.counters().waking_cycles) /

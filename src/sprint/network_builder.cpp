@@ -1,10 +1,43 @@
 #include "sprint/network_builder.hpp"
 
 #include <algorithm>
+#include <stdexcept>
 
 #include "sprint/topology.hpp"
 
 namespace nocs::sprint {
+
+TopologyBundle make_topology_sprinting_network(
+    const noc::NetworkParams& params, const noc::Topology& topo, int level,
+    const std::string& traffic, std::uint64_t seed, NodeId master) {
+  NOCS_EXPECTS(level >= 2 && level <= topo.num_nodes());
+  NOCS_EXPECTS(topo.num_nodes() == params.num_nodes());
+  TopologyBundle b;
+  b.endpoints = active_set(topo, level, master);
+  if (topo.is_mesh()) {
+    // Mesh specialization: the paper's CDOR over the Algorithm 1 prefix,
+    // identical to make_noc_sprinting_network.
+    const MeshShape shape = topo.mesh_shape();
+    b.policy = std::make_unique<noc::MeshRoutingPolicy>(
+        std::make_unique<CdorRouting>(shape, b.endpoints, master), shape);
+  } else {
+    b.policy = std::make_unique<noc::TableRouting>(
+        noc::TableRouting::up_down(topo, b.endpoints, master));
+  }
+  // Certify before wiring anything: every active-pair route must terminate
+  // inside the powered region with an acyclic channel-dependency graph.
+  b.deadlock = noc::check_deadlock_free(topo, *b.policy, b.endpoints);
+  if (!b.deadlock.ok)
+    throw std::runtime_error("topology sprint level " +
+                             std::to_string(level) +
+                             " fails the deadlock check: " +
+                             b.deadlock.detail);
+  b.network = std::make_unique<noc::Network>(params, topo, b.policy.get());
+  b.network->set_endpoints(b.endpoints, noc::make_traffic(traffic, level));
+  b.network->gate_dark_region(b.endpoints);
+  b.network->set_seed(seed);
+  return b;
+}
 
 NetworkBundle make_noc_sprinting_network(const noc::NetworkParams& params,
                                          int level,

@@ -17,6 +17,8 @@
 #include "common/rng.hpp"
 #include "noc/network.hpp"
 #include "noc/params.hpp"
+#include "noc/table_routing.hpp"
+#include "noc/topology.hpp"
 #include "sprint/cdor.hpp"
 #include "sprint/physical_wires.hpp"
 
@@ -28,6 +30,27 @@ struct NetworkBundle {
   std::unique_ptr<noc::Network> network;
   std::vector<NodeId> endpoints;
 };
+
+/// A sprinting network over an arbitrary topology, plus the routing policy
+/// it borrows and the deadlock-check verdict its routes passed.
+struct TopologyBundle {
+  std::unique_ptr<noc::RoutingPolicy> policy;
+  std::unique_ptr<noc::Network> network;
+  std::vector<NodeId> endpoints;  ///< the powered (active) nodes
+  noc::DeadlockCheckResult deadlock;
+};
+
+/// Generalized NoC-sprinting network at `level` active cores on an
+/// arbitrary topology: active set = generalized Algorithm 1 prefix
+/// (connected growth by floorplan distance), dark region gated, endpoints
+/// = the active nodes.  Routing: the paper's CDOR when `topo` is a mesh,
+/// up*/down* tables rooted at the master otherwise — either way the
+/// channel-dependency-graph deadlock check runs at build time and a
+/// failure throws std::runtime_error (bundle.deadlock records the passing
+/// verdict).  params.num_nodes() must equal topo.num_nodes().
+TopologyBundle make_topology_sprinting_network(
+    const noc::NetworkParams& params, const noc::Topology& topo, int level,
+    const std::string& traffic, std::uint64_t seed, NodeId master = 0);
 
 /// NoC-sprinting network at `level` active cores: CDOR over the Algorithm 1
 /// prefix, dark region gated, endpoints = the active nodes.

@@ -79,6 +79,61 @@ std::vector<NodeId> sprint_order(const MeshShape& mesh, NodeId master) {
   return order_by_metric(mesh, master, /*euclidean=*/true);
 }
 
+std::vector<NodeId> sprint_order(const noc::Topology& topo, NodeId master) {
+  NOCS_EXPECTS(topo.valid(master));
+  // Mesh specialization: the paper's global Euclidean sort.  Every prefix
+  // of that order is convex, hence connected, so the greedy growth below
+  // would pick the same sets — but dispatching keeps the mesh path
+  // literally the same code (bit-identical results guaranteed, not argued).
+  if (topo.is_mesh()) return sprint_order(topo.mesh_shape(), master);
+
+  const int n = topo.num_nodes();
+  const Coord m = topo.coord(master);
+  std::vector<bool> selected(static_cast<std::size_t>(n), false);
+  std::vector<bool> frontier(static_cast<std::size_t>(n), false);
+  std::vector<NodeId> order;
+  order.reserve(static_cast<std::size_t>(n));
+  order.push_back(master);
+  selected[static_cast<std::size_t>(master)] = true;
+  auto open_neighbors = [&](NodeId id) {
+    for (int p : topo.connected_ports(id)) {
+      const NodeId nb = topo.neighbor(id, p);
+      if (!selected[static_cast<std::size_t>(nb)])
+        frontier[static_cast<std::size_t>(nb)] = true;
+    }
+  };
+  open_neighbors(master);
+  while (static_cast<int>(order.size()) < n) {
+    // Greedy connected growth: the closest frontier node joins (Euclidean
+    // floorplan distance to the master, ties by node index).  The scan is
+    // O(n) per step; sprint planning runs once per level, not per cycle.
+    NodeId best = kInvalidNode;
+    int best_d = 0;
+    for (NodeId id = 0; id < n; ++id) {
+      if (!frontier[static_cast<std::size_t>(id)]) continue;
+      const int d = euclidean_sq(topo.coord(id), m);
+      if (best == kInvalidNode || d < best_d) {
+        best = id;
+        best_d = d;
+      }
+    }
+    NOCS_ENSURES(best != kInvalidNode);  // topology is connected
+    frontier[static_cast<std::size_t>(best)] = false;
+    selected[static_cast<std::size_t>(best)] = true;
+    order.push_back(best);
+    open_neighbors(best);
+  }
+  return order;
+}
+
+std::vector<NodeId> active_set(const noc::Topology& topo, int level,
+                               NodeId master) {
+  NOCS_EXPECTS(level >= 1 && level <= topo.num_nodes());
+  std::vector<NodeId> order = sprint_order(topo, master);
+  order.resize(static_cast<std::size_t>(level));
+  return order;
+}
+
 std::vector<NodeId> sprint_order_hamming(const MeshShape& mesh,
                                          NodeId master) {
   return order_by_metric(mesh, master, /*euclidean=*/false);

@@ -12,6 +12,7 @@
 
 #include "common/geometry.hpp"
 #include "common/types.hpp"
+#include "noc/topology.hpp"
 
 namespace nocs::sprint {
 
@@ -19,6 +20,21 @@ namespace nocs::sprint {
 /// master; sprinting at level k activates `order[0..k)`.
 std::vector<NodeId> sprint_order(const MeshShape& mesh,
                                  NodeId master = 0);
+
+/// Algorithm 1 generalized to an arbitrary topology graph: nodes join the
+/// sprint region by connected-subgraph growth — at each step the frontier
+/// node (adjacent to the region) with the smallest squared Euclidean
+/// floorplan distance to the master joins, ties broken by node index.  On
+/// a mesh this dispatches to the exact mesh sprint_order above (Euclidean
+/// prefixes of a mesh are connected, and the mesh path must stay
+/// bit-identical), so every prefix of the returned order is a connected
+/// powered region on any topology.
+std::vector<NodeId> sprint_order(const noc::Topology& topo,
+                                 NodeId master = 0);
+
+/// The first `level` nodes of the generalized sprint order.
+std::vector<NodeId> active_set(const noc::Topology& topo, int level,
+                               NodeId master = 0);
 
 /// Ablation baseline: the same construction ordered by Hamming (Manhattan)
 /// distance instead, which the paper argues is inferior.

@@ -77,6 +77,35 @@ Floorplan make_cmp_floorplan(const MeshShape& mesh, double die_w_mm,
   return fp;
 }
 
+Floorplan make_topology_floorplan(const noc::Topology& topo, double die_w_mm,
+                                  double die_h_mm,
+                                  const std::vector<Watts>& node_power) {
+  NOCS_EXPECTS(static_cast<int>(node_power.size()) == topo.num_nodes());
+  int max_x = 0;
+  int max_y = 0;
+  for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+    const Coord c = topo.coord(id);
+    NOCS_EXPECTS(c.x >= 0 && c.y >= 0);
+    max_x = std::max(max_x, c.x);
+    max_y = std::max(max_y, c.y);
+  }
+  Floorplan fp(die_w_mm, die_h_mm);
+  const double bw = die_w_mm / (max_x + 1);
+  const double bh = die_h_mm / (max_y + 1);
+  for (NodeId id = 0; id < topo.num_nodes(); ++id) {
+    const Coord c = topo.coord(id);
+    Block b;
+    b.name = "node" + std::to_string(id);
+    b.x_mm = c.x * bw;
+    b.y_mm = c.y * bh;
+    b.w_mm = bw;
+    b.h_mm = bh;
+    b.power = node_power[static_cast<std::size_t>(id)];
+    fp.add_block(std::move(b));
+  }
+  return fp;
+}
+
 std::vector<int> identity_positions(int n) {
   std::vector<int> pos(static_cast<std::size_t>(n));
   for (int i = 0; i < n; ++i) pos[static_cast<std::size_t>(i)] = i;

@@ -12,6 +12,7 @@
 #include "common/assert.hpp"
 #include "common/geometry.hpp"
 #include "common/types.hpp"
+#include "noc/topology.hpp"
 
 namespace nocs::thermal {
 
@@ -65,5 +66,14 @@ Floorplan make_cmp_floorplan(const MeshShape& mesh, double die_w_mm,
 
 /// Identity position mapping (logical node i sits at physical slot i).
 std::vector<int> identity_positions(int n);
+
+/// Floorplan for an arbitrary topology: node i's block sits at the grid
+/// slot named by `topo.coord(i)` (the same floorplan coordinates the
+/// generalized Algorithm 1 orders sprint sets by), with the die divided
+/// uniformly over the coordinate bounding box.  On a mesh this matches
+/// make_cmp_floorplan with identity positions.
+Floorplan make_topology_floorplan(const noc::Topology& topo, double die_w_mm,
+                                  double die_h_mm,
+                                  const std::vector<Watts>& node_power);
 
 }  // namespace nocs::thermal
